@@ -1,0 +1,129 @@
+package dta
+
+import (
+	"fmt"
+
+	"dta/internal/crc"
+)
+
+// Cluster shards telemetry across multiple collectors (§7, "Supporting
+// Multiple Collectors"): reports are partitioned by key hash, so every
+// collector owns a disjoint slice of the key space and queries go
+// straight to the owner. Append lists are partitioned by list ID.
+type Cluster struct {
+	systems []*System
+	eng     *crc.Engine
+}
+
+// NewCluster builds n identical collectors from the same options.
+func NewCluster(n int, opts Options) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dta: cluster size %d < 1", n)
+	}
+	c := &Cluster{eng: crc.New(crc.K32K)}
+	for i := 0; i < n; i++ {
+		o := opts
+		o.Seed = opts.Seed + int64(i)
+		sys, err := New(o)
+		if err != nil {
+			return nil, err
+		}
+		c.systems = append(c.systems, sys)
+	}
+	return c, nil
+}
+
+// Size returns the number of collectors.
+func (c *Cluster) Size() int { return len(c.systems) }
+
+// Owner returns the collector responsible for a key.
+func (c *Cluster) Owner(key Key) int {
+	return int(c.eng.Sum(key[:]) % uint32(len(c.systems)))
+}
+
+// OwnerOfList returns the collector responsible for an Append list.
+func (c *Cluster) OwnerOfList(list uint32) int {
+	return int(list) % len(c.systems)
+}
+
+// System returns collector i (for direct Append polling etc.).
+func (c *Cluster) System(i int) *System { return c.systems[i] }
+
+// Reporter attaches a reporter switch that routes each report to the
+// owning collector, as the reporter's forwarding table would (the DTA
+// header plus collector IP select the partition, §7).
+func (c *Cluster) Reporter(switchID uint32) *ClusterReporter {
+	r := &ClusterReporter{cluster: c}
+	for _, sys := range c.systems {
+		r.reps = append(r.reps, sys.Reporter(switchID))
+	}
+	return r
+}
+
+// ClusterReporter is a reporter handle that shards by key.
+type ClusterReporter struct {
+	cluster *Cluster
+	reps    []*Reporter
+}
+
+// KeyWrite stores data under key on the owning collector.
+func (r *ClusterReporter) KeyWrite(key Key, data []byte, n int) error {
+	return r.reps[r.cluster.Owner(key)].KeyWrite(key, data, n)
+}
+
+// Increment adds delta on the owning collector.
+func (r *ClusterReporter) Increment(key Key, delta uint64, n int) error {
+	return r.reps[r.cluster.Owner(key)].Increment(key, delta, n)
+}
+
+// Postcard reports a hop observation to the owning collector.
+func (r *ClusterReporter) Postcard(key Key, hop, pathLen int) error {
+	return r.reps[r.cluster.Owner(key)].Postcard(key, hop, pathLen)
+}
+
+// Append adds data to the collector owning the list.
+func (r *ClusterReporter) Append(list uint32, data []byte) error {
+	return r.reps[r.cluster.OwnerOfList(list)].Append(list, data)
+}
+
+// LookupValue queries the owning collector's Key-Write store.
+func (c *Cluster) LookupValue(key Key, n int) ([]byte, bool, error) {
+	return c.systems[c.Owner(key)].LookupValue(key, n)
+}
+
+// LookupPath queries the owning collector's Postcarding store.
+func (c *Cluster) LookupPath(key Key, n int) ([]uint32, bool, error) {
+	return c.systems[c.Owner(key)].LookupPath(key, n)
+}
+
+// LookupCount queries the owning collector's Key-Increment store.
+func (c *Cluster) LookupCount(key Key, n int) (uint64, error) {
+	return c.systems[c.Owner(key)].LookupCount(key, n)
+}
+
+// Flush flushes every collector's translator state.
+func (c *Cluster) Flush() error {
+	for _, sys := range c.systems {
+		if err := sys.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats sums counters across collectors.
+func (c *Cluster) Stats() Stats {
+	var total Stats
+	for _, sys := range c.systems {
+		st := sys.Stats()
+		total.Reports += st.Reports
+		total.RDMAWrites += st.RDMAWrites
+		total.RDMAAtomics += st.RDMAAtomics
+		total.RateDropped += st.RateDropped
+		total.Resyncs += st.Resyncs
+		total.PostcardEmits += st.PostcardEmits
+		total.AppendFlushes += st.AppendFlushes
+		total.LinkDropped += st.LinkDropped
+	}
+	return total
+}

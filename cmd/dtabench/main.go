@@ -1,0 +1,67 @@
+// Command dtabench regenerates the tables and figures of the DTA paper's
+// evaluation from this repository's implementations.
+//
+// Usage:
+//
+//	dtabench                      # run everything
+//	dtabench -experiment fig10    # one table/figure
+//	dtabench -scale 1             # paper-scale store geometries
+//	dtabench -list                # enumerate experiment IDs
+//
+// See DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
+// paper-vs-measured results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dta/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment ID or 'all'")
+		scale      = flag.Int("scale", 64, "divide paper store sizes by this factor (1 = paper scale)")
+		trials     = flag.Int("trials", 200, "Monte-Carlo trials for success-rate experiments")
+		seed       = flag.Int64("seed", 1, "random seed")
+		cores      = flag.Int("cores", 0, "cap cores for parallel measurements (0 = all)")
+		quick      = flag.Bool("quick", false, "shrink workloads (CI mode)")
+		list       = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	r := experiments.Runner{P: experiments.Params{
+		Scale:    *scale,
+		Trials:   *trials,
+		Seed:     *seed,
+		MaxCores: *cores,
+		Quick:    *quick,
+	}}
+
+	ids := experiments.IDs()
+	if *experiment != "all" {
+		ids = []string{*experiment}
+	}
+	start := time.Now()
+	for _, id := range ids {
+		t0 := time.Now()
+		tbl, err := r.Run(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtabench:", err)
+			os.Exit(1)
+		}
+		tbl.Fprint(os.Stdout)
+		fmt.Printf("  [%s in %.1fs]\n\n", id, time.Since(t0).Seconds())
+	}
+	fmt.Printf("total: %.1fs\n", time.Since(start).Seconds())
+}

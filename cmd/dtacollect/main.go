@@ -1,0 +1,189 @@
+// Command dtacollect runs a live DTA collector + translator over UDP on
+// the loopback interface, with built-in INT reporters generating traffic.
+//
+// Deployment mapping: in a datacenter the translator is the collector's
+// ToR switch and reports arrive as raw Ethernet; here the kernel provides
+// L2–L4, so reporters send the DTA portion (base header + sub-header +
+// payload) as UDP datagrams to the translator's socket, which parses them
+// with the same wire code and performs the same DTA→RDMA translation
+// against the in-process collector memory.
+//
+//	dtacollect -duration 5s -rate 50000 -snapshot /tmp/dta.snap
+//
+// The resulting snapshot can be queried with dtaquery.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"dta/internal/collector"
+	"dta/internal/core/appendlist"
+	"dta/internal/core/keyincrement"
+	"dta/internal/core/keywrite"
+	"dta/internal/core/postcarding"
+	"dta/internal/snapshot"
+	"dta/internal/telemetry/inttel"
+	"dta/internal/telemetry/netseer"
+	"dta/internal/trace"
+	"dta/internal/translator"
+	"dta/internal/wire"
+)
+
+func main() {
+	var (
+		duration = flag.Duration("duration", 5*time.Second, "how long to collect")
+		rate     = flag.Int("rate", 50000, "reports per second to generate")
+		snapPath = flag.String("snapshot", "", "write a store snapshot here on exit")
+		addr     = flag.String("listen", "127.0.0.1:0", "UDP listen address")
+	)
+	flag.Parse()
+	if err := run(*duration, *rate, *snapPath, *addr); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(duration time.Duration, rate int, snapPath, addr string) error {
+	// Store geometry: small enough to start instantly, large enough for
+	// minutes of traffic.
+	kw := keywrite.Config{Slots: 1 << 20, DataSize: 20}
+	ki := keyincrement.Config{Slots: 1 << 18}
+	values := make([]uint32, 1024)
+	for i := range values {
+		values[i] = uint32(i + 1)
+	}
+	pc := postcarding.Config{Chunks: 1 << 18, Hops: 5, Values: values}
+	ap := appendlist.Config{Lists: 16, EntriesPerList: 1 << 16, EntrySize: netseer.EntrySize}
+
+	host, err := collector.New(collector.Config{
+		KeyWrite: &kw, KeyIncrement: &ki, Postcarding: &pc, Append: &ap,
+	})
+	if err != nil {
+		return err
+	}
+	tr, err := translator.New(translator.Config{
+		KeyWrite: &kw, KeyIncrement: &ki, Postcarding: &pc, Append: &ap,
+		AppendBatch: 16,
+	}, host.Listener())
+	if err != nil {
+		return err
+	}
+	tr.Emit = func(pkt []byte) {
+		ack, err := host.Ingest(pkt)
+		if err != nil {
+			log.Printf("collector: %v", err)
+			return
+		}
+		if ack != nil {
+			tr.HandleAck(ack)
+		}
+	}
+
+	conn, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	fmt.Printf("translator listening on %s\n", conn.LocalAddr())
+
+	// Receiver loop: UDP datagram payload = DTA report.
+	done := make(chan struct{})
+	go func() {
+		buf := make([]byte, 2048)
+		var rep wire.Report
+		start := time.Now()
+		for {
+			conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+			n, _, err := conn.ReadFrom(buf)
+			if err != nil {
+				select {
+				case <-done:
+					return
+				default:
+					continue
+				}
+			}
+			if err := wire.DecodeReport(buf[:n], &rep); err != nil {
+				continue
+			}
+			now := uint64(time.Since(start))
+			if err := tr.Process(&rep, now); err != nil {
+				log.Printf("translate: %v", err)
+			}
+		}
+	}()
+
+	// Reporter: INT path tracing + loss events over the real socket.
+	sender, err := net.Dial("udp", conn.LocalAddr().String())
+	if err != nil {
+		return err
+	}
+	defer sender.Close()
+	go func() {
+		g, _ := trace.NewGenerator(trace.DefaultConfig())
+		paths, _ := inttel.NewPathModel(1024, 3, 5)
+		sampler, _ := inttel.NewSampler(1, 1)
+		postcards := &inttel.PostcardSource{Paths: paths, Sampler: sampler}
+		losses := &netseer.LossEvents{ListID: 1}
+		out := make([]byte, wire.MaxReportLen)
+		var reports []wire.Report
+		interval := time.Second / time.Duration(rate)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				p := g.Next()
+				reports = postcards.Reports(&p, reports[:0])
+				reports = losses.Process(&p, reports)
+				for i := range reports {
+					n, err := wire.SerializeReport(out, &reports[i])
+					if err != nil {
+						continue
+					}
+					sender.Write(out[:n])
+				}
+			}
+		}
+	}()
+
+	// Progress loop.
+	deadline := time.After(duration)
+	status := time.NewTicker(time.Second)
+	defer status.Stop()
+	for {
+		select {
+		case <-status.C:
+			st := tr.Stats
+			fmt.Printf("reports=%d writes=%d atomics=%d postcard-emits=%d append-flushes=%d\n",
+				st.Reports, st.RDMAWrites, st.RDMAAtomics, st.PostcardEmits, st.AppendFlushes)
+		case <-deadline:
+			close(done)
+			tr.FlushAppend(0)
+			tr.DrainPostcards(0)
+			st := tr.Stats
+			fmt.Printf("final: reports=%d rdma-writes=%d mem-instr/report=%.3f\n",
+				st.Reports, st.RDMAWrites, func() float64 {
+					host.Device().AttributeReports(st.Reports - host.Device().Mem.Reports)
+					return host.Device().Mem.PerReport()
+				}())
+			if snapPath != "" {
+				if err := snapshot.Capture(host).Save(snapPath); err != nil {
+					return err
+				}
+				fmt.Printf("snapshot written to %s\n", snapPath)
+				fi, _ := os.Stat(snapPath)
+				if fi != nil {
+					fmt.Printf("snapshot size: %.1f MiB\n", float64(fi.Size())/(1<<20))
+				}
+			}
+			return nil
+		}
+	}
+}

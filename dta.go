@@ -1,0 +1,411 @@
+// Package dta is a Go implementation of Direct Telemetry Access
+// (Langlet et al., SIGCOMM 2023): a telemetry collection system that
+// moves reports from switches into queryable data structures in a
+// collector's memory using RDMA, with no collector CPU involvement.
+//
+// The package wires the three roles of the paper into one in-process
+// system for simulation, testing and benchmarking:
+//
+//   - Reporters (switches) encapsulate telemetry into the lightweight
+//     UDP-based DTA protocol (§5.1).
+//   - The Translator (the collector's top-of-rack switch) converts DTA
+//     reports into RoCEv2 WRITE / FETCH&ADD operations, aggregating
+//     postcards and batching appends on the way (§5.2, Fig. 6).
+//   - The Collector hosts RDMA-registered, write-only data structures —
+//     Key-Write, Postcarding, Append, Key-Increment — and answers
+//     queries over them (§5.3).
+//
+// A minimal session:
+//
+//	sys, _ := dta.New(dta.Options{
+//		KeyWrite: &dta.KeyWriteOptions{Slots: 1 << 20, DataSize: 4},
+//	})
+//	rep := sys.Reporter(1)
+//	rep.KeyWrite(dta.KeyFromUint64(42), []byte{1, 2, 3, 4}, 2)
+//	val, ok, _ := sys.LookupValue(dta.KeyFromUint64(42), 2)
+//
+// Every packet crosses the real wire formats: reporters serialise full
+// Ethernet/IPv4/UDP/DTA frames, the translator parses them and crafts
+// RoCEv2 packets with PSN tracking and ICRC, and the collector's device
+// model verifies and applies them, acknowledging back. An optional lossy
+// link model exercises the recovery paths.
+package dta
+
+import (
+	"errors"
+	"fmt"
+
+	"dta/internal/collector"
+	"dta/internal/core/appendlist"
+	"dta/internal/core/keyincrement"
+	"dta/internal/core/keywrite"
+	"dta/internal/core/postcarding"
+	"dta/internal/netsim"
+	"dta/internal/reporter"
+	"dta/internal/translator"
+	"dta/internal/wire"
+)
+
+// Key is a fixed-width telemetry key (a packed flow 5-tuple, host
+// address, query ID, ...).
+type Key = wire.Key
+
+// KeyFromUint64 packs a 64-bit scalar key.
+func KeyFromUint64(v uint64) Key { return wire.KeyFromUint64(v) }
+
+// FiveTupleKey packs an IPv4 flow 5-tuple.
+func FiveTupleKey(srcIP, dstIP [4]byte, srcPort, dstPort uint16, proto uint8) Key {
+	return wire.FiveTuple(srcIP, dstIP, srcPort, dstPort, proto)
+}
+
+// KeyWriteOptions sizes the Key-Write store.
+type KeyWriteOptions struct {
+	// Slots is the number of key-value slots (a power of two).
+	Slots uint64
+	// DataSize is the value width in bytes.
+	DataSize int
+	// ChecksumBits is the checksum width b (0 = 32).
+	ChecksumBits int
+}
+
+// KeyIncrementOptions sizes the Key-Increment store.
+type KeyIncrementOptions struct {
+	// Slots is the number of 64-bit counters (a power of two).
+	Slots uint64
+	// AggregationRows enables translator-side pre-aggregation of deltas
+	// (0 disables; otherwise a power of two). See §4 "Extensibility".
+	AggregationRows int
+}
+
+// PostcardingOptions sizes the Postcarding store.
+type PostcardingOptions struct {
+	// Chunks is the number of flow chunks (a power of two).
+	Chunks uint64
+	// Hops is the path bound B.
+	Hops int
+	// Values enumerates the value space (e.g. all switch IDs).
+	Values []uint32
+	// SlotBits is the slot width b (0 = 32).
+	SlotBits int
+	// CacheRows sizes the translator's aggregation cache (0 = 32768).
+	CacheRows int
+	// Redundancy is the chunk redundancy N (0 or 1 = single chunk).
+	Redundancy int
+}
+
+// AppendOptions sizes the Append store.
+type AppendOptions struct {
+	// Lists is the number of event lists.
+	Lists int
+	// EntriesPerList is each ring's capacity (a multiple of Batch).
+	EntriesPerList int
+	// EntrySize is the fixed entry width in bytes.
+	EntrySize int
+	// Batch is the translator batching factor (0 or 1 = none).
+	Batch int
+}
+
+// Options assembles a DTA deployment. At least one primitive must be
+// enabled.
+type Options struct {
+	KeyWrite     *KeyWriteOptions
+	KeyIncrement *KeyIncrementOptions
+	Postcarding  *PostcardingOptions
+	Append       *AppendOptions
+
+	// RateLimit caps the translator's RDMA rate (messages/s; 0 = off).
+	RateLimit float64
+	// ReporterLoss drops this fraction of reporter→translator frames,
+	// exercising DTA's best-effort behaviour (0 = lossless).
+	ReporterLoss float64
+	// Seed fixes the loss pattern.
+	Seed int64
+}
+
+// System is an in-process DTA deployment: one collector, one translator,
+// any number of reporters.
+type System struct {
+	host *collector.Host
+	tr   *translator.Translator
+	link *netsim.Link
+	now  uint64
+
+	// Stats mirrors the translator's counters.
+	reporters []*Reporter
+}
+
+// New builds a System.
+func New(opts Options) (*System, error) {
+	ccfg := collector.Config{}
+	tcfg := translator.Config{RateLimit: opts.RateLimit}
+	if o := opts.KeyWrite; o != nil {
+		c := keywrite.Config{Slots: o.Slots, DataSize: o.DataSize, ChecksumBits: o.ChecksumBits}
+		ccfg.KeyWrite, tcfg.KeyWrite = &c, &c
+	}
+	if o := opts.KeyIncrement; o != nil {
+		c := keyincrement.Config{Slots: o.Slots}
+		ccfg.KeyIncrement, tcfg.KeyIncrement = &c, &c
+		tcfg.KIAggregationRows = o.AggregationRows
+	}
+	if o := opts.Postcarding; o != nil {
+		c := postcarding.Config{Chunks: o.Chunks, Hops: o.Hops, SlotBits: o.SlotBits, Values: o.Values}
+		ccfg.Postcarding, tcfg.Postcarding = &c, &c
+		tcfg.PostcardCacheRows = o.CacheRows
+		tcfg.PostcardRedundancy = o.Redundancy
+	}
+	if o := opts.Append; o != nil {
+		c := appendlist.Config{Lists: o.Lists, EntriesPerList: o.EntriesPerList, EntrySize: o.EntrySize}
+		ccfg.Append, tcfg.Append = &c, &c
+		tcfg.AppendBatch = o.Batch
+	}
+	host, err := collector.New(ccfg)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := translator.New(tcfg, host.Listener())
+	if err != nil {
+		return nil, err
+	}
+	s := &System{host: host, tr: tr}
+	if opts.ReporterLoss > 0 {
+		s.link = netsim.NewLink(100e9, 500, opts.ReporterLoss, opts.Seed)
+	}
+	// Translator → collector is the lossless RDMA hop: emissions apply
+	// immediately and acks return synchronously.
+	tr.Emit = func(pkt []byte) {
+		ack, err := host.Ingest(pkt)
+		if err != nil {
+			// A crafting bug, not a runtime condition: surface loudly.
+			panic(fmt.Sprintf("dta: collector rejected RDMA packet: %v", err))
+		}
+		if ack != nil {
+			if err := tr.HandleAck(ack); err != nil {
+				panic(fmt.Sprintf("dta: bad ack: %v", err))
+			}
+		}
+	}
+	return s, nil
+}
+
+// Reporter attaches a new reporter switch with the given ID.
+func (s *System) Reporter(switchID uint32) *Reporter {
+	r := &Reporter{
+		sys: s,
+		rep: reporter.New(reporter.Config{
+			SwitchID:    switchID,
+			SrcIP:       [4]byte{10, 0, byte(switchID >> 8), byte(switchID)},
+			CollectorIP: [4]byte{10, 255, 0, 1},
+			SrcPort:     uint16(4000 + switchID%1000),
+		}),
+		buf: make([]byte, wire.MaxReportLen),
+	}
+	s.reporters = append(s.reporters, r)
+	return r
+}
+
+// Advance moves the system clock forward (for rate limiting and link
+// modelling).
+func (s *System) Advance(ns uint64) { s.now += ns }
+
+// Now returns the system clock in nanoseconds.
+func (s *System) Now() uint64 { return s.now }
+
+// deliver carries one reporter frame across the (optional) lossy link
+// into the translator.
+func (s *System) deliver(frame []byte) error {
+	if s.link != nil {
+		if _, dropped := s.link.Send(s.now, len(frame)); dropped {
+			return nil // best-effort: silently lost, like UDP
+		}
+	}
+	err := s.tr.ProcessFrame(frame, s.now)
+	if errors.Is(err, translator.ErrNotDTA) {
+		return nil
+	}
+	return err
+}
+
+// Reporter is a handle for one reporting switch.
+type Reporter struct {
+	sys *System
+	rep *reporter.Reporter
+	buf []byte
+}
+
+// KeyWrite stores data under key with redundancy n.
+func (r *Reporter) KeyWrite(key Key, data []byte, n int) error {
+	ln, err := r.rep.KeyWrite(r.buf, key, data, uint8(n), false)
+	if err != nil {
+		return err
+	}
+	return r.sys.deliver(r.buf[:ln])
+}
+
+// KeyWriteImmediate is KeyWrite with the immediate flag set, raising a
+// push notification at the collector.
+func (r *Reporter) KeyWriteImmediate(key Key, data []byte, n int) error {
+	ln, err := r.rep.KeyWrite(r.buf, key, data, uint8(n), true)
+	if err != nil {
+		return err
+	}
+	return r.sys.deliver(r.buf[:ln])
+}
+
+// Append adds data to the tail of list.
+func (r *Reporter) Append(list uint32, data []byte) error {
+	ln, err := r.rep.Append(r.buf, list, data, false)
+	if err != nil {
+		return err
+	}
+	return r.sys.deliver(r.buf[:ln])
+}
+
+// Increment adds delta to key's counter with redundancy n.
+func (r *Reporter) Increment(key Key, delta uint64, n int) error {
+	ln, err := r.rep.KeyIncrement(r.buf, key, delta, uint8(n))
+	if err != nil {
+		return err
+	}
+	return r.sys.deliver(r.buf[:ln])
+}
+
+// Postcard reports this switch's observation of hop of the packet/flow
+// identified by key, carrying the switch ID as the value (path tracing).
+func (r *Reporter) Postcard(key Key, hop, pathLen int) error {
+	ln, err := r.rep.Postcard(r.buf, key, uint8(hop), uint8(pathLen))
+	if err != nil {
+		return err
+	}
+	return r.sys.deliver(r.buf[:ln])
+}
+
+// PostcardValue reports an arbitrary per-hop value (e.g. queueing
+// latency) for the packet/flow identified by key.
+func (r *Reporter) PostcardValue(key Key, hop, pathLen int, value uint32) error {
+	ln, err := r.rep.PostcardValue(r.buf, key, uint8(hop), uint8(pathLen), value)
+	if err != nil {
+		return err
+	}
+	return r.sys.deliver(r.buf[:ln])
+}
+
+// LookupValue queries the Key-Write store: the value stored under key,
+// if it is still reconstructible (plurality vote over n slots).
+func (s *System) LookupValue(key Key, n int) (data []byte, ok bool, err error) {
+	res, err := s.host.QueryKeyWrite(key, n, 1)
+	if err != nil {
+		return nil, false, err
+	}
+	return res.Data, res.Found, nil
+}
+
+// LookupPath queries the Postcarding store: the per-hop values recorded
+// for key across n redundant chunks.
+func (s *System) LookupPath(key Key, n int) (values []uint32, ok bool, err error) {
+	res, err := s.host.QueryPostcards(key, n)
+	if err != nil {
+		return nil, false, err
+	}
+	return res.Values, res.Found, nil
+}
+
+// LookupCount queries the Key-Increment store: the count-min estimate
+// for key over n counters.
+func (s *System) LookupCount(key Key, n int) (uint64, error) {
+	return s.host.QueryCount(key, n)
+}
+
+// Poller returns a reader over one Append list. Call Flush first to push
+// out partial translator batches.
+func (s *System) Poller(list int) (*appendlist.Poller, error) {
+	return s.host.AppendPoller(list)
+}
+
+// Flush forces out partial Append batches, cached postcards and pending
+// Key-Increment aggregates (end of a measurement epoch).
+func (s *System) Flush() error {
+	if err := s.tr.FlushAppend(s.now); err != nil {
+		return err
+	}
+	if err := s.tr.FlushKeyIncrements(s.now); err != nil {
+		return err
+	}
+	return s.tr.DrainPostcards(s.now)
+}
+
+// Events exposes the collector's push-notification channel (reports sent
+// with the immediate flag).
+func (s *System) Events() <-chan struct {
+	QPN uint32
+	Imm uint32
+} {
+	// Re-type the internal channel through a small pump on first use.
+	ch := make(chan struct {
+		QPN uint32
+		Imm uint32
+	}, cap(s.host.Events))
+	go func() {
+		for ev := range s.host.Events {
+			ch <- struct {
+				QPN uint32
+				Imm uint32
+			}{ev.QPN, ev.Imm}
+		}
+	}()
+	return ch
+}
+
+// Stats reports end-to-end counters.
+type Stats struct {
+	Reports       uint64
+	RDMAWrites    uint64
+	RDMAAtomics   uint64
+	RateDropped   uint64
+	Resyncs       uint64
+	PostcardEmits uint64
+	AppendFlushes uint64
+	LinkDropped   uint64
+	// MemInstrPerReport is Fig. 8's metric: DMA memory instructions per
+	// attributed report.
+	MemInstrPerReport float64
+}
+
+// Stats snapshots system counters. Reports are attributed to the memory
+// instruction counter on each call.
+func (s *System) Stats() Stats {
+	dev := s.host.Device()
+	processed := s.tr.Stats.Reports
+	if attributed := dev.Mem.Reports; processed > attributed {
+		dev.AttributeReports(processed - attributed)
+	}
+	st := Stats{
+		Reports:           s.tr.Stats.Reports,
+		RDMAWrites:        s.tr.Stats.RDMAWrites,
+		RDMAAtomics:       s.tr.Stats.RDMAAtomics,
+		RateDropped:       s.tr.Stats.RateDropped,
+		Resyncs:           s.tr.Stats.Resyncs,
+		PostcardEmits:     s.tr.Stats.PostcardEmits,
+		AppendFlushes:     s.tr.Stats.AppendFlushes,
+		MemInstrPerReport: dev.Mem.PerReport(),
+	}
+	if s.link != nil {
+		st.LinkDropped = s.link.Dropped
+	}
+	return st
+}
+
+// InstallLatencyQuery installs the §7 query-enhancing extension on the
+// translator: postcards are aggregated per flow and only flows whose
+// per-hop values sum beyond threshold are appended (as 16B key + 8B sum
+// entries) to the given list. The returned query exposes statistics.
+func (s *System) InstallLatencyQuery(cacheRows, hops int, threshold uint64, list uint32) *translator.ThresholdQuery {
+	q := translator.NewThresholdQuery(cacheRows, hops, threshold, list)
+	s.tr.InstallThresholdQuery(q)
+	return q
+}
+
+// Host exposes the underlying collector (advanced use, benchmarks).
+func (s *System) Host() *collector.Host { return s.host }
+
+// Translator exposes the underlying translator (advanced use).
+func (s *System) Translator() *translator.Translator { return s.tr }

@@ -1,0 +1,90 @@
+// Latency query: the paper's query-enhancing extension (§7).
+//
+//	SELECT flowID, path WHERE SUM(latency) > T
+//
+// Instead of shipping every per-hop latency postcard to the collector,
+// the translator aggregates them and appends only the flows whose
+// end-to-end latency exceeds the threshold — the collector polls a short
+// list of offenders instead of reconstructing millions of paths. Run:
+//
+//	go run ./examples/latencyquery
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"dta"
+	"dta/internal/wire"
+)
+
+func main() {
+	const (
+		thresholdNs = 400 // SUM(latency) > 400 triggers
+		eventList   = 0
+		hops        = 5
+	)
+
+	// Only Append is needed at the collector: the query's output is a
+	// list of (flow, total latency) events. Entries are 24 B.
+	sys, err := dta.New(dta.Options{
+		Postcarding: &dta.PostcardingOptions{
+			Chunks: 1 << 12, Hops: hops, Values: []uint32{1}, // placeholder space
+		},
+		Append: &dta.AppendOptions{
+			Lists: 2, EntriesPerList: 1 << 12, EntrySize: 24, Batch: 4,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := sys.InstallLatencyQuery(1<<12, hops, thresholdNs, eventList)
+
+	// 500 flows: most healthy (~50ns/hop), a few congested (~200ns/hop).
+	rnd := rand.New(rand.NewSource(1))
+	sw := sys.Reporter(1)
+	congested := map[uint64]bool{}
+	for flow := uint64(0); flow < 500; flow++ {
+		perHop := 30 + rnd.Intn(40)
+		if rnd.Float64() < 0.04 {
+			congested[flow] = true
+			perHop = 150 + rnd.Intn(100)
+		}
+		key := dta.KeyFromUint64(flow)
+		for hop := 0; hop < hops; hop++ {
+			lat := uint32(perHop + rnd.Intn(10))
+			if err := sw.PostcardValue(key, hop, hops, lat); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if err := sys.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Poll the offender list.
+	p, err := sys.Poller(eventList)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query: SELECT flowID, SUM(latency) WHERE SUM(latency) > %d\n", thresholdNs)
+	fmt.Printf("flows observed: 500 (%d congested); events triggered: %d\n",
+		len(congested), q.Stats.Triggered)
+	hits := 0
+	for i := uint64(0); i < q.Stats.Triggered; i++ {
+		e := p.Poll()
+		var key wire.Key
+		copy(key[:], e[:wire.KeySize])
+		sum := binary.BigEndian.Uint64(e[wire.KeySize:])
+		flow := key.Uint64()
+		mark := " "
+		if congested[flow] {
+			mark = "*"
+			hits++
+		}
+		fmt.Printf("  %s flow %3d  end-to-end latency %dns\n", mark, flow, sum)
+	}
+	fmt.Printf("all %d known-congested flows reported: %v\n", len(congested), hits == len(congested))
+}

@@ -1,0 +1,110 @@
+// Marple integration: two language-directed switch queries exported
+// through DTA (§6.1, Fig. 7b of the paper).
+//
+//   - TCP timeouts per flow → Key-Write: operators can ask "how many RTOs
+//     has this exact 5-tuple suffered?"
+//   - Per-host byte counters with on-switch eviction → Key-Increment:
+//     the Count-Min store aggregates deltas from the switch's tiny cache.
+//
+// Run with:
+//
+//	go run ./examples/marple
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"dta"
+	"dta/internal/telemetry/marple"
+	"dta/internal/trace"
+	"dta/internal/wire"
+)
+
+func main() {
+	sys, err := dta.New(dta.Options{
+		KeyWrite:     &dta.KeyWriteOptions{Slots: 1 << 18, DataSize: 4},
+		KeyIncrement: &dta.KeyIncrementOptions{Slots: 1 << 16},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sw := sys.Reporter(11)
+
+	cfg := trace.DefaultConfig()
+	cfg.LossRate = 0.01
+	cfg.TimeoutRate = 0.5
+	g, err := trace.NewGenerator(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	timeouts := marple.NewTCPTimeouts(2)
+	hosts := marple.NewHostCounters(256, 2)
+	var reports []wire.Report
+	groundTruth := map[[4]byte]uint64{}
+	var worstFlow trace.FlowKey
+	const pkts = 60000
+	for i := 0; i < pkts; i++ {
+		p := g.Next()
+		groundTruth[p.Flow.SrcIP] += uint64(p.Size)
+		if p.TimedOut {
+			worstFlow = p.Flow
+		}
+		reports = timeouts.Process(&p, reports[:0])
+		reports = hosts.Process(&p, reports)
+		for j := range reports {
+			r := &reports[j]
+			switch r.Header.Primitive {
+			case wire.PrimKeyWrite:
+				err = sw.KeyWrite(r.KeyWrite.Key, r.Data, int(r.KeyWrite.Redundancy))
+			case wire.PrimKeyIncrement:
+				err = sw.Increment(r.KeyIncrement.Key, r.KeyIncrement.Delta, int(r.KeyIncrement.Redundancy))
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	// End of epoch: evict remaining host counters.
+	reports = hosts.Flush(reports[:0])
+	for j := range reports {
+		r := &reports[j]
+		if err := sw.Increment(r.KeyIncrement.Key, r.KeyIncrement.Delta, int(r.KeyIncrement.Redundancy)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Query 1: RTO count of the last flow that timed out.
+	val, ok, err := sys.LookupValue(worstFlow.Key(), 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if ok {
+		fmt.Printf("flow %v: %d TCP timeouts (switch-local truth: %d)\n",
+			worstFlow, binary.BigEndian.Uint32(val), timeouts.Count(worstFlow))
+	} else {
+		fmt.Printf("flow %v: timeout count aged out of the store\n", worstFlow)
+	}
+
+	// Query 2: byte counters for three hosts vs ground truth. Count-Min
+	// never undercounts.
+	shown := 0
+	for ip, want := range groundTruth {
+		var hostKey dta.Key
+		copy(hostKey[:4], ip[:])
+		got, err := sys.LookupCount(hostKey, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("host %d.%d.%d.%d: %d bytes (truth %d, overcount %+d)\n",
+			ip[0], ip[1], ip[2], ip[3], got, want, int64(got)-int64(want))
+		if shown++; shown == 3 {
+			break
+		}
+	}
+	st := sys.Stats()
+	fmt.Printf("reports=%d rdma-writes=%d fetch-adds=%d\n",
+		st.Reports, st.RDMAWrites, st.RDMAAtomics)
+}

@@ -1,0 +1,78 @@
+// Package analysis implements the shared probabilistic machinery behind
+// the paper's Appendix A.5 (Key-Write) and A.6 (Postcarding) bounds.
+//
+// Both primitives store a queried key's information at N slots/chunks
+// chosen by independent hashes; subsequent writes overwrite locations at
+// Poisson rate; and an overwritten location masquerades as valid with
+// some per-location collision probability q (2^−b for Key-Write,
+// ((|V|+1)·2^−b)^B for Postcarding). The bound structure is identical —
+// only q differs — so it lives here once.
+package analysis
+
+import "math"
+
+// Binom returns the binomial coefficient C(n, k) for small n.
+func Binom(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	r := 1.0
+	for i := 0; i < k; i++ {
+		r = r * float64(n-i) / float64(i+1)
+	}
+	return r
+}
+
+// POverwrite returns the Poisson-approximated probability that one
+// location is overwritten after α·M further keys were written with
+// redundancy N into M locations.
+func POverwrite(alpha float64, n int) float64 {
+	return 1 - math.Exp(-alpha*float64(n))
+}
+
+// EmptyReturnBound bounds the probability that a query returns no answer:
+// the sum of (1) all N locations overwritten with none masquerading as
+// valid, (2) all overwritten with two or more masquerading and
+// potentially disagreeing, and (3) some locations surviving but at least
+// one overwritten location masquerading, contaminating consensus.
+// q is the per-location masquerade probability.
+func EmptyReturnBound(alpha float64, n int, q float64) float64 {
+	if n < 1 {
+		return 0
+	}
+	pOver := POverwrite(alpha, n)
+	pOverN := math.Pow(pOver, float64(n))
+
+	term1 := pOverN * math.Pow(1-q, float64(n))
+	term2 := pOverN * (1 - math.Pow(1-q, float64(n)) -
+		float64(n)*q*math.Pow(1-q, float64(n-1)))
+	term3 := 0.0
+	for j := 1; j < n; j++ {
+		term3 += Binom(n, j) *
+			math.Pow(pOver, float64(j)) *
+			math.Exp(-alpha*float64(n)*float64(n-j)) *
+			(1 - math.Pow(1-q, float64(j)))
+	}
+	return math.Min(1, term1+term2+term3)
+}
+
+// WrongOutputBound bounds the probability that a query answers with a
+// wrong value: all N locations overwritten and at least one masquerading
+// as valid. At extreme parameters the paper's expression exceeds 1; it is
+// clamped, as any value ≥ 1 is a vacuous but valid bound.
+func WrongOutputBound(alpha float64, n int, q float64) float64 {
+	if n < 1 {
+		return 0
+	}
+	pOver := POverwrite(alpha, n)
+	return math.Min(1, math.Pow(pOver, float64(n))*float64(n)*q)
+}
+
+// SuccessEstimate estimates query success when masquerade collisions are
+// negligible: at least one of the N locations survived.
+func SuccessEstimate(alpha float64, n int) float64 {
+	if n < 1 {
+		return 0
+	}
+	return 1 - math.Pow(POverwrite(alpha, n), float64(n))
+}

@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinom(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{4, 0, 1}, {4, 1, 4}, {4, 2, 6}, {4, 4, 1},
+		{8, 3, 56}, {1, 2, 0}, {3, -1, 0},
+	}
+	for _, c := range cases {
+		if got := Binom(c.n, c.k); got != c.want {
+			t.Errorf("Binom(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestPOverwriteLimits(t *testing.T) {
+	if p := POverwrite(0, 2); p != 0 {
+		t.Errorf("α=0: %v", p)
+	}
+	if p := POverwrite(100, 2); p < 0.9999 {
+		t.Errorf("α→∞: %v", p)
+	}
+}
+
+func TestBoundsAreProbabilities(t *testing.T) {
+	f := func(a, n, qk uint8) bool {
+		alpha := float64(a%200) / 50.0
+		nn := int(n%8) + 1
+		q := float64(qk) / 255.0
+		e := EmptyReturnBound(alpha, nn, q)
+		w := WrongOutputBound(alpha, nn, q)
+		s := SuccessEstimate(alpha, nn)
+		return e >= -1e-12 && e <= 1+1e-9 && w >= 0 && w <= 1 && s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyReturnMonotoneInAlpha(t *testing.T) {
+	for _, n := range []int{1, 2, 4} {
+		prev := -1.0
+		for alpha := 0.0; alpha <= 2.0; alpha += 0.05 {
+			p := EmptyReturnBound(alpha, n, math.Pow(2, -32))
+			if p < prev-1e-12 {
+				t.Fatalf("N=%d: bound decreased at α=%.2f", n, alpha)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestSuccessPlusEmptyComplementary(t *testing.T) {
+	// With negligible masquerade probability, 1 - SuccessEstimate equals
+	// the dominant term of the empty-return bound.
+	for _, n := range []int{1, 2, 4, 8} {
+		for _, alpha := range []float64{0.1, 0.5, 1.0} {
+			fail := 1 - SuccessEstimate(alpha, n)
+			bound := EmptyReturnBound(alpha, n, 0)
+			if math.Abs(fail-bound) > 1e-12 {
+				t.Errorf("N=%d α=%.1f: 1-success=%v, bound=%v", n, alpha, fail, bound)
+			}
+		}
+	}
+}
+
+func TestEdgeRedundancy(t *testing.T) {
+	if EmptyReturnBound(1, 0, 0.5) != 0 || WrongOutputBound(1, 0, 0.5) != 0 {
+		t.Error("N=0 should yield zero bounds")
+	}
+	if SuccessEstimate(1, 0) != 0 {
+		t.Error("N=0 success should be 0")
+	}
+}

@@ -1,0 +1,218 @@
+// Package asic models the hardware resource footprint of P4 programs on a
+// first-generation programmable switch ASIC (Intel Tofino 1).
+//
+// The paper evaluates DTA's data-plane cost in two places: Fig. 9 compares
+// a reporter that emits DTA reports against RDMA-generating and plain-UDP
+// alternatives across six resource classes, and Table 3 reports the
+// translator pipeline's footprint with and without Append batching. This
+// package encodes those resource classes and per-feature charges so the
+// reporter and translator builds can be "compiled" into a footprint and
+// checked against the paper's numbers.
+//
+// Charges are percentages of the chip-wide budget for each resource class,
+// as vendor P4 compilers report them. The translator base costs are taken
+// directly from Table 3; the reporter costs are read off Fig. 9; remaining
+// values (marked in comments) are interpolated consistently with the
+// figure's shape (DTA ≈ UDP, RDMA ≈ 2× DTA).
+package asic
+
+import "fmt"
+
+// Resource is a Tofino resource class.
+type Resource int
+
+// The resource classes of Fig. 9 and Table 3.
+const (
+	SRAM Resource = iota
+	MatchXbar
+	TableIDs
+	HashDist
+	TernaryBus
+	StatefulALU
+	numResources
+)
+
+// String names the resource as the paper's figures do.
+func (r Resource) String() string {
+	switch r {
+	case SRAM:
+		return "SRAM"
+	case MatchXbar:
+		return "Match Crossbar"
+	case TableIDs:
+		return "Table IDs"
+	case HashDist:
+		return "Hash Dist"
+	case TernaryBus:
+		return "Ternary Bus"
+	case StatefulALU:
+		return "Stateful ALU"
+	default:
+		return fmt.Sprintf("Resource(%d)", int(r))
+	}
+}
+
+// Resources lists all classes in display order.
+func Resources() []Resource {
+	return []Resource{SRAM, MatchXbar, TableIDs, HashDist, TernaryBus, StatefulALU}
+}
+
+// Footprint is a per-class utilisation in percent of the chip budget.
+type Footprint [numResources]float64
+
+// Get returns the utilisation of a class.
+func (f Footprint) Get(r Resource) float64 { return f[r] }
+
+// Add returns the sum of two footprints.
+func (f Footprint) Add(g Footprint) Footprint {
+	var out Footprint
+	for i := range f {
+		out[i] = f[i] + g[i]
+	}
+	return out
+}
+
+// Scale returns the footprint multiplied by k.
+func (f Footprint) Scale(k float64) Footprint {
+	var out Footprint
+	for i := range f {
+		out[i] = f[i] * k
+	}
+	return out
+}
+
+// Fits reports whether every class stays within 100%.
+func (f Footprint) Fits() bool {
+	for _, v := range f {
+		if v > 100 {
+			return false
+		}
+	}
+	return true
+}
+
+// Max returns the most utilised class.
+func (f Footprint) Max() (Resource, float64) {
+	best, bestV := Resource(0), f[0]
+	for i := 1; i < int(numResources); i++ {
+		if f[i] > bestV {
+			best, bestV = Resource(i), f[i]
+		}
+	}
+	return best, bestV
+}
+
+// ExportMechanism selects how a reporter ships telemetry off the switch.
+type ExportMechanism int
+
+// The three reporter variants compared in Fig. 9.
+const (
+	ExportUDP ExportMechanism = iota
+	ExportDTA
+	ExportRDMA
+)
+
+// String names the mechanism.
+func (m ExportMechanism) String() string {
+	switch m {
+	case ExportUDP:
+		return "UDP"
+	case ExportDTA:
+		return "DTA"
+	case ExportRDMA:
+		return "RDMA"
+	default:
+		return fmt.Sprintf("ExportMechanism(%d)", int(m))
+	}
+}
+
+// monitoringBase is the INT-XD monitoring logic shared by all reporter
+// variants (Fig. 9 measures only the report-generation delta on top of a
+// "switch implementing a simple INT-XD system").
+var monitoringBase = Footprint{
+	SRAM:        3.0,
+	MatchXbar:   3.5,
+	TableIDs:    6.0,
+	HashDist:    2.0,
+	TernaryBus:  4.0,
+	StatefulALU: 2.0,
+}
+
+// exportCosts are the report-generation deltas (read off Fig. 9: UDP and
+// DTA nearly identical; RDMA roughly doubles every class because it must
+// keep per-connection state, craft RoCEv2 headers and maintain PSNs).
+var exportCosts = map[ExportMechanism]Footprint{
+	ExportUDP: {
+		SRAM:        2.1,
+		MatchXbar:   3.1,
+		TableIDs:    6.3,
+		HashDist:    3.1,
+		TernaryBus:  4.2,
+		StatefulALU: 2.1,
+	},
+	ExportDTA: {
+		SRAM:        2.3,
+		MatchXbar:   3.3,
+		TableIDs:    6.5,
+		HashDist:    3.3,
+		TernaryBus:  4.2,
+		StatefulALU: 2.1,
+	},
+	ExportRDMA: {
+		SRAM:        4.8,
+		MatchXbar:   6.9,
+		TableIDs:    12.9,
+		HashDist:    6.8,
+		TernaryBus:  8.6,
+		StatefulALU: 6.3,
+	},
+}
+
+// ReporterFootprint returns the full footprint of an INT-XD reporter using
+// the given export mechanism, and the export delta alone (what Fig. 9
+// plots).
+func ReporterFootprint(m ExportMechanism) (total, exportOnly Footprint) {
+	exportOnly = exportCosts[m]
+	return monitoringBase.Add(exportOnly), exportOnly
+}
+
+// translatorBase is Table 3's "Base footprint" row for a translator
+// supporting Key-Write, Postcarding and Append concurrently. Hash Dist is
+// not reported in Table 3; its value is set from the pipeline's hash
+// usage (N slot hashes + checksum + postcard cache index).
+var translatorBase = Footprint{
+	SRAM:        13.2,
+	MatchXbar:   10.6,
+	TableIDs:    49.0,
+	HashDist:    18.0,
+	TernaryBus:  30.7,
+	StatefulALU: 25.0,
+}
+
+// batching16 is Table 3's "Batching" row: the delta for Append batching
+// of 16×4B reports. The Stateful ALU share dominates because the
+// non-recirculating pipeline must touch all B−1 stashed entries in one
+// traversal (§6.4).
+var batching16 = Footprint{
+	SRAM:        3.2,
+	MatchXbar:   7.2,
+	TableIDs:    7.8,
+	HashDist:    0.0,
+	TernaryBus:  7.8,
+	StatefulALU: 31.3,
+}
+
+// referenceBatch is the batch size Table 3's batching row was measured at.
+const referenceBatch = 16
+
+// TranslatorFootprint returns the footprint of a translator supporting all
+// primitives with the given Append batch size (1 disables batching). The
+// batching cost scales linearly with batch size, as §6.4 observes for the
+// Stateful ALU component.
+func TranslatorFootprint(batchSize int) Footprint {
+	if batchSize <= 1 {
+		return translatorBase
+	}
+	k := float64(batchSize-1) / float64(referenceBatch-1)
+	return translatorBase.Add(batching16.Scale(k))
+}

@@ -1,0 +1,123 @@
+package asic
+
+import (
+	"math"
+	"testing"
+)
+
+func TestReporterDTACloseToUDP(t *testing.T) {
+	// Fig. 9's takeaway: DTA imposes an almost identical footprint to UDP.
+	_, udp := ReporterFootprint(ExportUDP)
+	_, dta := ReporterFootprint(ExportDTA)
+	for _, r := range Resources() {
+		d := dta.Get(r) - udp.Get(r)
+		if d < 0 || d > 0.5 {
+			t.Errorf("%v: DTA-UDP delta %.2f, want within [0, 0.5]", r, d)
+		}
+	}
+}
+
+func TestReporterRDMARoughlyDouble(t *testing.T) {
+	// Fig. 9's other takeaway: DTA halves the footprint vs RDMA.
+	_, dta := ReporterFootprint(ExportDTA)
+	_, rdma := ReporterFootprint(ExportRDMA)
+	for _, r := range Resources() {
+		ratio := rdma.Get(r) / dta.Get(r)
+		if ratio < 1.8 || ratio > 3.2 {
+			t.Errorf("%v: RDMA/DTA ratio %.2f, want ~2x", r, ratio)
+		}
+	}
+}
+
+func TestReporterTotalIncludesMonitoring(t *testing.T) {
+	total, export := ReporterFootprint(ExportDTA)
+	for _, r := range Resources() {
+		if total.Get(r) <= export.Get(r) {
+			t.Errorf("%v: total %.2f not above export-only %.2f", r, total.Get(r), export.Get(r))
+		}
+	}
+}
+
+func TestTranslatorBaseMatchesTable3(t *testing.T) {
+	f := TranslatorFootprint(1)
+	want := map[Resource]float64{
+		SRAM:        13.2,
+		MatchXbar:   10.6,
+		TableIDs:    49.0,
+		TernaryBus:  30.7,
+		StatefulALU: 25.0,
+	}
+	for r, w := range want {
+		if got := f.Get(r); math.Abs(got-w) > 1e-9 {
+			t.Errorf("%v base = %.1f, want %.1f", r, got, w)
+		}
+	}
+}
+
+func TestTranslatorBatch16MatchesTable3(t *testing.T) {
+	f := TranslatorFootprint(16)
+	want := map[Resource]float64{
+		SRAM:        13.2 + 3.2,
+		MatchXbar:   10.6 + 7.2,
+		TableIDs:    49.0 + 7.8,
+		TernaryBus:  30.7 + 7.8,
+		StatefulALU: 25.0 + 31.3,
+	}
+	for r, w := range want {
+		if got := f.Get(r); math.Abs(got-w) > 1e-9 {
+			t.Errorf("%v batch16 = %.1f, want %.1f", r, got, w)
+		}
+	}
+}
+
+func TestTranslatorBatchScalesLinearly(t *testing.T) {
+	// §6.4: stateful ALU calls correlate linearly with batch size.
+	b1 := TranslatorFootprint(1).Get(StatefulALU)
+	b8 := TranslatorFootprint(8).Get(StatefulALU)
+	b16 := TranslatorFootprint(16).Get(StatefulALU)
+	// The batching *delta* at 8 should be (8-1)/(16-1) of the delta at 16.
+	wantDelta8 := (b16 - b1) * 7 / 15
+	if math.Abs((b8-b1)-wantDelta8) > 1e-9 {
+		t.Errorf("batch-8 sALU delta = %.3f, want %.3f", b8-b1, wantDelta8)
+	}
+}
+
+func TestTranslatorFitsInTofino(t *testing.T) {
+	// The paper's takeaway: the translator fits with a majority of
+	// resources left over (every class below ~60%).
+	f := TranslatorFootprint(16)
+	if !f.Fits() {
+		t.Fatal("translator does not fit")
+	}
+	if r, v := f.Max(); v > 60 {
+		t.Errorf("max resource %v = %.1f%%, want under 60%%", r, v)
+	}
+}
+
+func TestFootprintAlgebra(t *testing.T) {
+	a := Footprint{1, 2, 3, 4, 5, 6}
+	b := Footprint{10, 20, 30, 40, 50, 60}
+	sum := a.Add(b)
+	if sum.Get(StatefulALU) != 66 {
+		t.Errorf("Add = %+v", sum)
+	}
+	if s := a.Scale(2); s.Get(SRAM) != 2 || s.Get(StatefulALU) != 12 {
+		t.Errorf("Scale = %+v", s)
+	}
+	if r, v := b.Max(); r != StatefulALU || v != 60 {
+		t.Errorf("Max = %v %v", r, v)
+	}
+	over := Footprint{101}
+	if over.Fits() {
+		t.Error("overcommitted footprint fits")
+	}
+}
+
+func TestResourceNames(t *testing.T) {
+	if SRAM.String() != "SRAM" || StatefulALU.String() != "Stateful ALU" {
+		t.Error("unexpected resource names")
+	}
+	if ExportDTA.String() != "DTA" || ExportRDMA.String() != "RDMA" || ExportUDP.String() != "UDP" {
+		t.Error("unexpected mechanism names")
+	}
+}

@@ -1,0 +1,121 @@
+// Package baseline defines the shared machinery of the CPU-based
+// telemetry collectors DTA is compared against (§2, §6.1): the on-wire
+// report format they parse, the Collector interface, and the calibrated
+// cycle/memory charges each implementation records into a
+// costmodel.Counters as it executes.
+//
+// Calibration: per-operation cycle charges are set so that the projected
+// throughput and phase breakdown of each collector on the paper's server
+// (2×Xeon 4114) match Fig. 2 — MultiLog ≈ 1400 cycles/report dominated
+// 72.8% by insertion and CPU-bound to 20 cores; Cuckoo ≈ 350
+// cycles/report but memory-bound beyond ~11 cores. Memory-instruction
+// counts are genuine counts of the words each structure touches; they
+// understate the paper's perf-counter measurements (which include
+// allocator and metadata traffic) but preserve the orders-of-magnitude
+// gap to DTA's RDMA path (Fig. 8).
+package baseline
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"dta/internal/costmodel"
+)
+
+// ReportSize is the on-wire size of a generic 4 B INT report as the CPU
+// collectors receive it: 5-tuple key (13 B + 1 pad), switch ID (4 B),
+// value (4 B), timestamp (8 B).
+const ReportSize = 30
+
+// Report is a parsed INT report.
+type Report struct {
+	SrcIP, DstIP     [4]byte
+	SrcPort, DstPort uint16
+	Proto            uint8
+	SwitchID         uint32
+	Value            uint32
+	TimestampNs      uint64
+}
+
+// Encode serialises the report into dst (≥ ReportSize bytes).
+func (r *Report) Encode(dst []byte) {
+	copy(dst[0:4], r.SrcIP[:])
+	copy(dst[4:8], r.DstIP[:])
+	binary.BigEndian.PutUint16(dst[8:10], r.SrcPort)
+	binary.BigEndian.PutUint16(dst[10:12], r.DstPort)
+	dst[12] = r.Proto
+	dst[13] = 0
+	binary.BigEndian.PutUint32(dst[14:18], r.SwitchID)
+	binary.BigEndian.PutUint32(dst[18:22], r.Value)
+	binary.BigEndian.PutUint64(dst[22:30], r.TimestampNs)
+}
+
+// ErrShortReport reports a truncated report buffer.
+var ErrShortReport = errors.New("baseline: short report")
+
+// Decode parses a report from b.
+func (r *Report) Decode(b []byte) error {
+	if len(b) < ReportSize {
+		return ErrShortReport
+	}
+	copy(r.SrcIP[:], b[0:4])
+	copy(r.DstIP[:], b[4:8])
+	r.SrcPort = binary.BigEndian.Uint16(b[8:10])
+	r.DstPort = binary.BigEndian.Uint16(b[10:12])
+	r.Proto = b[12]
+	r.SwitchID = binary.BigEndian.Uint32(b[14:18])
+	r.Value = binary.BigEndian.Uint32(b[18:22])
+	r.TimestampNs = binary.BigEndian.Uint64(b[22:30])
+	return nil
+}
+
+// FlowKey64 compresses the 5-tuple into a 64-bit hash key used by the
+// collectors' indexes.
+func (r *Report) FlowKey64() uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(b byte) { h = (h ^ uint64(b)) * 1099511628211 }
+	for _, b := range r.SrcIP {
+		mix(b)
+	}
+	for _, b := range r.DstIP {
+		mix(b)
+	}
+	mix(byte(r.SrcPort >> 8))
+	mix(byte(r.SrcPort))
+	mix(byte(r.DstPort >> 8))
+	mix(byte(r.DstPort))
+	mix(r.Proto)
+	return h
+}
+
+// Collector is a CPU-based report ingestion engine.
+type Collector interface {
+	// Name identifies the collector in benchmark output.
+	Name() string
+	// Ingest consumes one on-wire report, charging its costs.
+	Ingest(raw []byte) error
+	// Counters exposes the accumulated cost accounting.
+	Counters() *costmodel.Counters
+}
+
+// Calibrated per-operation charges (cycles). See the package comment.
+const (
+	// CyclesIOHeavy is per-report I/O for the DPDK+framework collectors
+	// (mbuf management, burst dispatch, copies into the ingest queue).
+	CyclesIOHeavy = 190
+	// CyclesIOLight is per-report I/O for the lean cuckoo collector.
+	CyclesIOLight = 100
+	// CyclesPerField is charged per extracted header field.
+	CyclesPerField = 24
+	// CyclesPerHash is one hash computation over the flow key.
+	CyclesPerHash = 30
+	// CyclesPerNode is one pointer-chasing node access (index walk).
+	CyclesPerNode = 12
+	// CyclesPerWord is one sequential word access.
+	CyclesPerWord = 4
+	// MemIO is the memory instructions charged to I/O per report
+	// (descriptor ring + payload fetch).
+	MemIO = 2
+	// MemPerField is charged per extracted field.
+	MemPerField = 1
+)

@@ -1,0 +1,62 @@
+package baseline
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestReportRoundTrip(t *testing.T) {
+	in := Report{
+		SrcIP: [4]byte{10, 0, 0, 1}, DstIP: [4]byte{10, 0, 0, 2},
+		SrcPort: 123, DstPort: 443, Proto: 6,
+		SwitchID: 99, Value: 12345, TimestampNs: 1 << 40,
+	}
+	var buf [ReportSize]byte
+	in.Encode(buf[:])
+	var out Report
+	if err := out.Decode(buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip: got %+v want %+v", out, in)
+	}
+}
+
+func TestDecodeShort(t *testing.T) {
+	var r Report
+	if err := r.Decode(make([]byte, ReportSize-1)); err != ErrShortReport {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestFlowKey64StableAndDiscriminating(t *testing.T) {
+	a := Report{SrcIP: [4]byte{10, 0, 0, 1}, DstIP: [4]byte{10, 0, 0, 2}, SrcPort: 1, DstPort: 2, Proto: 6}
+	b := a
+	if a.FlowKey64() != b.FlowKey64() {
+		t.Error("not deterministic")
+	}
+	b.SrcPort = 3
+	if a.FlowKey64() == b.FlowKey64() {
+		t.Error("port change did not alter key")
+	}
+	// Value/timestamp changes must NOT alter the flow key.
+	c := a
+	c.Value, c.TimestampNs = 999, 999
+	if a.FlowKey64() != c.FlowKey64() {
+		t.Error("non-key field altered flow key")
+	}
+}
+
+func TestEncodeDecodeQuick(t *testing.T) {
+	f := func(src, dst [4]byte, sp, dp uint16, proto uint8, sw, val uint32, ts uint64) bool {
+		in := Report{SrcIP: src, DstIP: dst, SrcPort: sp, DstPort: dp,
+			Proto: proto, SwitchID: sw, Value: val, TimestampNs: ts}
+		var buf [ReportSize]byte
+		in.Encode(buf[:])
+		var out Report
+		return out.Decode(buf[:]) == nil && out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

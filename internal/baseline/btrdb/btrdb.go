@@ -1,0 +1,148 @@
+// Package btrdb models BTrDB (FAST'16), the time-series store the paper
+// benchmarks in Fig. 7a: a time-partitioned tree whose internal nodes
+// carry statistical aggregates (count/min/max/sum) over their subtree, so
+// windowed queries read O(log n) aggregates instead of raw points.
+//
+// Inserts pay for that query speed: every point updates the aggregates on
+// the whole root-to-leaf path (copy-on-write in the real system), which
+// puts BTrDB's ingest rate between INTCollector's and the MultiLog's.
+package btrdb
+
+import (
+	"dta/internal/baseline"
+	"dta/internal/costmodel"
+)
+
+// fanout is the tree fan-out (64, as in BTrDB's K=64 time partitioning).
+const fanout = 64
+
+// levels is the fixed tree depth; with 64-way fan-out, 4 levels cover
+// 64^4 ≈ 16.7M leaf buckets.
+const levels = 4
+
+// Aggregates are the per-node statistical summaries.
+type Aggregates struct {
+	Count    uint64
+	Min, Max uint32
+	Sum      uint64
+}
+
+func (a *Aggregates) add(v uint32) {
+	if a.Count == 0 || v < a.Min {
+		a.Min = v
+	}
+	if a.Count == 0 || v > a.Max {
+		a.Max = v
+	}
+	a.Count++
+	a.Sum += uint64(v)
+}
+
+type node struct {
+	agg      Aggregates
+	children [fanout]*node
+	points   []point // leaves only
+}
+
+type point struct {
+	time  uint64
+	value uint32
+}
+
+// Tree is the collector.
+type Tree struct {
+	root *node
+	// BucketNs is the time width of one leaf bucket.
+	BucketNs uint64
+	ctr      costmodel.Counters
+}
+
+// New creates a tree with the given leaf bucket width in nanoseconds.
+func New(bucketNs uint64) *Tree {
+	if bucketNs == 0 {
+		bucketNs = 1e6
+	}
+	return &Tree{root: &node{}, BucketNs: bucketNs}
+}
+
+// Name implements baseline.Collector.
+func (t *Tree) Name() string { return "BTrDB" }
+
+// Counters implements baseline.Collector.
+func (t *Tree) Counters() *costmodel.Counters { return &t.ctr }
+
+// path computes the child index at each level for a timestamp.
+func (t *Tree) path(ts uint64) [levels]int {
+	bucket := ts / t.BucketNs
+	var p [levels]int
+	for l := levels - 1; l >= 0; l-- {
+		p[l] = int(bucket % fanout)
+		bucket /= fanout
+	}
+	return p
+}
+
+// Ingest implements baseline.Collector.
+func (t *Tree) Ingest(raw []byte) error {
+	// --- I/O: gRPC-style receive path.
+	t.ctr.Charge(costmodel.PhaseIO, 300, baseline.MemIO+2)
+
+	// --- Parse.
+	var r baseline.Report
+	if err := r.Decode(raw); err != nil {
+		return err
+	}
+	t.ctr.Charge(costmodel.PhaseParse,
+		uint64(6*baseline.CyclesPerField),
+		6*baseline.MemPerField)
+
+	// --- Insert: walk root→leaf updating aggregates (copy-on-write in
+	// the real system: charge a version-copy per node), append the point.
+	cycles := uint64(0)
+	words := 0
+	n := t.root
+	for _, idx := range t.path(r.TimestampNs) {
+		n.agg.add(r.Value)
+		// Aggregate update (4 words) + copy-on-write version header.
+		words += 5
+		cycles += 5*baseline.CyclesPerWord + baseline.CyclesPerNode + 320 // COW block copy
+		next := n.children[idx]
+		if next == nil {
+			next = &node{}
+			n.children[idx] = next
+			words++
+		}
+		n = next
+	}
+	n.agg.add(r.Value)
+	n.points = append(n.points, point{time: r.TimestampNs, value: r.Value})
+	words += 5 + 2
+	cycles += 7 * baseline.CyclesPerWord
+	t.ctr.Charge(costmodel.PhaseInsert, cycles, uint64(words))
+	t.ctr.ChargeDRAM(costmodel.PhaseInsert, 6)
+	t.ctr.Done(1)
+	return nil
+}
+
+// WindowAggregate returns the aggregates of the smallest subtree covering
+// the leaf bucket of ts at the given level (0 = root, levels = leaf).
+func (t *Tree) WindowAggregate(ts uint64, level int) Aggregates {
+	if level <= 0 {
+		return t.root.agg
+	}
+	if level > levels {
+		level = levels
+	}
+	n := t.root
+	p := t.path(ts)
+	for l := 0; l < level; l++ {
+		if n.children[p[l]] == nil {
+			return Aggregates{}
+		}
+		n = n.children[p[l]]
+	}
+	return n.agg
+}
+
+// Total returns the root aggregates (whole-stream stats).
+func (t *Tree) Total() Aggregates { return t.root.agg }

@@ -1,0 +1,78 @@
+package btrdb
+
+import (
+	"testing"
+
+	"dta/internal/baseline"
+	"dta/internal/costmodel"
+)
+
+func report(value int, ts uint64) []byte {
+	r := baseline.Report{
+		SrcIP: [4]byte{10, 0, 0, 1}, DstIP: [4]byte{10, 1, 0, 1},
+		SrcPort: 5, DstPort: 443, Proto: 6,
+		SwitchID: 3, Value: uint32(value), TimestampNs: ts,
+	}
+	buf := make([]byte, baseline.ReportSize)
+	r.Encode(buf)
+	return buf
+}
+
+func TestAggregatesAccumulate(t *testing.T) {
+	tr := New(1000)
+	vals := []int{5, 1, 9, 3}
+	for i, v := range vals {
+		if err := tr.Ingest(report(v, uint64(i)*100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	agg := tr.Total()
+	if agg.Count != 4 || agg.Min != 1 || agg.Max != 9 || agg.Sum != 18 {
+		t.Errorf("aggregates = %+v", agg)
+	}
+}
+
+func TestWindowAggregates(t *testing.T) {
+	tr := New(1000) // 1000ns leaf buckets
+	// Two points in one bucket, one far away.
+	tr.Ingest(report(10, 100))
+	tr.Ingest(report(20, 200))
+	tr.Ingest(report(30, 1e9))
+	leaf := tr.WindowAggregate(100, 4)
+	if leaf.Count != 2 || leaf.Sum != 30 {
+		t.Errorf("leaf aggregate = %+v", leaf)
+	}
+	root := tr.WindowAggregate(100, 0)
+	if root.Count != 3 {
+		t.Errorf("root count = %d", root.Count)
+	}
+	// An empty window.
+	if e := tr.WindowAggregate(5e8, 4); e.Count != 0 {
+		t.Errorf("empty window = %+v", e)
+	}
+}
+
+func TestPositionBetweenBaselines(t *testing.T) {
+	// Fig. 7a: BTrDB sits below MultiLog; per-report cycles exceed
+	// MultiLog's ~1400.
+	tr := New(1e6)
+	for i := 0; i < 3000; i++ {
+		tr.Ingest(report(i, uint64(i)*1e6))
+	}
+	pr := tr.Counters().PerReport()
+	if pr.TotalCycles() < 1500 || pr.TotalCycles() > 5000 {
+		t.Errorf("cycles/report = %.0f, want in (1500, 5000)", pr.TotalCycles())
+	}
+	cpu := costmodel.Xeon4114()
+	r16, _ := cpu.Throughput(pr.TotalCycles(), pr.TotalDRAMOps(), 16)
+	if r16 < 5e6 || r16 > 25e6 {
+		t.Errorf("16-core throughput = %.1fM, want between INTCollector and MultiLog", r16/1e6)
+	}
+}
+
+func TestIngestRejectsShort(t *testing.T) {
+	tr := New(1000)
+	if err := tr.Ingest(make([]byte, 3)); err == nil {
+		t.Error("short report accepted")
+	}
+}

@@ -1,0 +1,211 @@
+// Package cuckoo implements the lightweight DPDK-style collector of §2:
+// a bucketed cuckoo hash table (2 hash functions × 4-slot buckets, as in
+// MemC3/libcuckoo) that stores the latest report per flow.
+//
+// With so little indexing work it ingests more reports per core than the
+// MultiLog — but every report still hashes, probes two buckets and writes
+// a slot, so the memory subsystem saturates around 11 cores (Fig. 2b):
+// lean CPU collection trades a CPU wall for a memory wall.
+package cuckoo
+
+import (
+	"dta/internal/baseline"
+	"dta/internal/costmodel"
+)
+
+// slotsPerBucket is the bucket width (4, as in libcuckoo).
+const slotsPerBucket = 4
+
+// maxKicks bounds the eviction walk before declaring the table full.
+const maxKicks = 16
+
+type slot struct {
+	key   uint64
+	value baseline.Report
+	used  bool
+}
+
+type bucket [slotsPerBucket]slot
+
+// Table is the collector.
+type Table struct {
+	buckets []bucket
+	mask    uint64
+	ctr     costmodel.Counters
+	// Dropped counts inserts abandoned after maxKicks (table full).
+	Dropped uint64
+}
+
+// New creates a table with the given number of buckets (a power of two).
+func New(buckets int) *Table {
+	if buckets <= 0 || buckets&(buckets-1) != 0 {
+		panic("cuckoo: bucket count must be a positive power of two")
+	}
+	return &Table{buckets: make([]bucket, buckets), mask: uint64(buckets - 1)}
+}
+
+// Name implements baseline.Collector.
+func (t *Table) Name() string { return "Cuckoo" }
+
+// Counters implements baseline.Collector.
+func (t *Table) Counters() *costmodel.Counters { return &t.ctr }
+
+// hash1 and hash2 derive the two bucket choices.
+func hash1(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	return k
+}
+
+func hash2(k uint64) uint64 {
+	k ^= k >> 29
+	k *= 0xc4ceb9fe1a85ec53
+	k ^= k >> 29
+	return k
+}
+
+// Ingest implements baseline.Collector.
+func (t *Table) Ingest(raw []byte) error {
+	// --- I/O: lean rx path.
+	t.ctr.Charge(costmodel.PhaseIO, baseline.CyclesIOLight, baseline.MemIO)
+
+	// --- Parse: extract the 5-tuple and value (6 fields), compute both
+	// bucket hashes.
+	var r baseline.Report
+	if err := r.Decode(raw); err != nil {
+		return err
+	}
+	key := r.FlowKey64()
+	// The lean collector extracts the 5-tuple with wide loads (cheaper
+	// than the framework collectors' per-field getters) and computes the
+	// two bucket hashes.
+	const cyclesWideField = 12
+	const cyclesBucketHash = 28
+	t.ctr.Charge(costmodel.PhaseParse,
+		6*cyclesWideField+2*cyclesBucketHash,
+		6*baseline.MemPerField)
+
+	// --- Insert: probe both buckets; update in place, fill a free slot,
+	// or kick. Bucket probes are random accesses: each touched bucket is
+	// a DRAM cache-line fetch (the table dwarfs the LLC), which is what
+	// builds the memory wall of Fig. 2b.
+	cycles := uint64(0)
+	words := 0
+	dram := uint64(1) // the written-back bucket line
+
+	b1 := hash1(key) & t.mask
+	b2 := hash2(key) & t.mask
+	// Probe for an existing entry or free slot across both buckets.
+	// cyclesSlotProbe covers the slot load, key compare and branch.
+	const cyclesSlotProbe = 12
+	probe := func(bi uint64) (free int, found int) {
+		free, found = -1, -1
+		for i := 0; i < slotsPerBucket; i++ {
+			words++ // slot header read
+			cycles += cyclesSlotProbe
+			s := &t.buckets[bi][i]
+			if s.used && s.key == key {
+				found = i
+				return free, found
+			}
+			if !s.used && free == -1 {
+				free = i
+			}
+		}
+		return free, found
+	}
+	store := func(bi uint64, i int) {
+		t.buckets[bi][i] = slot{key: key, value: r, used: true}
+		words += baseline.ReportSize / 8
+		cycles += uint64(baseline.ReportSize/8) * baseline.CyclesPerWord
+	}
+
+	f1, found1 := probe(b1)
+	dram++
+	if found1 >= 0 {
+		store(b1, found1)
+		t.finish(cycles, words, dram)
+		return nil
+	}
+	f2, found2 := probe(b2)
+	dram++
+	if found2 >= 0 {
+		store(b2, found2)
+		t.finish(cycles, words, dram)
+		return nil
+	}
+	if f1 >= 0 {
+		store(b1, f1)
+		t.finish(cycles, words, dram)
+		return nil
+	}
+	if f2 >= 0 {
+		store(b2, f2)
+		t.finish(cycles, words, dram)
+		return nil
+	}
+
+	// Both buckets full: cuckoo kick chain.
+	cur := slot{key: key, value: r, used: true}
+	bi := b1
+	for kick := 0; kick < maxKicks; kick++ {
+		victim := kick % slotsPerBucket
+		cur, t.buckets[bi][victim] = t.buckets[bi][victim], cur
+		words += 2 * baseline.ReportSize / 8
+		cycles += uint64(2*baseline.ReportSize/8)*baseline.CyclesPerWord + baseline.CyclesPerHash
+		// Move the displaced entry to its alternate bucket.
+		alt := hash1(cur.key) & t.mask
+		if alt == bi {
+			alt = hash2(cur.key) & t.mask
+		}
+		bi = alt
+		dram++
+		for i := 0; i < slotsPerBucket; i++ {
+			words++
+			cycles += cyclesSlotProbe
+			if !t.buckets[bi][i].used {
+				t.buckets[bi][i] = cur
+				words += baseline.ReportSize / 8
+				cycles += uint64(baseline.ReportSize/8) * baseline.CyclesPerWord
+				t.finish(cycles, words, dram)
+				return nil
+			}
+		}
+	}
+	t.Dropped++
+	t.finish(cycles, words, dram)
+	return nil
+}
+
+func (t *Table) finish(cycles uint64, words int, dram uint64) {
+	t.ctr.Charge(costmodel.PhaseInsert, cycles, uint64(words))
+	t.ctr.ChargeDRAM(costmodel.PhaseInsert, dram)
+	t.ctr.Done(1)
+}
+
+// Lookup returns the stored report for a flow key, if present.
+func (t *Table) Lookup(key uint64) (baseline.Report, bool) {
+	for _, bi := range [2]uint64{hash1(key) & t.mask, hash2(key) & t.mask} {
+		for i := 0; i < slotsPerBucket; i++ {
+			s := &t.buckets[bi][i]
+			if s.used && s.key == key {
+				return s.value, true
+			}
+		}
+	}
+	return baseline.Report{}, false
+}
+
+// Occupancy returns the number of used slots.
+func (t *Table) Occupancy() int {
+	n := 0
+	for bi := range t.buckets {
+		for i := 0; i < slotsPerBucket; i++ {
+			if t.buckets[bi][i].used {
+				n++
+			}
+		}
+	}
+	return n
+}

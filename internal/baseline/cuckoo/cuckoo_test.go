@@ -1,0 +1,151 @@
+package cuckoo
+
+import (
+	"testing"
+
+	"dta/internal/baseline"
+	"dta/internal/costmodel"
+)
+
+func report(i int) ([]byte, uint64) {
+	r := baseline.Report{
+		SrcIP: [4]byte{10, 0, byte(i >> 8), byte(i)}, DstIP: [4]byte{10, 1, 0, 1},
+		SrcPort: uint16(i), DstPort: 443, Proto: 6,
+		SwitchID: 5, Value: uint32(i), TimestampNs: uint64(i),
+	}
+	buf := make([]byte, baseline.ReportSize)
+	r.Encode(buf)
+	return buf, r.FlowKey64()
+}
+
+func TestNewPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for non-power-of-two")
+		}
+	}()
+	New(100)
+}
+
+func TestIngestAndLookup(t *testing.T) {
+	tb := New(1 << 12)
+	keys := make([]uint64, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		buf, key := report(i)
+		if err := tb.Ingest(buf); err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, key)
+	}
+	if tb.Dropped != 0 {
+		t.Fatalf("dropped %d at low load", tb.Dropped)
+	}
+	for i, key := range keys {
+		r, ok := tb.Lookup(key)
+		if !ok {
+			t.Fatalf("flow %d missing", i)
+		}
+		if r.Value != uint32(i) {
+			t.Fatalf("flow %d value = %d", i, r.Value)
+		}
+	}
+	if _, ok := tb.Lookup(0xdeadbeef); ok {
+		t.Error("found absent key")
+	}
+}
+
+func TestUpdateInPlace(t *testing.T) {
+	tb := New(1 << 8)
+	buf, key := report(1)
+	tb.Ingest(buf)
+	// Same flow, new value.
+	var r baseline.Report
+	r.Decode(buf)
+	r.Value = 777
+	buf2 := make([]byte, baseline.ReportSize)
+	r.Encode(buf2)
+	tb.Ingest(buf2)
+	got, ok := tb.Lookup(key)
+	if !ok || got.Value != 777 {
+		t.Errorf("lookup = %+v, %v", got, ok)
+	}
+	if tb.Occupancy() != 1 {
+		t.Errorf("occupancy = %d, want 1 (updated in place)", tb.Occupancy())
+	}
+}
+
+func TestKickChainsUnderLoad(t *testing.T) {
+	// Fill a small table to ~90%: cuckoo kicks must relocate entries and
+	// the vast majority of inserts must still succeed.
+	tb := New(1 << 6) // 64 buckets × 4 slots = 256 capacity
+	inserted := 230
+	for i := 0; i < inserted; i++ {
+		buf, _ := report(i)
+		tb.Ingest(buf)
+	}
+	found := 0
+	for i := 0; i < inserted; i++ {
+		_, key := report(i)
+		if _, ok := tb.Lookup(key); ok {
+			found++
+		}
+	}
+	if float64(found) < 0.95*float64(inserted) {
+		t.Errorf("only %d/%d present at 90%% load", found, inserted)
+	}
+	if tb.Occupancy() != found {
+		t.Errorf("occupancy %d != found %d", tb.Occupancy(), found)
+	}
+}
+
+func TestMemoryBoundAtHighCores(t *testing.T) {
+	// Fig. 2: Cuckoo is faster than MultiLog per core but becomes
+	// memory-bound past ~11 cores with ~42% stalled cycles at 20.
+	tb := New(1 << 14)
+	for i := 0; i < 5000; i++ {
+		buf, _ := report(i)
+		tb.Ingest(buf)
+	}
+	pr := tb.Counters().PerReport()
+	cpu := costmodel.Xeon4114()
+	r20, stall := cpu.Throughput(pr.TotalCycles(), pr.TotalDRAMOps(), 20)
+	if stall < 0.25 || stall > 0.60 {
+		t.Errorf("stall at 20 cores = %.2f, want ≈0.42", stall)
+	}
+	// Sub-linear scaling past the wall.
+	r11, _ := cpu.Throughput(pr.TotalCycles(), pr.TotalDRAMOps(), 11)
+	if gain := r20 / r11; gain > 1.4 {
+		t.Errorf("11→20 core gain = %.2f, want < 1.4 (memory wall)", gain)
+	}
+	if r20 < 40e6 || r20 > 100e6 {
+		t.Errorf("20-core throughput = %.1fM, want ~60-80M", r20/1e6)
+	}
+}
+
+func TestCuckooFasterPerCoreThanBreakdownSuggests(t *testing.T) {
+	// Fig. 2c: Cuckoo's cycle shares are roughly balanced
+	// (29.1 / 36.9 / 34.0).
+	tb := New(1 << 14)
+	for i := 0; i < 5000; i++ {
+		buf, _ := report(i)
+		tb.Ingest(buf)
+	}
+	sh := tb.Counters().PerReport().CycleShare()
+	for i, want := range []float64{0.291, 0.369, 0.340} {
+		if sh[i] < want-0.12 || sh[i] > want+0.12 {
+			t.Errorf("phase %d share = %.3f, want ≈%.3f", i, sh[i], want)
+		}
+	}
+}
+
+func BenchmarkIngest(b *testing.B) {
+	tb := New(1 << 20)
+	bufs := make([][]byte, 1024)
+	for i := range bufs {
+		bufs[i], _ = report(i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tb.Ingest(bufs[i%len(bufs)])
+	}
+}

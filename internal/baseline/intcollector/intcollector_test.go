@@ -1,0 +1,97 @@
+package intcollector
+
+import (
+	"testing"
+
+	"dta/internal/baseline"
+	"dta/internal/costmodel"
+)
+
+func report(flow, value int, ts uint64) []byte {
+	r := baseline.Report{
+		SrcIP: [4]byte{10, 0, byte(flow >> 8), byte(flow)}, DstIP: [4]byte{10, 1, 0, 1},
+		SrcPort: uint16(flow), DstPort: 443, Proto: 6,
+		SwitchID: 3, Value: uint32(value), TimestampNs: ts,
+	}
+	buf := make([]byte, baseline.ReportSize)
+	r.Encode(buf)
+	return buf
+}
+
+func seriesOf(flow int) uint64 {
+	var r baseline.Report
+	r.Decode(report(flow, 0, 0))
+	return r.FlowKey64() ^ uint64(r.SwitchID)*0x9e3779b97f4a7c15
+}
+
+func TestEventDetectionSuppressesSmallDeltas(t *testing.T) {
+	c := New(1<<12, 100)
+	// First report always stored; tiny oscillations after it are not.
+	c.Ingest(report(1, 1000, 10))
+	for i := 0; i < 50; i++ {
+		c.Ingest(report(1, 1000+i%3, uint64(20+i)))
+	}
+	if c.Stored != 1 {
+		t.Errorf("stored = %d, want 1 (events suppressed)", c.Stored)
+	}
+	// A big jump is stored.
+	c.Ingest(report(1, 5000, 100))
+	if c.Stored != 2 {
+		t.Errorf("stored = %d, want 2", c.Stored)
+	}
+}
+
+func TestQueryRange(t *testing.T) {
+	c := New(8, 0) // tiny memtable: forces flushes; threshold 0 stores all
+	for i := 0; i < 40; i++ {
+		c.Ingest(report(1, i*1000, uint64(i)*100))
+	}
+	pts := c.QueryRange(seriesOf(1), 500, 1500)
+	if len(pts) != 11 {
+		t.Fatalf("points in [500,1500] = %d, want 11", len(pts))
+	}
+	for _, p := range pts {
+		if p.Time < 500 || p.Time > 1500 {
+			t.Fatalf("point at %d outside range", p.Time)
+		}
+	}
+	// Other series invisible.
+	if pts := c.QueryRange(seriesOf(2), 0, 1<<40); len(pts) != 0 {
+		t.Error("foreign series returned points")
+	}
+}
+
+func TestOutOfOrderPointsSorted(t *testing.T) {
+	c := New(1<<10, 0)
+	times := []uint64{500, 100, 300, 200, 400}
+	for _, ts := range times {
+		c.Ingest(report(1, int(ts), ts))
+	}
+	pts := c.QueryRange(seriesOf(1), 0, 1000)
+	if len(pts) != 5 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Time < pts[i-1].Time {
+			t.Fatal("points not time-ordered")
+		}
+	}
+}
+
+func TestSlowestCPUBaseline(t *testing.T) {
+	// Fig. 7a places INTCollector below MultiLog: per-report cycles must
+	// exceed MultiLog's ~1400 when storing most points.
+	c := New(1<<14, 0)
+	for i := 0; i < 3000; i++ {
+		c.Ingest(report(i%100, i*50, uint64(i)*10))
+	}
+	pr := c.Counters().PerReport()
+	if pr.TotalCycles() < 2000 {
+		t.Errorf("cycles/report = %.0f, want > 2000", pr.TotalCycles())
+	}
+	cpu := costmodel.Xeon4114()
+	r16, _ := cpu.Throughput(pr.TotalCycles(), pr.TotalDRAMOps(), 16)
+	if r16 > 15e6 {
+		t.Errorf("16-core throughput = %.1fM, want < 15M (slowest baseline)", r16/1e6)
+	}
+}

@@ -1,0 +1,135 @@
+package multilog
+
+import (
+	"math"
+	"testing"
+
+	"dta/internal/baseline"
+	"dta/internal/costmodel"
+)
+
+func report(i int) []byte {
+	r := baseline.Report{
+		SrcIP: [4]byte{10, 0, byte(i >> 8), byte(i)}, DstIP: [4]byte{10, 1, 0, 1},
+		SrcPort: uint16(i), DstPort: 443, Proto: 6,
+		SwitchID: uint32(i % 64), Value: uint32(i * 7), TimestampNs: uint64(i) * 1000,
+	}
+	buf := make([]byte, baseline.ReportSize)
+	r.Encode(buf)
+	return buf
+}
+
+func TestIngestAndLookup(t *testing.T) {
+	m := New(1 << 12)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if err := m.Ingest(report(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Counters().Reports != n {
+		t.Fatalf("reports = %d", m.Counters().Reports)
+	}
+	// Look up by switch ID: each of 64 IDs appears ~n/64 times.
+	var r baseline.Report
+	r.Decode(report(7))
+	offs := m.LookupReport(FieldSwitchID, &r)
+	if len(offs) < 10 {
+		t.Fatalf("switch-ID lookup returned %d offsets", len(offs))
+	}
+	for _, off := range offs {
+		rec, err := m.Record(off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.SwitchID != r.SwitchID {
+			t.Fatalf("record %d has switch %d, want %d", off, rec.SwitchID, r.SwitchID)
+		}
+	}
+	// Exact source-port lookup.
+	offs = m.LookupReport(FieldSrcPort, &r)
+	if len(offs) == 0 {
+		t.Fatal("src-port lookup empty")
+	}
+	rec, _ := m.Record(offs[0])
+	if rec.SrcPort != 7 {
+		t.Errorf("src port = %d", rec.SrcPort)
+	}
+	// Missing value.
+	if offs := m.Lookup(FieldSrcPort, 65535); len(offs) != 0 {
+		t.Error("lookup of absent key returned offsets")
+	}
+}
+
+func TestInsertionDominatesCycles(t *testing.T) {
+	// Fig. 2c: MultiLog spends ~72.8% of cycles in insertion and equal
+	// shares (~13.6%) in I/O and parsing.
+	m := New(1 << 12)
+	for i := 0; i < 2000; i++ {
+		m.Ingest(report(i))
+	}
+	sh := m.Counters().PerReport().CycleShare()
+	if sh[2] < 0.65 || sh[2] > 0.80 {
+		t.Errorf("insert share = %.3f, want ≈0.728", sh[2])
+	}
+	if math.Abs(sh[0]-sh[1]) > 0.06 {
+		t.Errorf("I/O (%.3f) and parse (%.3f) shares should be close", sh[0], sh[1])
+	}
+}
+
+func TestThroughputMatchesFig2a(t *testing.T) {
+	// MultiLog is CPU-bound: ~25M reports/s with 16 cores on the paper's
+	// server, scaling linearly in cores.
+	m := New(1 << 12)
+	for i := 0; i < 2000; i++ {
+		m.Ingest(report(i))
+	}
+	pr := m.Counters().PerReport()
+	cpu := costmodel.Xeon4114()
+	r16, stall := cpu.Throughput(pr.TotalCycles(), pr.TotalDRAMOps(), 16)
+	if r16 < 15e6 || r16 > 40e6 {
+		t.Errorf("16-core throughput = %.1fM, want ≈25M", r16/1e6)
+	}
+	if stall > 0.15 {
+		t.Errorf("MultiLog stall = %.2f; it should be CPU-bound", stall)
+	}
+	// Linear scaling 10→20 cores.
+	r10, _ := cpu.Throughput(pr.TotalCycles(), pr.TotalDRAMOps(), 10)
+	r20, _ := cpu.Throughput(pr.TotalCycles(), pr.TotalDRAMOps(), 20)
+	if ratio := r20 / r10; ratio < 1.9 || ratio > 2.05 {
+		t.Errorf("10→20 core scaling = %.2f, want ≈2 (CPU-bound)", ratio)
+	}
+}
+
+func TestMemOpsPerReportOrderOfMagnitude(t *testing.T) {
+	// Fig. 8 measures 343 memory instructions per report with hardware
+	// counters; our structural count must land in the same regime
+	// (≥100, i.e. two orders of magnitude above DTA's Key-Write at 2.0).
+	m := New(1 << 12)
+	for i := 0; i < 2000; i++ {
+		m.Ingest(report(i))
+	}
+	mem := m.Counters().PerReport().TotalMemOps()
+	if mem < 100 || mem > 600 {
+		t.Errorf("mem ops/report = %.1f, want within [100,600]", mem)
+	}
+}
+
+func TestIngestRejectsShort(t *testing.T) {
+	m := New(16)
+	if err := m.Ingest(make([]byte, 4)); err == nil {
+		t.Error("short report accepted")
+	}
+}
+
+func BenchmarkIngest(b *testing.B) {
+	m := New(1 << 20)
+	bufs := make([][]byte, 1024)
+	for i := range bufs {
+		bufs[i] = report(i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Ingest(bufs[i%len(bufs)])
+	}
+}

@@ -1,0 +1,186 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountersChargeAndPerReport(t *testing.T) {
+	var c Counters
+	c.Charge(PhaseIO, 40, 2)
+	c.Charge(PhaseParse, 40, 3)
+	c.Charge(PhaseInsert, 220, 10)
+	c.Done(1)
+	c.Charge(PhaseIO, 40, 2)
+	c.Charge(PhaseParse, 40, 3)
+	c.Charge(PhaseInsert, 180, 8)
+	c.Done(1)
+
+	pr := c.PerReport()
+	if got := pr.Cycles[PhaseIO]; got != 40 {
+		t.Errorf("IO cycles/report = %v, want 40", got)
+	}
+	if got := pr.Cycles[PhaseInsert]; got != 200 {
+		t.Errorf("Insert cycles/report = %v, want 200", got)
+	}
+	if got := pr.TotalMemOps(); got != 14 {
+		t.Errorf("mem ops/report = %v, want 14", got)
+	}
+	if got := c.TotalCycles(); got != 560 {
+		t.Errorf("TotalCycles = %d, want 560", got)
+	}
+}
+
+func TestCountersMergeEqualsSequential(t *testing.T) {
+	f := func(aIO, aIns, bIO, bIns uint16) bool {
+		var a, b, seq Counters
+		a.Charge(PhaseIO, uint64(aIO), 1)
+		a.Charge(PhaseInsert, uint64(aIns), 2)
+		a.Done(1)
+		b.Charge(PhaseIO, uint64(bIO), 3)
+		b.Charge(PhaseInsert, uint64(bIns), 4)
+		b.Done(1)
+
+		seq.Charge(PhaseIO, uint64(aIO)+uint64(bIO), 4)
+		seq.Charge(PhaseInsert, uint64(aIns)+uint64(bIns), 6)
+		seq.Done(2)
+
+		a.Merge(&b)
+		return a == seq
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPerReportZeroReports(t *testing.T) {
+	var c Counters
+	c.Charge(PhaseIO, 100, 100)
+	if pr := c.PerReport(); pr.TotalCycles() != 0 {
+		t.Errorf("PerReport with zero reports = %+v, want zero", pr)
+	}
+}
+
+func TestCycleShareSumsToOne(t *testing.T) {
+	var c Counters
+	c.Charge(PhaseIO, 136, 0)
+	c.Charge(PhaseParse, 136, 0)
+	c.Charge(PhaseInsert, 728, 0)
+	c.Done(1)
+	sh := c.PerReport().CycleShare()
+	sum := sh[0] + sh[1] + sh[2]
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("shares sum to %v, want 1", sum)
+	}
+	if math.Abs(sh[2]-0.728) > 1e-9 {
+		t.Errorf("insert share = %v, want 0.728", sh[2])
+	}
+}
+
+func TestThroughputComputeBoundScalesLinearly(t *testing.T) {
+	cpu := Xeon4114()
+	// Negligible memory pressure: doubling cores doubles throughput.
+	r1, s1 := cpu.Throughput(1000, 0.001, 5)
+	r2, s2 := cpu.Throughput(1000, 0.001, 10)
+	if math.Abs(r2/r1-2) > 0.01 {
+		t.Errorf("scaling factor = %v, want ~2", r2/r1)
+	}
+	if s1 > 0.01 || s2 > 0.01 {
+		t.Errorf("unexpected stalls: %v %v", s1, s2)
+	}
+}
+
+func TestThroughputMemoryWall(t *testing.T) {
+	cpu := Xeon4114()
+	// A memory-heavy workload must flatten: going 11→20 cores should
+	// gain far less than 20/11, and stalls should exceed 30% at 20.
+	// (mem counts DRAM-level line fetches; ~3 random lines per report is
+	// a cuckoo-style collector.)
+	const cyc, mem = 350.0, 3.0
+	r11, _ := cpu.Throughput(cyc, mem, 11)
+	r20, s20 := cpu.Throughput(cyc, mem, 20)
+	if gain := r20 / r11; gain > 1.4 {
+		t.Errorf("11→20 core gain = %v, want < 1.4 under memory wall", gain)
+	}
+	if s20 < 0.30 || s20 > 0.60 {
+		t.Errorf("stall fraction at 20 cores = %v, want ~0.42", s20)
+	}
+	// The realised rate can never exceed either bound.
+	if r20 > float64(20)*cpu.Hz/cyc {
+		t.Error("throughput exceeds compute bound")
+	}
+	if r20 > cpu.MemOpsPerSec/mem {
+		t.Error("throughput exceeds memory bound")
+	}
+}
+
+func TestThroughputMonotoneInCores(t *testing.T) {
+	cpu := Xeon4114()
+	prev := 0.0
+	for n := 1; n <= 20; n++ {
+		r, _ := cpu.Throughput(1400, 4, n)
+		if r < prev {
+			t.Fatalf("throughput decreased at %d cores: %v < %v", n, r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestThroughputDegenerateInputs(t *testing.T) {
+	cpu := Xeon4114()
+	if r, _ := cpu.Throughput(0, 10, 4); r != 0 {
+		t.Errorf("zero cycles: rate %v, want 0", r)
+	}
+	if r, _ := cpu.Throughput(100, 10, 0); r != 0 {
+		t.Errorf("zero cores: rate %v, want 0", r)
+	}
+	if r, s := cpu.Throughput(100, 0, 4); r <= 0 || s != 0 {
+		t.Errorf("zero memOps: rate %v stall %v", r, s)
+	}
+}
+
+func TestCoresFor(t *testing.T) {
+	cpu := Xeon4114()
+	// 19 Mpps at 1400 cycles/report on 2.2GHz cores: 19e6*1400/2.2e9 ≈ 12.09.
+	if got := cpu.CoresFor(19e6, 1400); got != 13 {
+		t.Errorf("CoresFor = %d, want 13", got)
+	}
+	if got := cpu.CoresFor(0, 1400); got != 0 {
+		t.Errorf("CoresFor(0 rate) = %d, want 0", got)
+	}
+}
+
+func TestCoresForMonotone(t *testing.T) {
+	cpu := Xeon4114()
+	f := func(a, b uint32) bool {
+		lo, hi := float64(a%1000000)+1, float64(a%1000000)+1+float64(b%1000000)
+		return cpu.CoresFor(lo, 500) <= cpu.CoresFor(hi, 500)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemInstructionsPerReport(t *testing.T) {
+	var m MemInstructions
+	if m.PerReport() != 0 {
+		t.Error("zero-value PerReport should be 0")
+	}
+	m.Add(2, 1)  // key-write with N=2: 2 writes for 1 report
+	m.Add(1, 16) // append batch of 16: 1 write
+	m.Add(1, 5)  // postcard chunk: 1 write per 5 postcards
+	want := float64(4) / 22
+	if got := m.PerReport(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("PerReport = %v, want %v", got, want)
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if PhaseIO.String() != "I/O" || PhaseParse.String() != "Parsing" || PhaseInsert.String() != "Insertion" {
+		t.Error("unexpected phase names")
+	}
+	if Phase(42).String() != "Phase(42)" {
+		t.Error("unexpected fallback name")
+	}
+}

@@ -1,0 +1,178 @@
+// Package crc implements a software model of the CRC engine found in
+// programmable switch ASICs such as Intel Tofino.
+//
+// The Tofino data plane exposes a small number of hardware CRC units whose
+// polynomial is configurable per table. DTA (§5.2) derives several
+// independent hash functions from the same engine by carefully selecting
+// distinct CRC polynomials: one family indexes the N redundant Key-Write
+// slots, another computes the 4-byte key checksum, and per-hop Postcarding
+// checksums use further custom polynomials.
+//
+// This package provides a table-driven, reflected CRC-32 parameterised by
+// polynomial, initial value and final XOR, plus Family, which bundles
+// several engines with distinct polynomials into an indexable set of
+// independent hash functions over byte strings.
+package crc
+
+import "fmt"
+
+// Params describes a CRC-32 variant in the reflected (LSB-first) form used
+// by essentially all switch CRC engines.
+type Params struct {
+	// Poly is the reversed (reflected) polynomial representation.
+	Poly uint32
+	// Init is the initial shift-register value.
+	Init uint32
+	// XorOut is XORed onto the register after the final byte.
+	XorOut uint32
+	// Name identifies the variant in diagnostics.
+	Name string
+}
+
+// Well-known reflected CRC-32 polynomials. CRC is linear over GF(2), so
+// two engines share their collision structure exactly when they share a
+// polynomial — init/xorout only shift the output by a constant. Distinct
+// polynomials therefore yield hash functions with independent collision
+// behaviour on network-style keys, which is the property DTA relies on
+// for its N-location redundancy and for keeping key checksums independent
+// of slot placement.
+var (
+	// IEEE is the ubiquitous CRC-32 (Ethernet FCS, gzip).
+	IEEE = Params{Poly: 0xedb88320, Init: 0xffffffff, XorOut: 0xffffffff, Name: "CRC-32/IEEE"}
+	// Castagnoli (CRC-32C) is used by iSCSI and ext4.
+	Castagnoli = Params{Poly: 0x82f63b78, Init: 0xffffffff, XorOut: 0xffffffff, Name: "CRC-32C"}
+	// Koopman is P. Koopman's polynomial optimised for embedded networks.
+	Koopman = Params{Poly: 0xeb31d82e, Init: 0xffffffff, XorOut: 0xffffffff, Name: "CRC-32K"}
+	// Koopman2 is Koopman's 2006 polynomial (CRC-32K/2).
+	Koopman2 = Params{Poly: 0x992c1a4c, Init: 0xffffffff, XorOut: 0xffffffff, Name: "CRC-32K2"}
+	// Q is the aviation CRC-32Q polynomial (reflected form).
+	Q = Params{Poly: 0xd5828281, Init: 0, XorOut: 0, Name: "CRC-32Q"}
+	// AUTOSAR is the CRC-32/AUTOSAR polynomial 0xf4acfb13 (reflected).
+	AUTOSAR = Params{Poly: 0xc8df352f, Init: 0xffffffff, XorOut: 0xffffffff, Name: "CRC-32/AUTOSAR"}
+	// CDROMEDC is the CD-ROM EDC polynomial 0x8001801b (reflected).
+	CDROMEDC = Params{Poly: 0xd8018001, Init: 0, XorOut: 0, Name: "CRC-32/CD-ROM-EDC"}
+	// XFER is the XFER polynomial 0x000000af (reflected).
+	XFER = Params{Poly: 0xf5000000, Init: 0, XorOut: 0, Name: "CRC-32/XFER"}
+
+	// D is CRC-32D (poly 0xa833982b reflected). It is reserved for key
+	// checksums and deliberately excluded from the slot-hash family: a
+	// checksum sharing a polynomial with a slot hash would collide with
+	// certainty whenever the slot does, silently voiding DTA's
+	// wrong-output guarantees.
+	D = Params{Poly: 0xa833982b, Init: 0xffffffff, XorOut: 0xffffffff, Name: "CRC-32D"}
+	// K32K is Koopman's 0xba0dc66b polynomial, reserved for value
+	// encodings (Postcarding's g) for the same reason as D.
+	K32K = Params{Poly: 0xba0dc66b, Init: 0xffffffff, XorOut: 0xffffffff, Name: "CRC-32/K32K"}
+)
+
+// polyPool is the ordered pool Family draws from: eight pairwise-distinct
+// polynomials covering DTA's maximum redundancy (N ≤ 8). The reserved
+// checksum polynomials D and K32K are intentionally absent.
+var polyPool = []Params{IEEE, Castagnoli, Koopman, Koopman2, Q, AUTOSAR, CDROMEDC, XFER}
+
+// Engine is a single configured CRC unit.
+type Engine struct {
+	table  [256]uint32
+	init   uint32
+	xorOut uint32
+	name   string
+}
+
+// New builds an Engine for the given parameters.
+func New(p Params) *Engine {
+	e := &Engine{init: p.Init, xorOut: p.XorOut, name: p.Name}
+	for i := range e.table {
+		c := uint32(i)
+		for k := 0; k < 8; k++ {
+			if c&1 != 0 {
+				c = (c >> 1) ^ p.Poly
+			} else {
+				c >>= 1
+			}
+		}
+		e.table[i] = c
+	}
+	return e
+}
+
+// Name reports the configured variant name.
+func (e *Engine) Name() string { return e.name }
+
+// Sum computes the CRC of data.
+func (e *Engine) Sum(data []byte) uint32 {
+	c := e.init
+	for _, b := range data {
+		c = e.table[byte(c)^b] ^ (c >> 8)
+	}
+	return c ^ e.xorOut
+}
+
+// Sum64 computes the CRC of an 8-byte big-endian encoding of v without
+// allocating. Switch pipelines hash fixed-width header fields; this is the
+// fast path for numeric flow keys.
+func (e *Engine) Sum64(v uint64) uint32 {
+	c := e.init
+	for shift := 56; shift >= 0; shift -= 8 {
+		b := byte(v >> uint(shift))
+		c = e.table[byte(c)^b] ^ (c >> 8)
+	}
+	return c ^ e.xorOut
+}
+
+// Sum64Pair hashes two 8-byte values (e.g. a key and a sub-index) as their
+// concatenated big-endian encoding.
+func (e *Engine) Sum64Pair(a, b uint64) uint32 {
+	c := e.init
+	for shift := 56; shift >= 0; shift -= 8 {
+		x := byte(a >> uint(shift))
+		c = e.table[byte(c)^x] ^ (c >> 8)
+	}
+	for shift := 56; shift >= 0; shift -= 8 {
+		x := byte(b >> uint(shift))
+		c = e.table[byte(c)^x] ^ (c >> 8)
+	}
+	return c ^ e.xorOut
+}
+
+// Family is an indexed set of independent hash functions realised as CRC
+// engines with distinct polynomials, mirroring how the translator derives
+// its N slot-index hashes and its checksum hash from one hardware engine.
+type Family struct {
+	engines []*Engine
+}
+
+// NewFamily returns a family of n independent hash functions.
+// n must be between 1 and the size of the polynomial pool (8).
+func NewFamily(n int) (*Family, error) {
+	if n < 1 || n > len(polyPool) {
+		return nil, fmt.Errorf("crc: family size %d out of range [1,%d]", n, len(polyPool))
+	}
+	f := &Family{engines: make([]*Engine, n)}
+	for i := 0; i < n; i++ {
+		f.engines[i] = New(polyPool[i])
+	}
+	return f, nil
+}
+
+// MustFamily is NewFamily for static configuration; it panics on a bad n.
+func MustFamily(n int) *Family {
+	f, err := NewFamily(n)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Size reports the number of hash functions in the family.
+func (f *Family) Size() int { return len(f.engines) }
+
+// Hash applies the i'th function to data.
+func (f *Family) Hash(i int, data []byte) uint32 { return f.engines[i].Sum(data) }
+
+// Hash64 applies the i'th function to a fixed 64-bit key.
+func (f *Family) Hash64(i int, key uint64) uint32 { return f.engines[i].Sum64(key) }
+
+// Hash64Pair applies the i'th function to a (key, sub) pair.
+func (f *Family) Hash64Pair(i int, key, sub uint64) uint32 {
+	return f.engines[i].Sum64Pair(key, sub)
+}

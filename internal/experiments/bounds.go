@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dta/internal/core/keywrite"
+	"dta/internal/core/postcarding"
+	"dta/internal/wire"
+)
+
+// Bounds cross-checks the Appendix A.5/A.6 analytic bounds against
+// Monte-Carlo simulation of the actual stores.
+func (r Runner) Bounds() *Table {
+	t := &Table{
+		ID:      "bounds",
+		Title:   "Analytic bounds (A.5/A.6) vs simulation",
+		Columns: []string{"Case", "Empirical", "Bound", "Holds"},
+	}
+	rnd := rand.New(rand.NewSource(r.P.Seed))
+	trials := r.P.trials() * 10
+
+	// Key-Write empty-return for several (N, α).
+	const slots = 1 << 10
+	for _, c := range []struct {
+		n int
+		a float64
+	}{{1, 0.1}, {2, 0.1}, {2, 0.5}, {4, 0.1}} {
+		fail := 0
+		for trial := 0; trial < trials; trial++ {
+			s, _ := keywrite.NewStore(keywrite.Config{Slots: slots, DataSize: 4})
+			k := wire.KeyFromUint64(rnd.Uint64())
+			s.Write(k, []byte{1, 2, 3, 4}, c.n)
+			for i := 0; i < int(c.a*slots); i++ {
+				s.Write(wire.KeyFromUint64(rnd.Uint64()|1<<63), []byte{9, 9, 9, 9}, c.n)
+			}
+			res, _ := s.Query(k, c.n, 1)
+			if !res.Found {
+				fail++
+			}
+		}
+		emp := float64(fail) / float64(trials)
+		bound := keywrite.EmptyReturnBound(c.a, c.n, 32)
+		t.AddRow(fmt.Sprintf("KW empty-return N=%d α=%.1f", c.n, c.a),
+			fmtPct(emp), fmtPct(bound), holds(emp, bound, trials))
+	}
+
+	// Key-Write wrong-output with a deliberately narrow checksum (b=8)
+	// so collisions are observable.
+	{
+		wrong := 0
+		alpha := 1.0
+		for trial := 0; trial < trials; trial++ {
+			s, _ := keywrite.NewStore(keywrite.Config{Slots: slots, DataSize: 4, ChecksumBits: 8})
+			k := wire.KeyFromUint64(rnd.Uint64())
+			s.Write(k, []byte{1, 2, 3, 4}, 2)
+			for i := 0; i < int(alpha*slots); i++ {
+				s.Write(wire.KeyFromUint64(rnd.Uint64()|1<<63), []byte{9, 9, 9, 9}, 2)
+			}
+			res, _ := s.Query(k, 2, 1)
+			if res.Found && res.Data[0] != 1 {
+				wrong++
+			}
+		}
+		emp := float64(wrong) / float64(trials)
+		bound := keywrite.WrongOutputBound(alpha, 2, 8)
+		t.AddRow("KW wrong-output N=2 b=8 α=1.0", fmtPct(emp), fmtPct(bound), holds(emp, bound, trials))
+	}
+
+	// Postcarding empty-return at B=5.
+	{
+		cfg := postcarding.Config{Chunks: 1 << 9, Hops: 5, Values: seqValues(64)}
+		fail := 0
+		alpha := 0.1
+		for trial := 0; trial < trials; trial++ {
+			s, _ := postcarding.NewStore(cfg)
+			k := wire.KeyFromUint64(rnd.Uint64())
+			path := []uint32{1, 2, 3, 4, 5}
+			s.Write(k, path, 5, 2)
+			for i := 0; i < int(alpha*float64(cfg.Chunks)); i++ {
+				s.Write(wire.KeyFromUint64(rnd.Uint64()|1<<63), []uint32{6, 7, 8, 9, 10}, 5, 2)
+			}
+			res, _ := s.Query(k, 2)
+			if !res.Found {
+				fail++
+			}
+		}
+		emp := float64(fail) / float64(trials)
+		bound := cfg.EmptyReturnBound(alpha, 2)
+		t.AddRow("PC empty-return N=2 B=5 α=0.1", fmtPct(emp), fmtPct(bound), holds(emp, bound, trials))
+		t.AddRow("PC wrong-output N=2 B=5 α=0.1 (analytic)", "-",
+			fmt.Sprintf("%.1e", cfg.WrongOutputBound(alpha, 2)), "yes")
+	}
+	t.AddNote("paper worked example: N=2, b=32, α=0.1 gives <=3.3%% empty-return, <=1.6e-11 wrong output")
+	return t
+}
+
+// holds reports whether the empirical rate respects the bound, allowing
+// ~3 sigma of binomial sampling noise.
+func holds(emp, bound float64, trials int) string {
+	sigma := 3 * sqrt(bound*(1-bound)/float64(trials))
+	if emp <= bound+sigma+1e-9 {
+		return "yes"
+	}
+	return "NO"
+}
+
+func sqrt(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	x := v
+	for i := 0; i < 40; i++ {
+		x = (x + v/x) / 2
+	}
+	return x
+}

@@ -1,0 +1,206 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§2, §6) from this repository's implementations: the
+// motivation measurements (Table 1, Fig. 2, Fig. 3), the head-to-head
+// collection comparison (Fig. 7, Fig. 8), the hardware footprints
+// (Fig. 9, Table 3), and the per-primitive studies (Figs. 10–16), plus
+// the Appendix A.5/A.6 bound-vs-simulation check.
+//
+// Two kinds of numbers appear side by side:
+//
+//   - measured: wall-clock rates of this repository's Go data paths on
+//     the local machine, and success rates from Monte-Carlo simulation
+//     of the actual stores;
+//   - projected: reports/second obtained by combining instrumented
+//     per-report costs with the paper's hardware models (the Xeon 4114
+//     CPU model and the BlueField-2 NIC model), which is what makes the
+//     output comparable to the paper's testbed numbers.
+//
+// Experiments default to a scaled-down geometry (Scale = 64 divides the
+// paper's store sizes) that preserves every load factor and therefore
+// every probabilistic shape; pass Scale = 1 to run at paper scale.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one regenerated table or figure, as rows of text cells.
+type Table struct {
+	// ID is the paper artefact this reproduces, e.g. "fig10".
+	ID string
+	// Title is the caption.
+	Title string
+	// Columns are the header cells.
+	Columns []string
+	// Rows are the data cells.
+	Rows [][]string
+	// Notes carry paper-vs-measured commentary.
+	Notes []string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddNote appends a commentary line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Fprint renders the table.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			wd := 0
+			if i < len(widths) {
+				wd = widths[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", wd, c)
+		}
+		fmt.Fprintln(w, "  "+strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Params tunes experiment scale.
+type Params struct {
+	// Scale divides the paper's store sizes (1 = paper scale; the
+	// default 64 preserves all load factors at 1/64 the memory).
+	Scale int
+	// Trials is the Monte-Carlo repetition count for success-rate
+	// experiments.
+	Trials int
+	// Seed fixes all randomness.
+	Seed int64
+	// MaxCores caps real parallel measurements (0 = GOMAXPROCS).
+	MaxCores int
+	// Quick shrinks workloads further for use inside unit tests.
+	Quick bool
+}
+
+// DefaultParams returns the standard configuration.
+func DefaultParams() Params {
+	return Params{Scale: 64, Trials: 200, Seed: 1}
+}
+
+func (p Params) scale() int {
+	if p.Scale < 1 {
+		return 1
+	}
+	return p.Scale
+}
+
+func (p Params) trials() int {
+	if p.Quick {
+		return 40
+	}
+	if p.Trials < 1 {
+		return 100
+	}
+	return p.Trials
+}
+
+// Runner maps experiment IDs to generators.
+type Runner struct {
+	P Params
+}
+
+// IDs lists all experiment identifiers in paper order.
+func IDs() []string {
+	return []string{
+		"table1", "fig2a", "fig2b", "fig2c", "fig3",
+		"fig7a", "fig7b", "fig8", "fig9", "table3",
+		"fig10", "fig11", "fig12", "fig13",
+		"fig14", "fig15", "fig16", "bounds", "ablation",
+	}
+}
+
+// Run generates one experiment by ID.
+func (r Runner) Run(id string) (*Table, error) {
+	switch id {
+	case "table1":
+		return r.Table1(), nil
+	case "fig2a":
+		return r.Fig2a(), nil
+	case "fig2b":
+		return r.Fig2b(), nil
+	case "fig2c":
+		return r.Fig2c(), nil
+	case "fig3":
+		return r.Fig3(), nil
+	case "fig7a":
+		return r.Fig7a(), nil
+	case "fig7b":
+		return r.Fig7b(), nil
+	case "fig8":
+		return r.Fig8(), nil
+	case "fig9":
+		return r.Fig9(), nil
+	case "table3":
+		return r.Table3(), nil
+	case "fig10":
+		return r.Fig10(), nil
+	case "fig11":
+		return r.Fig11(), nil
+	case "fig12":
+		return r.Fig12(), nil
+	case "fig13":
+		return r.Fig13(), nil
+	case "fig14":
+		return r.Fig14(), nil
+	case "fig15":
+		return r.Fig15(), nil
+	case "fig16":
+		return r.Fig16(), nil
+	case "bounds":
+		return r.Bounds(), nil
+	case "ablation":
+		return r.Ablation(), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown id %q (have %s)", id, strings.Join(IDs(), ", "))
+	}
+}
+
+// fmtRate renders a rate with engineering suffixes, like the paper's
+// axes (19M, 1.2B, 950K).
+func fmtRate(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fB", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.0fK", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+// fmtPct renders a fraction as a percentage.
+func fmtPct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }

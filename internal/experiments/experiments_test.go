@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quickRunner() Runner {
+	p := DefaultParams()
+	p.Quick = true
+	p.MaxCores = 2
+	return Runner{P: p}
+}
+
+func TestAllExperimentsProduceTables(t *testing.T) {
+	r := quickRunner()
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tbl, err := r.Run(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tbl.ID != id {
+				t.Errorf("table ID = %q", tbl.ID)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Error("no rows")
+			}
+			for _, row := range tbl.Rows {
+				if len(row) != len(tbl.Columns) {
+					t.Errorf("row %v has %d cells, want %d", row, len(row), len(tbl.Columns))
+				}
+			}
+			var buf bytes.Buffer
+			tbl.Fprint(&buf)
+			if !strings.Contains(buf.String(), tbl.Title) {
+				t.Error("rendered output missing title")
+			}
+		})
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	r := quickRunner()
+	if _, err := r.Run("fig99"); err == nil {
+		t.Error("unknown ID accepted")
+	}
+}
+
+// parseRate inverts fmtRate for assertions.
+func parseRate(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(strings.TrimSpace(s), "pps")
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(s, "B"):
+		mult, s = 1e9, strings.TrimSuffix(s, "B")
+	case strings.HasSuffix(s, "M"):
+		mult, s = 1e6, strings.TrimSuffix(s, "M")
+	case strings.HasSuffix(s, "K"):
+		mult, s = 1e3, strings.TrimSuffix(s, "K")
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parse rate %q: %v", s, err)
+	}
+	return v * mult
+}
+
+func TestFig7aShapeMatchesPaper(t *testing.T) {
+	r := quickRunner()
+	tbl, err := r.Run("fig7a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := map[string]float64{}
+	for _, row := range tbl.Rows {
+		rates[row[0]] = parseRate(t, row[1])
+	}
+	bestCPU := rates["MultiLog (CPU)"]
+	if rates["BTrDB (CPU)"] > bestCPU || rates["INTCollector (CPU)"] > bestCPU {
+		t.Errorf("MultiLog should be the best CPU baseline: %v", rates)
+	}
+	if kw := rates["DTA Key-Write"]; kw < 4*bestCPU {
+		t.Errorf("Key-Write %.0f not >=4x MultiLog %.0f", kw, bestCPU)
+	}
+	if pc := rates["DTA Postcarding"]; pc < 10*bestCPU {
+		t.Errorf("Postcarding %.0f not >=10x MultiLog %.0f", pc, bestCPU)
+	}
+	if ap := rates["DTA Append"]; ap < 25*bestCPU || ap < 1e9 {
+		t.Errorf("Append %.0f not >=25x MultiLog and >=1B/s", ap)
+	}
+}
+
+func TestFig8ShapeMatchesPaper(t *testing.T) {
+	r := quickRunner()
+	tbl, err := r.Run("fig8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]float64{}
+	for _, row := range tbl.Rows {
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals[row[0]] = v
+	}
+	if vals["DTA Key-Write"] != 2.0 {
+		t.Errorf("KW mem/report = %v, want 2.0", vals["DTA Key-Write"])
+	}
+	if v := vals["DTA Postcarding"]; v < 0.35 || v > 0.45 {
+		t.Errorf("Postcarding mem/report = %v, want ≈0.40", v)
+	}
+	if v := vals["DTA Append"]; v < 0.05 || v > 0.08 {
+		t.Errorf("Append mem/report = %v, want ≈0.06", v)
+	}
+	if vals["MultiLog"] < 50*vals["DTA Key-Write"] {
+		t.Errorf("MultiLog %v not orders of magnitude above KW", vals["MultiLog"])
+	}
+}
+
+func TestBoundsAllHold(t *testing.T) {
+	r := quickRunner()
+	tbl, err := r.Run("bounds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if row[len(row)-1] == "NO" {
+			t.Errorf("bound violated: %v", row)
+		}
+	}
+}
+
+func TestFig12OptimalNDecreasesWithLoad(t *testing.T) {
+	r := quickRunner()
+	tbl, err := r.Run("fig12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 99
+	for _, row := range tbl.Rows {
+		nStr := strings.TrimPrefix(row[len(row)-1], "N=")
+		n, err := strconv.Atoi(nStr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n > prev {
+			t.Errorf("optimal N increased down the load column: %v", tbl.Rows)
+		}
+		prev = n
+	}
+}
+
+func TestFig15LineRateAtLargeBatches(t *testing.T) {
+	r := quickRunner()
+	tbl, err := r.Run("fig15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Batch 16 row: model rate above 1B reports/s, and the two list-size
+	// columns identical (no list-size effect).
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if last[0] != "16" {
+		t.Fatalf("last row %v", last)
+	}
+	if parseRate(t, last[1]) < 1e9 {
+		t.Errorf("batch-16 rate %s below 1B/s", last[1])
+	}
+	if last[1] != last[2] {
+		t.Errorf("list size affected rate: %v", last)
+	}
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dta/internal/asic"
+)
+
+// Fig9 reproduces Fig. 9: reporter resource footprint by export
+// mechanism.
+func (r Runner) Fig9() *Table {
+	t := &Table{
+		ID:      "fig9",
+		Title:   "Reporter hardware cost of report generation (Tofino resource %, export delta only)",
+		Columns: append([]string{"Resource"}, "RDMA", "DTA", "UDP"),
+	}
+	_, rdmaF := asic.ReporterFootprint(asic.ExportRDMA)
+	_, dtaF := asic.ReporterFootprint(asic.ExportDTA)
+	_, udpF := asic.ReporterFootprint(asic.ExportUDP)
+	for _, res := range asic.Resources() {
+		t.AddRow(res.String(),
+			fmt.Sprintf("%.1f", rdmaF.Get(res)),
+			fmt.Sprintf("%.1f", dtaF.Get(res)),
+			fmt.Sprintf("%.1f", udpF.Get(res)))
+	}
+	t.AddNote("paper: DTA imposes an almost identical footprint to UDP; RDMA roughly doubles it")
+	return t
+}
+
+// Table3 reproduces Table 3: translator footprint with and without
+// Append batching.
+func (r Runner) Table3() *Table {
+	base := asic.TranslatorFootprint(1)
+	b16 := asic.TranslatorFootprint(16)
+	t := &Table{
+		ID:      "table3",
+		Title:   "Translator resource footprint (Key-Write + Postcarding + Append)",
+		Columns: []string{"Resource", "Base", "+Batching (16x4B)", "Total"},
+	}
+	for _, res := range asic.Resources() {
+		t.AddRow(res.String(),
+			fmt.Sprintf("%.1f%%", base.Get(res)),
+			fmt.Sprintf("+%.1f%%", b16.Get(res)-base.Get(res)),
+			fmt.Sprintf("%.1f%%", b16.Get(res)))
+	}
+	if res, v := b16.Max(); true {
+		t.AddNote("max class %s at %.1f%%: fits first-generation Tofino with a majority of resources free", res, v)
+	}
+	return t
+}

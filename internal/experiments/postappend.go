@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dta/internal/core/appendlist"
+	"dta/internal/core/postcarding"
+	"dta/internal/rdma"
+	"dta/internal/wire"
+)
+
+// simulatePostcardCache runs the Fig. 14 workload: per-flow postcards
+// arrive at the translator interleaved with `intermediate` other active
+// flows; the cache's full-emission ratio determines effective throughput.
+func simulatePostcardCache(cacheRows, intermediate, flows int, seed int64) float64 {
+	cache, err := postcarding.NewCache(cacheRows, 5)
+	if err != nil {
+		panic(err)
+	}
+	rnd := rand.New(rand.NewSource(seed))
+	active := make([]struct {
+		key wire.Key
+		hop int
+	}, intermediate+1)
+	next := uint64(0)
+	started := 0
+	for i := range active {
+		active[i].key = wire.KeyFromUint64(next)
+		next++
+		started++
+	}
+	completed := 0
+	for completed < flows {
+		i := rnd.Intn(len(active))
+		f := &active[i]
+		p := wire.Postcard{Key: f.key, Hop: uint8(f.hop), PathLen: 5, Value: uint32(f.hop + 1)}
+		cache.Insert(&p)
+		f.hop++
+		if f.hop == 5 {
+			completed++
+			f.key = wire.KeyFromUint64(next)
+			f.hop = 0
+			next++
+		}
+	}
+	return float64(cache.Stats.FullEmits) / float64(completed)
+}
+
+// Fig14 reproduces Fig. 14: Postcarding aggregation throughput vs cache
+// size and intermediate flows.
+func (r Runner) Fig14() *Table {
+	nic := rdma.BlueField2()
+	chunkRate := nic.MessagesPerSec(32, 4) // padded 32B chunk writes
+	caches := []int{8192, 16384, 32768, 65536, 131072}
+	inters := []int{0, 100, 1000, 5000, 10000}
+	flows := 30000
+	if r.P.Quick {
+		caches = []int{8192, 32768}
+		inters = []int{0, 1000, 10000}
+		flows = 5000
+	}
+	t := &Table{
+		ID:    "fig14",
+		Title: "Postcarding: aggregated 5-hop paths/s vs cache size and intermediate flows",
+	}
+	t.Columns = []string{"Cache rows"}
+	for _, in := range inters {
+		t.Columns = append(t.Columns, fmt.Sprintf("%d interm.", in))
+	}
+	for _, rows := range caches {
+		row := []string{fmt.Sprint(rows)}
+		for _, in := range inters {
+			succ := simulatePostcardCache(rows, in, flows, r.P.Seed)
+			row = append(row, fmtRate(succ*chunkRate)+" ("+fmtPct(succ)+")")
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("cells: paths/s (full-aggregation ratio); early emissions count as failures as in the paper")
+	t.AddNote("paper: up to 90.5M paths/s (452.5M postcards/s); collisions on small caches with many intermediate flows cut throughput")
+	return t
+}
+
+// Fig15 reproduces Fig. 15: Append collection rate vs batch size and
+// list size.
+func (r Runner) Fig15() *Table {
+	nic := rdma.BlueField2()
+	t := &Table{
+		ID:      "fig15",
+		Title:   "Append collection rate vs batch size (4B event reports)",
+		Columns: []string{"Batch", "64MiB lists", "2GiB lists", "Go batcher (this machine)"},
+	}
+	localRate := func(batch int) float64 {
+		cfg := appendlist.Config{Lists: 4, EntriesPerList: 1 << 16, EntrySize: 4}
+		s, _ := appendlist.NewStore(cfg)
+		b, _ := appendlist.NewBatcher(cfg, batch)
+		e := []byte{1, 2, 3, 4}
+		iters := 1000000
+		if r.P.Quick {
+			iters = 100000
+		}
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if f, _ := b.Append(i&3, e); f != nil {
+				s.Apply(f)
+			}
+		}
+		return float64(iters) / time.Since(start).Seconds()
+	}
+	for _, batch := range []int{1, 2, 4, 8, 16} {
+		rate := nic.ReportsPerSec(4*batch, 1, float64(batch), 4)
+		// List size does not change the per-message cost: both columns
+		// carry the same model rate, matching the paper's observation.
+		t.AddRow(fmt.Sprint(batch), fmtRate(rate), fmtRate(rate), fmtRate(localRate(batch)))
+	}
+	t.AddNote("paper: linear growth to line rate at batch 4, >1B reports/s at batch 16; list size has no impact")
+	return t
+}
+
+// Fig16 reproduces Fig. 16: Append list polling rate vs cores, with and
+// without concurrent collection, plus the per-poll breakdown.
+func (r Runner) Fig16() *Table {
+	maxCores := r.P.MaxCores
+	if maxCores <= 0 {
+		maxCores = runtime.GOMAXPROCS(0)
+	}
+	if maxCores > 16 {
+		maxCores = 16
+	}
+	polls := 2000000
+	if r.P.Quick {
+		polls = 200000
+	}
+	t := &Table{
+		ID:      "fig16",
+		Title:   "Append polling rate vs cores (one list per core, real execution)",
+		Columns: []string{"Cores", "No collection", "Active collection"},
+	}
+	run := func(cores int, collect bool) float64 {
+		cfg := appendlist.Config{Lists: cores + 1, EntriesPerList: 1 << 16, EntrySize: 4}
+		s, _ := appendlist.NewStore(cfg)
+		var stop atomic.Bool
+		var wg sync.WaitGroup
+		if collect {
+			// A background producer hammers the extra list through the
+			// batcher, emulating collection at half capacity.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				b, _ := appendlist.NewBatcher(cfg, 16)
+				e := []byte{9, 9, 9, 9}
+				for !stop.Load() {
+					for i := 0; i < 1024; i++ {
+						if f, _ := b.Append(cores, e); f != nil {
+							s.Apply(f)
+						}
+					}
+				}
+			}()
+		}
+		var pwg sync.WaitGroup
+		start := time.Now()
+		for c := 0; c < cores; c++ {
+			pwg.Add(1)
+			go func(list int) {
+				defer pwg.Done()
+				p, _ := s.NewPoller(list)
+				var sink byte
+				for i := 0; i < polls/cores; i++ {
+					sink += p.Poll()[0]
+				}
+				_ = sink
+			}(c)
+		}
+		pwg.Wait()
+		el := time.Since(start).Seconds()
+		stop.Store(true)
+		wg.Wait()
+		return float64(polls) / el
+	}
+	for cores := 1; cores <= maxCores; cores *= 2 {
+		t.AddRow(fmt.Sprint(cores), fmtRate(run(cores, false)), fmtRate(run(cores, true)))
+	}
+	// Per-poll breakdown (Fig. 16b): tail increment vs retrieval.
+	cfg := appendlist.Config{Lists: 1, EntriesPerList: 1 << 16, EntrySize: 4}
+	s, _ := appendlist.NewStore(cfg)
+	p, _ := s.NewPoller(0)
+	iters := 5000000
+	if r.P.Quick {
+		iters = 500000
+	}
+	start := time.Now()
+	var sink byte
+	for i := 0; i < iters; i++ {
+		sink += p.Poll()[0]
+	}
+	_ = sink
+	perPoll := time.Since(start).Seconds() * 1e9 / float64(iters)
+	t.AddNote("per-poll cost %.1fns (pointer increment + wrap check + read) — paper: tens of ns, faster than collection", perPoll)
+	t.AddNote("paper: near-linear scaling; 8 cores drain the maximum collection rate; concurrent collection has negligible impact")
+	return t
+}

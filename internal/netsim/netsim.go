@@ -1,0 +1,67 @@
+// Package netsim provides the thin network fabric used to plumb
+// reporters, translators and collectors together in simulations: links
+// with rate, propagation delay and loss, and a lossless (PFC-style) mode
+// for the DTA↔collector hop (§7, "Flow Control in DTA").
+package netsim
+
+import (
+	"math/rand"
+)
+
+// Link models one unidirectional link.
+type Link struct {
+	// RateBps is the line rate in bits per second.
+	RateBps float64
+	// PropagationNs is the fixed propagation delay.
+	PropagationNs uint64
+	// LossProb is the per-packet loss probability (ignored when PFC).
+	LossProb float64
+	// PFC enables priority flow control: no loss, but transmissions
+	// queue behind the link's serialisation rate (modelled by pushing
+	// the busy horizon forward).
+	PFC bool
+
+	rnd  *rand.Rand
+	busy uint64 // ns at which the link is next free
+	// Stats
+	Sent, Dropped uint64
+}
+
+// NewLink builds a link; seed fixes the loss pattern.
+func NewLink(rateBps float64, propagationNs uint64, lossProb float64, seed int64) *Link {
+	return &Link{
+		RateBps:       rateBps,
+		PropagationNs: propagationNs,
+		LossProb:      lossProb,
+		rnd:           rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Send models transmitting size bytes at nowNs. It returns the arrival
+// time and whether the packet was dropped.
+func (l *Link) Send(nowNs uint64, size int) (arriveNs uint64, dropped bool) {
+	l.Sent++
+	if !l.PFC && l.LossProb > 0 && l.rnd.Float64() < l.LossProb {
+		l.Dropped++
+		return 0, true
+	}
+	start := nowNs
+	if l.busy > start {
+		start = l.busy
+	}
+	serNs := uint64(0)
+	if l.RateBps > 0 {
+		serNs = uint64(float64(size*8) / l.RateBps * 1e9)
+	}
+	l.busy = start + serNs
+	return l.busy + l.PropagationNs, false
+}
+
+// Utilisation returns the queueing horizon relative to now: how many
+// nanoseconds of serialisation are already committed.
+func (l *Link) Utilisation(nowNs uint64) uint64 {
+	if l.busy <= nowNs {
+		return 0
+	}
+	return l.busy - nowNs
+}

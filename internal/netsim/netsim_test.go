@@ -1,0 +1,62 @@
+package netsim
+
+import "testing"
+
+func TestSerializationDelay(t *testing.T) {
+	l := NewLink(100e9, 500, 0, 1)     // 100G, 500ns propagation
+	arrive, dropped := l.Send(0, 1250) // 1250B = 100ns at 100G
+	if dropped {
+		t.Fatal("dropped on lossless link")
+	}
+	if arrive != 600 {
+		t.Errorf("arrival = %d, want 600 (100 ser + 500 prop)", arrive)
+	}
+}
+
+func TestBackToBackQueueing(t *testing.T) {
+	l := NewLink(100e9, 0, 0, 1)
+	a1, _ := l.Send(0, 1250)
+	a2, _ := l.Send(0, 1250)
+	if a2 != a1+100 {
+		t.Errorf("second packet at %d, want %d (queued)", a2, a1+100)
+	}
+	if l.Utilisation(0) != 200 {
+		t.Errorf("utilisation = %d", l.Utilisation(0))
+	}
+	if l.Utilisation(1000) != 0 {
+		t.Error("utilisation should drain")
+	}
+}
+
+func TestLossRate(t *testing.T) {
+	l := NewLink(100e9, 0, 0.1, 42)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		l.Send(uint64(i)*1000, 100)
+	}
+	rate := float64(l.Dropped) / n
+	if rate < 0.08 || rate > 0.12 {
+		t.Errorf("loss rate = %.3f, want ≈0.1", rate)
+	}
+}
+
+func TestPFCDisablesLoss(t *testing.T) {
+	l := NewLink(100e9, 0, 0.5, 42)
+	l.PFC = true
+	for i := 0; i < 1000; i++ {
+		if _, dropped := l.Send(uint64(i)*10, 100); dropped {
+			t.Fatal("drop on PFC link")
+		}
+	}
+	if l.Dropped != 0 {
+		t.Errorf("dropped = %d", l.Dropped)
+	}
+}
+
+func TestZeroRateLinkNoSerialization(t *testing.T) {
+	l := NewLink(0, 100, 0, 1)
+	arrive, _ := l.Send(50, 1500)
+	if arrive != 150 {
+		t.Errorf("arrival = %d, want 150", arrive)
+	}
+}

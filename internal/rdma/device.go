@@ -1,0 +1,297 @@
+package rdma
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"dta/internal/costmodel"
+)
+
+// CacheLine is the DMA write granularity used for memory-instruction
+// accounting: one memory instruction per cache line touched, which is how
+// the paper arrives at Fig. 8's 2.00 / 0.40 / 0.06 instructions per
+// report.
+const CacheLine = 64
+
+// MemoryRegion is a registered, remotely accessible buffer. DTA registers
+// one region per primitive store (the paper allocates them on 1 GB huge
+// pages; here they are ordinary slices).
+type MemoryRegion struct {
+	Base uint64 // starting virtual address as seen by remote peers
+	RKey uint32
+	Buf  []byte
+}
+
+// contains translates a remote (va, length) pair into an offset.
+func (m *MemoryRegion) contains(va uint64, length int) (int, error) {
+	if va < m.Base {
+		return 0, ErrAccessFault
+	}
+	off := va - m.Base
+	if off+uint64(length) > uint64(len(m.Buf)) {
+		return 0, ErrAccessFault
+	}
+	return int(off), nil
+}
+
+// ResponderQP is the target-side state of a reliable connection: the
+// expected PSN and the message sequence number used in acknowledgements.
+type ResponderQP struct {
+	QPN  uint32
+	EPSN uint32 // next expected PSN (24-bit space)
+	MSN  uint32
+	// lastAtomicOrig caches the last atomic result so a duplicate
+	// FETCH&ADD is answered from cache instead of re-executed.
+	lastAtomicPSN  uint32
+	lastAtomicOrig uint64
+	hasAtomicCache bool
+}
+
+const psnMask = 1<<24 - 1
+
+// psnDelta computes the signed distance a-b in 24-bit PSN space.
+func psnDelta(a, b uint32) int32 {
+	d := (a - b) & psnMask
+	if d >= 1<<23 {
+		return int32(d) - 1<<24
+	}
+	return int32(d)
+}
+
+// Device is an RDMA NIC target: it owns registered memory regions and
+// responder queue pairs and executes incoming verbs against memory. It is
+// the collector-side endpoint of DTA; its CPU never sees the packets.
+type Device struct {
+	mu      sync.Mutex
+	regions map[uint32]*MemoryRegion
+	qps     map[uint32]*ResponderQP
+	nextVA  uint64
+	nextKey uint32
+	nextQPN uint32
+
+	// Mem counts memory instructions issued by the DMA engine,
+	// reproducing the accounting of Fig. 8.
+	Mem costmodel.MemInstructions
+
+	// Stats counts processed operations by type.
+	Stats DeviceStats
+}
+
+// DeviceStats counts the operations a Device has executed.
+type DeviceStats struct {
+	Writes     uint64
+	FetchAdds  uint64
+	Sends      uint64
+	Duplicates uint64
+	SeqErrors  uint64
+	AccessErrs uint64
+}
+
+// NewDevice returns an empty Device.
+func NewDevice() *Device {
+	return &Device{
+		regions: make(map[uint32]*MemoryRegion),
+		qps:     make(map[uint32]*ResponderQP),
+		nextVA:  0x10000000, // arbitrary non-zero base
+		nextKey: 0x1000,
+		nextQPN: 0x11,
+	}
+}
+
+// RegisterMemory allocates and registers a region of the given size.
+func (d *Device) RegisterMemory(size int) *MemoryRegion {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	m := &MemoryRegion{Base: d.nextVA, RKey: d.nextKey, Buf: make([]byte, size)}
+	d.regions[m.RKey] = m
+	// Leave an unmapped guard gap between regions so off-by-one
+	// addressing faults instead of corrupting a neighbour.
+	d.nextVA += uint64(size) + 1<<20
+	d.nextKey++
+	return m
+}
+
+// CreateQP allocates a responder queue pair starting at PSN startPSN.
+func (d *Device) CreateQP(startPSN uint32) *ResponderQP {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	qp := &ResponderQP{QPN: d.nextQPN, EPSN: startPSN & psnMask}
+	d.qps[qp.QPN] = qp
+	d.nextQPN++
+	return qp
+}
+
+// Region looks up a registered region by rkey.
+func (d *Device) Region(rkey uint32) (*MemoryRegion, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	m, ok := d.regions[rkey]
+	return m, ok
+}
+
+// ImmediateEvent is the completion notification raised by a WRITE with
+// immediate data; DTA uses it for push notifications (§7).
+type ImmediateEvent struct {
+	QPN uint32
+	Imm uint32
+}
+
+// Process executes one incoming RoCE packet against the device and
+// returns the serialized acknowledgement (nil if the packet does not
+// elicit one). If the packet carried immediate data, ev describes the
+// interrupt the host would receive.
+func (d *Device) Process(pkt []byte, ackBuf []byte) (ack []byte, ev *ImmediateEvent, err error) {
+	var p Packet
+	if err := DecodePacket(pkt, &p); err != nil {
+		return nil, nil, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	qp, ok := d.qps[p.BTH.DestQP]
+	if !ok {
+		return nil, nil, ErrUnknownQP
+	}
+
+	delta := psnDelta(p.BTH.PSN, qp.EPSN)
+	switch {
+	case delta > 0:
+		// Out-of-order: a preceding packet was lost. NAK with the
+		// expected PSN so the requester resynchronises (§5.2 "queue-pair
+		// resynchronization").
+		d.Stats.SeqErrors++
+		return BuildAck(ackBuf, qp.QPN, qp.EPSN, SynNAKSeq, qp.MSN, false, 0), nil, nil
+	case delta < 0:
+		// Duplicate of an already-executed packet.
+		d.Stats.Duplicates++
+		if p.BTH.Opcode == OpFetchAdd {
+			if qp.hasAtomicCache && qp.lastAtomicPSN == p.BTH.PSN {
+				return BuildAck(ackBuf, qp.QPN, p.BTH.PSN, SynACK, qp.MSN, true, qp.lastAtomicOrig), nil, nil
+			}
+			// Uncached duplicate atomics cannot be safely re-executed.
+			return BuildAck(ackBuf, qp.QPN, p.BTH.PSN, SynNAKSeq, qp.MSN, false, 0), nil, nil
+		}
+		// Duplicate WRITEs are idempotent: re-ACK without re-executing.
+		return BuildAck(ackBuf, qp.QPN, p.BTH.PSN, SynACK, qp.MSN, false, 0), nil, nil
+	}
+
+	// In-sequence: execute.
+	switch p.BTH.Opcode {
+	case OpWriteOnly, OpWriteOnlyImm:
+		if err := d.execWrite(&p); err != nil {
+			d.Stats.AccessErrs++
+			return BuildAck(ackBuf, qp.QPN, p.BTH.PSN, SynNAKAcc, qp.MSN, false, 0), nil, nil
+		}
+		d.Stats.Writes++
+		qp.advance()
+		if p.HasImm {
+			ev = &ImmediateEvent{QPN: qp.QPN, Imm: p.Imm}
+		}
+		if p.BTH.AckReq || p.HasImm {
+			return BuildAck(ackBuf, qp.QPN, p.BTH.PSN, SynACK, qp.MSN, false, 0), ev, nil
+		}
+		return nil, ev, nil
+	case OpFetchAdd:
+		orig, err := d.execFetchAdd(&p)
+		if err != nil {
+			d.Stats.AccessErrs++
+			return BuildAck(ackBuf, qp.QPN, p.BTH.PSN, SynNAKAcc, qp.MSN, false, 0), nil, nil
+		}
+		d.Stats.FetchAdds++
+		qp.lastAtomicPSN = p.BTH.PSN
+		qp.lastAtomicOrig = orig
+		qp.hasAtomicCache = true
+		qp.advance()
+		return BuildAck(ackBuf, qp.QPN, p.BTH.PSN, SynACK, qp.MSN, true, orig), nil, nil
+	case OpSendOnly:
+		d.Stats.Sends++
+		qp.advance()
+		return BuildAck(ackBuf, qp.QPN, p.BTH.PSN, SynACK, qp.MSN, false, 0), nil, nil
+	default:
+		return nil, nil, ErrBadOpcode
+	}
+}
+
+func (qp *ResponderQP) advance() {
+	qp.EPSN = (qp.EPSN + 1) & psnMask
+	qp.MSN = (qp.MSN + 1) & psnMask
+}
+
+func (d *Device) execWrite(p *Packet) error {
+	m, ok := d.regions[p.RETH.RKey]
+	if !ok {
+		return ErrAccessFault
+	}
+	off, err := m.contains(p.RETH.VA, len(p.Payload))
+	if err != nil {
+		return err
+	}
+	copy(m.Buf[off:], p.Payload)
+	// One memory instruction per cache line touched by the DMA write.
+	lines := uint64((len(p.Payload) + CacheLine - 1) / CacheLine)
+	if lines == 0 {
+		lines = 1
+	}
+	d.Mem.Add(lines, 0) // reports are attributed by the caller
+	return nil
+}
+
+func (d *Device) execFetchAdd(p *Packet) (uint64, error) {
+	m, ok := d.regions[p.AtomicETH.RKey]
+	if !ok {
+		return 0, ErrAccessFault
+	}
+	if p.AtomicETH.VA%8 != 0 {
+		return 0, fmt.Errorf("rdma: unaligned atomic VA %#x: %w", p.AtomicETH.VA, ErrAccessFault)
+	}
+	off, err := m.contains(p.AtomicETH.VA, 8)
+	if err != nil {
+		return 0, err
+	}
+	orig := binary.BigEndian.Uint64(m.Buf[off : off+8])
+	binary.BigEndian.PutUint64(m.Buf[off:off+8], orig+p.AtomicETH.AddData)
+	// Read-modify-write: two memory instructions.
+	d.Mem.Add(2, 0)
+	return orig, nil
+}
+
+// AttributeReports credits n telemetry reports to the device's
+// memory-instruction counter (writes were already counted as they
+// executed). The translator calls this once per DTA report so that
+// Mem.PerReport() yields Fig. 8's metric.
+func (d *Device) AttributeReports(n uint64) {
+	d.mu.Lock()
+	d.Mem.Add(0, n)
+	d.mu.Unlock()
+}
+
+// Requester is the initiator-side PSN tracker the translator keeps per
+// connection (the "PSN Tracker" stage of Fig. 6).
+type Requester struct {
+	DestQP uint32
+	NPSN   uint32 // next PSN to stamp
+	// Resyncs counts NAK-triggered resynchronisations.
+	Resyncs uint64
+	// Acked is the PSN after the highest cumulative acknowledgement.
+	Acked uint32
+}
+
+// NextPSN stamps and consumes the next PSN.
+func (r *Requester) NextPSN() uint32 {
+	psn := r.NPSN
+	r.NPSN = (r.NPSN + 1) & psnMask
+	return psn
+}
+
+// HandleAck processes an acknowledgement packet. On a NAK-sequence the
+// requester rolls its next PSN back to the responder's expected PSN,
+// resynchronising the connection.
+func (r *Requester) HandleAck(p *Packet) {
+	switch p.AETH.Syndrome {
+	case SynACK:
+		r.Acked = (p.BTH.PSN + 1) & psnMask
+	case SynNAKSeq:
+		r.NPSN = p.BTH.PSN
+		r.Resyncs++
+	}
+}

@@ -1,0 +1,122 @@
+// Package snapshot persists collector store memory to disk so that
+// queries can run offline (the dtacollect / dtaquery split): the
+// collector's strength is that its structures are plain memory, so a
+// snapshot is just the configuration plus the raw buffers.
+package snapshot
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"dta/internal/collector"
+	"dta/internal/core/appendlist"
+	"dta/internal/core/keyincrement"
+	"dta/internal/core/keywrite"
+	"dta/internal/core/postcarding"
+)
+
+// Snapshot is the serialised form of a collector's stores.
+type Snapshot struct {
+	KeyWrite     *keywrite.Config
+	KeyWriteBuf  []byte
+	KeyIncrement *keyincrement.Config
+	KeyIncBuf    []byte
+	Postcarding  *postcarding.Config
+	PostcardBuf  []byte
+	Append       *appendlist.Config
+	AppendBuf    []byte
+}
+
+// Capture copies a collector host's store memory.
+func Capture(h *collector.Host) *Snapshot {
+	s := &Snapshot{}
+	if st := h.KeyWriteStore(); st != nil {
+		cfg := st.Indexer().Config()
+		s.KeyWrite = &cfg
+		s.KeyWriteBuf = append([]byte(nil), st.Buffer()...)
+	}
+	if st := h.KeyIncrementStore(); st != nil {
+		cfg := keyincrement.Config{Slots: uint64(len(st.Buffer()) / keyincrement.CounterSize)}
+		s.KeyIncrement = &cfg
+		s.KeyIncBuf = append([]byte(nil), st.Buffer()...)
+	}
+	if st := h.PostcardingStore(); st != nil {
+		cfg := st.Coder().Config()
+		s.Postcarding = &cfg
+		s.PostcardBuf = append([]byte(nil), st.Buffer()...)
+	}
+	if st := h.AppendStore(); st != nil {
+		cfg := st.Config()
+		s.Append = &cfg
+		s.AppendBuf = append([]byte(nil), st.Buffer()...)
+	}
+	return s
+}
+
+// Write serialises the snapshot.
+func (s *Snapshot) Write(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(s)
+}
+
+// Read parses a snapshot.
+func Read(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	return &s, nil
+}
+
+// Save writes the snapshot to a file.
+func (s *Snapshot) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.Write(f)
+}
+
+// Load reads a snapshot from a file.
+func Load(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// KeyWriteStore rebuilds a queryable Key-Write view.
+func (s *Snapshot) KeyWriteStore() (*keywrite.Store, error) {
+	if s.KeyWrite == nil {
+		return nil, fmt.Errorf("snapshot: no key-write store")
+	}
+	return keywrite.NewStoreOver(*s.KeyWrite, s.KeyWriteBuf)
+}
+
+// KeyIncrementStore rebuilds a queryable Key-Increment view.
+func (s *Snapshot) KeyIncrementStore() (*keyincrement.Store, error) {
+	if s.KeyIncrement == nil {
+		return nil, fmt.Errorf("snapshot: no key-increment store")
+	}
+	return keyincrement.NewStoreOver(*s.KeyIncrement, s.KeyIncBuf)
+}
+
+// PostcardingStore rebuilds a queryable Postcarding view.
+func (s *Snapshot) PostcardingStore() (*postcarding.Store, error) {
+	if s.Postcarding == nil {
+		return nil, fmt.Errorf("snapshot: no postcarding store")
+	}
+	return postcarding.NewStoreOver(*s.Postcarding, s.PostcardBuf)
+}
+
+// AppendStore rebuilds a pollable Append view.
+func (s *Snapshot) AppendStore() (*appendlist.Store, error) {
+	if s.Append == nil {
+		return nil, fmt.Errorf("snapshot: no append store")
+	}
+	return appendlist.NewStoreOver(*s.Append, s.AppendBuf)
+}

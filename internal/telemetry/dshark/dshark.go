@@ -1,0 +1,82 @@
+// Package dshark models dShark (NSDI'19) distributed packet-trace
+// analysis as Table 2 maps it onto DTA: "Parsers append packet summaries
+// to lists hosted by Grouper-servers".
+//
+// Parsers run near capture points and condense each mirrored packet into
+// a fixed summary; summaries for the same packet (seen at different
+// taps) must reach the same grouper, so the parser shards by a packet
+// identity hash onto per-grouper Append lists.
+package dshark
+
+import (
+	"encoding/binary"
+
+	"dta/internal/crc"
+	"dta/internal/trace"
+	"dta/internal/wire"
+)
+
+// SummarySize is the packet summary: 13 B 5-tuple + 4 B IP-ID-like
+// packet hash + 2 B length + 1 B tap = 20 B.
+const SummarySize = 20
+
+// Parser condenses packets into summaries sharded across groupers.
+type Parser struct {
+	// TapID identifies this capture point.
+	TapID uint8
+	// Groupers is the number of grouper servers (one Append list each).
+	Groupers uint32
+	// BaseList is the first grouper's list ID.
+	BaseList uint32
+
+	eng *crc.Engine
+	// Summaries counts emitted summaries.
+	Summaries uint64
+}
+
+// NewParser builds a parser.
+func NewParser(tapID uint8, baseList, groupers uint32) *Parser {
+	if groupers == 0 {
+		groupers = 1
+	}
+	return &Parser{TapID: tapID, Groupers: groupers, BaseList: baseList, eng: crc.New(crc.AUTOSAR)}
+}
+
+// packetIdentity hashes the invariant packet fields: two taps seeing the
+// same packet compute the same identity, which is what lets the grouper
+// join the multi-tap views.
+func (p *Parser) packetIdentity(pkt *trace.Packet) uint32 {
+	k := pkt.Flow.Key()
+	var buf [wire.KeySize + 4]byte
+	copy(buf[:], k[:])
+	binary.BigEndian.PutUint32(buf[wire.KeySize:], pkt.Seq)
+	return p.eng.Sum(buf[:])
+}
+
+// GrouperFor returns the grouper list a packet's summaries land on.
+func (p *Parser) GrouperFor(pkt *trace.Packet) uint32 {
+	return p.BaseList + p.packetIdentity(pkt)%p.Groupers
+}
+
+// Process emits the packet's summary report.
+func (p *Parser) Process(pkt *trace.Packet, dst []wire.Report) []wire.Report {
+	p.Summaries++
+	var data [SummarySize]byte
+	k := pkt.Flow.Key()
+	copy(data[:13], k[:13])
+	binary.BigEndian.PutUint32(data[13:17], p.packetIdentity(pkt))
+	binary.BigEndian.PutUint16(data[17:19], uint16(pkt.Size))
+	data[19] = p.TapID
+	r := wire.Report{
+		Header: wire.Header{Version: wire.Version, Primitive: wire.PrimAppend},
+		Append: wire.Append{ListID: p.GrouperFor(pkt)},
+	}
+	r.Data = append([]byte(nil), data[:]...)
+	return append(dst, r)
+}
+
+// DecodeSummary parses a summary entry.
+func DecodeSummary(b []byte) (flow wire.Key, identity uint32, size uint16, tap uint8) {
+	copy(flow[:13], b[:13])
+	return flow, binary.BigEndian.Uint32(b[13:17]), binary.BigEndian.Uint16(b[17:19]), b[19]
+}

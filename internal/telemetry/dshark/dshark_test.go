@@ -1,0 +1,74 @@
+package dshark
+
+import (
+	"testing"
+
+	"dta/internal/trace"
+	"dta/internal/wire"
+)
+
+func TestSummariesShardConsistently(t *testing.T) {
+	// Two taps seeing the same packet must pick the same grouper and
+	// the same identity — that is what lets groupers join views.
+	a := NewParser(1, 100, 8)
+	b := NewParser(2, 100, 8)
+	g, _ := trace.NewGenerator(trace.DefaultConfig())
+	for i := 0; i < 500; i++ {
+		p := g.Next()
+		if a.GrouperFor(&p) != b.GrouperFor(&p) {
+			t.Fatal("taps disagree on grouper")
+		}
+		ra := a.Process(&p, nil)[0]
+		rb := b.Process(&p, nil)[0]
+		_, idA, _, tapA := DecodeSummary(ra.Data)
+		_, idB, _, tapB := DecodeSummary(rb.Data)
+		if idA != idB {
+			t.Fatal("taps disagree on packet identity")
+		}
+		if tapA != 1 || tapB != 2 {
+			t.Fatalf("tap ids %d %d", tapA, tapB)
+		}
+	}
+}
+
+func TestSummaryContents(t *testing.T) {
+	p0 := NewParser(3, 0, 4)
+	g, _ := trace.NewGenerator(trace.DefaultConfig())
+	pkt := g.Next()
+	r := p0.Process(&pkt, nil)[0]
+	if r.Header.Primitive != wire.PrimAppend || len(r.Data) != SummarySize {
+		t.Fatalf("report %+v", r)
+	}
+	if r.Append.ListID >= 4 {
+		t.Fatalf("list %d outside grouper range", r.Append.ListID)
+	}
+	flow, _, size, _ := DecodeSummary(r.Data)
+	want := pkt.Flow.Key()
+	for i := 0; i < 13; i++ {
+		if flow[i] != want[i] {
+			t.Fatal("flow bytes mismatch")
+		}
+	}
+	if int(size) != pkt.Size {
+		t.Errorf("size %d != %d", size, pkt.Size)
+	}
+	if p0.Summaries != 1 {
+		t.Errorf("summaries = %d", p0.Summaries)
+	}
+}
+
+func TestGroupersBalanced(t *testing.T) {
+	p0 := NewParser(1, 0, 4)
+	g, _ := trace.NewGenerator(trace.DefaultConfig())
+	counts := make([]int, 4)
+	const pkts = 8000
+	for i := 0; i < pkts; i++ {
+		pkt := g.Next()
+		counts[p0.GrouperFor(&pkt)]++
+	}
+	for i, c := range counts {
+		if c < pkts/8 {
+			t.Errorf("grouper %d starved: %d/%d", i, c, pkts)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+// Package inttel models In-band Network Telemetry (INT) report
+// generation, the primary workload of the paper's evaluation (§6.1, §6.5,
+// §6.6).
+//
+// Two INT working modes matter to DTA:
+//
+//   - INT-XD/MX ("postcarding"): every traversed switch exports a 4 B
+//     postcard describing its local observation of the packet; the
+//     collector reassembles per-packet paths. DTA maps these to the
+//     Postcarding primitive keyed by (flow, hop).
+//   - INT-MD ("path tracing"): metadata accumulates in the packet header
+//     and the sink switch exports the whole path (5×4 B switch IDs for a
+//     fat-tree) in one report. DTA maps these to Key-Write keyed by the
+//     flow 5-tuple.
+//
+// Reports are sampled (the paper uses 0.5% to reach Table 1's 19 Mpps per
+// switch) and deterministic per flow so tests can predict paths.
+package inttel
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dta/internal/crc"
+	"dta/internal/trace"
+	"dta/internal/wire"
+)
+
+// PathModel deterministically assigns each flow a path of switch IDs, a
+// stand-in for a routed topology: hop i of flow x is a hash of (x, i)
+// into the switch ID space. Path lengths vary between MinHops and
+// MaxHops as DC paths do (1 to 5 hops in a fat tree).
+type PathModel struct {
+	// Switches is |V|: the number of distinct switch IDs.
+	Switches uint32
+	// MinHops and MaxHops bound path lengths.
+	MinHops, MaxHops int
+
+	eng *crc.Engine
+}
+
+// NewPathModel builds a path model.
+func NewPathModel(switches uint32, minHops, maxHops int) (*PathModel, error) {
+	if switches == 0 {
+		return nil, fmt.Errorf("inttel: zero switches")
+	}
+	if minHops < 1 || maxHops < minHops || maxHops > 8 {
+		return nil, fmt.Errorf("inttel: bad hop range [%d,%d]", minHops, maxHops)
+	}
+	return &PathModel{Switches: switches, MinHops: minHops, MaxHops: maxHops, eng: crc.New(crc.Koopman2)}, nil
+}
+
+// Len returns the path length of flow x.
+func (m *PathModel) Len(x wire.Key) int {
+	if m.MinHops == m.MaxHops {
+		return m.MinHops
+	}
+	h := m.eng.Sum(x[:])
+	return m.MinHops + int(h%uint32(m.MaxHops-m.MinHops+1))
+}
+
+// SwitchID returns the switch ID at hop i of flow x. IDs are in
+// [1, Switches]; 0 is never a valid ID.
+func (m *PathModel) SwitchID(x wire.Key, hop int) uint32 {
+	var buf [wire.KeySize + 1]byte
+	copy(buf[:], x[:])
+	buf[wire.KeySize] = byte(hop)
+	return m.eng.Sum(buf[:])%m.Switches + 1
+}
+
+// Path appends flow x's full path to dst and returns it.
+func (m *PathModel) Path(x wire.Key, dst []uint32) []uint32 {
+	n := m.Len(x)
+	for i := 0; i < n; i++ {
+		dst = append(dst, m.SwitchID(x, i))
+	}
+	return dst
+}
+
+// ValueSpace enumerates all switch IDs, for pre-populating the
+// Postcarding lookup table.
+func (m *PathModel) ValueSpace() []uint32 {
+	vs := make([]uint32, m.Switches)
+	for i := range vs {
+		vs[i] = uint32(i) + 1
+	}
+	return vs
+}
+
+// Sampler decides which packets generate INT reports. It is deterministic
+// (hash of flow and sequence) so distributed switches sample the same
+// packets, as INT deployments arrange.
+type Sampler struct {
+	// Num/Den is the sampling rate (e.g. 1/200 for 0.5%).
+	Num, Den uint32
+	eng      *crc.Engine
+}
+
+// NewSampler builds a sampler with rate num/den. num=den samples all.
+func NewSampler(num, den uint32) (*Sampler, error) {
+	if num == 0 || den == 0 || num > den {
+		return nil, fmt.Errorf("inttel: bad sampling rate %d/%d", num, den)
+	}
+	return &Sampler{Num: num, Den: den, eng: crc.New(crc.Q)}, nil
+}
+
+// Sample reports whether the packet is selected.
+func (s *Sampler) Sample(p *trace.Packet) bool {
+	if s.Num == s.Den {
+		return true
+	}
+	k := p.Flow.Key()
+	h := s.eng.Sum64Pair(binary.BigEndian.Uint64(k[:8]), uint64(p.Seq))
+	return h%s.Den < s.Num
+}
+
+// PostcardSource emits INT-XD postcards: one DTA Postcarding report per
+// hop of each sampled packet.
+type PostcardSource struct {
+	Paths   *PathModel
+	Sampler *Sampler
+}
+
+// Reports appends the postcard reports for packet p to dst.
+func (s *PostcardSource) Reports(p *trace.Packet, dst []wire.Report) []wire.Report {
+	if !s.Sampler.Sample(p) {
+		return dst
+	}
+	x := p.Flow.Key()
+	n := s.Paths.Len(x)
+	for hop := 0; hop < n; hop++ {
+		dst = append(dst, wire.Report{
+			Header: wire.Header{Version: wire.Version, Primitive: wire.PrimPostcarding},
+			Postcard: wire.Postcard{
+				Key:     x,
+				Hop:     uint8(hop),
+				PathLen: uint8(n),
+				Value:   s.Paths.SwitchID(x, hop),
+			},
+		})
+	}
+	return dst
+}
+
+// PathData is the INT-MD sink payload: up to 5 switch IDs, 4 B each.
+const PathData = 20
+
+// SinkSource emits INT-MD path-tracing reports: the egress sink exports
+// one Key-Write report carrying the accumulated path.
+type SinkSource struct {
+	Paths   *PathModel
+	Sampler *Sampler
+	// Redundancy is the Key-Write N stamped on reports.
+	Redundancy uint8
+}
+
+// Reports appends the sink report for packet p to dst.
+func (s *SinkSource) Reports(p *trace.Packet, dst []wire.Report) []wire.Report {
+	if !s.Sampler.Sample(p) {
+		return dst
+	}
+	x := p.Flow.Key()
+	n := s.Paths.Len(x)
+	var data [PathData]byte
+	for hop := 0; hop < n && hop < 5; hop++ {
+		binary.BigEndian.PutUint32(data[hop*4:], s.Paths.SwitchID(x, hop))
+	}
+	red := s.Redundancy
+	if red == 0 {
+		red = 1
+	}
+	r := wire.Report{
+		Header:   wire.Header{Version: wire.Version, Primitive: wire.PrimKeyWrite},
+		KeyWrite: wire.KeyWrite{Redundancy: red, Key: x},
+	}
+	r.Data = append([]byte(nil), data[:]...)
+	return append(dst, r)
+}
+
+// CongestionSource emits INT congestion events (Table 2: "INT sinks
+// append 4B reports to a list of network congestion events"): whenever
+// the modelled egress queue exceeds a threshold, the queue depth is
+// appended to a per-switch event list.
+type CongestionSource struct {
+	// ListID is the Append list collecting this switch's events.
+	ListID uint32
+	// Threshold is the queue depth (bytes) above which events fire.
+	Threshold int
+	// DrainPerNs is the queue drain rate in bytes per nanosecond.
+	DrainPerNs float64
+
+	queue    float64
+	lastTime uint64
+}
+
+// Reports appends a congestion event report if packet p pushed the
+// modelled queue over threshold.
+func (s *CongestionSource) Reports(p *trace.Packet, dst []wire.Report) []wire.Report {
+	if s.lastTime != 0 && p.Time > s.lastTime {
+		drained := float64(p.Time-s.lastTime) * s.DrainPerNs
+		s.queue -= drained
+		if s.queue < 0 {
+			s.queue = 0
+		}
+	}
+	s.lastTime = p.Time
+	s.queue += float64(p.Size)
+	if s.queue <= float64(s.Threshold) {
+		return dst
+	}
+	var data [4]byte
+	binary.BigEndian.PutUint32(data[:], uint32(s.queue))
+	r := wire.Report{
+		Header: wire.Header{Version: wire.Version, Primitive: wire.PrimAppend},
+		Append: wire.Append{ListID: s.ListID},
+	}
+	r.Data = append([]byte(nil), data[:]...)
+	return append(dst, r)
+}

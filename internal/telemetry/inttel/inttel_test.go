@@ -1,0 +1,199 @@
+package inttel
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"dta/internal/trace"
+	"dta/internal/wire"
+)
+
+func TestPathModelValidation(t *testing.T) {
+	if _, err := NewPathModel(0, 1, 5); err == nil {
+		t.Error("zero switches accepted")
+	}
+	if _, err := NewPathModel(10, 0, 5); err == nil {
+		t.Error("zero min hops accepted")
+	}
+	if _, err := NewPathModel(10, 5, 3); err == nil {
+		t.Error("max < min accepted")
+	}
+	if _, err := NewPathModel(10, 1, 9); err == nil {
+		t.Error("max > 8 accepted")
+	}
+}
+
+func TestPathModelDeterministicAndBounded(t *testing.T) {
+	m, err := NewPathModel(1024, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint64(0); v < 500; v++ {
+		x := wire.KeyFromUint64(v)
+		n := m.Len(x)
+		if n < 2 || n > 5 {
+			t.Fatalf("path length %d outside [2,5]", n)
+		}
+		path := m.Path(x, nil)
+		if len(path) != n {
+			t.Fatalf("path len %d != Len %d", len(path), n)
+		}
+		for _, id := range path {
+			if id < 1 || id > 1024 {
+				t.Fatalf("switch ID %d outside [1,1024]", id)
+			}
+		}
+		// Deterministic.
+		again := m.Path(x, nil)
+		for i := range path {
+			if path[i] != again[i] {
+				t.Fatal("path not deterministic")
+			}
+		}
+	}
+}
+
+func TestPathModelFixedLength(t *testing.T) {
+	m, _ := NewPathModel(64, 5, 5)
+	for v := uint64(0); v < 100; v++ {
+		if m.Len(wire.KeyFromUint64(v)) != 5 {
+			t.Fatal("fixed-length model varied")
+		}
+	}
+}
+
+func TestValueSpace(t *testing.T) {
+	m, _ := NewPathModel(16, 1, 5)
+	vs := m.ValueSpace()
+	if len(vs) != 16 || vs[0] != 1 || vs[15] != 16 {
+		t.Errorf("value space = %v", vs)
+	}
+}
+
+func TestSamplerRate(t *testing.T) {
+	if _, err := NewSampler(0, 200); err == nil {
+		t.Error("zero numerator accepted")
+	}
+	if _, err := NewSampler(3, 2); err == nil {
+		t.Error("rate > 1 accepted")
+	}
+	s, _ := NewSampler(1, 200) // 0.5%
+	g, _ := trace.NewGenerator(trace.DefaultConfig())
+	sampled := 0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		p := g.Next()
+		if s.Sample(&p) {
+			sampled++
+		}
+	}
+	rate := float64(sampled) / n
+	if rate < 0.003 || rate > 0.008 {
+		t.Errorf("sampling rate %.4f, want ≈0.005", rate)
+	}
+	// Full sampling.
+	all, _ := NewSampler(1, 1)
+	p := g.Next()
+	if !all.Sample(&p) {
+		t.Error("1/1 sampler rejected a packet")
+	}
+}
+
+func TestSamplerDeterministic(t *testing.T) {
+	// The same packet must be sampled identically everywhere (that is
+	// how all hops of a packet report or skip together).
+	a, _ := NewSampler(1, 10)
+	b, _ := NewSampler(1, 10)
+	g, _ := trace.NewGenerator(trace.DefaultConfig())
+	for i := 0; i < 1000; i++ {
+		p := g.Next()
+		if a.Sample(&p) != b.Sample(&p) {
+			t.Fatal("samplers disagree")
+		}
+	}
+}
+
+func TestPostcardSourceEmitsFullPaths(t *testing.T) {
+	m, _ := NewPathModel(256, 3, 5)
+	s, _ := NewSampler(1, 1)
+	src := &PostcardSource{Paths: m, Sampler: s}
+	g, _ := trace.NewGenerator(trace.DefaultConfig())
+	for i := 0; i < 100; i++ {
+		p := g.Next()
+		reports := src.Reports(&p, nil)
+		x := p.Flow.Key()
+		want := m.Len(x)
+		if len(reports) != want {
+			t.Fatalf("got %d postcards, want %d", len(reports), want)
+		}
+		for hop, r := range reports {
+			if r.Header.Primitive != wire.PrimPostcarding {
+				t.Fatal("wrong primitive")
+			}
+			pc := r.Postcard
+			if pc.Key != x || int(pc.Hop) != hop || int(pc.PathLen) != want {
+				t.Fatalf("postcard %d: %+v", hop, pc)
+			}
+			if pc.Value != m.SwitchID(x, hop) {
+				t.Fatalf("postcard value %d != path model %d", pc.Value, m.SwitchID(x, hop))
+			}
+		}
+	}
+}
+
+func TestSinkSourcePathPayload(t *testing.T) {
+	m, _ := NewPathModel(256, 5, 5)
+	s, _ := NewSampler(1, 1)
+	src := &SinkSource{Paths: m, Sampler: s, Redundancy: 2}
+	g, _ := trace.NewGenerator(trace.DefaultConfig())
+	p := g.Next()
+	reports := src.Reports(&p, nil)
+	if len(reports) != 1 {
+		t.Fatalf("got %d reports, want 1", len(reports))
+	}
+	r := reports[0]
+	if r.Header.Primitive != wire.PrimKeyWrite || r.KeyWrite.Redundancy != 2 {
+		t.Fatalf("header: %+v", r)
+	}
+	if len(r.Data) != PathData {
+		t.Fatalf("payload %dB, want %d", len(r.Data), PathData)
+	}
+	x := p.Flow.Key()
+	for hop := 0; hop < 5; hop++ {
+		got := binary.BigEndian.Uint32(r.Data[hop*4:])
+		if got != m.SwitchID(x, hop) {
+			t.Errorf("hop %d = %d, want %d", hop, got, m.SwitchID(x, hop))
+		}
+	}
+}
+
+func TestCongestionSourceThreshold(t *testing.T) {
+	src := &CongestionSource{ListID: 7, Threshold: 10000, DrainPerNs: 0.01}
+	g, _ := trace.NewGenerator(trace.DefaultConfig())
+	events := 0
+	for i := 0; i < 20000; i++ {
+		p := g.Next()
+		reports := src.Reports(&p, nil)
+		for _, r := range reports {
+			if r.Header.Primitive != wire.PrimAppend || r.Append.ListID != 7 {
+				t.Fatalf("bad report %+v", r)
+			}
+			depth := binary.BigEndian.Uint32(r.Data)
+			if depth <= 10000 {
+				t.Fatalf("event below threshold: %d", depth)
+			}
+			events++
+		}
+	}
+	if events == 0 {
+		t.Error("no congestion events with slow drain")
+	}
+	// A fast-draining queue produces none.
+	fast := &CongestionSource{ListID: 7, Threshold: 1 << 30, DrainPerNs: 1e6}
+	for i := 0; i < 1000; i++ {
+		p := g.Next()
+		if rs := fast.Reports(&p, nil); len(rs) != 0 {
+			t.Fatal("event despite huge threshold")
+		}
+	}
+}

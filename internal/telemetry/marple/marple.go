@@ -1,0 +1,297 @@
+// Package marple models the Marple query workloads the paper integrates
+// with DTA (§6.1, Fig. 7b): language-directed switch queries whose
+// results stream to a collector.
+//
+// Three queries from the evaluation plus the host-counter example of
+// Table 2 are implemented, each mapped to the DTA primitive the paper
+// assigns it:
+//
+//   - Flowlet sizes  → Append (flow ID + flowlet size into per-range lists)
+//   - TCP timeouts   → Key-Write (per-flow timeout count, queryable by 5-tuple)
+//   - Lossy flows    → Append (flows whose loss rate exceeds a threshold,
+//     stored chronologically in per-range lists)
+//   - Host counters  → Key-Increment (per-source-IP byte counts)
+//
+// Each query consumes the annotated packets of package trace as the
+// on-switch dataflow would and emits DTA reports.
+package marple
+
+import (
+	"encoding/binary"
+
+	"dta/internal/trace"
+	"dta/internal/wire"
+)
+
+// FlowletEntry is the Append payload of the flowlet-size query:
+// the 13 B flow 5-tuple followed by a 4 B packet count.
+const FlowletEntry = 17
+
+// FlowletSizes tracks per-flow flowlet packet counts and reports each
+// completed flowlet.
+type FlowletSizes struct {
+	// Lists is the number of Append lists flowlets are spread across
+	// (one per size range, so operators can build histograms).
+	Lists uint32
+	// BaseList is the first list ID used.
+	BaseList uint32
+
+	current map[trace.FlowKey]uint32
+}
+
+// NewFlowletSizes builds the query with the given list fan-out.
+func NewFlowletSizes(baseList, lists uint32) *FlowletSizes {
+	if lists == 0 {
+		lists = 1
+	}
+	return &FlowletSizes{Lists: lists, BaseList: baseList, current: make(map[trace.FlowKey]uint32)}
+}
+
+// listFor buckets a flowlet size into a list: log2 size ranges.
+func (q *FlowletSizes) listFor(size uint32) uint32 {
+	b := uint32(0)
+	for size > 1 && b < q.Lists-1 {
+		size >>= 1
+		b++
+	}
+	return q.BaseList + b
+}
+
+// Process consumes one packet and appends any completed-flowlet report.
+func (q *FlowletSizes) Process(p *trace.Packet, dst []wire.Report) []wire.Report {
+	if p.FlowletStart {
+		if prev, ok := q.current[p.Flow]; ok && prev > 0 {
+			dst = append(dst, q.report(p.Flow, prev))
+		}
+		q.current[p.Flow] = 0
+	}
+	q.current[p.Flow]++
+	return dst
+}
+
+// Flush reports all in-progress flowlets (end of measurement epoch).
+func (q *FlowletSizes) Flush(dst []wire.Report) []wire.Report {
+	for f, n := range q.current {
+		if n > 0 {
+			dst = append(dst, q.report(f, n))
+		}
+	}
+	q.current = make(map[trace.FlowKey]uint32)
+	return dst
+}
+
+func (q *FlowletSizes) report(f trace.FlowKey, n uint32) wire.Report {
+	var data [FlowletEntry]byte
+	k := f.Key()
+	copy(data[:13], k[:13])
+	binary.BigEndian.PutUint32(data[13:], n)
+	r := wire.Report{
+		Header: wire.Header{Version: wire.Version, Primitive: wire.PrimAppend},
+		Append: wire.Append{ListID: q.listFor(n)},
+	}
+	r.Data = append([]byte(nil), data[:]...)
+	return r
+}
+
+// TCPTimeouts counts per-flow RTO events and keeps the collector's
+// key-value view current with a Key-Write after each change, so operators
+// can query the timeout count of any flow by its 5-tuple.
+type TCPTimeouts struct {
+	// Redundancy is the Key-Write N.
+	Redundancy uint8
+
+	counts map[trace.FlowKey]uint32
+}
+
+// NewTCPTimeouts builds the query.
+func NewTCPTimeouts(redundancy uint8) *TCPTimeouts {
+	if redundancy == 0 {
+		redundancy = 1
+	}
+	return &TCPTimeouts{Redundancy: redundancy, counts: make(map[trace.FlowKey]uint32)}
+}
+
+// Count returns the local count for a flow (ground truth for tests).
+func (q *TCPTimeouts) Count(f trace.FlowKey) uint32 { return q.counts[f] }
+
+// Process consumes one packet and reports the updated count on timeout.
+func (q *TCPTimeouts) Process(p *trace.Packet, dst []wire.Report) []wire.Report {
+	if !p.TimedOut {
+		return dst
+	}
+	q.counts[p.Flow]++
+	var data [4]byte
+	binary.BigEndian.PutUint32(data[:], q.counts[p.Flow])
+	r := wire.Report{
+		Header:   wire.Header{Version: wire.Version, Primitive: wire.PrimKeyWrite},
+		KeyWrite: wire.KeyWrite{Redundancy: q.Redundancy, Key: p.Flow.Key()},
+	}
+	r.Data = append([]byte(nil), data[:]...)
+	return append(dst, r)
+}
+
+// LossyEntry is the Append payload of the lossy-flows query: the 13 B
+// flow 5-tuple (Table 2: "Report 13B flows to a list with packet loss
+// rate greater than threshold").
+const LossyEntry = 13
+
+// LossyFlows reports flows whose loss rate within a window of packets
+// exceeds a threshold, into one of several lists by loss-rate range.
+type LossyFlows struct {
+	// Window is the per-flow packet window.
+	Window uint32
+	// ThresholdPct is the loss percentage above which a flow is reported.
+	ThresholdPct float64
+	// BaseList and Lists spread reports over loss-rate ranges.
+	BaseList uint32
+	Lists    uint32
+
+	stats map[trace.FlowKey]*lossWindow
+}
+
+type lossWindow struct {
+	pkts, losses uint32
+}
+
+// NewLossyFlows builds the query.
+func NewLossyFlows(window uint32, thresholdPct float64, baseList, lists uint32) *LossyFlows {
+	if lists == 0 {
+		lists = 1
+	}
+	if window == 0 {
+		window = 128
+	}
+	return &LossyFlows{
+		Window: window, ThresholdPct: thresholdPct,
+		BaseList: baseList, Lists: lists,
+		stats: make(map[trace.FlowKey]*lossWindow),
+	}
+}
+
+// Process consumes one packet; at each window end a lossy flow is
+// reported and its window reset.
+func (q *LossyFlows) Process(p *trace.Packet, dst []wire.Report) []wire.Report {
+	w := q.stats[p.Flow]
+	if w == nil {
+		w = &lossWindow{}
+		q.stats[p.Flow] = w
+	}
+	w.pkts++
+	if p.Lost {
+		w.losses++
+	}
+	if w.pkts < q.Window {
+		return dst
+	}
+	rate := 100 * float64(w.losses) / float64(w.pkts)
+	if rate > q.ThresholdPct {
+		list := q.BaseList
+		if q.Lists > 1 {
+			// Bucket by how far past the threshold the flow is.
+			over := rate - q.ThresholdPct
+			idx := uint32(over / (100 / float64(q.Lists)))
+			if idx >= q.Lists {
+				idx = q.Lists - 1
+			}
+			list += idx
+		}
+		k := p.Flow.Key()
+		r := wire.Report{
+			Header: wire.Header{Version: wire.Version, Primitive: wire.PrimAppend},
+			Append: wire.Append{ListID: list},
+		}
+		r.Data = append([]byte(nil), k[:LossyEntry]...)
+		dst = append(dst, r)
+	}
+	*w = lossWindow{}
+	return dst
+}
+
+// HostCounters aggregates per-source-host byte counts in a small on-switch
+// cache and exports increments on eviction (Table 2's addition-based
+// variant, via Key-Increment).
+type HostCounters struct {
+	// Slots is the cache size; collisions evict.
+	Slots int
+	// Redundancy is the Key-Increment N.
+	Redundancy uint8
+
+	keys   []hostKey
+	counts []uint64
+}
+
+type hostKey struct {
+	ip    [4]byte
+	valid bool
+}
+
+// NewHostCounters builds the cache.
+func NewHostCounters(slots int, redundancy uint8) *HostCounters {
+	if slots < 1 {
+		slots = 1024
+	}
+	if redundancy == 0 {
+		redundancy = 1
+	}
+	return &HostCounters{
+		Slots: slots, Redundancy: redundancy,
+		keys:   make([]hostKey, slots),
+		counts: make([]uint64, slots),
+	}
+}
+
+// hostSlot hashes an IP to a cache slot.
+func (q *HostCounters) hostSlot(ip [4]byte) int {
+	h := uint32(2166136261)
+	for _, b := range ip {
+		h = (h ^ uint32(b)) * 16777619
+	}
+	return int(h % uint32(q.Slots))
+}
+
+func hostTelemetryKey(ip [4]byte) wire.Key {
+	var k wire.Key
+	copy(k[:4], ip[:])
+	return k
+}
+
+// Process consumes one packet; a cache collision exports the evicted
+// host's accumulated count as a Key-Increment.
+func (q *HostCounters) Process(p *trace.Packet, dst []wire.Report) []wire.Report {
+	slot := q.hostSlot(p.Flow.SrcIP)
+	e := &q.keys[slot]
+	if e.valid && e.ip != p.Flow.SrcIP {
+		dst = append(dst, q.evict(slot))
+	}
+	if !e.valid {
+		e.valid = true
+		e.ip = p.Flow.SrcIP
+	}
+	q.counts[slot] += uint64(p.Size)
+	return dst
+}
+
+// Flush evicts every occupied slot (end of epoch).
+func (q *HostCounters) Flush(dst []wire.Report) []wire.Report {
+	for slot := range q.keys {
+		if q.keys[slot].valid {
+			dst = append(dst, q.evict(slot))
+		}
+	}
+	return dst
+}
+
+func (q *HostCounters) evict(slot int) wire.Report {
+	e := &q.keys[slot]
+	r := wire.Report{
+		Header: wire.Header{Version: wire.Version, Primitive: wire.PrimKeyIncrement},
+		KeyIncrement: wire.KeyIncrement{
+			Redundancy: q.Redundancy,
+			Key:        hostTelemetryKey(e.ip),
+			Delta:      q.counts[slot],
+		},
+	}
+	e.valid = false
+	q.counts[slot] = 0
+	return r
+}

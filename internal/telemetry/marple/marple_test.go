@@ -1,0 +1,186 @@
+package marple
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"dta/internal/trace"
+	"dta/internal/wire"
+)
+
+func gen(t *testing.T, mutate func(*trace.Config)) *trace.Generator {
+	t.Helper()
+	cfg := trace.DefaultConfig()
+	cfg.Flows = 500
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	g, err := trace.NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFlowletSizesReportsOnGap(t *testing.T) {
+	q := NewFlowletSizes(10, 8)
+	g := gen(t, func(c *trace.Config) { c.FlowletGapProb = 0.2 })
+	var reports []wire.Report
+	for i := 0; i < 20000; i++ {
+		p := g.Next()
+		reports = q.Process(&p, reports)
+	}
+	if len(reports) == 0 {
+		t.Fatal("no flowlet reports")
+	}
+	for _, r := range reports {
+		if r.Header.Primitive != wire.PrimAppend {
+			t.Fatal("wrong primitive")
+		}
+		if r.Append.ListID < 10 || r.Append.ListID >= 18 {
+			t.Fatalf("list %d outside [10,18)", r.Append.ListID)
+		}
+		if len(r.Data) != FlowletEntry {
+			t.Fatalf("entry size %d", len(r.Data))
+		}
+		if n := binary.BigEndian.Uint32(r.Data[13:]); n == 0 {
+			t.Fatal("zero-size flowlet reported")
+		}
+	}
+	// Larger flowlets land in higher lists.
+	small := q.listFor(1)
+	big := q.listFor(1 << 20)
+	if big <= small {
+		t.Errorf("list bucketing not monotone: %d vs %d", small, big)
+	}
+}
+
+func TestFlowletFlushReportsInProgress(t *testing.T) {
+	q := NewFlowletSizes(0, 1)
+	g := gen(t, nil)
+	p := g.Next()
+	q.Process(&p, nil)
+	reports := q.Flush(nil)
+	if len(reports) != 1 {
+		t.Fatalf("flush reports = %d, want 1", len(reports))
+	}
+	if n := binary.BigEndian.Uint32(reports[0].Data[13:]); n != 1 {
+		t.Errorf("flowlet size = %d, want 1", n)
+	}
+	if len(q.Flush(nil)) != 0 {
+		t.Error("second flush not empty")
+	}
+}
+
+func TestTCPTimeoutsCountsAndReports(t *testing.T) {
+	q := NewTCPTimeouts(2)
+	g := gen(t, func(c *trace.Config) {
+		c.LossRate = 0.05
+		c.TimeoutRate = 1.0 // every loss times out
+	})
+	var reports []wire.Report
+	timeouts := 0
+	for i := 0; i < 30000; i++ {
+		p := g.Next()
+		before := len(reports)
+		reports = q.Process(&p, reports)
+		if p.TimedOut {
+			timeouts++
+			if len(reports) != before+1 {
+				t.Fatal("timeout did not produce a report")
+			}
+			r := reports[len(reports)-1]
+			if r.Header.Primitive != wire.PrimKeyWrite || r.KeyWrite.Redundancy != 2 {
+				t.Fatalf("report header: %+v", r)
+			}
+			if r.KeyWrite.Key != p.Flow.Key() {
+				t.Fatal("report key mismatch")
+			}
+			got := binary.BigEndian.Uint32(r.Data)
+			if got != q.Count(p.Flow) {
+				t.Fatalf("reported %d, local count %d", got, q.Count(p.Flow))
+			}
+		} else if len(reports) != before {
+			t.Fatal("report without timeout")
+		}
+	}
+	if timeouts == 0 {
+		t.Fatal("no timeouts generated")
+	}
+}
+
+func TestLossyFlowsThreshold(t *testing.T) {
+	// With 20% loss every window of every flow should qualify at a 5%
+	// threshold; with 0% loss nothing should.
+	lossy := NewLossyFlows(32, 5, 100, 4)
+	g := gen(t, func(c *trace.Config) { c.LossRate = 0.2 })
+	var reports []wire.Report
+	for i := 0; i < 40000; i++ {
+		p := g.Next()
+		reports = lossy.Process(&p, reports)
+	}
+	if len(reports) == 0 {
+		t.Fatal("no lossy-flow reports at 20% loss")
+	}
+	for _, r := range reports {
+		if r.Header.Primitive != wire.PrimAppend || len(r.Data) != LossyEntry {
+			t.Fatalf("report: %+v", r)
+		}
+		if r.Append.ListID < 100 || r.Append.ListID >= 104 {
+			t.Fatalf("list %d outside range", r.Append.ListID)
+		}
+	}
+
+	clean := NewLossyFlows(32, 5, 100, 4)
+	g2 := gen(t, func(c *trace.Config) { c.LossRate = 0 })
+	var cleanReports []wire.Report
+	for i := 0; i < 40000; i++ {
+		p := g2.Next()
+		cleanReports = clean.Process(&p, cleanReports)
+	}
+	if len(cleanReports) != 0 {
+		t.Errorf("%d lossy reports with zero loss", len(cleanReports))
+	}
+}
+
+func TestHostCountersEvictionsPreserveTotals(t *testing.T) {
+	q := NewHostCounters(64, 1) // tiny cache: frequent evictions
+	g := gen(t, nil)
+	totals := make(map[[4]byte]uint64)
+	var reports []wire.Report
+	const pkts = 20000
+	for i := 0; i < pkts; i++ {
+		p := g.Next()
+		totals[p.Flow.SrcIP] += uint64(p.Size)
+		reports = q.Process(&p, reports)
+	}
+	reports = q.Flush(reports)
+	// Sum of evicted deltas per host must equal the ground truth.
+	got := make(map[[4]byte]uint64)
+	for _, r := range reports {
+		if r.Header.Primitive != wire.PrimKeyIncrement {
+			t.Fatal("wrong primitive")
+		}
+		var ip [4]byte
+		copy(ip[:], r.KeyIncrement.Key[:4])
+		got[ip] += r.KeyIncrement.Delta
+	}
+	for ip, want := range totals {
+		if got[ip] != want {
+			t.Fatalf("host %v: evicted %d, want %d", ip, got[ip], want)
+		}
+	}
+}
+
+func TestHostCountersFlushIdempotent(t *testing.T) {
+	q := NewHostCounters(16, 1)
+	g := gen(t, nil)
+	p := g.Next()
+	q.Process(&p, nil)
+	if n := len(q.Flush(nil)); n != 1 {
+		t.Fatalf("first flush = %d", n)
+	}
+	if n := len(q.Flush(nil)); n != 0 {
+		t.Fatalf("second flush = %d", n)
+	}
+}

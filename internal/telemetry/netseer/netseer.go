@@ -1,0 +1,65 @@
+// Package netseer models NetSeer-style flow event telemetry: a stream of
+// packet-loss events exported from the data plane (Table 1: up to 950K
+// loss events per second per switch; Table 2: "Appending 18B loss event
+// reports into network-wide list of packet losses").
+//
+// Each loss event carries the flow 5-tuple (13 B), the dropped packet's
+// sequence number (4 B) and a drop-reason code (1 B): 18 B total,
+// appended to a network-wide Append list.
+package netseer
+
+import (
+	"encoding/binary"
+
+	"dta/internal/trace"
+	"dta/internal/wire"
+)
+
+// EntrySize is the loss-event payload size.
+const EntrySize = 18
+
+// Reason codes for packet drops.
+const (
+	ReasonQueueOverflow = 1
+	ReasonACLDeny       = 2
+	ReasonTTLExpired    = 3
+	ReasonCorrupt       = 4
+)
+
+// LossEvents exports one Append report per observed packet loss.
+type LossEvents struct {
+	// ListID is the network-wide loss list.
+	ListID uint32
+	// Events counts exported losses.
+	Events uint64
+}
+
+// Encode serialises a loss event payload into dst (≥ EntrySize bytes).
+func Encode(dst []byte, flow trace.FlowKey, seq uint32, reason uint8) {
+	k := flow.Key()
+	copy(dst[:13], k[:13])
+	binary.BigEndian.PutUint32(dst[13:17], seq)
+	dst[17] = reason
+}
+
+// Decode parses a loss event payload.
+func Decode(b []byte) (flow wire.Key, seq uint32, reason uint8) {
+	copy(flow[:13], b[:13])
+	return flow, binary.BigEndian.Uint32(b[13:17]), b[17]
+}
+
+// Process consumes one packet and appends a loss report if it was lost.
+func (q *LossEvents) Process(p *trace.Packet, dst []wire.Report) []wire.Report {
+	if !p.Lost {
+		return dst
+	}
+	q.Events++
+	var data [EntrySize]byte
+	Encode(data[:], p.Flow, p.Seq, ReasonQueueOverflow)
+	r := wire.Report{
+		Header: wire.Header{Version: wire.Version, Primitive: wire.PrimAppend},
+		Append: wire.Append{ListID: q.ListID},
+	}
+	r.Data = append([]byte(nil), data[:]...)
+	return append(dst, r)
+}

@@ -1,0 +1,63 @@
+package netseer
+
+import (
+	"testing"
+
+	"dta/internal/trace"
+	"dta/internal/wire"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := trace.FlowKey{
+		SrcIP: [4]byte{10, 0, 1, 2}, DstIP: [4]byte{10, 3, 4, 5},
+		SrcPort: 5000, DstPort: 443, Proto: 6,
+	}
+	var buf [EntrySize]byte
+	Encode(buf[:], f, 0xdeadbeef, ReasonTTLExpired)
+	flow, seq, reason := Decode(buf[:])
+	want := f.Key()
+	for i := 0; i < 13; i++ {
+		if flow[i] != want[i] {
+			t.Fatalf("flow byte %d mismatch", i)
+		}
+	}
+	if seq != 0xdeadbeef || reason != ReasonTTLExpired {
+		t.Errorf("seq=%#x reason=%d", seq, reason)
+	}
+}
+
+func TestLossEventsOnlyOnLoss(t *testing.T) {
+	cfg := trace.DefaultConfig()
+	cfg.LossRate = 0.02
+	g, _ := trace.NewGenerator(cfg)
+	q := &LossEvents{ListID: 3}
+	var reports []wire.Report
+	losses := 0
+	for i := 0; i < 30000; i++ {
+		p := g.Next()
+		before := len(reports)
+		reports = q.Process(&p, reports)
+		if p.Lost {
+			losses++
+			if len(reports) != before+1 {
+				t.Fatal("loss without report")
+			}
+		} else if len(reports) != before {
+			t.Fatal("report without loss")
+		}
+	}
+	if losses == 0 {
+		t.Fatal("no losses generated")
+	}
+	if q.Events != uint64(losses) {
+		t.Errorf("Events = %d, want %d", q.Events, losses)
+	}
+	for _, r := range reports {
+		if r.Header.Primitive != wire.PrimAppend || r.Append.ListID != 3 {
+			t.Fatalf("report: %+v", r)
+		}
+		if len(r.Data) != EntrySize {
+			t.Fatalf("entry size %d, want %d", len(r.Data), EntrySize)
+		}
+	}
+}

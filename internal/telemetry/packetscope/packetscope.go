@@ -1,0 +1,130 @@
+// Package packetscope models PacketScope (SOSR'20) intra-switch
+// monitoring as Table 2 maps it onto DTA:
+//
+//   - "Report fixed-size per-flow per-switch traversal information using
+//     <switchID, 5-tuple> as key" → Key-Write;
+//   - "On packet drop: send 14B pipeline-traversal information to a
+//     central list of pipeline-loss events" → Append.
+//
+// PacketScope watches a packet's life *inside* one switch: which
+// pipeline stages it traversed and where it died if dropped.
+package packetscope
+
+import (
+	"dta/internal/trace"
+	"dta/internal/wire"
+)
+
+// Stage identifiers of the modelled pipeline.
+const (
+	StageParser = 1 + iota
+	StageIngressMatch
+	StageTrafficManager
+	StageEgressMatch
+	StageDeparser
+	numStages
+)
+
+// TraversalSize is the per-flow traversal record: 1 B per stage visit
+// count for five stages + 3 B pad = 8 B.
+const TraversalSize = 8
+
+// DropEventSize is the pipeline-loss record: 13 B key prefix truncated
+// to 12 + drop stage + pad = 14 B, per Table 2.
+const DropEventSize = 14
+
+// Monitor tracks flow traversal inside one switch.
+type Monitor struct {
+	// SwitchID scopes the keys.
+	SwitchID uint32
+	// LossList receives pipeline-drop events.
+	LossList uint32
+	// Redundancy is the Key-Write N.
+	Redundancy uint8
+
+	visits map[trace.FlowKey][numStages - 1]uint8
+	// Drops counts pipeline losses.
+	Drops uint64
+}
+
+// New builds a monitor.
+func New(switchID, lossList uint32, redundancy uint8) *Monitor {
+	if redundancy == 0 {
+		redundancy = 1
+	}
+	return &Monitor{
+		SwitchID:   switchID,
+		LossList:   lossList,
+		Redundancy: redundancy,
+		visits:     make(map[trace.FlowKey][numStages - 1]uint8),
+	}
+}
+
+// TraversalKey builds the <switchID, 5-tuple> Key-Write key: the switch
+// ID occupies the key's padding bytes after the 13-byte 5-tuple.
+func TraversalKey(switchID uint32, flow trace.FlowKey) wire.Key {
+	k := flow.Key()
+	// Bytes 13..15 are zero padding; fold the switch ID in.
+	k[13] = byte(switchID >> 16)
+	k[14] = byte(switchID >> 8)
+	k[15] = byte(switchID)
+	return k
+}
+
+// dropStage deterministically assigns where a dropped packet died.
+func dropStage(p *trace.Packet) uint8 {
+	return uint8(p.Seq%uint32(numStages-1)) + 1
+}
+
+// Process consumes one packet: the flow's traversal record updates (and
+// re-exports via Key-Write), and drops emit pipeline-loss events.
+func (m *Monitor) Process(p *trace.Packet, dst []wire.Report) []wire.Report {
+	v := m.visits[p.Flow]
+	for s := 0; s < numStages-1; s++ {
+		if v[s] < 0xff {
+			v[s]++
+		}
+	}
+	if p.Lost {
+		// The packet died mid-pipeline: truncate its stage visits past
+		// the drop point and append the loss event.
+		stage := dropStage(p)
+		for s := int(stage); s < numStages-1; s++ {
+			v[s]--
+		}
+		m.Drops++
+		var data [DropEventSize]byte
+		k := p.Flow.Key()
+		copy(data[:12], k[:12])
+		data[12] = stage
+		r := wire.Report{
+			Header: wire.Header{Version: wire.Version, Primitive: wire.PrimAppend},
+			Append: wire.Append{ListID: m.LossList},
+		}
+		r.Data = append([]byte(nil), data[:]...)
+		dst = append(dst, r)
+	}
+	m.visits[p.Flow] = v
+
+	var data [TraversalSize]byte
+	copy(data[:numStages-1], v[:])
+	r := wire.Report{
+		Header:   wire.Header{Version: wire.Version, Primitive: wire.PrimKeyWrite},
+		KeyWrite: wire.KeyWrite{Redundancy: m.Redundancy, Key: TraversalKey(m.SwitchID, p.Flow)},
+	}
+	r.Data = append([]byte(nil), data[:]...)
+	return append(dst, r)
+}
+
+// DecodeDrop parses a pipeline-loss entry.
+func DecodeDrop(b []byte) (flowPrefix [12]byte, stage uint8) {
+	copy(flowPrefix[:], b[:12])
+	return flowPrefix, b[12]
+}
+
+// DecodeTraversal parses a traversal record into per-stage visit counts.
+func DecodeTraversal(b []byte) [numStages - 1]uint8 {
+	var v [numStages - 1]uint8
+	copy(v[:], b[:numStages-1])
+	return v
+}

@@ -1,0 +1,88 @@
+package packetscope
+
+import (
+	"testing"
+
+	"dta/internal/trace"
+	"dta/internal/wire"
+)
+
+func TestTraversalKeyEmbedsSwitchAndFlow(t *testing.T) {
+	f := trace.FlowKey{SrcIP: [4]byte{10, 0, 0, 1}, DstIP: [4]byte{10, 0, 0, 2}, SrcPort: 1, DstPort: 2, Proto: 6}
+	k1 := TraversalKey(7, f)
+	k2 := TraversalKey(8, f)
+	if k1 == k2 {
+		t.Error("different switches share a key")
+	}
+	g := f
+	g.SrcPort = 3
+	if TraversalKey(7, f) == TraversalKey(7, g) {
+		t.Error("different flows share a key")
+	}
+}
+
+func TestTraversalCountsGrow(t *testing.T) {
+	m := New(5, 9, 2)
+	cfg := trace.DefaultConfig()
+	cfg.LossRate = 0
+	cfg.Flows = 3
+	g, _ := trace.NewGenerator(cfg)
+	var last wire.Report
+	counts := map[trace.FlowKey]int{}
+	for i := 0; i < 100; i++ {
+		p := g.Next()
+		counts[p.Flow]++
+		reports := m.Process(&p, nil)
+		if len(reports) != 1 {
+			t.Fatalf("reports = %d (no drops expected)", len(reports))
+		}
+		last = reports[0]
+		v := DecodeTraversal(last.Data)
+		for s := 0; s < len(v); s++ {
+			if int(v[s]) != counts[p.Flow] && counts[p.Flow] <= 255 {
+				t.Fatalf("stage %d visits = %d, want %d", s, v[s], counts[p.Flow])
+			}
+		}
+	}
+	if last.Header.Primitive != wire.PrimKeyWrite || last.KeyWrite.Redundancy != 2 {
+		t.Errorf("traversal report: %+v", last.Header)
+	}
+}
+
+func TestDropEmitsPipelineLossEvent(t *testing.T) {
+	m := New(5, 9, 1)
+	cfg := trace.DefaultConfig()
+	cfg.LossRate = 1.0 // every packet drops
+	g, _ := trace.NewGenerator(cfg)
+	var p trace.Packet
+	for {
+		p = g.Next()
+		if p.Lost {
+			break
+		}
+	}
+	reports := m.Process(&p, nil)
+	if len(reports) != 2 {
+		t.Fatalf("reports = %d, want loss event + traversal", len(reports))
+	}
+	loss := reports[0]
+	if loss.Header.Primitive != wire.PrimAppend || loss.Append.ListID != 9 {
+		t.Fatalf("loss report: %+v", loss)
+	}
+	if len(loss.Data) != DropEventSize {
+		t.Fatalf("loss entry %dB, want %d", len(loss.Data), DropEventSize)
+	}
+	prefix, stage := DecodeDrop(loss.Data)
+	k := p.Flow.Key()
+	for i := 0; i < 12; i++ {
+		if prefix[i] != k[i] {
+			t.Fatal("flow prefix mismatch")
+		}
+	}
+	if stage < StageParser || stage > StageDeparser {
+		t.Errorf("stage %d out of range", stage)
+	}
+	if m.Drops != 1 {
+		t.Errorf("drops = %d", m.Drops)
+	}
+}

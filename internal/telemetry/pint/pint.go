@@ -1,0 +1,85 @@
+// Package pint models PINT (Probabilistic In-band Network Telemetry,
+// SIGCOMM'20) report generation as Table 2 maps it onto DTA: "1B reports
+// with 5-tuple keys, using redundancies for data compression through
+// n = f(pktID)".
+//
+// PINT compresses per-packet telemetry by having each packet carry only
+// a probabilistic fragment; which hop's value a packet carries is a
+// global hash of the packet ID, so the collector reconstructs the whole
+// path from many packets of the same flow. Under DTA each fragment
+// becomes a Key-Write keyed by (flow, hop) with a 1-byte value.
+package pint
+
+import (
+	"dta/internal/crc"
+	"dta/internal/trace"
+	"dta/internal/wire"
+)
+
+// ValueSize is the PINT fragment size (1 byte).
+const ValueSize = 1
+
+// Source emits one fragment per packet: the value of hop f(pktID) on
+// the packet's path.
+type Source struct {
+	// Hops is the path bound.
+	Hops int
+	// Redundancy is the Key-Write N for fragments.
+	Redundancy uint8
+	// Value returns the telemetry value of hop i of flow x (e.g. a
+	// compressed switch ID digest).
+	Value func(x wire.Key, hop int) uint8
+
+	eng *crc.Engine
+}
+
+// New builds a source.
+func New(hops int, redundancy uint8, value func(x wire.Key, hop int) uint8) *Source {
+	if hops < 1 {
+		hops = 5
+	}
+	if redundancy == 0 {
+		redundancy = 1
+	}
+	return &Source{Hops: hops, Redundancy: redundancy, Value: value, eng: crc.New(crc.Q)}
+}
+
+// fragmentHop selects which hop this packet reports: the global
+// consensus hash n = f(pktID) of the paper.
+func (s *Source) fragmentHop(x wire.Key, seq uint32) int {
+	var buf [wire.KeySize + 4]byte
+	copy(buf[:], x[:])
+	buf[wire.KeySize] = byte(seq >> 24)
+	buf[wire.KeySize+1] = byte(seq >> 16)
+	buf[wire.KeySize+2] = byte(seq >> 8)
+	buf[wire.KeySize+3] = byte(seq)
+	return int(s.eng.Sum(buf[:]) % uint32(s.Hops))
+}
+
+// fragmentKey derives the Key-Write key for (flow, hop): the hop index
+// replaces the key's padding byte, keeping fragments of one flow in
+// distinct slots.
+func fragmentKey(x wire.Key, hop int) wire.Key {
+	k := x
+	k[wire.KeySize-1] = byte(hop) | 0x80
+	return k
+}
+
+// Process consumes one packet and appends its fragment report.
+func (s *Source) Process(p *trace.Packet, dst []wire.Report) []wire.Report {
+	x := p.Flow.Key()
+	hop := s.fragmentHop(x, p.Seq)
+	v := uint8(hop + 1)
+	if s.Value != nil {
+		v = s.Value(x, hop)
+	}
+	r := wire.Report{
+		Header:   wire.Header{Version: wire.Version, Primitive: wire.PrimKeyWrite},
+		KeyWrite: wire.KeyWrite{Redundancy: s.Redundancy, Key: fragmentKey(x, hop)},
+	}
+	r.Data = []byte{v}
+	return append(dst, r)
+}
+
+// ReconstructKey returns the Key-Write key to query for hop i of flow x.
+func ReconstructKey(x wire.Key, hop int) wire.Key { return fragmentKey(x, hop) }

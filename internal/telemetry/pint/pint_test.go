@@ -1,0 +1,74 @@
+package pint
+
+import (
+	"testing"
+
+	"dta/internal/trace"
+	"dta/internal/wire"
+)
+
+func TestFragmentHopDeterministicAndCovering(t *testing.T) {
+	s := New(5, 2, nil)
+	g, _ := trace.NewGenerator(trace.DefaultConfig())
+	seen := map[int]bool{}
+	for i := 0; i < 2000; i++ {
+		p := g.Next()
+		x := p.Flow.Key()
+		h1 := s.fragmentHop(x, p.Seq)
+		h2 := s.fragmentHop(x, p.Seq)
+		if h1 != h2 {
+			t.Fatal("fragment hop not deterministic")
+		}
+		if h1 < 0 || h1 >= 5 {
+			t.Fatalf("hop %d out of range", h1)
+		}
+		seen[h1] = true
+	}
+	if len(seen) != 5 {
+		t.Errorf("only %d/5 hops selected across 2000 packets", len(seen))
+	}
+}
+
+func TestProcessEmitsOneFragmentPerPacket(t *testing.T) {
+	s := New(5, 2, func(x wire.Key, hop int) uint8 { return uint8(hop*10 + 1) })
+	g, _ := trace.NewGenerator(trace.DefaultConfig())
+	for i := 0; i < 100; i++ {
+		p := g.Next()
+		reports := s.Process(&p, nil)
+		if len(reports) != 1 {
+			t.Fatalf("reports = %d", len(reports))
+		}
+		r := reports[0]
+		if r.Header.Primitive != wire.PrimKeyWrite || r.KeyWrite.Redundancy != 2 {
+			t.Fatalf("report: %+v", r)
+		}
+		if len(r.Data) != ValueSize {
+			t.Fatalf("fragment size %d", len(r.Data))
+		}
+		// The fragment key differs from the plain flow key and is
+		// recoverable from (flow, hop).
+		x := p.Flow.Key()
+		hop := s.fragmentHop(x, p.Seq)
+		if r.KeyWrite.Key != ReconstructKey(x, hop) {
+			t.Fatal("fragment key mismatch")
+		}
+		if r.KeyWrite.Key == x {
+			t.Fatal("fragment key collides with flow key space")
+		}
+		if want := uint8(hop*10 + 1); r.Data[0] != want {
+			t.Fatalf("value = %d, want %d", r.Data[0], want)
+		}
+	}
+}
+
+func TestFragmentKeysDistinctPerHop(t *testing.T) {
+	x := wire.KeyFromUint64(7)
+	seen := map[wire.Key]bool{}
+	for hop := 0; hop < 5; hop++ {
+		k := ReconstructKey(x, hop)
+		if seen[k] {
+			t.Fatalf("hop %d key repeats", hop)
+		}
+		seen[k] = true
+	}
+}

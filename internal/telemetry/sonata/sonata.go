@@ -1,0 +1,115 @@
+// Package sonata models Sonata (SIGCOMM'18) query-driven telemetry as
+// Table 2 maps it onto DTA:
+//
+//   - "Reporting fixed-size network query results using queryID keys"
+//     → Key-Write keyed by query ID;
+//   - "Appending query-specific packet tuples from switches to lists at
+//     streaming processors" → Append, one list per query.
+//
+// A Query is a compiled dataflow (filter → key → reduce) evaluated on
+// the switch over an epoch; at epoch end, reduced results export via
+// Key-Write and, when the reduction overflows the data plane, raw
+// tuples spill to the query's Append list.
+package sonata
+
+import (
+	"encoding/binary"
+
+	"dta/internal/trace"
+	"dta/internal/wire"
+)
+
+// Query is one compiled Sonata query.
+type Query struct {
+	// ID keys the query's results in the collector.
+	ID uint32
+	// Filter selects packets (nil = all).
+	Filter func(*trace.Packet) bool
+	// KeyOf groups packets (e.g. by destination IP).
+	KeyOf func(*trace.Packet) uint64
+	// SpillThreshold bounds the per-key reduction table; keys beyond it
+	// spill raw tuples to the Append list (the "raw data transfer" path).
+	SpillThreshold int
+	// ListID is the spill list.
+	ListID uint32
+	// Redundancy is the Key-Write N for results.
+	Redundancy uint8
+
+	counts map[uint64]uint32
+	// Stats
+	Matched uint64
+	Spilled uint64
+}
+
+// NewQuery compiles a query.
+func NewQuery(id uint32, filter func(*trace.Packet) bool, keyOf func(*trace.Packet) uint64, spillThreshold int, listID uint32, redundancy uint8) *Query {
+	if keyOf == nil {
+		keyOf = func(p *trace.Packet) uint64 {
+			return uint64(binary.BigEndian.Uint32(p.Flow.DstIP[:]))
+		}
+	}
+	if redundancy == 0 {
+		redundancy = 1
+	}
+	if spillThreshold < 1 {
+		spillThreshold = 1 << 12
+	}
+	return &Query{
+		ID: id, Filter: filter, KeyOf: keyOf,
+		SpillThreshold: spillThreshold, ListID: listID, Redundancy: redundancy,
+		counts: make(map[uint64]uint32),
+	}
+}
+
+// resultKey builds the Key-Write key for (queryID, groupKey).
+func (q *Query) resultKey(group uint64) wire.Key {
+	var k wire.Key
+	binary.BigEndian.PutUint32(k[0:4], q.ID)
+	binary.BigEndian.PutUint64(k[4:12], group)
+	return k
+}
+
+// Process consumes one packet; keys past the spill threshold emit raw
+// tuples immediately.
+func (q *Query) Process(p *trace.Packet, dst []wire.Report) []wire.Report {
+	if q.Filter != nil && !q.Filter(p) {
+		return dst
+	}
+	q.Matched++
+	group := q.KeyOf(p)
+	if _, known := q.counts[group]; !known && len(q.counts) >= q.SpillThreshold {
+		// Reduction table full: spill the raw tuple to the stream
+		// processor's list.
+		q.Spilled++
+		k := p.Flow.Key()
+		r := wire.Report{
+			Header: wire.Header{Version: wire.Version, Primitive: wire.PrimAppend},
+			Append: wire.Append{ListID: q.ListID},
+		}
+		r.Data = append([]byte(nil), k[:13]...)
+		return append(dst, r)
+	}
+	q.counts[group]++
+	return dst
+}
+
+// EpochEnd exports every reduced (group, count) result as a Key-Write
+// and resets the reduction table.
+func (q *Query) EpochEnd(dst []wire.Report) []wire.Report {
+	for group, count := range q.counts {
+		var data [12]byte
+		binary.BigEndian.PutUint64(data[0:8], group)
+		binary.BigEndian.PutUint32(data[8:12], count)
+		r := wire.Report{
+			Header:   wire.Header{Version: wire.Version, Primitive: wire.PrimKeyWrite},
+			KeyWrite: wire.KeyWrite{Redundancy: q.Redundancy, Key: q.resultKey(group)},
+		}
+		r.Data = append([]byte(nil), data[:]...)
+		dst = append(dst, r)
+	}
+	q.counts = make(map[uint64]uint32)
+	return dst
+}
+
+// ResultKey exposes the key for querying a (queryID, group) result.
+func (q *Query) ResultKey(group uint64) wire.Key { return q.resultKey(group) }

@@ -1,0 +1,90 @@
+package sonata
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"dta/internal/trace"
+	"dta/internal/wire"
+)
+
+func TestReduceAndEpochExport(t *testing.T) {
+	// Count TCP packets per destination IP.
+	q := NewQuery(9, func(p *trace.Packet) bool { return p.Flow.Proto == 6 },
+		nil, 1<<12, 3, 2)
+	g, _ := trace.NewGenerator(trace.DefaultConfig())
+	truth := map[uint64]uint32{}
+	for i := 0; i < 5000; i++ {
+		p := g.Next()
+		if p.Flow.Proto == 6 {
+			truth[uint64(binary.BigEndian.Uint32(p.Flow.DstIP[:]))]++
+		}
+		if reports := q.Process(&p, nil); len(reports) != 0 {
+			t.Fatalf("unexpected spill below threshold: %v", reports)
+		}
+	}
+	results := q.EpochEnd(nil)
+	if len(results) != len(truth) {
+		t.Fatalf("results = %d, truth groups = %d", len(results), len(truth))
+	}
+	for _, r := range results {
+		if r.Header.Primitive != wire.PrimKeyWrite || r.KeyWrite.Redundancy != 2 {
+			t.Fatalf("result: %+v", r)
+		}
+		group := binary.BigEndian.Uint64(r.Data[0:8])
+		count := binary.BigEndian.Uint32(r.Data[8:12])
+		if truth[group] != count {
+			t.Fatalf("group %d: exported %d, truth %d", group, count, truth[group])
+		}
+		if r.KeyWrite.Key != q.ResultKey(group) {
+			t.Fatal("result key mismatch")
+		}
+	}
+	// Epoch reset: a second export is empty.
+	if len(q.EpochEnd(nil)) != 0 {
+		t.Error("epoch table not reset")
+	}
+}
+
+func TestSpillOnOverflow(t *testing.T) {
+	q := NewQuery(1, nil, nil, 4, 7, 1) // only 4 groups fit
+	g, _ := trace.NewGenerator(trace.DefaultConfig())
+	var spills []wire.Report
+	for i := 0; i < 5000; i++ {
+		p := g.Next()
+		spills = q.Process(&p, spills)
+	}
+	if q.Spilled == 0 || len(spills) == 0 {
+		t.Fatal("no spills despite tiny reduction table")
+	}
+	for _, r := range spills {
+		if r.Header.Primitive != wire.PrimAppend || r.Append.ListID != 7 {
+			t.Fatalf("spill: %+v", r)
+		}
+		if len(r.Data) != 13 {
+			t.Fatalf("spill tuple size %d", len(r.Data))
+		}
+	}
+	// Reduced + spilled covers every matched packet.
+	var reduced uint64
+	for _, r := range q.EpochEnd(nil) {
+		reduced += uint64(binary.BigEndian.Uint32(r.Data[8:12]))
+	}
+	if reduced+q.Spilled != q.Matched {
+		t.Errorf("reduced %d + spilled %d != matched %d", reduced, q.Spilled, q.Matched)
+	}
+}
+
+func TestFilterExcludes(t *testing.T) {
+	q := NewQuery(2, func(p *trace.Packet) bool { return false }, nil, 16, 0, 1)
+	g, _ := trace.NewGenerator(trace.DefaultConfig())
+	for i := 0; i < 100; i++ {
+		p := g.Next()
+		if out := q.Process(&p, nil); len(out) != 0 {
+			t.Fatal("filtered packet produced output")
+		}
+	}
+	if q.Matched != 0 || len(q.EpochEnd(nil)) != 0 {
+		t.Error("filter leaked packets")
+	}
+}

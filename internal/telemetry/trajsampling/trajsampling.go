@@ -1,0 +1,92 @@
+// Package trajsampling models Trajectory Sampling (Duffield &
+// Grossglauser) as Table 2 maps it onto DTA: "Collection of unique
+// packet labels from all hops for sampled packets" via the Postcarding
+// primitive.
+//
+// Every switch applies the same hash to the invariant packet content;
+// packets whose hash falls in the sampling range are labelled, and every
+// hop reports (packetID, hop, label). Because the sampling decision is
+// content-deterministic, either all hops of a packet report or none do,
+// and the collector reconstructs complete trajectories.
+package trajsampling
+
+import (
+	"encoding/binary"
+
+	"dta/internal/crc"
+	"dta/internal/trace"
+	"dta/internal/wire"
+)
+
+// Sampler is the consistent content-based sampler shared by all hops.
+type Sampler struct {
+	// Num/Den is the sampling fraction.
+	Num, Den uint32
+	// LabelBits is the size of the reported label.
+	LabelBits int
+
+	hashEng  *crc.Engine
+	labelEng *crc.Engine
+}
+
+// NewSampler builds a sampler.
+func NewSampler(num, den uint32, labelBits int) *Sampler {
+	if den == 0 {
+		den = 1
+	}
+	if labelBits <= 0 || labelBits > 32 {
+		labelBits = 20
+	}
+	return &Sampler{
+		Num: num, Den: den, LabelBits: labelBits,
+		hashEng:  crc.New(crc.Koopman),
+		labelEng: crc.New(crc.K32K),
+	}
+}
+
+// packetID is the invariant content digest all hops agree on.
+func (s *Sampler) packetID(p *trace.Packet) wire.Key {
+	k := p.Flow.Key()
+	binary.BigEndian.PutUint32(k[wire.KeySize-4:], p.Seq)
+	return k
+}
+
+// Sampled reports whether every hop will label this packet.
+func (s *Sampler) Sampled(p *trace.Packet) bool {
+	id := s.packetID(p)
+	return s.hashEng.Sum(id[:])%s.Den < s.Num
+}
+
+// Label computes the packet's unique label.
+func (s *Sampler) Label(p *trace.Packet) uint32 {
+	id := s.packetID(p)
+	return s.labelEng.Sum(id[:]) & (1<<uint(s.LabelBits) - 1)
+}
+
+// Hop is one switch running trajectory sampling.
+type Hop struct {
+	Sampler *Sampler
+	// Index is this switch's position on the path.
+	Index uint8
+	// PathLen annotates the full path length (egress only; 0 otherwise).
+	PathLen uint8
+	// Reports counts emitted labels.
+	Reports uint64
+}
+
+// Process emits this hop's label report for sampled packets.
+func (h *Hop) Process(p *trace.Packet, dst []wire.Report) []wire.Report {
+	if !h.Sampler.Sampled(p) {
+		return dst
+	}
+	h.Reports++
+	return append(dst, wire.Report{
+		Header: wire.Header{Version: wire.Version, Primitive: wire.PrimPostcarding},
+		Postcard: wire.Postcard{
+			Key:     h.Sampler.packetID(p),
+			Hop:     h.Index,
+			PathLen: h.PathLen,
+			Value:   h.Sampler.Label(p),
+		},
+	})
+}

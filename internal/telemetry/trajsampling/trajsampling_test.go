@@ -1,0 +1,79 @@
+package trajsampling
+
+import (
+	"testing"
+
+	"dta/internal/trace"
+	"dta/internal/wire"
+)
+
+func TestAllHopsAgreeOnSampling(t *testing.T) {
+	s := NewSampler(1, 10, 20)
+	hops := []*Hop{
+		{Sampler: s, Index: 0},
+		{Sampler: s, Index: 1},
+		{Sampler: s, Index: 2, PathLen: 3},
+	}
+	g, _ := trace.NewGenerator(trace.DefaultConfig())
+	sampledPkts := 0
+	for i := 0; i < 5000; i++ {
+		p := g.Next()
+		n := 0
+		for _, h := range hops {
+			n += len(h.Process(&p, nil))
+		}
+		if n != 0 && n != len(hops) {
+			t.Fatalf("inconsistent sampling: %d/%d hops reported", n, len(hops))
+		}
+		if n > 0 {
+			sampledPkts++
+		}
+	}
+	rate := float64(sampledPkts) / 5000
+	if rate < 0.05 || rate > 0.15 {
+		t.Errorf("sampling rate %.3f, want ≈0.1", rate)
+	}
+}
+
+func TestLabelsConsistentAndBounded(t *testing.T) {
+	s := NewSampler(1, 1, 20)
+	h0 := &Hop{Sampler: s, Index: 0}
+	h1 := &Hop{Sampler: s, Index: 1}
+	g, _ := trace.NewGenerator(trace.DefaultConfig())
+	for i := 0; i < 200; i++ {
+		p := g.Next()
+		r0 := h0.Process(&p, nil)[0]
+		r1 := h1.Process(&p, nil)[0]
+		if r0.Postcard.Value != r1.Postcard.Value {
+			t.Fatal("hops disagree on label")
+		}
+		if r0.Postcard.Value >= 1<<20 {
+			t.Fatalf("label %d exceeds 20 bits", r0.Postcard.Value)
+		}
+		if r0.Postcard.Key != r1.Postcard.Key {
+			t.Fatal("hops disagree on packet ID")
+		}
+		if r0.Postcard.Hop != 0 || r1.Postcard.Hop != 1 {
+			t.Fatal("hop indexes wrong")
+		}
+		if r0.Header.Primitive != wire.PrimPostcarding {
+			t.Fatal("wrong primitive")
+		}
+	}
+}
+
+func TestDistinctPacketsSameFlowDistinctIDs(t *testing.T) {
+	// Trajectory sampling is per *packet*: two packets of the same flow
+	// must carry different IDs (different Seq).
+	s := NewSampler(1, 1, 20)
+	cfg := trace.DefaultConfig()
+	cfg.Flows = 1
+	g, _ := trace.NewGenerator(cfg)
+	p1, p2 := g.Next(), g.Next()
+	for p2.Seq == p1.Seq {
+		p2 = g.Next()
+	}
+	if s.packetID(&p1) == s.packetID(&p2) {
+		t.Error("distinct packets share an ID")
+	}
+}

@@ -1,0 +1,105 @@
+// Package turboflow models TurboFlow-style flow record generation
+// (Table 2: "Sending 4B counters from evicted microflow-records for
+// aggregation using flow key as keys", via Key-Increment).
+//
+// The switch keeps a small microflow record table; when a new flow
+// hashes onto an occupied record, the incumbent's packet and byte counts
+// are evicted to the collector as Key-Increment deltas, where the
+// Count-Min store aggregates them into full flow records.
+package turboflow
+
+import (
+	"dta/internal/crc"
+	"dta/internal/trace"
+	"dta/internal/wire"
+)
+
+// MicroflowTable is the on-switch record cache.
+type MicroflowTable struct {
+	// Redundancy is the Key-Increment N stamped on evictions.
+	Redundancy uint8
+
+	eng     *crc.Engine
+	mask    uint32
+	keys    []trace.FlowKey
+	valid   []bool
+	packets []uint64
+	// Stats counts table activity.
+	Stats Stats
+}
+
+// Stats counts microflow table activity.
+type Stats struct {
+	Packets   uint64
+	Evictions uint64
+}
+
+// New builds a table with the given number of records (a power of two).
+func New(records int, redundancy uint8) (*MicroflowTable, error) {
+	if records <= 0 || records&(records-1) != 0 {
+		return nil, errNotPow2(records)
+	}
+	if redundancy == 0 {
+		redundancy = 1
+	}
+	return &MicroflowTable{
+		Redundancy: redundancy,
+		eng:        crc.New(crc.AUTOSAR),
+		mask:       uint32(records - 1),
+		keys:       make([]trace.FlowKey, records),
+		valid:      make([]bool, records),
+		packets:    make([]uint64, records),
+	}, nil
+}
+
+type errNotPow2 int
+
+func (e errNotPow2) Error() string {
+	return "turboflow: record count must be a power of two"
+}
+
+func (t *MicroflowTable) slot(f trace.FlowKey) int {
+	k := f.Key()
+	return int(t.eng.Sum(k[:]) & t.mask)
+}
+
+// Process consumes one packet; a colliding flow evicts the incumbent
+// record as a Key-Increment report.
+func (t *MicroflowTable) Process(p *trace.Packet, dst []wire.Report) []wire.Report {
+	t.Stats.Packets++
+	s := t.slot(p.Flow)
+	if t.valid[s] && t.keys[s] != p.Flow {
+		dst = append(dst, t.evict(s))
+	}
+	if !t.valid[s] {
+		t.valid[s] = true
+		t.keys[s] = p.Flow
+	}
+	t.packets[s]++
+	return dst
+}
+
+// Flush evicts every record (end of epoch).
+func (t *MicroflowTable) Flush(dst []wire.Report) []wire.Report {
+	for s := range t.keys {
+		if t.valid[s] {
+			dst = append(dst, t.evict(s))
+		}
+	}
+	return dst
+}
+
+func (t *MicroflowTable) evict(s int) wire.Report {
+	t.Stats.Evictions++
+	r := wire.Report{
+		Header: wire.Header{Version: wire.Version, Primitive: wire.PrimKeyIncrement},
+		KeyIncrement: wire.KeyIncrement{
+			Redundancy: t.Redundancy,
+			Key:        t.keys[s].Key(),
+			Delta:      t.packets[s],
+		},
+	}
+	t.valid[s] = false
+	t.packets[s] = 0
+	return r
+}

@@ -1,0 +1,74 @@
+package turboflow
+
+import (
+	"testing"
+
+	"dta/internal/trace"
+	"dta/internal/wire"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := New(100, 1); err == nil {
+		t.Error("non-power-of-two accepted")
+	}
+	if _, err := New(0, 1); err == nil {
+		t.Error("zero records accepted")
+	}
+	tbl, err := New(64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Redundancy != 1 {
+		t.Error("default redundancy not applied")
+	}
+}
+
+func TestEvictionsPreservePacketCounts(t *testing.T) {
+	tbl, _ := New(32, 2) // tiny: constant evictions
+	cfg := trace.DefaultConfig()
+	cfg.Flows = 300
+	g, _ := trace.NewGenerator(cfg)
+	truth := make(map[trace.FlowKey]uint64)
+	var reports []wire.Report
+	const pkts = 15000
+	for i := 0; i < pkts; i++ {
+		p := g.Next()
+		truth[p.Flow]++
+		reports = tbl.Process(&p, reports)
+	}
+	reports = tbl.Flush(reports)
+	if tbl.Stats.Packets != pkts {
+		t.Errorf("Stats.Packets = %d", tbl.Stats.Packets)
+	}
+	got := make(map[wire.Key]uint64)
+	var total uint64
+	for _, r := range reports {
+		if r.Header.Primitive != wire.PrimKeyIncrement || r.KeyIncrement.Redundancy != 2 {
+			t.Fatalf("report: %+v", r)
+		}
+		got[r.KeyIncrement.Key] += r.KeyIncrement.Delta
+		total += r.KeyIncrement.Delta
+	}
+	if total != pkts {
+		t.Fatalf("evicted total %d != %d packets", total, pkts)
+	}
+	for f, want := range truth {
+		if got[f.Key()] != want {
+			t.Fatalf("flow %v: evicted %d, want %d", f, got[f.Key()], want)
+		}
+	}
+}
+
+func TestFlushEmptiesTable(t *testing.T) {
+	tbl, _ := New(64, 1)
+	cfg := trace.DefaultConfig()
+	g, _ := trace.NewGenerator(cfg)
+	p := g.Next()
+	tbl.Process(&p, nil)
+	if n := len(tbl.Flush(nil)); n != 1 {
+		t.Fatalf("first flush = %d", n)
+	}
+	if n := len(tbl.Flush(nil)); n != 0 {
+		t.Fatalf("second flush = %d", n)
+	}
+}

@@ -1,0 +1,250 @@
+// Package trace generates synthetic data-center traffic used to drive the
+// telemetry systems. The paper replays real DC traces (Benson et al., IMC
+// 2010 [7]) for Fig. 7b; those traces are not redistributable, so this
+// package produces a statistically similar workload: Zipf-distributed
+// flow popularity, heavy-tailed (log-normal) flow sizes, small-packet
+// dominance, and per-packet loss/retransmission/timeout annotations that
+// Marple-style queries consume. Everything is deterministic per seed.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dta/internal/wire"
+)
+
+// FlowKey is an IPv4 5-tuple.
+type FlowKey struct {
+	SrcIP, DstIP     [4]byte
+	SrcPort, DstPort uint16
+	Proto            uint8
+}
+
+// Key packs the 5-tuple into a DTA telemetry key.
+func (f FlowKey) Key() wire.Key {
+	return wire.FiveTuple(f.SrcIP, f.DstIP, f.SrcPort, f.DstPort, f.Proto)
+}
+
+// String renders the flow for diagnostics.
+func (f FlowKey) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d:%d->%d.%d.%d.%d:%d/%d",
+		f.SrcIP[0], f.SrcIP[1], f.SrcIP[2], f.SrcIP[3], f.SrcPort,
+		f.DstIP[0], f.DstIP[1], f.DstIP[2], f.DstIP[3], f.DstPort, f.Proto)
+}
+
+// Packet is one observed packet at a switch.
+type Packet struct {
+	Flow FlowKey
+	// Seq is the TCP-like sequence number (bytes).
+	Seq uint32
+	// Size is the wire size in bytes.
+	Size int
+	// Time is the observation time in nanoseconds since trace start.
+	Time uint64
+	// Lost marks a packet dropped downstream of this switch.
+	Lost bool
+	// Retransmission marks a packet re-sent after a loss (out of
+	// sequence at observers past the loss point).
+	Retransmission bool
+	// FlowletStart marks the first packet after an idle gap larger than
+	// the flowlet threshold.
+	FlowletStart bool
+	// TimedOut marks a packet whose flow just experienced a TCP RTO.
+	TimedOut bool
+	// OutOfOrder marks a packet delivered past a later one without any
+	// loss (multipath reordering). TCP out-of-sequence monitors count
+	// both these and retransmissions.
+	OutOfOrder bool
+}
+
+// Config parameterises the generator.
+type Config struct {
+	// Flows is the number of distinct flows in the population.
+	Flows int
+	// ZipfS is the Zipf skew of flow popularity (>1; DC traces are
+	// commonly fit around 1.05–1.3).
+	ZipfS float64
+	// MeanPktSize is the mean packet size in bytes.
+	MeanPktSize int
+	// LossRate is the per-packet loss probability.
+	LossRate float64
+	// TimeoutRate is the per-packet probability that a loss escalates to
+	// an RTO rather than fast retransmit.
+	TimeoutRate float64
+	// ReorderProb is the per-packet probability of out-of-order delivery
+	// without loss (multipath or priority inversion).
+	ReorderProb float64
+	// FlowletGapProb is the per-packet probability that the flow paused
+	// long enough to start a new flowlet.
+	FlowletGapProb float64
+	// MeanPktGapNs is the mean inter-packet gap of the aggregate stream.
+	MeanPktGapNs float64
+	// Seed makes the trace reproducible.
+	Seed int64
+}
+
+// DefaultConfig returns a workload resembling the paper's university DC
+// trace: ~10K active flows, skewed popularity, 0.1% loss.
+func DefaultConfig() Config {
+	return Config{
+		Flows:          10000,
+		ZipfS:          1.1,
+		MeanPktSize:    850,
+		LossRate:       0.001,
+		TimeoutRate:    0.2,
+		FlowletGapProb: 0.02,
+		MeanPktGapNs:   100,
+		Seed:           1,
+	}
+}
+
+// Generator produces a deterministic packet stream.
+type Generator struct {
+	cfg   Config
+	rnd   *rand.Rand
+	zipf  *rand.Zipf
+	flows []FlowKey
+	seqs  []uint32
+	now   uint64
+	// pendingRetx schedules one retransmission per lost packet.
+	pendingRetx []retx
+}
+
+type retx struct {
+	flow    int
+	seq     uint32
+	size    int
+	timeout bool
+}
+
+// NewGenerator builds a generator, materialising the flow population.
+func NewGenerator(cfg Config) (*Generator, error) {
+	if cfg.Flows < 1 {
+		return nil, fmt.Errorf("trace: flows %d < 1", cfg.Flows)
+	}
+	if cfg.ZipfS <= 1 {
+		return nil, fmt.Errorf("trace: zipf skew %v must exceed 1", cfg.ZipfS)
+	}
+	if cfg.MeanPktSize < 64 {
+		return nil, fmt.Errorf("trace: mean packet size %d below minimum frame", cfg.MeanPktSize)
+	}
+	rnd := rand.New(rand.NewSource(cfg.Seed))
+	g := &Generator{
+		cfg:   cfg,
+		rnd:   rnd,
+		zipf:  rand.NewZipf(rnd, cfg.ZipfS, 1, uint64(cfg.Flows-1)),
+		flows: make([]FlowKey, cfg.Flows),
+		seqs:  make([]uint32, cfg.Flows),
+	}
+	for i := range g.flows {
+		g.flows[i] = g.randomFlow()
+	}
+	return g, nil
+}
+
+// randomFlow draws a plausible intra-DC 5-tuple.
+func (g *Generator) randomFlow() FlowKey {
+	f := FlowKey{
+		SrcPort: uint16(g.rnd.Intn(1<<16-1024) + 1024),
+		DstPort: uint16([]int{80, 443, 8080, 3306, 6379, 9092}[g.rnd.Intn(6)]),
+		Proto:   6, // TCP dominates DC traffic
+	}
+	if g.rnd.Float64() < 0.1 {
+		f.Proto = 17
+	}
+	f.SrcIP = [4]byte{10, byte(g.rnd.Intn(4)), byte(g.rnd.Intn(256)), byte(g.rnd.Intn(254) + 1)}
+	f.DstIP = [4]byte{10, byte(g.rnd.Intn(4)), byte(g.rnd.Intn(256)), byte(g.rnd.Intn(254) + 1)}
+	return f
+}
+
+// Flows exposes the flow population (e.g. to pre-register value spaces).
+func (g *Generator) Flows() []FlowKey { return g.flows }
+
+// pktSize draws a bimodal packet size: DC traces show a mass of ACK-sized
+// packets and a mass of MTU-sized packets.
+func (g *Generator) pktSize() int {
+	if g.rnd.Float64() < 0.4 {
+		return 64 + g.rnd.Intn(64)
+	}
+	// Log-normal body around the mean, capped at MTU.
+	s := int(math.Exp(g.rnd.NormFloat64()*0.35) * float64(g.cfg.MeanPktSize))
+	if s < 64 {
+		s = 64
+	}
+	if s > 1500 {
+		s = 1500
+	}
+	return s
+}
+
+// Next produces the next packet of the aggregate stream.
+func (g *Generator) Next() Packet {
+	g.now += uint64(g.rnd.ExpFloat64()*g.cfg.MeanPktGapNs) + 1
+
+	// Service a scheduled retransmission first, if any.
+	if len(g.pendingRetx) > 0 && g.rnd.Float64() < 0.5 {
+		r := g.pendingRetx[0]
+		g.pendingRetx = g.pendingRetx[1:]
+		return Packet{
+			Flow:           g.flows[r.flow],
+			Seq:            r.seq,
+			Size:           r.size,
+			Time:           g.now,
+			Retransmission: true,
+			TimedOut:       r.timeout,
+		}
+	}
+
+	fi := int(g.zipf.Uint64())
+	p := Packet{
+		Flow: g.flows[fi],
+		Seq:  g.seqs[fi],
+		Size: g.pktSize(),
+		Time: g.now,
+	}
+	g.seqs[fi] += uint32(p.Size)
+	if g.rnd.Float64() < g.cfg.FlowletGapProb {
+		p.FlowletStart = true
+	}
+	if g.rnd.Float64() < g.cfg.ReorderProb {
+		p.OutOfOrder = true
+	}
+	if g.rnd.Float64() < g.cfg.LossRate {
+		p.Lost = true
+		g.pendingRetx = append(g.pendingRetx, retx{
+			flow:    fi,
+			seq:     p.Seq,
+			size:    p.Size,
+			timeout: g.rnd.Float64() < g.cfg.TimeoutRate,
+		})
+	}
+	return p
+}
+
+// SwitchRates reproduces Table 1: per-switch telemetry report generation
+// rates for a 6.4 Tbps switch at ~40% load, in reports per second.
+type SwitchRates struct {
+	INTPostcards  float64 // 0.5% sampling of per-hop latency postcards
+	MarpleFlowlet float64
+	MarpleTCPOoS  float64
+	NetSeerLoss   float64
+}
+
+// Table1Rates returns the paper's per-reporter rates.
+func Table1Rates() SwitchRates {
+	return SwitchRates{
+		INTPostcards:  19e6,
+		MarpleFlowlet: 7.2e6,
+		MarpleTCPOoS:  6.7e6,
+		NetSeerLoss:   950e3,
+	}
+}
+
+// PacketsPerSecond estimates the packet rate of a 6.4 Tbps switch at the
+// given utilisation with the given mean packet size: the basis for the
+// Table 1 numbers (e.g. 0.5% INT sampling of ~3.8 Gpps ≈ 19 Mpps).
+func PacketsPerSecond(capacityBps float64, utilisation float64, meanPktSize int) float64 {
+	return capacityBps * utilisation / 8 / float64(meanPktSize)
+}

@@ -1,0 +1,512 @@
+// Package translator implements the DTA translator: the last-hop switch
+// in front of the collector that converts lightweight DTA reports into
+// standard RDMA verbs (Fig. 6 of the paper).
+//
+// The pipeline mirrors the Tofino implementation's stages:
+//
+//	parse → (user traffic: forward) → primitive processing → multicast
+//	redundancy → RoCEv2 crafting → rate limiting → emit
+//
+// Key-Write and Key-Increment hash the key into N slot addresses and
+// replicate the operation N ways (the multicast engine in hardware).
+// Postcarding aggregates postcards in an SRAM cache and emits chunk-sized
+// WRITEs. Append stashes entries and emits batch WRITEs. All primitives
+// share the RDMA crafting logic: per-connection PSN tracking, queue-pair
+// resynchronisation on NAK, and a token-bucket rate limiter that protects
+// the collector NIC during congestion (§5.2); drops can bounce a NACK
+// back to the reporter.
+package translator
+
+import (
+	"errors"
+	"fmt"
+
+	"dta/internal/core/appendlist"
+	"dta/internal/core/keyincrement"
+	"dta/internal/core/keywrite"
+	"dta/internal/core/postcarding"
+	"dta/internal/rdma"
+	"dta/internal/wire"
+)
+
+// Config assembles the translator's per-primitive configuration. Any
+// primitive may be left disabled (nil geometry) to save resources (§6.4).
+type Config struct {
+	// KeyWrite is the Key-Write store geometry, or nil.
+	KeyWrite *keywrite.Config
+	// KeyIncrement is the Key-Increment store geometry, or nil.
+	KeyIncrement *keyincrement.Config
+	// Postcarding is the Postcarding store geometry, or nil.
+	Postcarding *postcarding.Config
+	// PostcardCacheRows sizes the aggregation cache (32K in the paper).
+	PostcardCacheRows int
+	// Append is the Append store geometry, or nil.
+	Append *appendlist.Config
+	// AppendBatch is the Append batching factor (16 in the evaluation;
+	// 1 disables batching).
+	AppendBatch int
+	// PostcardRedundancy is the chunk redundancy N for Postcarding
+	// (0 or 1 = single chunk, as in Fig. 14).
+	PostcardRedundancy int
+	// KIAggregationRows enables translator-side Key-Increment
+	// pre-aggregation (§4 "Extensibility": aggregating counters at the
+	// translator to decrease the collection load): deltas for the same
+	// key accumulate in a small cache and flush as one FETCH&ADD on
+	// eviction. 0 disables; otherwise a power of two.
+	KIAggregationRows int
+	// RateLimit caps emitted RDMA messages per second; 0 disables.
+	RateLimit float64
+	// MaxKWRedundancy caps the redundancy reporters may request.
+	MaxKWRedundancy int
+}
+
+// Stats counts translator activity.
+type Stats struct {
+	Reports       uint64 // DTA reports processed
+	UserPackets   uint64 // non-DTA packets forwarded
+	ParseErrors   uint64
+	RDMAWrites    uint64
+	RDMAAtomics   uint64
+	RateDropped   uint64 // reports dropped by the rate limiter
+	NACKs         uint64 // NACKs bounced to reporters
+	Resyncs       uint64 // queue-pair resynchronisations
+	PostcardEmits uint64
+	AppendFlushes uint64
+	KIAggregated  uint64 // Key-Increment reports absorbed by pre-aggregation
+}
+
+// Translator converts DTA reports into RDMA operations against a
+// collector's advertised memory regions.
+type Translator struct {
+	cfg Config
+
+	req *rdma.Requester
+
+	kwIdx   *keywrite.Indexer
+	kwReg   rdma.RegionInfo
+	kiIdx   *keyincrement.Indexer
+	kiReg   rdma.RegionInfo
+	pcCoder *postcarding.Coder
+	pcCache *postcarding.Cache
+	pcReg   rdma.RegionInfo
+	apBatch *appendlist.Batcher
+	apReg   rdma.RegionInfo
+
+	limiter *tokenBucket
+
+	// thresholdQuery, when installed, pre-processes postcards (§7's
+	// query-enhancing extension).
+	thresholdQuery *ThresholdQuery
+
+	// kiAgg is the optional Key-Increment pre-aggregation cache.
+	kiAgg *kiAggCache
+
+	// Emit delivers a crafted RoCEv2 packet towards the collector. It
+	// is typically Device.Process wrapped by the fabric; acks flow back
+	// through HandleAck.
+	Emit func(pkt []byte)
+
+	// NACK, if non-nil, is invoked with the reporter-visible reason when
+	// a report is dropped by the rate limiter.
+	NACK func(r *wire.Report)
+
+	pktBuf   []byte
+	chunkBuf []byte
+
+	Stats Stats
+}
+
+// tokenBucket is the translator's RDMA rate limiter.
+type tokenBucket struct {
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   uint64 // ns
+}
+
+func (tb *tokenBucket) allow(nowNs uint64, n float64) bool {
+	if tb.rate <= 0 {
+		return true
+	}
+	if nowNs > tb.last {
+		tb.tokens += float64(nowNs-tb.last) * tb.rate / 1e9
+		if tb.tokens > tb.burst {
+			tb.tokens = tb.burst
+		}
+		tb.last = nowNs
+	}
+	if tb.tokens < n {
+		return false
+	}
+	tb.tokens -= n
+	return true
+}
+
+// New builds a translator connected through the given CM listener, which
+// must advertise one region per enabled primitive, labelled "keywrite",
+// "keyincrement", "postcarding" and "append".
+func New(cfg Config, l *rdma.Listener) (*Translator, error) {
+	req, regions, err := rdma.Connect(l, 1000)
+	if err != nil {
+		return nil, err
+	}
+	t := &Translator{
+		cfg:      cfg,
+		req:      req,
+		pktBuf:   make([]byte, 0, 512),
+		chunkBuf: make([]byte, 0, postcarding.MaxHops*postcarding.SlotSize),
+	}
+	if cfg.RateLimit > 0 {
+		t.limiter = &tokenBucket{rate: cfg.RateLimit, burst: cfg.RateLimit / 1000, tokens: cfg.RateLimit / 1000}
+	}
+	if cfg.KeyWrite != nil {
+		t.kwIdx, err = keywrite.NewIndexer(*cfg.KeyWrite)
+		if err != nil {
+			return nil, err
+		}
+		t.kwReg, err = needRegion(regions, "keywrite", uint64(cfg.KeyWrite.BufferSize()))
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.KeyIncrement != nil {
+		t.kiIdx, err = keyincrement.NewIndexer(*cfg.KeyIncrement)
+		if err != nil {
+			return nil, err
+		}
+		t.kiReg, err = needRegion(regions, "keyincrement", uint64(cfg.KeyIncrement.BufferSize()))
+		if err != nil {
+			return nil, err
+		}
+		if rows := cfg.KIAggregationRows; rows > 0 {
+			if rows&(rows-1) != 0 {
+				return nil, fmt.Errorf("translator: KI aggregation rows %d not a power of two", rows)
+			}
+			t.kiAgg = newKIAggCache(rows)
+		}
+	}
+	if cfg.Postcarding != nil {
+		t.pcCoder, err = postcarding.NewCoder(*cfg.Postcarding)
+		if err != nil {
+			return nil, err
+		}
+		rows := cfg.PostcardCacheRows
+		if rows == 0 {
+			rows = 32768
+		}
+		t.pcCache, err = postcarding.NewCache(rows, cfg.Postcarding.Hops)
+		if err != nil {
+			return nil, err
+		}
+		t.pcReg, err = needRegion(regions, "postcarding", uint64(cfg.Postcarding.BufferSize()))
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Append != nil {
+		batch := cfg.AppendBatch
+		if batch == 0 {
+			batch = 1
+		}
+		t.apBatch, err = appendlist.NewBatcher(*cfg.Append, batch)
+		if err != nil {
+			return nil, err
+		}
+		t.apReg, err = needRegion(regions, "append", uint64(cfg.Append.BufferSize()))
+		if err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func needRegion(regions []rdma.RegionInfo, label string, minLen uint64) (rdma.RegionInfo, error) {
+	g, ok := rdma.FindRegion(regions, label)
+	if !ok {
+		return rdma.RegionInfo{}, fmt.Errorf("translator: collector does not advertise %q", label)
+	}
+	if g.Length < minLen {
+		return rdma.RegionInfo{}, fmt.Errorf("translator: region %q is %dB, need %dB", label, g.Length, minLen)
+	}
+	return g, nil
+}
+
+// ErrNotDTA reports a packet that was not addressed to the DTA port; the
+// caller should forward it as user traffic.
+var ErrNotDTA = errors.New("translator: user traffic")
+
+// ProcessFrame parses a full Ethernet frame and processes DTA reports;
+// other traffic only counts as forwarded.
+func (t *Translator) ProcessFrame(frame []byte, nowNs uint64) error {
+	var p wire.ParsedFrame
+	if err := wire.DecodeFrame(frame, &p); err != nil {
+		t.Stats.ParseErrors++
+		return err
+	}
+	if !p.IsDTA {
+		t.Stats.UserPackets++
+		return ErrNotDTA
+	}
+	return t.Process(&p.Report, nowNs)
+}
+
+// Process translates one DTA report into RDMA operations.
+func (t *Translator) Process(r *wire.Report, nowNs uint64) error {
+	t.Stats.Reports++
+	switch r.Header.Primitive {
+	case wire.PrimKeyWrite:
+		return t.keyWrite(r, nowNs)
+	case wire.PrimKeyIncrement:
+		return t.keyIncrement(r, nowNs)
+	case wire.PrimPostcarding:
+		return t.postcard(r, nowNs)
+	case wire.PrimAppend:
+		return t.append(r, nowNs)
+	default:
+		t.Stats.ParseErrors++
+		return fmt.Errorf("translator: unknown primitive %v", r.Header.Primitive)
+	}
+}
+
+// drop handles a rate-limited report.
+func (t *Translator) drop(r *wire.Report) error {
+	t.Stats.RateDropped++
+	if t.NACK != nil {
+		t.Stats.NACKs++
+		t.NACK(r)
+	}
+	return nil
+}
+
+func (t *Translator) immediate(r *wire.Report) *uint32 {
+	if r.Header.Flags&wire.FlagImmediate == 0 {
+		return nil
+	}
+	imm := uint32(r.Header.Primitive)
+	return &imm
+}
+
+func (t *Translator) keyWrite(r *wire.Report, nowNs uint64) error {
+	if t.kwIdx == nil {
+		return errors.New("translator: Key-Write not enabled")
+	}
+	n := int(r.KeyWrite.Redundancy)
+	if max := t.cfg.MaxKWRedundancy; max > 0 && n > max {
+		n = max
+	}
+	if n > keywrite.MaxRedundancy {
+		n = keywrite.MaxRedundancy
+	}
+	if t.limiter != nil && !t.limiter.allow(nowNs, float64(n)) {
+		return t.drop(r)
+	}
+	cfg := t.kwIdx.Config()
+	// Slot image: 4B checksum followed by the (padded) value.
+	var payload [keywrite.ChecksumSize + wire.MaxData]byte
+	csum := t.kwIdx.Checksum(r.KeyWrite.Key)
+	payload[0] = byte(csum >> 24)
+	payload[1] = byte(csum >> 16)
+	payload[2] = byte(csum >> 8)
+	payload[3] = byte(csum)
+	copy(payload[keywrite.ChecksumSize:keywrite.ChecksumSize+cfg.DataSize], r.Data)
+	img := payload[:keywrite.ChecksumSize+cfg.DataSize]
+	// Multicast: one RDMA WRITE per redundancy level.
+	for i := 0; i < n; i++ {
+		slot := t.kwIdx.Slot(i, r.KeyWrite.Key)
+		va := t.kwReg.VA + uint64(t.kwIdx.Offset(slot))
+		pkt := rdma.BuildWrite(t.pktBuf, t.req.DestQP, t.req.NextPSN(), va, t.kwReg.RKey, img, false, t.immediate(r))
+		t.Stats.RDMAWrites++
+		t.Emit(pkt)
+	}
+	return nil
+}
+
+func (t *Translator) keyIncrement(r *wire.Report, nowNs uint64) error {
+	if t.kiIdx == nil {
+		return errors.New("translator: Key-Increment not enabled")
+	}
+	if t.kiAgg != nil {
+		key, delta, red, flushed := t.kiAgg.add(&r.KeyIncrement)
+		if !flushed {
+			t.Stats.KIAggregated++
+			return nil
+		}
+		// An incumbent was evicted: emit its accumulated delta instead.
+		agg := wire.KeyIncrement{Redundancy: red, Key: key, Delta: delta}
+		return t.emitFetchAdds(&agg, nowNs)
+	}
+	return t.emitFetchAdds(&r.KeyIncrement, nowNs)
+}
+
+func (t *Translator) emitFetchAdds(ki *wire.KeyIncrement, nowNs uint64) error {
+	n := int(ki.Redundancy)
+	if n > keyincrement.MaxRedundancy {
+		n = keyincrement.MaxRedundancy
+	}
+	if n > keyincrement.MaxRedundancy {
+		n = keyincrement.MaxRedundancy
+	}
+	if t.limiter != nil && !t.limiter.allow(nowNs, float64(n)) {
+		t.Stats.RateDropped++
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		slot := t.kiIdx.Slot(i, ki.Key)
+		va := t.kiReg.VA + uint64(t.kiIdx.Offset(slot))
+		pkt := rdma.BuildFetchAdd(t.pktBuf, t.req.DestQP, t.req.NextPSN(), va, t.kiReg.RKey, ki.Delta)
+		t.Stats.RDMAAtomics++
+		t.Emit(pkt)
+	}
+	return nil
+}
+
+// FlushKeyIncrements drains the pre-aggregation cache (epoch end).
+func (t *Translator) FlushKeyIncrements(nowNs uint64) error {
+	if t.kiAgg == nil {
+		return nil
+	}
+	for _, e := range t.kiAgg.drain() {
+		e := e
+		if err := t.emitFetchAdds(&e, nowNs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *Translator) postcard(r *wire.Report, nowNs uint64) error {
+	if q := t.thresholdQuery; q != nil {
+		if ev, consumed := q.Offer(&r.Postcard); consumed {
+			if ev == nil {
+				return nil
+			}
+			rep := q.EventReport(ev)
+			return t.append(&rep, nowNs)
+		}
+	}
+	if t.pcCoder == nil {
+		return errors.New("translator: Postcarding not enabled")
+	}
+	emits := t.pcCache.Insert(&r.Postcard)
+	for i := range emits {
+		if err := t.emitChunk(&emits[i], r, nowNs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emitChunk writes one aggregated flow chunk with redundancy N
+// (configured at the store; the paper uses the same N for all flows).
+func (t *Translator) emitChunk(e *postcarding.Emit, r *wire.Report, nowNs uint64) error {
+	t.Stats.PostcardEmits++
+	cfg := t.pcCoder.Config()
+	n := t.cfg.PostcardRedundancy
+	if n < 1 {
+		n = 1
+	}
+	if n > postcarding.MaxRedundancy {
+		n = postcarding.MaxRedundancy
+	}
+	if t.limiter != nil && !t.limiter.allow(nowNs, float64(n)) {
+		return t.drop(r)
+	}
+	// Encode hop-positionally: missing middle hops stay blank so a
+	// query rejects the chunk instead of returning a shifted path.
+	payload := t.pcCoder.EncodeChunkSparse(e.Key, &e.Values, t.chunkBuf)
+	for j := 0; j < n; j++ {
+		chunk := t.pcCoder.Chunk(j, e.Key)
+		va := t.pcReg.VA + uint64(int(chunk)*cfg.ChunkBytes())
+		pkt := rdma.BuildWrite(t.pktBuf, t.req.DestQP, t.req.NextPSN(), va, t.pcReg.RKey, payload, false, t.immediate(r))
+		t.Stats.RDMAWrites++
+		t.Emit(pkt)
+	}
+	return nil
+}
+
+func (t *Translator) append(r *wire.Report, nowNs uint64) error {
+	if t.apBatch == nil {
+		return errors.New("translator: Append not enabled")
+	}
+	f, err := t.apBatch.Append(int(r.Append.ListID), r.Data)
+	if err != nil {
+		return err
+	}
+	if f == nil {
+		return nil
+	}
+	return t.emitAppendFlush(f, r, nowNs)
+}
+
+func (t *Translator) emitAppendFlush(f *appendlist.Flush, r *wire.Report, nowNs uint64) error {
+	if t.limiter != nil && !t.limiter.allow(nowNs, 1) {
+		return t.drop(r)
+	}
+	t.Stats.AppendFlushes++
+	cfg := t.apBatch
+	_ = cfg
+	apCfg := t.cfg.Append
+	va := t.apReg.VA + uint64(f.List*apCfg.ListBytes()+f.Index*apCfg.EntrySize)
+	var imm *uint32
+	if r != nil {
+		imm = t.immediate(r)
+	}
+	pkt := rdma.BuildWrite(t.pktBuf, t.req.DestQP, t.req.NextPSN(), va, t.apReg.RKey, f.Data, false, imm)
+	t.Stats.RDMAWrites++
+	t.Emit(pkt)
+	return nil
+}
+
+// FlushAppend forces out partial Append batches for every list (epoch
+// end). Postcard cache draining is separate (DrainPostcards).
+func (t *Translator) FlushAppend(nowNs uint64) error {
+	if t.apBatch == nil {
+		return nil
+	}
+	for l := 0; l < t.cfg.Append.Lists; l++ {
+		if f := t.apBatch.FlushPartial(l); f != nil {
+			if err := t.emitAppendFlush(f, nil, nowNs); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// DrainPostcards flushes every cached postcard row (epoch end).
+func (t *Translator) DrainPostcards(nowNs uint64) error {
+	if t.pcCache == nil {
+		return nil
+	}
+	for _, e := range t.pcCache.Drain() {
+		e := e
+		if err := t.emitChunk(&e, &wire.Report{}, nowNs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HandleAck feeds an acknowledgement from the collector back into the
+// PSN tracker; NAK-sequence triggers resynchronisation.
+func (t *Translator) HandleAck(pkt []byte) error {
+	var p rdma.Packet
+	if err := rdma.DecodePacket(pkt, &p); err != nil {
+		return err
+	}
+	before := t.req.Resyncs
+	t.req.HandleAck(&p)
+	if t.req.Resyncs != before {
+		t.Stats.Resyncs++
+	}
+	return nil
+}
+
+// PostcardCache exposes the cache for statistics (Fig. 14).
+func (t *Translator) PostcardCache() *postcarding.Cache { return t.pcCache }
+
+// AppendBatcher exposes the batcher for statistics.
+func (t *Translator) AppendBatcher() *appendlist.Batcher { return t.apBatch }
+
+// Requester exposes the PSN tracker (tests and diagnostics).
+func (t *Translator) Requester() *rdma.Requester { return t.req }

@@ -1,0 +1,284 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Port is the UDP destination port DTA reports are addressed to. The
+// translator's parser keys on it to divert reports out of the user-traffic
+// forwarding path.
+const Port = 40050
+
+// Version is the protocol version emitted by this implementation.
+const Version = 1
+
+// Primitive identifies the DTA collection primitive a report invokes.
+type Primitive uint8
+
+// The four primitives of the paper (§4) plus Postcarding.
+const (
+	PrimInvalid      Primitive = 0
+	PrimKeyWrite     Primitive = 1
+	PrimAppend       Primitive = 2
+	PrimKeyIncrement Primitive = 3
+	PrimPostcarding  Primitive = 4
+)
+
+// String names the primitive.
+func (p Primitive) String() string {
+	switch p {
+	case PrimKeyWrite:
+		return "Key-Write"
+	case PrimAppend:
+		return "Append"
+	case PrimKeyIncrement:
+		return "Key-Increment"
+	case PrimPostcarding:
+		return "Postcarding"
+	default:
+		return fmt.Sprintf("Primitive(%d)", uint8(p))
+	}
+}
+
+// Header flags.
+const (
+	// FlagImmediate asks the translator to raise an RDMA-immediate
+	// interrupt at the collector so the CPU learns of the report right
+	// away (§7, "Push notifications").
+	FlagImmediate = 1 << 0
+)
+
+// HeaderLen is the length of the DTA base header.
+const HeaderLen = 4
+
+// Header is the DTA base header that follows UDP: it identifies the
+// protocol version, the primitive (which selects the sub-header that
+// follows), and per-report flags.
+type Header struct {
+	Version   uint8
+	Primitive Primitive
+	Flags     uint8
+	Reserved  uint8
+}
+
+// Decode parses the base header from b.
+func (h *Header) Decode(b []byte) (int, error) {
+	if len(b) < HeaderLen {
+		return 0, ErrTruncated
+	}
+	h.Version = b[0]
+	if h.Version != Version {
+		return 0, ErrBadVersion
+	}
+	h.Primitive = Primitive(b[1])
+	h.Flags = b[2]
+	h.Reserved = b[3]
+	return HeaderLen, nil
+}
+
+// SerializeTo writes the base header into b.
+func (h *Header) SerializeTo(b []byte) int {
+	b[0] = h.Version
+	b[1] = uint8(h.Primitive)
+	b[2] = h.Flags
+	b[3] = h.Reserved
+	return HeaderLen
+}
+
+// KeySize is the fixed width of DTA telemetry keys. Sixteen bytes covers
+// the largest keys used by the monitoring systems in Table 2 (an IPv4 flow
+// 5-tuple is 13 bytes; <switchID, 5-tuple> fits with packing).
+const KeySize = 16
+
+// Key is a fixed-width telemetry key. Reporters pack their native key
+// (5-tuple, source IP, query ID, ...) into it; shorter keys are
+// zero-padded.
+type Key [KeySize]byte
+
+// KeyFromUint64 packs a 64-bit scalar key.
+func KeyFromUint64(v uint64) Key {
+	var k Key
+	binary.BigEndian.PutUint64(k[:8], v)
+	return k
+}
+
+// Uint64 reads back the scalar packed by KeyFromUint64.
+func (k Key) Uint64() uint64 { return binary.BigEndian.Uint64(k[:8]) }
+
+// FiveTuple packs an IPv4 flow 5-tuple into a Key.
+func FiveTuple(srcIP, dstIP [4]byte, srcPort, dstPort uint16, proto uint8) Key {
+	var k Key
+	copy(k[0:4], srcIP[:])
+	copy(k[4:8], dstIP[:])
+	binary.BigEndian.PutUint16(k[8:10], srcPort)
+	binary.BigEndian.PutUint16(k[10:12], dstPort)
+	k[12] = proto
+	return k
+}
+
+// MaxData is the largest telemetry payload a single Key-Write or Append
+// report may carry. It comfortably covers the report sizes of Table 2
+// (largest: 20B INT-MD 5-hop path).
+const MaxData = 64
+
+// KeyWriteLen is the length of the Key-Write sub-header.
+const KeyWriteLen = 4 + KeySize
+
+// KeyWrite is the Key-Write sub-header: store Data under Key with
+// N-way redundancy. Data of DataLen bytes follows the sub-header.
+type KeyWrite struct {
+	Redundancy uint8 // N: number of slots written
+	Reserved   uint8
+	DataLen    uint16
+	Key        Key
+}
+
+// Decode parses the sub-header and returns the trailing data view.
+func (h *KeyWrite) Decode(b []byte) (data []byte, err error) {
+	if len(b) < KeyWriteLen {
+		return nil, ErrTruncated
+	}
+	h.Redundancy = b[0]
+	h.Reserved = b[1]
+	h.DataLen = binary.BigEndian.Uint16(b[2:4])
+	copy(h.Key[:], b[4:4+KeySize])
+	if h.Redundancy == 0 {
+		return nil, fmt.Errorf("wire: key-write redundancy 0")
+	}
+	if int(h.DataLen) > MaxData {
+		return nil, fmt.Errorf("wire: key-write data %dB exceeds max %d", h.DataLen, MaxData)
+	}
+	if len(b) < KeyWriteLen+int(h.DataLen) {
+		return nil, ErrTruncated
+	}
+	return b[KeyWriteLen : KeyWriteLen+int(h.DataLen)], nil
+}
+
+// SerializeTo writes the sub-header followed by data, returning bytes
+// written. h.DataLen is set from len(data).
+func (h *KeyWrite) SerializeTo(b []byte, data []byte) int {
+	h.DataLen = uint16(len(data))
+	b[0] = h.Redundancy
+	b[1] = h.Reserved
+	binary.BigEndian.PutUint16(b[2:4], h.DataLen)
+	copy(b[4:4+KeySize], h.Key[:])
+	copy(b[KeyWriteLen:], data)
+	return KeyWriteLen + len(data)
+}
+
+// AppendLen is the length of the Append sub-header.
+const AppendLen = 8
+
+// Append is the Append sub-header: add Data to the tail of list ListID.
+// Data of DataLen bytes follows the sub-header.
+type Append struct {
+	ListID   uint32
+	DataLen  uint16
+	Reserved uint16
+}
+
+// Decode parses the sub-header and returns the trailing data view.
+func (h *Append) Decode(b []byte) (data []byte, err error) {
+	if len(b) < AppendLen {
+		return nil, ErrTruncated
+	}
+	h.ListID = binary.BigEndian.Uint32(b[0:4])
+	h.DataLen = binary.BigEndian.Uint16(b[4:6])
+	h.Reserved = binary.BigEndian.Uint16(b[6:8])
+	if h.DataLen == 0 || int(h.DataLen) > MaxData {
+		return nil, fmt.Errorf("wire: append data %dB out of range (1,%d]", h.DataLen, MaxData)
+	}
+	if len(b) < AppendLen+int(h.DataLen) {
+		return nil, ErrTruncated
+	}
+	return b[AppendLen : AppendLen+int(h.DataLen)], nil
+}
+
+// SerializeTo writes the sub-header followed by data, returning bytes
+// written. h.DataLen is set from len(data).
+func (h *Append) SerializeTo(b []byte, data []byte) int {
+	h.DataLen = uint16(len(data))
+	binary.BigEndian.PutUint32(b[0:4], h.ListID)
+	binary.BigEndian.PutUint16(b[4:6], h.DataLen)
+	binary.BigEndian.PutUint16(b[6:8], h.Reserved)
+	copy(b[AppendLen:], data)
+	return AppendLen + len(data)
+}
+
+// KeyIncrementLen is the length of the Key-Increment sub-header.
+const KeyIncrementLen = 4 + KeySize + 8
+
+// KeyIncrement is the Key-Increment sub-header: add Delta to the counter
+// stored under Key with N-way redundancy (Count-Min semantics).
+type KeyIncrement struct {
+	Redundancy uint8
+	Reserved   [3]uint8
+	Key        Key
+	Delta      uint64
+}
+
+// Decode parses the sub-header.
+func (h *KeyIncrement) Decode(b []byte) (int, error) {
+	if len(b) < KeyIncrementLen {
+		return 0, ErrTruncated
+	}
+	h.Redundancy = b[0]
+	copy(h.Reserved[:], b[1:4])
+	copy(h.Key[:], b[4:4+KeySize])
+	h.Delta = binary.BigEndian.Uint64(b[4+KeySize:])
+	if h.Redundancy == 0 {
+		return 0, fmt.Errorf("wire: key-increment redundancy 0")
+	}
+	return KeyIncrementLen, nil
+}
+
+// SerializeTo writes the sub-header into b.
+func (h *KeyIncrement) SerializeTo(b []byte) int {
+	b[0] = h.Redundancy
+	copy(b[1:4], h.Reserved[:])
+	copy(b[4:4+KeySize], h.Key[:])
+	binary.BigEndian.PutUint64(b[4+KeySize:], h.Delta)
+	return KeyIncrementLen
+}
+
+// PostcardLen is the length of the Postcarding sub-header.
+const PostcardLen = KeySize + 8
+
+// Postcard is the Postcarding sub-header: hop Hop of the packet/flow
+// identified by Key observed Value. PathLen, filled by egress switches,
+// lets the translator flush a chunk before all B postcards arrive when the
+// path is shorter (§4).
+type Postcard struct {
+	Key      Key
+	Hop      uint8
+	PathLen  uint8
+	Reserved uint16
+	Value    uint32
+}
+
+// Decode parses the sub-header.
+func (h *Postcard) Decode(b []byte) (int, error) {
+	if len(b) < PostcardLen {
+		return 0, ErrTruncated
+	}
+	copy(h.Key[:], b[0:KeySize])
+	h.Hop = b[KeySize]
+	h.PathLen = b[KeySize+1]
+	h.Reserved = binary.BigEndian.Uint16(b[KeySize+2 : KeySize+4])
+	h.Value = binary.BigEndian.Uint32(b[KeySize+4 : KeySize+8])
+	if h.PathLen != 0 && h.Hop >= h.PathLen {
+		return 0, fmt.Errorf("wire: postcard hop %d outside path of length %d", h.Hop, h.PathLen)
+	}
+	return PostcardLen, nil
+}
+
+// SerializeTo writes the sub-header into b.
+func (h *Postcard) SerializeTo(b []byte) int {
+	copy(b[0:KeySize], h.Key[:])
+	b[KeySize] = h.Hop
+	b[KeySize+1] = h.PathLen
+	binary.BigEndian.PutUint16(b[KeySize+2:KeySize+4], h.Reserved)
+	binary.BigEndian.PutUint32(b[KeySize+4:KeySize+8], h.Value)
+	return PostcardLen
+}

@@ -1,0 +1,179 @@
+// Package wire implements the packet formats DTA puts on the wire:
+// Ethernet, IPv4 and UDP carriers plus the DTA base header and the four
+// primitive sub-headers (Fig. 4 of the paper).
+//
+// Decoding is zero-copy in the style of gopacket's DecodingLayer: a header
+// struct is overwritten in place from a byte slice and variable-length
+// payloads are returned as sub-slices of the input. Serialization writes
+// into a caller-provided buffer so the reporter fast path performs no
+// allocation per packet.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Errors shared by the decoders.
+var (
+	ErrTruncated   = errors.New("wire: truncated packet")
+	ErrBadVersion  = errors.New("wire: unsupported version")
+	ErrBadChecksum = errors.New("wire: bad checksum")
+)
+
+// EtherTypeIPv4 is the Ethernet type for IPv4.
+const EtherTypeIPv4 = 0x0800
+
+// EthernetLen is the length of an Ethernet II header.
+const EthernetLen = 14
+
+// Ethernet is an Ethernet II header.
+type Ethernet struct {
+	Dst       [6]byte
+	Src       [6]byte
+	EtherType uint16
+}
+
+// Decode parses an Ethernet header from b, returning the bytes consumed.
+func (h *Ethernet) Decode(b []byte) (int, error) {
+	if len(b) < EthernetLen {
+		return 0, ErrTruncated
+	}
+	copy(h.Dst[:], b[0:6])
+	copy(h.Src[:], b[6:12])
+	h.EtherType = binary.BigEndian.Uint16(b[12:14])
+	return EthernetLen, nil
+}
+
+// SerializeTo writes the header into b, returning the bytes written.
+// b must have room for EthernetLen bytes.
+func (h *Ethernet) SerializeTo(b []byte) int {
+	copy(b[0:6], h.Dst[:])
+	copy(b[6:12], h.Src[:])
+	binary.BigEndian.PutUint16(b[12:14], h.EtherType)
+	return EthernetLen
+}
+
+// IPv4Len is the length of an IPv4 header without options.
+const IPv4Len = 20
+
+// ProtoUDP is the IPv4 protocol number for UDP.
+const ProtoUDP = 17
+
+// IPv4 is an IPv4 header without options.
+type IPv4 struct {
+	TOS      uint8
+	TotalLen uint16
+	ID       uint16
+	Flags    uint8 // upper 3 bits of the fragment word
+	FragOff  uint16
+	TTL      uint8
+	Protocol uint8
+	Checksum uint16
+	Src      [4]byte
+	Dst      [4]byte
+}
+
+// Decode parses an IPv4 header from b. Options are rejected (the DTA data
+// plane never emits them), and the header checksum is verified.
+func (h *IPv4) Decode(b []byte) (int, error) {
+	if len(b) < IPv4Len {
+		return 0, ErrTruncated
+	}
+	vihl := b[0]
+	if vihl>>4 != 4 {
+		return 0, ErrBadVersion
+	}
+	ihl := int(vihl&0x0f) * 4
+	if ihl != IPv4Len {
+		return 0, fmt.Errorf("wire: IPv4 options unsupported (ihl=%d)", ihl)
+	}
+	if Checksum16(b[:IPv4Len]) != 0 {
+		return 0, ErrBadChecksum
+	}
+	h.TOS = b[1]
+	h.TotalLen = binary.BigEndian.Uint16(b[2:4])
+	h.ID = binary.BigEndian.Uint16(b[4:6])
+	frag := binary.BigEndian.Uint16(b[6:8])
+	h.Flags = uint8(frag >> 13)
+	h.FragOff = frag & 0x1fff
+	h.TTL = b[8]
+	h.Protocol = b[9]
+	h.Checksum = binary.BigEndian.Uint16(b[10:12])
+	copy(h.Src[:], b[12:16])
+	copy(h.Dst[:], b[16:20])
+	return IPv4Len, nil
+}
+
+// SerializeTo writes the header into b with a freshly computed checksum,
+// returning the bytes written. TotalLen must already be set by the caller.
+func (h *IPv4) SerializeTo(b []byte) int {
+	b[0] = 4<<4 | 5
+	b[1] = h.TOS
+	binary.BigEndian.PutUint16(b[2:4], h.TotalLen)
+	binary.BigEndian.PutUint16(b[4:6], h.ID)
+	binary.BigEndian.PutUint16(b[6:8], uint16(h.Flags)<<13|h.FragOff&0x1fff)
+	b[8] = h.TTL
+	b[9] = h.Protocol
+	b[10], b[11] = 0, 0
+	copy(b[12:16], h.Src[:])
+	copy(b[16:20], h.Dst[:])
+	cs := Checksum16(b[:IPv4Len])
+	binary.BigEndian.PutUint16(b[10:12], cs)
+	h.Checksum = cs
+	return IPv4Len
+}
+
+// UDPLen is the length of a UDP header.
+const UDPLen = 8
+
+// UDP is a UDP header. DTA, like many telemetry reporting planes, sets the
+// UDP checksum to zero (legal for IPv4) to spare switch pipelines the
+// payload pass.
+type UDP struct {
+	SrcPort uint16
+	DstPort uint16
+	Length  uint16
+}
+
+// Decode parses a UDP header from b.
+func (h *UDP) Decode(b []byte) (int, error) {
+	if len(b) < UDPLen {
+		return 0, ErrTruncated
+	}
+	h.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	h.DstPort = binary.BigEndian.Uint16(b[2:4])
+	h.Length = binary.BigEndian.Uint16(b[4:6])
+	if int(h.Length) < UDPLen {
+		return 0, fmt.Errorf("wire: UDP length %d below header size", h.Length)
+	}
+	return UDPLen, nil
+}
+
+// SerializeTo writes the header into b with a zero checksum, returning the
+// bytes written. Length must already be set by the caller.
+func (h *UDP) SerializeTo(b []byte) int {
+	binary.BigEndian.PutUint16(b[0:2], h.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], h.DstPort)
+	binary.BigEndian.PutUint16(b[4:6], h.Length)
+	b[6], b[7] = 0, 0
+	return UDPLen
+}
+
+// Checksum16 computes the ones-complement Internet checksum over b.
+// Checksumming a buffer that embeds a correct checksum yields zero.
+func Checksum16(b []byte) uint16 {
+	var sum uint32
+	for len(b) >= 2 {
+		sum += uint32(binary.BigEndian.Uint16(b))
+		b = b[2:]
+	}
+	if len(b) == 1 {
+		sum += uint32(b[0]) << 8
+	}
+	for sum > 0xffff {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}

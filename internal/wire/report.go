@@ -1,0 +1,149 @@
+package wire
+
+import "fmt"
+
+// Report is a fully parsed DTA report: the base header plus exactly one
+// primitive sub-header. Data aliases the input buffer for Key-Write and
+// Append reports; callers that retain it past the packet's lifetime must
+// copy it.
+type Report struct {
+	Header       Header
+	KeyWrite     KeyWrite
+	Append       Append
+	KeyIncrement KeyIncrement
+	Postcard     Postcard
+	Data         []byte
+}
+
+// MaxReportLen is an upper bound on a serialized report including
+// Ethernet, IPv4 and UDP carriers.
+const MaxReportLen = EthernetLen + IPv4Len + UDPLen + HeaderLen + KeyIncrementLen + MaxData
+
+// DecodeReport parses the DTA portion of a packet (everything after UDP)
+// into r. It is the translator's ingress parser.
+func DecodeReport(b []byte, r *Report) error {
+	n, err := r.Header.Decode(b)
+	if err != nil {
+		return err
+	}
+	body := b[n:]
+	switch r.Header.Primitive {
+	case PrimKeyWrite:
+		r.Data, err = r.KeyWrite.Decode(body)
+	case PrimAppend:
+		r.Data, err = r.Append.Decode(body)
+	case PrimKeyIncrement:
+		_, err = r.KeyIncrement.Decode(body)
+		r.Data = nil
+	case PrimPostcarding:
+		_, err = r.Postcard.Decode(body)
+		r.Data = nil
+	default:
+		return fmt.Errorf("wire: unknown primitive %v", r.Header.Primitive)
+	}
+	return err
+}
+
+// SerializeReport writes the DTA portion of r into b and returns the bytes
+// written. r.Header.Primitive selects the sub-header; r.Data supplies the
+// payload for Key-Write and Append.
+func SerializeReport(b []byte, r *Report) (int, error) {
+	n := r.Header.SerializeTo(b)
+	switch r.Header.Primitive {
+	case PrimKeyWrite:
+		n += r.KeyWrite.SerializeTo(b[n:], r.Data)
+	case PrimAppend:
+		n += r.Append.SerializeTo(b[n:], r.Data)
+	case PrimKeyIncrement:
+		n += r.KeyIncrement.SerializeTo(b[n:])
+	case PrimPostcarding:
+		n += r.Postcard.SerializeTo(b[n:])
+	default:
+		return 0, fmt.Errorf("wire: unknown primitive %v", r.Header.Primitive)
+	}
+	return n, nil
+}
+
+// Frame carries the addressing a reporter stamps on an outgoing report.
+type Frame struct {
+	SrcMAC, DstMAC [6]byte
+	SrcIP, DstIP   [4]byte
+	SrcPort        uint16
+	TTL            uint8
+	IPID           uint16
+}
+
+// SerializeFrame writes a complete Ethernet/IPv4/UDP/DTA packet into b,
+// returning the total length. b must have room for MaxReportLen bytes.
+func SerializeFrame(b []byte, f *Frame, r *Report) (int, error) {
+	const l2 = EthernetLen
+	const l3 = EthernetLen + IPv4Len
+	const l4 = EthernetLen + IPv4Len + UDPLen
+	dtaLen, err := SerializeReport(b[l4:], r)
+	if err != nil {
+		return 0, err
+	}
+	eth := Ethernet{Dst: f.DstMAC, Src: f.SrcMAC, EtherType: EtherTypeIPv4}
+	eth.SerializeTo(b)
+	ttl := f.TTL
+	if ttl == 0 {
+		ttl = 64
+	}
+	ip := IPv4{
+		TotalLen: uint16(IPv4Len + UDPLen + dtaLen),
+		ID:       f.IPID,
+		TTL:      ttl,
+		Protocol: ProtoUDP,
+		Src:      f.SrcIP,
+		Dst:      f.DstIP,
+	}
+	ip.SerializeTo(b[l2:])
+	udp := UDP{SrcPort: f.SrcPort, DstPort: Port, Length: uint16(UDPLen + dtaLen)}
+	udp.SerializeTo(b[l3:])
+	return l4 + dtaLen, nil
+}
+
+// ParsedFrame is the result of decoding a full packet off the wire.
+type ParsedFrame struct {
+	Eth    Ethernet
+	IP     IPv4
+	UDP    UDP
+	Report Report
+	// IsDTA reports whether the packet was addressed to the DTA port.
+	// Non-DTA packets are user traffic the translator forwards untouched.
+	IsDTA bool
+}
+
+// DecodeFrame parses a complete Ethernet/IPv4/UDP packet. Packets not
+// addressed to the DTA UDP port are classified as user traffic
+// (IsDTA=false) without error.
+func DecodeFrame(b []byte, p *ParsedFrame) error {
+	n, err := p.Eth.Decode(b)
+	if err != nil {
+		return err
+	}
+	if p.Eth.EtherType != EtherTypeIPv4 {
+		p.IsDTA = false
+		return nil
+	}
+	m, err := p.IP.Decode(b[n:])
+	if err != nil {
+		return err
+	}
+	n += m
+	if p.IP.Protocol != ProtoUDP {
+		p.IsDTA = false
+		return nil
+	}
+	m, err = p.UDP.Decode(b[n:])
+	if err != nil {
+		return err
+	}
+	n += m
+	if p.UDP.DstPort != Port {
+		p.IsDTA = false
+		return nil
+	}
+	p.IsDTA = true
+	return DecodeReport(b[n:], &p.Report)
+}

@@ -1,0 +1,442 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEthernetRoundTrip(t *testing.T) {
+	in := Ethernet{
+		Dst:       [6]byte{0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff},
+		Src:       [6]byte{1, 2, 3, 4, 5, 6},
+		EtherType: EtherTypeIPv4,
+	}
+	var buf [EthernetLen]byte
+	if n := in.SerializeTo(buf[:]); n != EthernetLen {
+		t.Fatalf("SerializeTo = %d", n)
+	}
+	var out Ethernet
+	if _, err := out.Decode(buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip: got %+v want %+v", out, in)
+	}
+}
+
+func TestEthernetTruncated(t *testing.T) {
+	var h Ethernet
+	if _, err := h.Decode(make([]byte, EthernetLen-1)); err != ErrTruncated {
+		t.Errorf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestIPv4RoundTripAndChecksum(t *testing.T) {
+	in := IPv4{
+		TOS: 0x10, TotalLen: 100, ID: 7, Flags: 2, FragOff: 0,
+		TTL: 61, Protocol: ProtoUDP,
+		Src: [4]byte{10, 0, 0, 1}, Dst: [4]byte{10, 0, 0, 2},
+	}
+	var buf [IPv4Len]byte
+	in.SerializeTo(buf[:])
+	if Checksum16(buf[:]) != 0 {
+		t.Error("serialized header fails checksum self-verification")
+	}
+	var out IPv4
+	if _, err := out.Decode(buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip: got %+v want %+v", out, in)
+	}
+}
+
+func TestIPv4RejectsCorruption(t *testing.T) {
+	in := IPv4{TotalLen: 40, TTL: 64, Protocol: ProtoUDP}
+	var buf [IPv4Len]byte
+	in.SerializeTo(buf[:])
+	for i := 0; i < IPv4Len; i++ {
+		corrupt := buf
+		corrupt[i] ^= 0x40
+		var out IPv4
+		if _, err := out.Decode(corrupt[:]); err == nil {
+			// Flipping a bit must fail checksum (or version) checks.
+			t.Errorf("corruption at byte %d went undetected", i)
+		}
+	}
+}
+
+func TestIPv4RejectsOptions(t *testing.T) {
+	var buf [24]byte
+	buf[0] = 4<<4 | 6 // ihl=6 → 24B header
+	cs := Checksum16(buf[:24])
+	binary.BigEndian.PutUint16(buf[10:12], cs)
+	var h IPv4
+	if _, err := h.Decode(buf[:]); err == nil {
+		t.Error("header with options accepted")
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	in := UDP{SrcPort: 5555, DstPort: Port, Length: 52}
+	var buf [UDPLen]byte
+	in.SerializeTo(buf[:])
+	var out UDP
+	if _, err := out.Decode(buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip: got %+v want %+v", out, in)
+	}
+}
+
+func TestUDPBadLength(t *testing.T) {
+	var buf [UDPLen]byte
+	binary.BigEndian.PutUint16(buf[4:6], 3) // below header size
+	var h UDP
+	if _, err := h.Decode(buf[:]); err == nil {
+		t.Error("undersized UDP length accepted")
+	}
+}
+
+func TestChecksum16KnownVector(t *testing.T) {
+	// RFC 1071 example: checksum of 00 01 f2 03 f4 f5 f6 f7 is 0x220d.
+	b := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum16(b); got != 0x220d {
+		t.Errorf("Checksum16 = %#x, want 0x220d", got)
+	}
+}
+
+func TestChecksum16OddLength(t *testing.T) {
+	// Odd-length buffers are padded with a zero byte.
+	even := Checksum16([]byte{0xab, 0x00})
+	odd := Checksum16([]byte{0xab})
+	if even != odd {
+		t.Errorf("odd-length pad mismatch: %#x vs %#x", odd, even)
+	}
+}
+
+func TestKeyPacking(t *testing.T) {
+	k := KeyFromUint64(0xdeadbeefcafef00d)
+	if k.Uint64() != 0xdeadbeefcafef00d {
+		t.Error("KeyFromUint64 round trip failed")
+	}
+	ft := FiveTuple([4]byte{10, 0, 0, 1}, [4]byte{10, 0, 0, 2}, 80, 443, 6)
+	if ft[0] != 10 || ft[12] != 6 || binary.BigEndian.Uint16(ft[8:10]) != 80 {
+		t.Errorf("FiveTuple layout wrong: %v", ft)
+	}
+	if ft[13] != 0 || ft[14] != 0 || ft[15] != 0 {
+		t.Error("FiveTuple padding not zero")
+	}
+}
+
+func TestKeyWriteRoundTrip(t *testing.T) {
+	data := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	in := KeyWrite{Redundancy: 2, Key: KeyFromUint64(42)}
+	buf := make([]byte, KeyWriteLen+len(data))
+	in.SerializeTo(buf, data)
+	var out KeyWrite
+	got, err := out.Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("header: got %+v want %+v", out, in)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("data: got %v want %v", got, data)
+	}
+}
+
+func TestKeyWriteValidation(t *testing.T) {
+	var h KeyWrite
+	// Zero redundancy.
+	buf := make([]byte, KeyWriteLen)
+	if _, err := h.Decode(buf); err == nil {
+		t.Error("redundancy 0 accepted")
+	}
+	// Oversized data.
+	buf[0] = 1
+	binary.BigEndian.PutUint16(buf[2:4], MaxData+1)
+	if _, err := h.Decode(buf); err == nil {
+		t.Error("oversized data accepted")
+	}
+	// Declared data longer than the buffer.
+	binary.BigEndian.PutUint16(buf[2:4], 8)
+	if _, err := h.Decode(buf); err != ErrTruncated {
+		t.Error("truncated data accepted")
+	}
+}
+
+func TestAppendRoundTrip(t *testing.T) {
+	data := []byte{9, 9, 9, 9}
+	in := Append{ListID: 131071}
+	buf := make([]byte, AppendLen+len(data))
+	in.SerializeTo(buf, data)
+	var out Append
+	got, err := out.Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ListID != in.ListID || out.DataLen != 4 {
+		t.Errorf("header: got %+v", out)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("data: got %v want %v", got, data)
+	}
+}
+
+func TestAppendRejectsEmptyData(t *testing.T) {
+	buf := make([]byte, AppendLen)
+	var h Append
+	if _, err := h.Decode(buf); err == nil {
+		t.Error("zero-length append accepted")
+	}
+}
+
+func TestKeyIncrementRoundTrip(t *testing.T) {
+	in := KeyIncrement{Redundancy: 3, Key: KeyFromUint64(7), Delta: 1 << 40}
+	buf := make([]byte, KeyIncrementLen)
+	in.SerializeTo(buf)
+	var out KeyIncrement
+	if _, err := out.Decode(buf); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip: got %+v want %+v", out, in)
+	}
+}
+
+func TestPostcardRoundTrip(t *testing.T) {
+	in := Postcard{Key: KeyFromUint64(99), Hop: 2, PathLen: 5, Value: 0xabcd}
+	buf := make([]byte, PostcardLen)
+	in.SerializeTo(buf)
+	var out Postcard
+	if _, err := out.Decode(buf); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip: got %+v want %+v", out, in)
+	}
+}
+
+func TestPostcardHopOutsidePath(t *testing.T) {
+	in := Postcard{Hop: 5, PathLen: 5}
+	buf := make([]byte, PostcardLen)
+	in.SerializeTo(buf)
+	var out Postcard
+	if _, err := out.Decode(buf); err == nil {
+		t.Error("hop >= pathLen accepted")
+	}
+}
+
+func TestReportRoundTripQuick(t *testing.T) {
+	f := func(prim uint8, key uint64, n uint8, payload []byte) bool {
+		p := Primitive(prim%4) + 1
+		if len(payload) > MaxData {
+			payload = payload[:MaxData]
+		}
+		if len(payload) == 0 {
+			payload = []byte{0}
+		}
+		in := Report{Header: Header{Version: Version, Primitive: p}}
+		switch p {
+		case PrimKeyWrite:
+			in.KeyWrite = KeyWrite{Redundancy: n%4 + 1, Key: KeyFromUint64(key)}
+			in.Data = payload
+		case PrimAppend:
+			in.Append = Append{ListID: uint32(key)}
+			in.Data = payload
+		case PrimKeyIncrement:
+			in.KeyIncrement = KeyIncrement{Redundancy: n%4 + 1, Key: KeyFromUint64(key), Delta: key}
+		case PrimPostcarding:
+			in.Postcard = Postcard{Key: KeyFromUint64(key), Hop: n % 5, PathLen: 5, Value: uint32(key)}
+		}
+		buf := make([]byte, MaxReportLen)
+		sz, err := SerializeReport(buf, &in)
+		if err != nil {
+			return false
+		}
+		var out Report
+		if err := DecodeReport(buf[:sz], &out); err != nil {
+			return false
+		}
+		if out.Header != in.Header {
+			return false
+		}
+		switch p {
+		case PrimKeyWrite:
+			return out.KeyWrite.Key == in.KeyWrite.Key && bytes.Equal(out.Data, payload)
+		case PrimAppend:
+			return out.Append.ListID == in.Append.ListID && bytes.Equal(out.Data, payload)
+		case PrimKeyIncrement:
+			return out.KeyIncrement == in.KeyIncrement
+		case PrimPostcarding:
+			return out.Postcard == in.Postcard
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeReportUnknownPrimitive(t *testing.T) {
+	buf := []byte{Version, 99, 0, 0}
+	var r Report
+	if err := DecodeReport(buf, &r); err == nil {
+		t.Error("unknown primitive accepted")
+	}
+}
+
+func TestDecodeReportBadVersion(t *testing.T) {
+	buf := []byte{Version + 1, 1, 0, 0}
+	var r Report
+	if err := DecodeReport(buf, &r); err != ErrBadVersion {
+		t.Errorf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	r := Report{
+		Header:   Header{Version: Version, Primitive: PrimKeyWrite, Flags: FlagImmediate},
+		KeyWrite: KeyWrite{Redundancy: 2, Key: KeyFromUint64(1234)},
+		Data:     []byte{0xde, 0xad, 0xbe, 0xef},
+	}
+	f := Frame{
+		SrcMAC: [6]byte{2, 0, 0, 0, 0, 1}, DstMAC: [6]byte{2, 0, 0, 0, 0, 2},
+		SrcIP: [4]byte{10, 1, 0, 1}, DstIP: [4]byte{10, 9, 0, 1},
+		SrcPort: 3333,
+	}
+	buf := make([]byte, MaxReportLen)
+	n, err := SerializeFrame(buf, &f, &r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p ParsedFrame
+	if err := DecodeFrame(buf[:n], &p); err != nil {
+		t.Fatal(err)
+	}
+	if !p.IsDTA {
+		t.Fatal("frame not classified as DTA")
+	}
+	if p.Report.KeyWrite.Key != r.KeyWrite.Key || !bytes.Equal(p.Report.Data, r.Data) {
+		t.Errorf("report mismatch: %+v", p.Report)
+	}
+	if p.IP.Dst != f.DstIP || p.UDP.DstPort != Port {
+		t.Errorf("addressing mismatch: %+v %+v", p.IP, p.UDP)
+	}
+	if p.Report.Header.Flags&FlagImmediate == 0 {
+		t.Error("immediate flag lost")
+	}
+}
+
+func TestDecodeFrameUserTraffic(t *testing.T) {
+	// A UDP packet to another port is user traffic, not an error.
+	r := Report{
+		Header: Header{Version: Version, Primitive: PrimAppend},
+		Append: Append{ListID: 1}, Data: []byte{1},
+	}
+	f := Frame{SrcIP: [4]byte{1, 2, 3, 4}, DstIP: [4]byte{5, 6, 7, 8}}
+	buf := make([]byte, MaxReportLen)
+	n, err := SerializeFrame(buf, &f, &r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the UDP destination port and re-checksum nothing (UDP csum 0).
+	binary.BigEndian.PutUint16(buf[EthernetLen+IPv4Len+2:], 53)
+	var p ParsedFrame
+	if err := DecodeFrame(buf[:n], &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.IsDTA {
+		t.Error("user traffic classified as DTA")
+	}
+}
+
+func TestSerializeReportUnknownPrimitive(t *testing.T) {
+	r := Report{Header: Header{Version: Version, Primitive: 77}}
+	if _, err := SerializeReport(make([]byte, 64), &r); err == nil {
+		t.Error("unknown primitive serialized")
+	}
+}
+
+func TestDecodeFrameZeroAlloc(t *testing.T) {
+	r := Report{
+		Header:   Header{Version: Version, Primitive: PrimPostcarding},
+		Postcard: Postcard{Key: KeyFromUint64(5), Hop: 1, PathLen: 5, Value: 7},
+	}
+	f := Frame{}
+	buf := make([]byte, MaxReportLen)
+	n, _ := SerializeFrame(buf, &f, &r)
+	var p ParsedFrame
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := DecodeFrame(buf[:n], &p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("DecodeFrame allocates %v times per packet", allocs)
+	}
+}
+
+func BenchmarkSerializeFrameKeyWrite(b *testing.B) {
+	r := Report{
+		Header:   Header{Version: Version, Primitive: PrimKeyWrite},
+		KeyWrite: KeyWrite{Redundancy: 2, Key: KeyFromUint64(1)},
+		Data:     make([]byte, 20),
+	}
+	f := Frame{}
+	buf := make([]byte, MaxReportLen)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.KeyWrite.Key = KeyFromUint64(uint64(i))
+		if _, err := SerializeFrame(buf, &f, &r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeFrame(b *testing.B) {
+	r := Report{
+		Header:   Header{Version: Version, Primitive: PrimKeyWrite},
+		KeyWrite: KeyWrite{Redundancy: 2, Key: KeyFromUint64(1)},
+		Data:     make([]byte, 20),
+	}
+	f := Frame{}
+	buf := make([]byte, MaxReportLen)
+	n, _ := SerializeFrame(buf, &f, &r)
+	var p ParsedFrame
+	b.ReportAllocs()
+	b.SetBytes(int64(n))
+	for i := 0; i < b.N; i++ {
+		if err := DecodeFrame(buf[:n], &p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestFuzzishDecodeReportNoPanic(t *testing.T) {
+	rnd := rand.New(rand.NewSource(99))
+	var r Report
+	buf := make([]byte, 96)
+	for i := 0; i < 20000; i++ {
+		n := rnd.Intn(len(buf))
+		rnd.Read(buf[:n])
+		_ = DecodeReport(buf[:n], &r) // must not panic
+	}
+}
+
+func TestFuzzishDecodeFrameNoPanic(t *testing.T) {
+	rnd := rand.New(rand.NewSource(100))
+	var p ParsedFrame
+	buf := make([]byte, 128)
+	for i := 0; i < 20000; i++ {
+		n := rnd.Intn(len(buf))
+		rnd.Read(buf[:n])
+		_ = DecodeFrame(buf[:n], &p) // must not panic
+	}
+}
