@@ -7,6 +7,7 @@ package dta_test
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"dta"
@@ -290,6 +291,86 @@ func BenchmarkIntegration_INTPathTracing(b *testing.B) {
 		}
 	}
 }
+
+// --- Engine: sync vs async and shard scaling -----------------------------
+
+func engineBenchCluster(b *testing.B, shards int) *dta.Cluster {
+	b.Helper()
+	cl, err := dta.NewCluster(shards, dta.Options{
+		KeyWrite:     &dta.KeyWriteOptions{Slots: 1 << 18, DataSize: 4},
+		KeyIncrement: &dta.KeyIncrementOptions{Slots: 1 << 16},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cl
+}
+
+// BenchmarkEngine_Sync1Shard is the baseline every engine configuration
+// is measured against: the synchronous single-collector call chain.
+func BenchmarkEngine_Sync1Shard(b *testing.B) {
+	cl := engineBenchCluster(b, 1)
+	rep := cl.Reporter(1)
+	data := []byte{1, 2, 3, 4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rep.KeyWrite(dta.KeyFromUint64(uint64(i)), data, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchEngineAsync drives an engine of the given shard count from four
+// concurrent producer goroutines; ns/op across shard counts shows the
+// shard-scaling curve, and against Sync1Shard the async win. Shard
+// scaling is real parallelism, so it only shows on GOMAXPROCS ≥ 2: a
+// single-core run measures pure queueing overhead (async necessarily
+// loses there — it does strictly more work per report).
+func benchEngineAsync(b *testing.B, shards int) {
+	cl := engineBenchCluster(b, shards)
+	eng, err := cl.Engine(dta.EngineConfig{QueueDepth: 8192, Batch: 128})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const producers = 4
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for g := 0; g < producers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rep := eng.Reporter(uint32(g + 1))
+			data := []byte{1, 2, 3, 4}
+			for i := g; i < b.N; i += producers {
+				if err := rep.KeyWrite(dta.KeyFromUint64(uint64(i)), data, 2); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+			if err := rep.Flush(); err != nil {
+				b.Error(err)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := eng.Drain(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if err := eng.Close(); err != nil {
+		b.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.Processed != uint64(b.N) {
+		b.Fatalf("processed %d of %d reports", st.Processed, b.N)
+	}
+}
+
+func BenchmarkEngine_Async1Shard(b *testing.B) { benchEngineAsync(b, 1) }
+func BenchmarkEngine_Async2Shard(b *testing.B) { benchEngineAsync(b, 2) }
+func BenchmarkEngine_Async4Shard(b *testing.B) { benchEngineAsync(b, 4) }
 
 func BenchmarkIntegration_MarpleTimeouts(b *testing.B) {
 	sys, err := dta.New(dta.Options{

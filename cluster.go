@@ -36,8 +36,17 @@ func NewCluster(n int, opts Options) (*Cluster, error) {
 // Size returns the number of collectors.
 func (c *Cluster) Size() int { return len(c.systems) }
 
-// Owner returns the collector responsible for a key.
+// Owner returns the collector responsible for a key. Ownership is
+// CRC32(key) mod cluster size — the same function a reporter's
+// forwarding table applies (§7), so reporter-side forwarding
+// (ClusterReporter, AsyncReporter) and query routing MUST keep hashing
+// identically or queries will miss the data.
 func (c *Cluster) Owner(key Key) int {
+	if len(c.systems) == 0 {
+		// NewCluster enforces n >= 1; only a zero-value Cluster gets
+		// here, and a mod-by-zero panic would point at the wrong culprit.
+		panic("dta: Owner on empty Cluster (construct with NewCluster)")
+	}
 	return int(c.eng.Sum(key[:]) % uint32(len(c.systems)))
 }
 

@@ -151,3 +151,38 @@ func TestKIAggregationThroughFacade(t *testing.T) {
 		t.Errorf("atomics = %d, want 2", st.RDMAAtomics)
 	}
 }
+
+// TestClusterOwnershipDistribution checks the CRC sharding satellite:
+// ownership over a large key sample spreads close to uniformly, so no
+// collector silently becomes a hot spot.
+func TestClusterOwnershipDistribution(t *testing.T) {
+	const size, keys = 4, 40000
+	c, err := NewCluster(size, fullOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, size)
+	for i := 0; i < keys; i++ {
+		owner := c.Owner(KeyFromUint64(uint64(i) * 0x9e3779b97f4a7c15))
+		if owner < 0 || owner >= size {
+			t.Fatalf("Owner returned %d for cluster of %d", owner, size)
+		}
+		counts[owner]++
+	}
+	mean := keys / size
+	for i, n := range counts {
+		if n < mean*8/10 || n > mean*12/10 {
+			t.Errorf("collector %d owns %d of %d keys (mean %d): skewed beyond ±20%%", i, n, keys, mean)
+		}
+	}
+}
+
+func TestClusterOwnerEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Owner on zero-value Cluster did not panic with a diagnostic")
+		}
+	}()
+	var c Cluster
+	c.Owner(KeyFromUint64(1))
+}

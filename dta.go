@@ -34,6 +34,7 @@ package dta
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"dta/internal/collector"
 	"dta/internal/core/appendlist"
@@ -128,7 +129,9 @@ type System struct {
 	host *collector.Host
 	tr   *translator.Translator
 	link *netsim.Link
-	now  uint64
+	// now is the simulation clock; atomic so Advance can run while an
+	// attached Engine worker reads it.
+	now atomic.Uint64
 
 	// Stats mirrors the translator's counters.
 	reporters []*Reporter
@@ -187,16 +190,23 @@ func New(opts Options) (*System, error) {
 	return s, nil
 }
 
+// reporterConfig is the one addressing scheme shared by sync and async
+// reporters: if it diverged between the two paths, their frames would
+// take different ECMP/link-model treatment.
+func reporterConfig(switchID uint32) reporter.Config {
+	return reporter.Config{
+		SwitchID:    switchID,
+		SrcIP:       [4]byte{10, 0, byte(switchID >> 8), byte(switchID)},
+		CollectorIP: [4]byte{10, 255, 0, 1},
+		SrcPort:     uint16(4000 + switchID%1000),
+	}
+}
+
 // Reporter attaches a new reporter switch with the given ID.
 func (s *System) Reporter(switchID uint32) *Reporter {
 	r := &Reporter{
 		sys: s,
-		rep: reporter.New(reporter.Config{
-			SwitchID:    switchID,
-			SrcIP:       [4]byte{10, 0, byte(switchID >> 8), byte(switchID)},
-			CollectorIP: [4]byte{10, 255, 0, 1},
-			SrcPort:     uint16(4000 + switchID%1000),
-		}),
+		rep: reporter.New(reporterConfig(switchID)),
 		buf: make([]byte, wire.MaxReportLen),
 	}
 	s.reporters = append(s.reporters, r)
@@ -205,20 +215,26 @@ func (s *System) Reporter(switchID uint32) *Reporter {
 
 // Advance moves the system clock forward (for rate limiting and link
 // modelling).
-func (s *System) Advance(ns uint64) { s.now += ns }
+func (s *System) Advance(ns uint64) { s.now.Add(ns) }
 
 // Now returns the system clock in nanoseconds.
-func (s *System) Now() uint64 { return s.now }
+func (s *System) Now() uint64 { return s.now.Load() }
 
 // deliver carries one reporter frame across the (optional) lossy link
 // into the translator.
 func (s *System) deliver(frame []byte) error {
+	return s.deliverAt(frame, s.Now())
+}
+
+// deliverAt is deliver with an explicit timestamp; the engine's shard
+// workers use it so queued reports keep their enqueue-time clock.
+func (s *System) deliverAt(frame []byte, nowNs uint64) error {
 	if s.link != nil {
-		if _, dropped := s.link.Send(s.now, len(frame)); dropped {
+		if _, dropped := s.link.Send(nowNs, len(frame)); dropped {
 			return nil // best-effort: silently lost, like UDP
 		}
 	}
-	err := s.tr.ProcessFrame(frame, s.now)
+	err := s.tr.ProcessFrame(frame, nowNs)
 	if errors.Is(err, translator.ErrNotDTA) {
 		return nil
 	}
@@ -324,13 +340,18 @@ func (s *System) Poller(list int) (*appendlist.Poller, error) {
 // Flush forces out partial Append batches, cached postcards and pending
 // Key-Increment aggregates (end of a measurement epoch).
 func (s *System) Flush() error {
-	if err := s.tr.FlushAppend(s.now); err != nil {
+	return s.flushAt(s.Now())
+}
+
+// flushAt is Flush with an explicit timestamp (engine shard workers).
+func (s *System) flushAt(nowNs uint64) error {
+	if err := s.tr.FlushAppend(nowNs); err != nil {
 		return err
 	}
-	if err := s.tr.FlushKeyIncrements(s.now); err != nil {
+	if err := s.tr.FlushKeyIncrements(nowNs); err != nil {
 		return err
 	}
-	return s.tr.DrainPostcards(s.now)
+	return s.tr.DrainPostcards(nowNs)
 }
 
 // Events exposes the collector's push-notification channel (reports sent

@@ -1,0 +1,199 @@
+package dta
+
+import (
+	"fmt"
+
+	"dta/internal/engine"
+	"dta/internal/reporter"
+	"dta/internal/wire"
+)
+
+// EngineConfig tunes the asynchronous ingest engine. See
+// internal/engine for field semantics.
+type EngineConfig = engine.Config
+
+// EngineStats snapshots engine counters.
+type EngineStats = engine.Stats
+
+// EnginePolicy selects the backpressure behaviour of a full shard queue.
+type EnginePolicy = engine.Policy
+
+const (
+	// EngineBlock makes submissions wait for queue space (lossless).
+	EngineBlock = engine.Block
+	// EngineDrop sheds reports with a counter, mirroring the
+	// translator rate limiter's semantics.
+	EngineDrop = engine.Drop
+)
+
+// ErrEngineClosed is returned by submissions after Engine.Close.
+var ErrEngineClosed = engine.ErrClosed
+
+// Engine is an asynchronous, sharded ingest pipeline: each collector's
+// translator+host sits behind a dedicated worker goroutine with a
+// bounded report queue, so reporters on any number of goroutines submit
+// concurrently while collectors ingest in parallel.
+//
+// While an Engine is attached, all reports must flow through its
+// AsyncReporters: driving the owning System's synchronous reporters (or
+// calling System.Flush) concurrently would race with the shard workers.
+// Query and Stats methods are safe again once Drain or Close returns.
+type Engine struct {
+	inner   *engine.Engine
+	cluster *Cluster  // nil when attached to a single System
+	systems []*System // one per shard
+}
+
+// systemSink adapts one System's lossy-link + translator + collector
+// chain to the engine's per-shard Sink.
+type systemSink struct{ s *System }
+
+func (k systemSink) ProcessFrame(frame []byte, nowNs uint64) error {
+	return k.s.deliverAt(frame, nowNs)
+}
+
+func (k systemSink) Flush(nowNs uint64) error { return k.s.flushAt(nowNs) }
+
+// Engine attaches a single-shard async ingest engine to this System.
+func (s *System) Engine(cfg EngineConfig) (*Engine, error) {
+	return newEngine([]*System{s}, nil, cfg)
+}
+
+// Engine attaches an async ingest engine with one shard per collector.
+func (c *Cluster) Engine(cfg EngineConfig) (*Engine, error) {
+	return newEngine(c.systems, c, cfg)
+}
+
+func newEngine(systems []*System, cluster *Cluster, cfg EngineConfig) (*Engine, error) {
+	sinks := make([]engine.Sink, len(systems))
+	for i, s := range systems {
+		sinks[i] = systemSink{s}
+	}
+	inner, err := engine.New(sinks, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{inner: inner, cluster: cluster, systems: systems}, nil
+}
+
+// Shards returns the number of shard workers.
+func (e *Engine) Shards() int { return e.inner.Shards() }
+
+// Drain blocks until every report queued before the call has been
+// ingested and every shard's translator state has been flushed; the
+// engine keeps accepting reports afterwards. Reports still staged in an
+// AsyncReporter are not covered — Flush each reporter first. Queries
+// observe all drained reports.
+func (e *Engine) Drain() error {
+	var now uint64
+	for _, s := range e.systems {
+		if n := s.Now(); n > now {
+			now = n
+		}
+	}
+	return e.inner.Drain(now)
+}
+
+// Close drains queued reports, flushes every shard and stops the
+// workers; subsequent submissions fail with ErrEngineClosed.
+func (e *Engine) Close() error { return e.inner.Close() }
+
+// Err returns the first ingest error observed by any shard worker.
+func (e *Engine) Err() error { return e.inner.Err() }
+
+// Stats sums engine counters across shards.
+func (e *Engine) Stats() EngineStats { return e.inner.Stats() }
+
+// ShardStats snapshots per-shard engine counters.
+func (e *Engine) ShardStats() []EngineStats {
+	out := make([]EngineStats, e.inner.Shards())
+	for i := range out {
+		out[i] = e.inner.ShardStats(i)
+	}
+	return out
+}
+
+// Reporter attaches an async reporter switch. The handle owns a frame
+// buffer, per-shard encoder state and staged report chunks, so it is
+// NOT goroutine-safe: give each producer goroutine its own
+// AsyncReporter (they are cheap). Call Flush before Drain so staged
+// reports reach the shard queues.
+func (e *Engine) Reporter(switchID uint32) *AsyncReporter {
+	r := &AsyncReporter{
+		eng: e,
+		sub: e.inner.Submitter(),
+		buf: make([]byte, wire.MaxReportLen),
+	}
+	for range e.systems {
+		r.reps = append(r.reps, reporter.New(reporterConfig(switchID)))
+	}
+	return r
+}
+
+// AsyncReporter is a reporter handle that encodes reports on the calling
+// goroutine (reporter-side work is parallel across switches, as in the
+// real system) and stages the frames in per-shard chunks that are
+// queued on the owning shard every EngineConfig.ChunkFrames reports.
+type AsyncReporter struct {
+	eng  *Engine
+	sub  *engine.Submitter
+	reps []*reporter.Reporter // per-shard encoder, so each system sees its own IP-ID stream
+	buf  []byte
+}
+
+// shardFor routes a key the same way ClusterReporter does, so sync and
+// async ingestion agree on ownership.
+func (r *AsyncReporter) shardFor(key Key) int {
+	if r.eng.cluster != nil {
+		return r.eng.cluster.Owner(key)
+	}
+	return 0
+}
+
+func (r *AsyncReporter) submit(shard int, ln int, err error) error {
+	if err != nil {
+		return err
+	}
+	return r.sub.Submit(shard, r.buf[:ln], r.eng.systems[shard].Now())
+}
+
+// Flush queues this reporter's staged chunks. Producers must call it
+// (on their own goroutine) before the engine's Drain or Close covers
+// their reports.
+func (r *AsyncReporter) Flush() error { return r.sub.Flush() }
+
+// KeyWrite stores data under key with redundancy n via the owning shard.
+func (r *AsyncReporter) KeyWrite(key Key, data []byte, n int) error {
+	sh := r.shardFor(key)
+	ln, err := r.reps[sh].KeyWrite(r.buf, key, data, uint8(n), false)
+	return r.submit(sh, ln, err)
+}
+
+// Increment adds delta to key's counter with redundancy n.
+func (r *AsyncReporter) Increment(key Key, delta uint64, n int) error {
+	sh := r.shardFor(key)
+	ln, err := r.reps[sh].KeyIncrement(r.buf, key, delta, uint8(n))
+	return r.submit(sh, ln, err)
+}
+
+// Postcard reports a hop observation for key (path tracing).
+func (r *AsyncReporter) Postcard(key Key, hop, pathLen int) error {
+	sh := r.shardFor(key)
+	ln, err := r.reps[sh].Postcard(r.buf, key, uint8(hop), uint8(pathLen))
+	return r.submit(sh, ln, err)
+}
+
+// Append adds data to the tail of list on the shard owning the list.
+func (r *AsyncReporter) Append(list uint32, data []byte) error {
+	sh := 0
+	if r.eng.cluster != nil {
+		sh = r.eng.cluster.OwnerOfList(list)
+	}
+	ln, err := r.reps[sh].Append(r.buf, list, data, false)
+	return r.submit(sh, ln, err)
+}
+
+// String aids debugging output in benchmarks and the dtaload CLI.
+func (e *Engine) String() string {
+	return fmt.Sprintf("dta.Engine{shards: %d}", e.Shards())
+}

@@ -1,0 +1,3 @@
+module dta
+
+go 1.24

@@ -1,0 +1,450 @@
+// Package engine implements an asynchronous, sharded ingest pipeline
+// for DTA reports. The synchronous path in package dta pushes every
+// report through a single reporter→translator→collector call chain; the
+// engine instead places each collector's translator+host behind a
+// dedicated worker goroutine with a bounded report queue, so N
+// collectors ingest in parallel while any number of reporter goroutines
+// enqueue concurrently.
+//
+// The design mirrors the paper's data-plane semantics (Langlet et al.,
+// SIGCOMM 2023): reports are best-effort, so when a shard's queue is
+// full the engine can either exert backpressure (Block) or drop the
+// report and count it (Drop), just as the translator's token-bucket
+// rate limiter sheds load with a counter rather than queueing
+// unboundedly. And just as the translator batches appends to amortise
+// RDMA messages, producers batch frames into chunks to amortise queue
+// operations: per-frame channel sends would cost more than the
+// translator work itself.
+//
+// Shard workers dequeue chunks in batches, flush the sink's
+// translator-side aggregation state every FlushEvery reports (and
+// always on a Drain barrier or Close), and publish per-shard statistics
+// through atomics so readers never block the data path.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Sink consumes reporter frames for one shard. Implementations are NOT
+// required to be goroutine-safe: the engine guarantees that exactly one
+// worker goroutine touches a given sink.
+type Sink interface {
+	// ProcessFrame ingests one serialised reporter frame at the given
+	// simulation time.
+	ProcessFrame(frame []byte, nowNs uint64) error
+	// Flush pushes out partial aggregation state (append batches,
+	// postcard caches, key-increment aggregates).
+	Flush(nowNs uint64) error
+}
+
+// Policy selects the backpressure behaviour when a shard queue is full.
+type Policy int
+
+const (
+	// Block makes submissions wait for queue space (lossless ingest).
+	Block Policy = iota
+	// Drop sheds the chunk and counts its reports as Dropped, mirroring
+	// the translator rate limiter's drop-with-stat semantics.
+	Drop
+)
+
+func (p Policy) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case Drop:
+		return "drop"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Config tunes the engine.
+type Config struct {
+	// QueueDepth bounds each shard's chunk queue (0 = 256). Worst-case
+	// buffered reports per shard ≈ QueueDepth × ChunkFrames.
+	QueueDepth int
+	// ChunkFrames is how many frames a Submitter stages per shard
+	// before handing the chunk to the worker (0 = 32). 1 disables
+	// producer-side batching.
+	ChunkFrames int
+	// Batch is the maximum chunk-dequeue batch per worker wakeup (0 = 16).
+	Batch int
+	// FlushEvery flushes a shard's sink after at least this many
+	// processed reports (0 = flush only on Drain/Close). Frequent
+	// flushes defeat translator-side aggregation, so this models epoch
+	// boundaries, not per-report freshness.
+	FlushEvery int
+	// Policy selects Block (default) or Drop backpressure.
+	Policy Policy
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.QueueDepth <= 0 {
+		out.QueueDepth = 256
+	}
+	if out.ChunkFrames <= 0 {
+		out.ChunkFrames = 32
+	}
+	if out.Batch <= 0 {
+		out.Batch = 16
+	}
+	return out
+}
+
+// Stats snapshots one shard's (or, summed, the whole engine's) counters.
+type Stats struct {
+	Enqueued  uint64 // reports accepted into a queue
+	Processed uint64 // reports handed to the sink
+	Dropped   uint64 // reports shed by the Drop policy
+	Batches   uint64 // worker dequeue batches
+	Flushes   uint64 // sink flushes (periodic + drain + close)
+	Errors    uint64 // sink errors (first one retained, see Err)
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Enqueued += other.Enqueued
+	s.Processed += other.Processed
+	s.Dropped += other.Dropped
+	s.Batches += other.Batches
+	s.Flushes += other.Flushes
+	s.Errors += other.Errors
+}
+
+// ErrClosed is returned by submissions and Drain after Close.
+var ErrClosed = errors.New("engine: closed")
+
+// chunk is one queue entry: zero or more packed frames, or a drain
+// barrier (nil data, non-nil drain).
+type chunk struct {
+	data  []byte  // concatenated frames
+	lens  []int32 // per-frame lengths into data
+	nowNs uint64  // latest clock among the staged frames
+	drain chan struct{}
+}
+
+func (c *chunk) reset() {
+	c.data = c.data[:0]
+	c.lens = c.lens[:0]
+	c.nowNs = 0
+	c.drain = nil
+}
+
+type shardCounters struct {
+	enqueued  atomic.Uint64
+	processed atomic.Uint64
+	dropped   atomic.Uint64
+	batches   atomic.Uint64
+	flushes   atomic.Uint64
+	errors    atomic.Uint64
+}
+
+func (c *shardCounters) snapshot() Stats {
+	return Stats{
+		Enqueued:  c.enqueued.Load(),
+		Processed: c.processed.Load(),
+		Dropped:   c.dropped.Load(),
+		Batches:   c.batches.Load(),
+		Flushes:   c.flushes.Load(),
+		Errors:    c.errors.Load(),
+	}
+}
+
+type shard struct {
+	sink Sink
+	ch   chan *chunk
+	ctr  shardCounters
+}
+
+// Engine fans reports out to per-shard worker goroutines.
+type Engine struct {
+	cfg    Config
+	shards []*shard
+	wg     sync.WaitGroup
+
+	// mu orders channel sends against Close's channel close; closed is
+	// atomic so Submit's fast path can check it without the lock.
+	mu     sync.RWMutex
+	closed atomic.Bool
+
+	firstErr atomic.Pointer[error]
+	pool     sync.Pool // *chunk
+}
+
+// New starts one worker goroutine per sink. The engine owns the sinks
+// until Close returns: no other goroutine may touch them concurrently.
+func New(sinks []Sink, cfg Config) (*Engine, error) {
+	if len(sinks) == 0 {
+		return nil, errors.New("engine: no sinks")
+	}
+	c := cfg.withDefaults()
+	e := &Engine{
+		cfg:  c,
+		pool: sync.Pool{New: func() any { return &chunk{} }},
+	}
+	for _, s := range sinks {
+		if s == nil {
+			return nil, errors.New("engine: nil sink")
+		}
+		e.shards = append(e.shards, &shard{sink: s, ch: make(chan *chunk, c.QueueDepth)})
+	}
+	for _, sh := range e.shards {
+		e.wg.Add(1)
+		go e.run(sh)
+	}
+	return e, nil
+}
+
+// Shards returns the shard count.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// Enqueue copies frame and queues it on shard as a single-frame chunk,
+// bypassing producer-side batching. Safe for concurrent use; for hot
+// paths prefer a per-goroutine Submitter.
+func (e *Engine) Enqueue(shardIdx int, frame []byte, nowNs uint64) error {
+	if shardIdx < 0 || shardIdx >= len(e.shards) {
+		return fmt.Errorf("engine: shard %d out of range [0,%d)", shardIdx, len(e.shards))
+	}
+	ck := e.pool.Get().(*chunk)
+	ck.reset()
+	ck.data = append(ck.data, frame...)
+	ck.lens = append(ck.lens, int32(len(frame)))
+	ck.nowNs = nowNs
+	return e.send(e.shards[shardIdx], ck)
+}
+
+// send hands a chunk to the shard worker, applying the backpressure
+// policy. It consumes ck (requeued to the pool on drop or ErrClosed).
+func (e *Engine) send(sh *shard, ck *chunk) error {
+	frames := uint64(len(ck.lens))
+	// The read lock pins the channel open: Close takes the write lock
+	// before closing channels, so a send in flight here cannot panic.
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed.Load() {
+		e.pool.Put(ck)
+		return ErrClosed
+	}
+	if e.cfg.Policy == Drop {
+		select {
+		case sh.ch <- ck:
+			sh.ctr.enqueued.Add(frames)
+		default:
+			e.pool.Put(ck)
+			sh.ctr.dropped.Add(frames)
+		}
+		return nil
+	}
+	sh.ch <- ck
+	sh.ctr.enqueued.Add(frames)
+	return nil
+}
+
+// Submitter stages frames into per-shard chunks before queueing them,
+// amortising queue synchronisation across ChunkFrames reports. It is
+// NOT goroutine-safe: give each producer goroutine its own Submitter,
+// and Flush it before relying on Drain (staged frames are invisible to
+// the engine until flushed; Close discards them).
+type Submitter struct {
+	e       *Engine
+	pending []*chunk // lazily allocated, one per shard
+}
+
+// Submitter returns a new producer handle.
+func (e *Engine) Submitter() *Submitter {
+	return &Submitter{e: e, pending: make([]*chunk, len(e.shards))}
+}
+
+// Submit copies frame into shard's staged chunk, queueing the chunk
+// once it holds ChunkFrames frames.
+func (s *Submitter) Submit(shardIdx int, frame []byte, nowNs uint64) error {
+	if shardIdx < 0 || shardIdx >= len(s.pending) {
+		return fmt.Errorf("engine: shard %d out of range [0,%d)", shardIdx, len(s.pending))
+	}
+	if s.e.closed.Load() {
+		return ErrClosed
+	}
+	ck := s.pending[shardIdx]
+	if ck == nil {
+		ck = s.e.pool.Get().(*chunk)
+		ck.reset()
+		s.pending[shardIdx] = ck
+	}
+	ck.data = append(ck.data, frame...)
+	ck.lens = append(ck.lens, int32(len(frame)))
+	if nowNs > ck.nowNs {
+		ck.nowNs = nowNs
+	}
+	if len(ck.lens) >= s.e.cfg.ChunkFrames {
+		s.pending[shardIdx] = nil
+		return s.e.send(s.e.shards[shardIdx], ck)
+	}
+	return nil
+}
+
+// Flush queues every non-empty staged chunk.
+func (s *Submitter) Flush() error {
+	for i, ck := range s.pending {
+		if ck == nil || len(ck.lens) == 0 {
+			continue
+		}
+		s.pending[i] = nil
+		if err := s.e.send(s.e.shards[i], ck); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Drain blocks until every report queued before the call has been
+// processed and every shard's sink has been flushed at nowNs (or the
+// latest report timestamp, whichever is later). Producer-staged chunks
+// are not covered: Flush Submitters first. The engine keeps accepting
+// reports afterwards.
+func (e *Engine) Drain(nowNs uint64) error {
+	e.mu.RLock()
+	if e.closed.Load() {
+		e.mu.RUnlock()
+		return ErrClosed
+	}
+	done := make([]chan struct{}, len(e.shards))
+	for i, sh := range e.shards {
+		done[i] = make(chan struct{})
+		// Barriers always block: they must never be shed, and FIFO
+		// ordering guarantees all earlier reports finish first.
+		sh.ch <- &chunk{nowNs: nowNs, drain: done[i]}
+	}
+	e.mu.RUnlock()
+	for _, ch := range done {
+		<-ch
+	}
+	return e.Err()
+}
+
+// Close stops the engine: subsequent submissions and Drain fail with
+// ErrClosed, queued chunks are processed, sinks get a final flush, and
+// all workers exit before Close returns. Close is idempotent.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed.Load() {
+		e.mu.Unlock()
+		e.wg.Wait()
+		return e.Err()
+	}
+	e.closed.Store(true)
+	for _, sh := range e.shards {
+		close(sh.ch)
+	}
+	e.mu.Unlock()
+	e.wg.Wait()
+	return e.Err()
+}
+
+// Err returns the first sink error the engine observed, if any.
+func (e *Engine) Err() error {
+	if p := e.firstErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// ShardStats snapshots shard i's counters.
+func (e *Engine) ShardStats(i int) Stats { return e.shards[i].ctr.snapshot() }
+
+// Stats sums counters across shards.
+func (e *Engine) Stats() Stats {
+	var total Stats
+	for i := range e.shards {
+		total.Add(e.ShardStats(i))
+	}
+	return total
+}
+
+func (e *Engine) recordErr(err error) {
+	e.firstErr.CompareAndSwap(nil, &err)
+}
+
+// run is the per-shard worker: batched dequeue, in-order processing,
+// periodic flush, flush-on-barrier, final flush on Close.
+func (e *Engine) run(sh *shard) {
+	defer e.wg.Done()
+	batch := make([]*chunk, 0, e.cfg.Batch)
+	var lastNow uint64
+	sinceFlush := 0
+
+	flush := func(nowNs uint64) {
+		if nowNs > lastNow {
+			lastNow = nowNs
+		}
+		if err := sh.sink.Flush(lastNow); err != nil {
+			sh.ctr.errors.Add(1)
+			e.recordErr(err)
+		}
+		sh.ctr.flushes.Add(1)
+		sinceFlush = 0
+	}
+
+	process := func(ck *chunk) {
+		if ck.nowNs > lastNow {
+			lastNow = ck.nowNs
+		}
+		if ck.drain != nil {
+			flush(ck.nowNs)
+			close(ck.drain)
+			return
+		}
+		off := 0
+		for _, ln := range ck.lens {
+			frame := ck.data[off : off+int(ln)]
+			off += int(ln)
+			if err := sh.sink.ProcessFrame(frame, lastNow); err != nil {
+				sh.ctr.errors.Add(1)
+				e.recordErr(err)
+			}
+		}
+		sh.ctr.processed.Add(uint64(len(ck.lens)))
+		sinceFlush += len(ck.lens)
+		e.pool.Put(ck)
+		if e.cfg.FlushEvery > 0 && sinceFlush >= e.cfg.FlushEvery {
+			flush(lastNow)
+		}
+	}
+
+	for {
+		ck, ok := <-sh.ch
+		if !ok {
+			flush(lastNow)
+			return
+		}
+		// Opportunistically fill the batch without blocking.
+		batch = append(batch[:0], ck)
+		closed := false
+	fill:
+		for len(batch) < e.cfg.Batch {
+			select {
+			case next, open := <-sh.ch:
+				if !open {
+					closed = true
+					break fill
+				}
+				batch = append(batch, next)
+			default:
+				break fill
+			}
+		}
+		sh.ctr.batches.Add(1)
+		for _, ck := range batch {
+			process(ck)
+		}
+		if closed {
+			flush(lastNow)
+			return
+		}
+	}
+}

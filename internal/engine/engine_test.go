@@ -1,0 +1,295 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+)
+
+// recordSink logs processing order; only the shard worker touches it
+// while the engine runs, and tests read it only after Drain/Close (both
+// establish happens-before).
+type recordSink struct {
+	ops     []string // "p" per frame, "f" per flush
+	frames  int
+	flushes int
+	lastNow uint64
+	err     error
+}
+
+func (s *recordSink) ProcessFrame(frame []byte, nowNs uint64) error {
+	s.ops = append(s.ops, "p")
+	s.frames++
+	s.lastNow = nowNs
+	return s.err
+}
+
+func (s *recordSink) Flush(nowNs uint64) error {
+	s.ops = append(s.ops, "f")
+	s.flushes++
+	s.lastNow = nowNs
+	return nil
+}
+
+// gatedSink blocks every ProcessFrame on gate; entered signals the first
+// arrival so tests know the worker is mid-frame.
+type gatedSink struct {
+	recordSink
+	entered chan struct{}
+	gate    chan struct{}
+}
+
+func (s *gatedSink) ProcessFrame(frame []byte, nowNs uint64) error {
+	select {
+	case s.entered <- struct{}{}:
+	default:
+	}
+	<-s.gate
+	return s.recordSink.ProcessFrame(frame, nowNs)
+}
+
+func mustEngine(t *testing.T, sinks []Sink, cfg Config) *Engine {
+	t.Helper()
+	e, err := New(sinks, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestEnqueueAfterClose(t *testing.T) {
+	sink := &recordSink{}
+	e := mustEngine(t, []Sink{sink}, Config{})
+	if err := e.Enqueue(0, []byte{1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Enqueue(0, []byte{2}, 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Enqueue after Close = %v, want ErrClosed", err)
+	}
+	if err := e.Drain(0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Drain after Close = %v, want ErrClosed", err)
+	}
+	if sink.frames != 1 {
+		t.Fatalf("frames = %d, want 1 (pre-close report must be ingested)", sink.frames)
+	}
+	if sink.flushes != 1 {
+		t.Fatalf("flushes = %d, want exactly the final close flush", sink.flushes)
+	}
+	// Idempotent.
+	if err := e.Close(); err != nil {
+		t.Fatalf("second Close = %v", err)
+	}
+}
+
+func TestDrainWaitsForInFlightBatches(t *testing.T) {
+	sink := &recordSink{}
+	e := mustEngine(t, []Sink{sink}, Config{QueueDepth: 64, Batch: 8})
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := e.Enqueue(0, []byte{byte(i)}, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Drain(uint64(n)); err != nil {
+		t.Fatal(err)
+	}
+	if sink.frames != n {
+		t.Fatalf("frames after Drain = %d, want %d", sink.frames, n)
+	}
+	// The drain flush must come after every report, and the engine stays
+	// usable afterwards.
+	if got := sink.ops[len(sink.ops)-1]; got != "f" {
+		t.Fatalf("last op = %q, want flush", got)
+	}
+	for _, op := range sink.ops[:n] {
+		if op != "p" {
+			t.Fatalf("flush interleaved before all %d reports: %v", n, sink.ops)
+		}
+	}
+	if sink.lastNow != n {
+		t.Fatalf("flush now = %d, want %d", sink.lastNow, n)
+	}
+	if err := e.Enqueue(0, []byte{0xff}, n+1); err != nil {
+		t.Fatalf("Enqueue after Drain = %v", err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.frames != n+1 {
+		t.Fatalf("frames after Close = %d, want %d", sink.frames, n+1)
+	}
+	st := e.Stats()
+	if st.Enqueued != n+1 || st.Processed != n+1 || st.Dropped != 0 {
+		t.Fatalf("stats = %+v, want %d enqueued/processed, 0 dropped", st, n+1)
+	}
+}
+
+func TestDropPolicyCounterAccuracy(t *testing.T) {
+	sink := &gatedSink{entered: make(chan struct{}, 1), gate: make(chan struct{})}
+	e := mustEngine(t, []Sink{sink}, Config{QueueDepth: 2, Batch: 1, Policy: Drop})
+
+	// First report: worker picks it up and blocks mid-frame.
+	if err := e.Enqueue(0, []byte{0}, 0); err != nil {
+		t.Fatal(err)
+	}
+	<-sink.entered
+	// Next two fill the queue; five more must be shed.
+	for i := 1; i < 8; i++ {
+		if err := e.Enqueue(0, []byte{byte(i)}, 0); err != nil {
+			t.Fatalf("Drop-policy Enqueue %d = %v, want nil", i, err)
+		}
+	}
+	if st := e.Stats(); st.Enqueued != 3 || st.Dropped != 5 {
+		t.Fatalf("stats while gated = %+v, want 3 enqueued / 5 dropped", st)
+	}
+	close(sink.gate)
+	if err := e.Drain(0); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Enqueued != 3 || st.Processed != 3 || st.Dropped != 5 {
+		t.Fatalf("stats after drain = %+v, want enqueued=processed=3, dropped=5", st)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockPolicyIsLossless(t *testing.T) {
+	sink := &gatedSink{entered: make(chan struct{}, 1), gate: make(chan struct{})}
+	e := mustEngine(t, []Sink{sink}, Config{QueueDepth: 2, Batch: 4, Policy: Block})
+	const n = 64
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < n; i++ {
+			if err := e.Enqueue(0, []byte{byte(i)}, 0); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	<-sink.entered
+	close(sink.gate) // producer is (or will be) blocked on the tiny queue
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Drain(0); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Enqueued != n || st.Processed != n || st.Dropped != 0 {
+		t.Fatalf("stats = %+v, want %d enqueued/processed, 0 dropped", st, n)
+	}
+}
+
+func TestPeriodicFlush(t *testing.T) {
+	sink := &recordSink{}
+	e := mustEngine(t, []Sink{sink}, Config{FlushEvery: 10, Batch: 4})
+	for i := 0; i < 35; i++ {
+		if err := e.Enqueue(0, []byte{byte(i)}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Drain(0); err != nil {
+		t.Fatal(err)
+	}
+	// 3 periodic (at 10, 20, 30) + 1 drain flush.
+	if sink.flushes != 4 {
+		t.Fatalf("flushes = %d, want 4: %v", sink.flushes, sink.ops)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSinkErrorSurfaces(t *testing.T) {
+	bad := errors.New("collector rejected")
+	sink := &recordSink{err: bad}
+	e := mustEngine(t, []Sink{sink}, Config{})
+	if err := e.Enqueue(0, []byte{1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Drain(0); !errors.Is(err, bad) {
+		t.Fatalf("Drain = %v, want %v", err, bad)
+	}
+	if st := e.Stats(); st.Errors != 1 {
+		t.Fatalf("Errors = %d, want 1", st.Errors)
+	}
+	if err := e.Close(); !errors.Is(err, bad) {
+		t.Fatalf("Close = %v, want %v", err, bad)
+	}
+}
+
+func TestSubmitterStagesAndFlushes(t *testing.T) {
+	sink := &recordSink{}
+	e := mustEngine(t, []Sink{sink}, Config{ChunkFrames: 8})
+	sub := e.Submitter()
+	for i := 0; i < 20; i++ {
+		if err := sub.Submit(0, []byte{byte(i)}, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two full chunks are queued; four frames remain staged.
+	if st := e.Stats(); st.Enqueued != 16 {
+		t.Fatalf("enqueued = %d, want 16 before Flush", st.Enqueued)
+	}
+	if err := sub.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Drain(20); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Enqueued != 20 || st.Processed != 20 {
+		t.Fatalf("stats = %+v, want 20 enqueued and processed", st)
+	}
+	if sink.frames != 20 {
+		t.Fatalf("frames = %d, want 20", sink.frames)
+	}
+	if sink.lastNow != 20 {
+		t.Fatalf("flush now = %d, want 20", sink.lastNow)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	e := mustEngine(t, []Sink{&recordSink{}}, Config{})
+	sub := e.Submitter()
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Submit(0, []byte{1}, 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestMultiShardIsolation(t *testing.T) {
+	a, b := &recordSink{}, &recordSink{}
+	e := mustEngine(t, []Sink{a, b}, Config{})
+	for i := 0; i < 10; i++ {
+		if err := e.Enqueue(i%2, []byte{byte(i)}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Enqueue(2, []byte{0}, 0); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+	if err := e.Drain(0); err != nil {
+		t.Fatal(err)
+	}
+	if a.frames != 5 || b.frames != 5 {
+		t.Fatalf("frames = %d/%d, want 5/5", a.frames, b.frames)
+	}
+	s0, s1 := e.ShardStats(0), e.ShardStats(1)
+	if s0.Processed != 5 || s1.Processed != 5 {
+		t.Fatalf("per-shard processed = %d/%d, want 5/5", s0.Processed, s1.Processed)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

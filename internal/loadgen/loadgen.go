@@ -1,0 +1,296 @@
+// Package loadgen generates deterministic DTA report workloads: N
+// concurrent reporter goroutines drive any Reporter implementation (the
+// synchronous dta reporters or the async engine reporters) through one
+// of several scenario profiles. Throughput claims are only meaningful
+// under diverse, adversarial input distributions, so beyond the uniform
+// baseline the generator covers Zipf-skewed key popularity, bursty
+// on/off sources, incast (everyone hammering a tiny hot key set) and a
+// mixed-primitive blend of all four DTA primitives.
+//
+// Everything derives from Config.Seed: reporter i draws from its own
+// PRNG seeded as a pure function of (Seed, i), so the same config
+// produces the same key/primitive sequence per reporter — and therefore
+// the same per-shard report counts — regardless of goroutine scheduling.
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dta/internal/wire"
+)
+
+// Reporter is the submission surface the generator drives. dta.Reporter,
+// dta.ClusterReporter and dta.AsyncReporter all satisfy it.
+type Reporter interface {
+	KeyWrite(key wire.Key, data []byte, n int) error
+	Increment(key wire.Key, delta uint64, n int) error
+	Postcard(key wire.Key, hop, pathLen int) error
+	Append(list uint32, data []byte) error
+}
+
+// Kind selects a workload scenario.
+type Kind int
+
+const (
+	// Uniform draws keys uniformly from the key space.
+	Uniform Kind = iota
+	// Zipf draws keys Zipf-skewed: a few keys dominate, stressing
+	// translator aggregation and single-shard hot spots.
+	Zipf
+	// Bursty alternates on-bursts of back-to-back reports with idle
+	// gaps, stressing queue sizing and backpressure.
+	Bursty
+	// Incast makes every reporter hammer the same tiny hot key set
+	// concurrently, concentrating load on few shards.
+	Incast
+	// Mixed blends all four DTA primitives over uniform keys.
+	Mixed
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Uniform:
+		return "uniform"
+	case Zipf:
+		return "zipf"
+	case Bursty:
+		return "bursty"
+	case Incast:
+		return "incast"
+	case Mixed:
+		return "mixed"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// ProfileByName resolves a scenario name ("uniform", "zipf", "bursty",
+// "incast", "mixed") to its default profile.
+func ProfileByName(name string) (Profile, error) {
+	for _, k := range []Kind{Uniform, Zipf, Bursty, Incast, Mixed} {
+		if k.String() == name {
+			return Profile{Kind: k}, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("loadgen: unknown profile %q", name)
+}
+
+// Profile parameterises a scenario. Zero values select sane defaults.
+type Profile struct {
+	Kind Kind
+	// Keys is the key-space size (0 = 1<<16).
+	Keys uint64
+	// ZipfS/ZipfV shape the Zipf distribution (0 = 1.2 / 1).
+	ZipfS float64
+	ZipfV float64
+	// BurstLen is reports per on-burst (0 = 256); BurstIdle is the off
+	// gap between bursts (0 = 200µs). Bursty only.
+	BurstLen  int
+	BurstIdle time.Duration
+	// HotKeys is the incast hot set size (0 = 4).
+	HotKeys uint64
+	// Lists is the Append list ID space (0 = 8).
+	Lists uint32
+	// Redundancy is the Key-Write/Increment redundancy n (0 = 2).
+	Redundancy int
+	// Hops is the postcard path length (0 = 5).
+	Hops int
+}
+
+func (p Profile) withDefaults() Profile {
+	if p.Keys == 0 {
+		p.Keys = 1 << 16
+	}
+	if p.ZipfS == 0 {
+		p.ZipfS = 1.2
+	}
+	if p.ZipfV == 0 {
+		p.ZipfV = 1
+	}
+	if p.BurstLen == 0 {
+		p.BurstLen = 256
+	}
+	if p.BurstIdle == 0 {
+		p.BurstIdle = 200 * time.Microsecond
+	}
+	if p.HotKeys == 0 {
+		p.HotKeys = 4
+	}
+	if p.Lists == 0 {
+		p.Lists = 8
+	}
+	if p.Redundancy == 0 {
+		p.Redundancy = 2
+	}
+	if p.Hops == 0 {
+		p.Hops = 5
+	}
+	return p
+}
+
+// Config describes one load-generation run.
+type Config struct {
+	Profile Profile
+	// Reporters is the number of concurrent reporter goroutines (0 = 4).
+	Reporters int
+	// Reports is the report count per reporter (0 = 10000).
+	Reports int
+	// Seed fixes every reporter's key/primitive sequence.
+	Seed int64
+	// Drain, if non-nil, runs after all reporters finish and its time is
+	// included in Elapsed — pass the engine's Drain so throughput covers
+	// full ingestion, not just enqueueing.
+	Drain func() error
+}
+
+func (c Config) withDefaults() Config {
+	c.Profile = c.Profile.withDefaults()
+	if c.Reporters == 0 {
+		c.Reporters = 4
+	}
+	if c.Reports == 0 {
+		c.Reports = 10000
+	}
+	return c
+}
+
+// Result summarises a run.
+type Result struct {
+	// Submitted counts reports handed to the Reporter without error,
+	// summed and per reporter goroutine.
+	Submitted   uint64
+	PerReporter []uint64
+	// Errors counts failed submissions (first error retained in Err).
+	Errors uint64
+	Err    error
+	// Elapsed spans goroutine start through the optional Drain.
+	Elapsed time.Duration
+}
+
+// Throughput returns submitted reports per second.
+func (r Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Submitted) / r.Elapsed.Seconds()
+}
+
+// Run drives cfg.Reporters goroutines, each owning the Reporter returned
+// by newReporter(i). newReporter runs on the producer goroutine, so it
+// may build goroutine-local state (buffers, encoders).
+func Run(cfg Config, newReporter func(i int) Reporter) (Result, error) {
+	cfg = cfg.withDefaults()
+	if newReporter == nil {
+		return Result{}, fmt.Errorf("loadgen: nil newReporter")
+	}
+	if p := cfg.Profile; p.Kind == Zipf && (p.ZipfS <= 1 || p.ZipfV < 1) {
+		// rand.NewZipf returns nil outside this domain, which would
+		// panic in every reporter goroutine.
+		return Result{}, fmt.Errorf("loadgen: zipf needs s > 1 and v >= 1 (got s=%v v=%v)", p.ZipfS, p.ZipfV)
+	}
+	res := Result{PerReporter: make([]uint64, cfg.Reporters)}
+	var (
+		wg       sync.WaitGroup
+		errCount atomic.Uint64
+		firstErr atomic.Pointer[error]
+	)
+	start := time.Now()
+	for i := 0; i < cfg.Reporters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rep := newReporter(i)
+			n, err := drive(cfg, i, rep)
+			if err == nil {
+				// Batching reporters (e.g. the engine's) stage frames
+				// locally; push them out before this goroutine exits so
+				// cfg.Drain covers every submitted report.
+				if f, ok := rep.(interface{ Flush() error }); ok {
+					err = f.Flush()
+				}
+			}
+			res.PerReporter[i] = n
+			if err != nil {
+				errCount.Add(1)
+				firstErr.CompareAndSwap(nil, &err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if cfg.Drain != nil {
+		if err := cfg.Drain(); err != nil {
+			errCount.Add(1)
+			firstErr.CompareAndSwap(nil, &err)
+		}
+	}
+	res.Elapsed = time.Since(start)
+	for _, n := range res.PerReporter {
+		res.Submitted += n
+	}
+	res.Errors = errCount.Load()
+	if p := firstErr.Load(); p != nil {
+		res.Err = *p
+	}
+	return res, res.Err
+}
+
+// reporterSeed mixes the run seed with the reporter index (splitmix64
+// increment) so per-reporter streams are decorrelated but reproducible.
+func reporterSeed(seed int64, i int) int64 {
+	return seed + int64(i)*-0x61c8864680b583eb
+}
+
+// drive submits cfg.Reports reports from reporter i. It stops at the
+// first submission error: under the engine's Block policy errors mean
+// the pipeline is broken, not congested.
+func drive(cfg Config, i int, rep Reporter) (uint64, error) {
+	p := cfg.Profile
+	rng := rand.New(rand.NewSource(reporterSeed(cfg.Seed, i)))
+	var zipf *rand.Zipf
+	if p.Kind == Zipf {
+		zipf = rand.NewZipf(rng, p.ZipfS, p.ZipfV, p.Keys-1)
+	}
+	data := make([]byte, 4)
+	var sent uint64
+	for n := 0; n < cfg.Reports; n++ {
+		var keyID uint64
+		switch p.Kind {
+		case Zipf:
+			keyID = zipf.Uint64()
+		case Incast:
+			keyID = rng.Uint64() % p.HotKeys
+		default:
+			keyID = rng.Uint64() % p.Keys
+		}
+		key := wire.KeyFromUint64(keyID)
+		data[0], data[1], data[2], data[3] = byte(keyID>>24), byte(keyID>>16), byte(keyID>>8), byte(keyID)
+
+		op := 0 // KeyWrite
+		if p.Kind == Mixed {
+			op = rng.Intn(4)
+		}
+		var err error
+		switch op {
+		case 0:
+			err = rep.KeyWrite(key, data, p.Redundancy)
+		case 1:
+			err = rep.Increment(key, 1+keyID%16, p.Redundancy)
+		case 2:
+			err = rep.Postcard(key, rng.Intn(p.Hops), p.Hops)
+		case 3:
+			err = rep.Append(uint32(rng.Uint32())%p.Lists, data)
+		}
+		if err != nil {
+			return sent, fmt.Errorf("loadgen: reporter %d report %d: %w", i, n, err)
+		}
+		sent++
+		if p.Kind == Bursty && (n+1)%p.BurstLen == 0 {
+			time.Sleep(p.BurstIdle)
+		}
+	}
+	return sent, nil
+}

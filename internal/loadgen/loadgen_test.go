@@ -1,0 +1,220 @@
+package loadgen
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dta/internal/wire"
+)
+
+// memReporter records the submission sequence of one goroutine.
+type memReporter struct {
+	seq  []string
+	keys map[uint64]int
+}
+
+func newMemReporter() *memReporter {
+	return &memReporter{keys: make(map[uint64]int)}
+}
+
+func (r *memReporter) note(op string, key uint64) {
+	r.seq = append(r.seq, fmt.Sprintf("%s:%d", op, key))
+	r.keys[key]++
+}
+
+func (r *memReporter) KeyWrite(key wire.Key, data []byte, n int) error {
+	r.note("kw", keyID(key))
+	return nil
+}
+
+func (r *memReporter) Increment(key wire.Key, delta uint64, n int) error {
+	r.note("ki", keyID(key))
+	return nil
+}
+
+func (r *memReporter) Postcard(key wire.Key, hop, pathLen int) error {
+	r.note("pc", keyID(key))
+	return nil
+}
+
+func (r *memReporter) Append(list uint32, data []byte) error {
+	r.note("ap", uint64(list))
+	return nil
+}
+
+func keyID(k wire.Key) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v = v<<8 | uint64(k[i])
+	}
+	return v
+}
+
+// runRecorded runs cfg against fresh memReporters and returns them.
+func runRecorded(t *testing.T, cfg Config) []*memReporter {
+	t.Helper()
+	var mu sync.Mutex
+	reps := map[int]*memReporter{}
+	res, err := Run(cfg, func(i int) Reporter {
+		r := newMemReporter()
+		mu.Lock()
+		reps[i] = r
+		mu.Unlock()
+		return r
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg = cfg.withDefaults()
+	if want := uint64(cfg.Reporters * cfg.Reports); res.Submitted != want {
+		t.Fatalf("Submitted = %d, want %d", res.Submitted, want)
+	}
+	out := make([]*memReporter, cfg.Reporters)
+	for i := range out {
+		out[i] = reps[i]
+	}
+	return out
+}
+
+func TestDeterministicSequences(t *testing.T) {
+	for _, kind := range []Kind{Uniform, Zipf, Incast, Mixed} {
+		t.Run(kind.String(), func(t *testing.T) {
+			cfg := Config{Profile: Profile{Kind: kind}, Reporters: 3, Reports: 500, Seed: 42}
+			a := runRecorded(t, cfg)
+			b := runRecorded(t, cfg)
+			for i := range a {
+				if len(a[i].seq) != len(b[i].seq) {
+					t.Fatalf("reporter %d: sequence lengths differ", i)
+				}
+				for j := range a[i].seq {
+					if a[i].seq[j] != b[i].seq[j] {
+						t.Fatalf("reporter %d diverges at %d: %s vs %s", i, j, a[i].seq[j], b[i].seq[j])
+					}
+				}
+			}
+			// Reporters must not mirror each other.
+			if len(a) > 1 && a[0].seq[0] == a[1].seq[0] && a[0].seq[1] == a[1].seq[1] {
+				t.Fatalf("reporters 0 and 1 start identically: %v", a[0].seq[:2])
+			}
+		})
+	}
+}
+
+func TestSeedChangesSequence(t *testing.T) {
+	a := runRecorded(t, Config{Reporters: 1, Reports: 100, Seed: 1})
+	b := runRecorded(t, Config{Reporters: 1, Reports: 100, Seed: 2})
+	same := 0
+	for i := range a[0].seq {
+		if a[0].seq[i] == b[0].seq[i] {
+			same++
+		}
+	}
+	if same == len(a[0].seq) {
+		t.Fatal("different seeds produced identical sequences")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	reps := runRecorded(t, Config{Profile: Profile{Kind: Zipf}, Reporters: 1, Reports: 5000, Seed: 7})
+	max, total := 0, 0
+	for _, c := range reps[0].keys {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	// Under s=1.2 the hottest key takes a large share; uniform over 64k
+	// keys would make max ≈ 1.
+	if max < total/20 {
+		t.Fatalf("hottest key has %d/%d reports — not skewed", max, total)
+	}
+}
+
+func TestIncastConcentration(t *testing.T) {
+	reps := runRecorded(t, Config{Profile: Profile{Kind: Incast}, Reporters: 2, Reports: 1000, Seed: 3})
+	for i, r := range reps {
+		if len(r.keys) > 4 {
+			t.Fatalf("reporter %d touched %d keys, want ≤ 4 (hot set)", i, len(r.keys))
+		}
+	}
+}
+
+func TestBurstyPacing(t *testing.T) {
+	cfg := Config{
+		Profile:   Profile{Kind: Bursty, BurstLen: 100, BurstIdle: 100 * time.Microsecond},
+		Reporters: 2,
+		Reports:   500,
+		Seed:      9,
+	}
+	a := runRecorded(t, cfg)
+	b := runRecorded(t, cfg)
+	for i := range a {
+		for j := range a[i].seq {
+			if a[i].seq[j] != b[i].seq[j] {
+				t.Fatalf("bursty reporter %d diverges at %d despite same seed", i, j)
+			}
+		}
+	}
+}
+
+func TestMixedUsesAllPrimitives(t *testing.T) {
+	reps := runRecorded(t, Config{Profile: Profile{Kind: Mixed}, Reporters: 1, Reports: 1000, Seed: 5})
+	seen := map[string]bool{}
+	for _, s := range reps[0].seq {
+		seen[s[:2]] = true
+	}
+	for _, op := range []string{"kw", "ki", "pc", "ap"} {
+		if !seen[op] {
+			t.Fatalf("mixed profile never used %s", op)
+		}
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	for _, name := range []string{"uniform", "zipf", "bursty", "incast", "mixed"} {
+		p, err := ProfileByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Kind.String() != name {
+			t.Fatalf("ProfileByName(%q).Kind = %v", name, p.Kind)
+		}
+	}
+	if _, err := ProfileByName("nope"); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+// errReporter fails every submission.
+type errReporter struct{}
+
+func (errReporter) KeyWrite(wire.Key, []byte, int) error  { return fmt.Errorf("down") }
+func (errReporter) Increment(wire.Key, uint64, int) error { return fmt.Errorf("down") }
+func (errReporter) Postcard(wire.Key, int, int) error     { return fmt.Errorf("down") }
+func (errReporter) Append(uint32, []byte) error           { return fmt.Errorf("down") }
+
+func TestZipfParamsValidated(t *testing.T) {
+	// rand.NewZipf requires s > 1 and v >= 1; out-of-domain values must
+	// error up front, not panic in the reporter goroutines.
+	for _, p := range []Profile{
+		{Kind: Zipf, ZipfS: 1.0},
+		{Kind: Zipf, ZipfS: 0.5},
+		{Kind: Zipf, ZipfS: 1.2, ZipfV: 0.5},
+	} {
+		if _, err := Run(Config{Profile: p, Reporters: 1, Reports: 1}, func(int) Reporter { return newMemReporter() }); err == nil {
+			t.Fatalf("Run accepted invalid zipf params %+v", p)
+		}
+	}
+}
+
+func TestRunSurfacesErrors(t *testing.T) {
+	res, err := Run(Config{Reporters: 2, Reports: 10}, func(int) Reporter { return errReporter{} })
+	if err == nil {
+		t.Fatal("Run with failing reporter returned nil error")
+	}
+	if res.Errors != 2 || res.Submitted != 0 {
+		t.Fatalf("res = %+v, want 2 errors, 0 submitted", res)
+	}
+}
