@@ -95,6 +95,19 @@ func (r *ClusterReporter) Append(list uint32, data []byte) error {
 	return r.reps[r.cluster.OwnerOfList(list)].Append(list, data)
 }
 
+// KeyWriteImmediate stores data under key on the owning collector with
+// the immediate flag set, raising a push notification there (consume it
+// from that collector's Events channel).
+func (r *ClusterReporter) KeyWriteImmediate(key Key, data []byte, n int) error {
+	return r.reps[r.cluster.Owner(key)].KeyWriteImmediate(key, data, n)
+}
+
+// PostcardValue reports an arbitrary per-hop value (e.g. queueing
+// latency) to the owning collector.
+func (r *ClusterReporter) PostcardValue(key Key, hop, pathLen int, value uint32) error {
+	return r.reps[r.cluster.Owner(key)].PostcardValue(key, hop, pathLen, value)
+}
+
 // LookupValue queries the owning collector's Key-Write store.
 func (c *Cluster) LookupValue(key Key, n int) ([]byte, bool, error) {
 	return c.systems[c.Owner(key)].LookupValue(key, n)
@@ -120,10 +133,21 @@ func (c *Cluster) Flush() error {
 	return nil
 }
 
-// Stats sums counters across collectors.
+// Stats sums counters across collectors. MemInstrPerReport is the
+// report-weighted average of the per-collector ratios, so the Fig. 8
+// metric means the same thing for a cluster as for one collector.
 func (c *Cluster) Stats() Stats {
+	return aggregateStats(c.systems)
+}
+
+// aggregateStats combines per-collector stats for Cluster and HACluster:
+// counters sum; MemInstrPerReport, a ratio, is averaged weighted by each
+// collector's report count (summing ratios would overstate the metric by
+// up to a factor of the cluster size).
+func aggregateStats(systems []*System) Stats {
 	var total Stats
-	for _, sys := range c.systems {
+	var memInstr float64 // report-weighted sum of per-collector ratios
+	for _, sys := range systems {
 		st := sys.Stats()
 		total.Reports += st.Reports
 		total.RDMAWrites += st.RDMAWrites
@@ -133,6 +157,10 @@ func (c *Cluster) Stats() Stats {
 		total.PostcardEmits += st.PostcardEmits
 		total.AppendFlushes += st.AppendFlushes
 		total.LinkDropped += st.LinkDropped
+		memInstr += st.MemInstrPerReport * float64(st.Reports)
+	}
+	if total.Reports > 0 {
+		total.MemInstrPerReport = memInstr / float64(total.Reports)
 	}
 	return total
 }

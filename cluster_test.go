@@ -177,6 +177,120 @@ func TestClusterOwnershipDistribution(t *testing.T) {
 	}
 }
 
+// TestClusterReporterParity covers the ClusterReporter methods that
+// lagged behind Reporter: KeyWriteImmediate raises the push event on
+// the owning collector, and PostcardValue records per-hop values there.
+func TestClusterReporterParity(t *testing.T) {
+	c, err := NewCluster(3, fullOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := c.Reporter(1)
+	k := KeyFromUint64(77)
+	owner := c.Owner(k)
+
+	if err := rep.KeyWriteImmediate(k, []byte{4, 3, 2, 1}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if data, ok, err := c.LookupValue(k, 2); err != nil || !ok || !bytes.Equal(data, []byte{4, 3, 2, 1}) {
+		t.Fatalf("immediate write lookup: %v %v %v", data, ok, err)
+	}
+	// The immediate flag raises one push event per redundant RDMA
+	// write (n=2 here) — all of them on the owning collector only.
+	for i := 0; i < c.Size(); i++ {
+		want := 0
+		if i == owner {
+			want = 2
+		}
+		if got := len(c.System(i).Host().Events); got != want {
+			t.Errorf("collector %d holds %d events, want %d", i, got, want)
+		}
+	}
+
+	for hop := 0; hop < 5; hop++ {
+		if err := rep.PostcardValue(k, hop, 5, uint32(10+hop)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	path, ok, err := c.LookupPath(k, 1)
+	if err != nil || !ok || len(path) != 5 {
+		t.Fatalf("postcard value path: %v %v %v", path, ok, err)
+	}
+	for hop, v := range path {
+		if v != uint32(10+hop) {
+			t.Errorf("hop %d value = %d, want %d", hop, v, 10+hop)
+		}
+	}
+}
+
+// TestClusterStatsMemInstrWeighted: the Fig. 8 metric must survive
+// clustering as the report-weighted average, not vanish (the old code
+// summed every counter but never set MemInstrPerReport).
+func TestClusterStatsMemInstrWeighted(t *testing.T) {
+	c, err := NewCluster(3, fullOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := c.Reporter(1)
+	for i := uint64(0); i < 100; i++ {
+		if err := rep.KeyWrite(KeyFromUint64(i), []byte{1, 2, 3, 4}, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lo, hi := -1.0, -1.0
+	for i := 0; i < c.Size(); i++ {
+		st := c.System(i).Stats()
+		if st.Reports == 0 {
+			continue
+		}
+		if lo < 0 || st.MemInstrPerReport < lo {
+			lo = st.MemInstrPerReport
+		}
+		if st.MemInstrPerReport > hi {
+			hi = st.MemInstrPerReport
+		}
+	}
+	got := c.Stats().MemInstrPerReport
+	if got <= 0 {
+		t.Fatalf("cluster MemInstrPerReport = %v, dropped in aggregation", got)
+	}
+	// A weighted average lies within the per-collector extremes.
+	if got < lo || got > hi {
+		t.Errorf("cluster MemInstrPerReport = %v outside per-collector range [%v, %v]", got, lo, hi)
+	}
+}
+
+// TestEventsSingleConsumerPump: Events must return one cached channel —
+// the old per-call pump spawned competing goroutines that stole each
+// other's notifications and never exited.
+func TestEventsSingleConsumerPump(t *testing.T) {
+	sys, err := New(fullOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch1 := sys.Events()
+	ch2 := sys.Events()
+	if ch1 != ch2 {
+		t.Fatal("Events returned distinct channels: competing pumps")
+	}
+	rep := sys.Reporter(1)
+	if err := rep.KeyWriteImmediate(KeyFromUint64(5), []byte{1, 2, 3, 4}, 1); err != nil {
+		t.Fatal(err)
+	}
+	ev := <-ch1
+	if ev.Imm == 0 {
+		t.Errorf("event imm = %d, want non-zero", ev.Imm)
+	}
+	select {
+	case extra := <-ch2:
+		t.Errorf("second event %+v appeared for a single immediate write", extra)
+	default:
+	}
+}
+
 func TestClusterOwnerEmptyPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

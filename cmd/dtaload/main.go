@@ -7,11 +7,24 @@
 //	dtaload -profile zipf -shards 4 -reporters 8 -reports 200000
 //	dtaload -profile incast -policy drop -queue 64 -chunk 16
 //
+// With -replicas ≥ 1 the run goes through the replicated HA cluster
+// instead, and -schedule injects collector failures mid-run; after the
+// run the cluster is rebalanced and every key the workload wrote is
+// queried back, so the report shows what a failure actually cost:
+//
+//	dtaload -replicas 2 -schedule 'kill@0.25=1,restore@0.75=1'
+//
+// With R ≥ 2 the verification recovers the acknowledged writes through
+// surviving replicas; with R = 1 the same schedule loses the dead
+// collector's slice — run both to see the difference.
+//
 // The run is deterministic for a fixed -seed: the same per-shard report
 // counts come out every time regardless of scheduling.
 package main
 
 import (
+	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -36,6 +49,9 @@ func main() {
 		chunk     = flag.Int("chunk", 32, "frames staged per chunk")
 		batch     = flag.Int("batch", 16, "worker dequeue batch (chunks)")
 		policy    = flag.String("policy", "block", "backpressure: block or drop")
+		replicas  = flag.Int("replicas", 0, "replication factor R (0 = plain cluster, no HA)")
+		schedule  = flag.String("schedule", "", "failure schedule, e.g. 'kill@0.25=1,restore@0.75=1' (needs -replicas)")
+		verify    = flag.Int("verify", 20000, "max written keys to query back after an HA run (0 = skip)")
 	)
 	flag.Parse()
 
@@ -55,16 +71,46 @@ func main() {
 		log.Fatalf("dtaload: unknown policy %q (want block or drop)", *policy)
 	}
 
+	sched, err := loadgen.ParseSchedule(*schedule)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(sched) > 0 && *replicas < 1 {
+		log.Fatal("dtaload: -schedule requires -replicas >= 1")
+	}
+
 	vals := make([]uint32, *reporters)
 	for i := range vals {
 		vals[i] = uint32(i + 1) // postcard values = switch IDs
 	}
-	cluster, err := dta.NewCluster(*shards, dta.Options{
+	opts := dta.Options{
 		KeyWrite:     &dta.KeyWriteOptions{Slots: 1 << 20, DataSize: 4},
 		KeyIncrement: &dta.KeyIncrementOptions{Slots: 1 << 18},
 		Postcarding:  &dta.PostcardingOptions{Chunks: 1 << 16, Hops: 5, Values: vals},
 		Append:       &dta.AppendOptions{Lists: 8, EntriesPerList: 1 << 16, EntrySize: 4, Batch: 16},
-	})
+	}
+
+	lcfg := loadgen.Config{
+		Profile:   prof,
+		Reporters: *reporters,
+		Reports:   *reports,
+		Seed:      *seed,
+		Schedule:  sched,
+	}
+
+	fmt.Printf("profile=%s shards=%d reporters=%d reports/reporter=%d seed=%d policy=%s replicas=%d gomaxprocs=%d\n",
+		prof.Kind, *shards, *reporters, *reports, *seed, *policy, *replicas, runtime.GOMAXPROCS(0))
+
+	if *replicas >= 1 {
+		runHA(opts, cfg, lcfg, *shards, *replicas, *verify)
+		return
+	}
+	runPlain(opts, cfg, lcfg, *shards)
+}
+
+// runPlain is the original single-owner cluster path.
+func runPlain(opts dta.Options, cfg dta.EngineConfig, lcfg loadgen.Config, shards int) {
+	cluster, err := dta.NewCluster(shards, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -72,14 +118,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	res, err := loadgen.Run(loadgen.Config{
-		Profile:   prof,
-		Reporters: *reporters,
-		Reports:   *reports,
-		Seed:      *seed,
-		Drain:     eng.Drain,
-	}, func(i int) loadgen.Reporter {
+	lcfg.Drain = eng.Drain
+	res, err := loadgen.Run(lcfg, func(i int) loadgen.Reporter {
 		return eng.Reporter(uint32(i + 1))
 	})
 	if err != nil {
@@ -88,23 +128,113 @@ func main() {
 	if err := eng.Close(); err != nil {
 		log.Fatalf("dtaload: close: %v", err)
 	}
+	printRun(res, eng)
+	printShards(eng, func(i int) dta.Stats { return cluster.System(i).Stats() })
+}
 
+// runHA drives the replicated cluster, optionally injecting the failure
+// schedule, then rebalances and verifies recovery of written keys.
+func runHA(opts dta.Options, cfg dta.EngineConfig, lcfg loadgen.Config, shards, replicas, verify int) {
+	hac, err := dta.NewHACluster(shards, replicas, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := hac.Engine(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lcfg.Drain = eng.Drain
+	lcfg.Control = func(ev loadgen.Event) error {
+		switch ev.Action {
+		case loadgen.Kill:
+			fmt.Printf("event: kill collector %d\n", ev.Collector)
+			return hac.SetDown(ev.Collector)
+		case loadgen.Restore:
+			fmt.Printf("event: restore collector %d\n", ev.Collector)
+			return hac.SetUp(ev.Collector)
+		}
+		return fmt.Errorf("dtaload: unknown action %v", ev.Action)
+	}
+	res, err := loadgen.Run(lcfg, func(i int) loadgen.Reporter {
+		return eng.Reporter(uint32(i + 1))
+	})
+	if err != nil {
+		log.Fatalf("dtaload: %v", err)
+	}
+	if err := hac.Rebalance(); err != nil {
+		log.Fatalf("dtaload: rebalance: %v", err)
+	}
+	printRun(res, eng)
+
+	hst := hac.HAStats()
+	fmt.Printf("ha: degraded-writes=%d lost-writes=%d replica-skips=%d degraded-queries=%d failover-queries=%d resyncs=%d\n\n",
+		hst.DegradedWrites, hst.LostWrites, hst.ReplicaSkips, hst.DegradedQueries, hst.FailoverQueries, hst.Resyncs)
+
+	printShards(eng, func(i int) dta.Stats { return hac.System(i).Stats() })
+
+	if verify > 0 {
+		verifyHA(hac, lcfg, verify)
+	}
+	if err := eng.Close(); err != nil {
+		log.Fatalf("dtaload: close: %v", err)
+	}
+}
+
+// verifyHA queries back the keys the deterministic workload wrote and
+// reports how many survived the failure scenario.
+func verifyHA(hac *dta.HACluster, lcfg loadgen.Config, limit int) {
+	keys := loadgen.WrittenKeys(lcfg)
+	if len(keys) > limit {
+		keys = keys[:limit]
+	}
+	redundancy := lcfg.Defaulted().Profile.Redundancy
+	var found, correct, unreachable int
+	for _, k := range keys {
+		data, ok, err := hac.LookupValue(dta.KeyFromUint64(k), redundancy)
+		switch {
+		case errors.Is(err, dta.ErrAllReplicasDown):
+			// A permanently dead owner set is a cost to report, not a
+			// harness failure: the key counts as lost.
+			unreachable++
+			continue
+		case err != nil:
+			log.Fatalf("dtaload: verify key %d: %v", k, err)
+		case !ok:
+			continue
+		}
+		found++
+		want := loadgen.KeyWriteValue(k)
+		if bytes.Equal(data, want[:]) {
+			correct++
+		}
+	}
+	pct := func(n int) float64 {
+		if len(keys) == 0 {
+			return 0
+		}
+		return 100 * float64(n) / float64(len(keys))
+	}
+	fmt.Printf("\nverify: keys=%d found=%d (%.2f%%) correct=%d (%.2f%%) unreachable=%d\n",
+		len(keys), found, pct(found), correct, pct(correct), unreachable)
+}
+
+func printRun(res loadgen.Result, eng *dta.Engine) {
+	fmt.Printf("submitted=%d elapsed=%s throughput=%.0f reports/s events-fired=%d\n",
+		res.Submitted, res.Elapsed.Round(time.Microsecond), res.Throughput(), res.EventsFired)
 	est := eng.Stats()
-	fmt.Printf("profile=%s shards=%d reporters=%d reports/reporter=%d seed=%d policy=%s gomaxprocs=%d\n",
-		prof.Kind, *shards, *reporters, *reports, *seed, *policy, runtime.GOMAXPROCS(0))
-	fmt.Printf("submitted=%d elapsed=%s throughput=%.0f reports/s\n",
-		res.Submitted, res.Elapsed.Round(time.Microsecond), res.Throughput())
 	attempts := est.Enqueued + est.Dropped
 	dropPct := 0.0
 	if attempts > 0 {
 		dropPct = 100 * float64(est.Dropped) / float64(attempts)
 	}
 	fmt.Printf("ingested=%d dropped=%d (%.1f%%)\n\n", est.Processed, est.Dropped, dropPct)
+}
 
+func printShards(eng *dta.Engine, sysStats func(i int) dta.Stats) {
 	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
 	fmt.Fprintln(w, "shard\tenqueued\tprocessed\tdropped\tbatches\tflushes\treports\trdma-writes\trdma-atomics\trate-dropped")
 	for i, st := range eng.ShardStats() {
-		ss := cluster.System(i).Stats()
+		ss := sysStats(i)
 		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
 			i, st.Enqueued, st.Processed, st.Dropped, st.Batches, st.Flushes,
 			ss.Reports, ss.RDMAWrites, ss.RDMAAtomics, ss.RateDropped)

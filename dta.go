@@ -34,6 +34,7 @@ package dta
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"dta/internal/collector"
@@ -132,6 +133,10 @@ type System struct {
 	// now is the simulation clock; atomic so Advance can run while an
 	// attached Engine worker reads it.
 	now atomic.Uint64
+
+	// eventsOnce guards the single Events pump; see Events.
+	eventsOnce sync.Once
+	events     chan ImmediateEvent
 
 	// Stats mirrors the translator's counters.
 	reporters []*Reporter
@@ -331,9 +336,12 @@ func (s *System) LookupCount(key Key, n int) (uint64, error) {
 	return s.host.QueryCount(key, n)
 }
 
+// AppendPoller reads entries out of one Append list.
+type AppendPoller = appendlist.Poller
+
 // Poller returns a reader over one Append list. Call Flush first to push
 // out partial translator batches.
-func (s *System) Poller(list int) (*appendlist.Poller, error) {
+func (s *System) Poller(list int) (*AppendPoller, error) {
 	return s.host.AppendPoller(list)
 }
 
@@ -354,26 +362,32 @@ func (s *System) flushAt(nowNs uint64) error {
 	return s.tr.DrainPostcards(nowNs)
 }
 
-// Events exposes the collector's push-notification channel (reports sent
-// with the immediate flag).
-func (s *System) Events() <-chan struct {
+// ImmediateEvent is a push notification raised by a report sent with
+// the immediate flag.
+type ImmediateEvent struct {
 	QPN uint32
 	Imm uint32
-} {
-	// Re-type the internal channel through a small pump on first use.
-	ch := make(chan struct {
-		QPN uint32
-		Imm uint32
-	}, cap(s.host.Events))
-	go func() {
-		for ev := range s.host.Events {
-			ch <- struct {
-				QPN uint32
-				Imm uint32
-			}{ev.QPN, ev.Imm}
-		}
-	}()
-	return ch
+}
+
+// Events exposes the collector's push-notification channel (reports sent
+// with the immediate flag). The re-typing pump over the internal channel
+// is started once, on the first call, and every call returns the same
+// channel: the stream is single-consumer. Fanning it out to multiple
+// receivers would split events between them nondeterministically —
+// multiplex behind one receiver instead. (Earlier versions spawned a
+// fresh pump per call, so concurrent callers silently stole each other's
+// events and every pump goroutine leaked.)
+func (s *System) Events() <-chan ImmediateEvent {
+	s.eventsOnce.Do(func() {
+		s.events = make(chan ImmediateEvent, cap(s.host.Events))
+		go func() {
+			for ev := range s.host.Events {
+				s.events <- ImmediateEvent{QPN: ev.QPN, Imm: ev.Imm}
+			}
+			close(s.events)
+		}()
+	})
+	return s.events
 }
 
 // Stats reports end-to-end counters.

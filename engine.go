@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dta/internal/engine"
+	"dta/internal/ha"
 	"dta/internal/reporter"
 	"dta/internal/wire"
 )
@@ -40,8 +41,9 @@ var ErrEngineClosed = engine.ErrClosed
 // Query and Stats methods are safe again once Drain or Close returns.
 type Engine struct {
 	inner   *engine.Engine
-	cluster *Cluster  // nil when attached to a single System
-	systems []*System // one per shard
+	cluster *Cluster   // nil unless attached to a Cluster
+	hac     *HACluster // nil unless attached to an HACluster (replicated fan-out)
+	systems []*System  // one per shard
 }
 
 // systemSink adapts one System's lossy-link + translator + collector
@@ -56,15 +58,15 @@ func (k systemSink) Flush(nowNs uint64) error { return k.s.flushAt(nowNs) }
 
 // Engine attaches a single-shard async ingest engine to this System.
 func (s *System) Engine(cfg EngineConfig) (*Engine, error) {
-	return newEngine([]*System{s}, nil, cfg)
+	return newEngine([]*System{s}, nil, nil, cfg)
 }
 
 // Engine attaches an async ingest engine with one shard per collector.
 func (c *Cluster) Engine(cfg EngineConfig) (*Engine, error) {
-	return newEngine(c.systems, c, cfg)
+	return newEngine(c.systems, c, nil, cfg)
 }
 
-func newEngine(systems []*System, cluster *Cluster, cfg EngineConfig) (*Engine, error) {
+func newEngine(systems []*System, cluster *Cluster, hac *HACluster, cfg EngineConfig) (*Engine, error) {
 	sinks := make([]engine.Sink, len(systems))
 	for i, s := range systems {
 		sinks[i] = systemSink{s}
@@ -73,7 +75,7 @@ func newEngine(systems []*System, cluster *Cluster, cfg EngineConfig) (*Engine, 
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{inner: inner, cluster: cluster, systems: systems}, nil
+	return &Engine{inner: inner, cluster: cluster, hac: hac, systems: systems}, nil
 }
 
 // Shards returns the number of shard workers.
@@ -97,6 +99,10 @@ func (e *Engine) Drain() error {
 // Close drains queued reports, flushes every shard and stops the
 // workers; subsequent submissions fail with ErrEngineClosed.
 func (e *Engine) Close() error { return e.inner.Close() }
+
+// Closed reports whether Close has been called (an HACluster allows
+// membership changes only once its attached engine is closed).
+func (e *Engine) Closed() bool { return e.inner.Closed() }
 
 // Err returns the first ingest error observed by any shard worker.
 func (e *Engine) Err() error { return e.inner.Err() }
@@ -157,13 +163,44 @@ func (r *AsyncReporter) submit(shard int, ln int, err error) error {
 	return r.sub.Submit(shard, r.buf[:ln], r.eng.systems[shard].Now())
 }
 
+// haFan encodes and submits one report to every live replica owner
+// (HACluster engines only): the same fan-out HAReporter performs
+// synchronously, staged through the owners' shard queues. Down owners
+// are skipped with a counter, never an error.
+func (r *AsyncReporter) haFan(owners []int, encode func(rep *reporter.Reporter, buf []byte) (int, error)) error {
+	h := r.eng.hac
+	live := 0
+	for _, o := range owners {
+		if h.health.IsDown(o) {
+			continue
+		}
+		ln, err := encode(r.reps[o], r.buf)
+		if err != nil {
+			return err
+		}
+		if err := r.sub.Submit(o, r.buf[:ln], r.eng.systems[o].Now()); err != nil {
+			return err
+		}
+		live++
+	}
+	h.health.RecordWrite(live, len(owners))
+	return nil
+}
+
 // Flush queues this reporter's staged chunks. Producers must call it
 // (on their own goroutine) before the engine's Drain or Close covers
 // their reports.
 func (r *AsyncReporter) Flush() error { return r.sub.Flush() }
 
-// KeyWrite stores data under key with redundancy n via the owning shard.
+// KeyWrite stores data under key with redundancy n via the owning
+// shard (all R owning shards on an HACluster engine).
 func (r *AsyncReporter) KeyWrite(key Key, data []byte, n int) error {
+	if h := r.eng.hac; h != nil {
+		var ob [ha.MaxReplicas]int
+		return r.haFan(h.owners(key[:], ob[:0]), func(rep *reporter.Reporter, buf []byte) (int, error) {
+			return rep.KeyWrite(buf, key, data, uint8(n), false)
+		})
+	}
 	sh := r.shardFor(key)
 	ln, err := r.reps[sh].KeyWrite(r.buf, key, data, uint8(n), false)
 	return r.submit(sh, ln, err)
@@ -171,6 +208,12 @@ func (r *AsyncReporter) KeyWrite(key Key, data []byte, n int) error {
 
 // Increment adds delta to key's counter with redundancy n.
 func (r *AsyncReporter) Increment(key Key, delta uint64, n int) error {
+	if h := r.eng.hac; h != nil {
+		var ob [ha.MaxReplicas]int
+		return r.haFan(h.owners(key[:], ob[:0]), func(rep *reporter.Reporter, buf []byte) (int, error) {
+			return rep.KeyIncrement(buf, key, delta, uint8(n))
+		})
+	}
 	sh := r.shardFor(key)
 	ln, err := r.reps[sh].KeyIncrement(r.buf, key, delta, uint8(n))
 	return r.submit(sh, ln, err)
@@ -178,13 +221,26 @@ func (r *AsyncReporter) Increment(key Key, delta uint64, n int) error {
 
 // Postcard reports a hop observation for key (path tracing).
 func (r *AsyncReporter) Postcard(key Key, hop, pathLen int) error {
+	if h := r.eng.hac; h != nil {
+		var ob [ha.MaxReplicas]int
+		return r.haFan(h.owners(key[:], ob[:0]), func(rep *reporter.Reporter, buf []byte) (int, error) {
+			return rep.Postcard(buf, key, uint8(hop), uint8(pathLen))
+		})
+	}
 	sh := r.shardFor(key)
 	ln, err := r.reps[sh].Postcard(r.buf, key, uint8(hop), uint8(pathLen))
 	return r.submit(sh, ln, err)
 }
 
-// Append adds data to the tail of list on the shard owning the list.
+// Append adds data to the tail of list on the shard owning the list
+// (all R owning shards on an HACluster engine).
 func (r *AsyncReporter) Append(list uint32, data []byte) error {
+	if h := r.eng.hac; h != nil {
+		var ob [ha.MaxReplicas]int
+		return r.haFan(h.ring.OwnersOfList(list, h.r, ob[:0]), func(rep *reporter.Reporter, buf []byte) (int, error) {
+			return rep.Append(buf, list, data, false)
+		})
+	}
 	sh := 0
 	if r.eng.cluster != nil {
 		sh = r.eng.cluster.OwnerOfList(list)

@@ -1,0 +1,125 @@
+// Failover: replicated multi-collector DTA surviving a collector crash
+// (§7 "Supporting Multiple Collectors", extended with the internal/ha
+// control plane).
+//
+// Three collectors hold every key on R=2 of them, chosen by a
+// rendezvous-hash ring. The walkthrough kills a collector mid-run,
+// shows queries failing over to the surviving replica, rejoins the dead
+// collector, resynchronises it from peer snapshots with Rebalance, and
+// finally grows the cluster by a fourth collector — all without losing
+// an acknowledged report. Run with:
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"dta"
+)
+
+func main() {
+	cluster, err := dta.NewHACluster(3, 2, dta.Options{
+		KeyWrite:     &dta.KeyWriteOptions{Slots: 1 << 18, DataSize: 4},
+		KeyIncrement: &dta.KeyIncrementOptions{Slots: 1 << 16},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := cluster.Reporter(1)
+
+	value := func(i uint64) []byte {
+		var d [4]byte
+		binary.BigEndian.PutUint32(d[:], uint32(i))
+		return d[:]
+	}
+	write := func(from, to uint64) {
+		for i := from; i < to; i++ {
+			if err := rep.KeyWrite(dta.KeyFromUint64(i), value(i), 2); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	check := func(stage string, from, to uint64) {
+		ok := 0
+		for i := from; i < to; i++ {
+			data, found, err := cluster.LookupValue(dta.KeyFromUint64(i), 2)
+			if err != nil {
+				log.Fatalf("%s: key %d: %v", stage, i, err)
+			}
+			if found && bytes.Equal(data, value(i)) {
+				ok++
+			}
+		}
+		fmt.Printf("%-42s %d/%d keys answer correctly\n", stage, ok, to-from)
+	}
+
+	const keys = 2000
+
+	// Phase 1: healthy cluster. Every key lands on both of its owners.
+	write(0, keys/2)
+	check("healthy cluster:", 0, keys/2)
+
+	// Phase 2: collector 1 dies mid-run. Writers skip it (counting
+	// degraded writes), and queries for its keys fail over to the
+	// surviving replica — nothing acknowledged is lost.
+	if err := cluster.SetDown(1); err != nil {
+		log.Fatal(err)
+	}
+	write(keys/2, keys)
+	check("collector 1 down, replicas answering:", 0, keys)
+	st := cluster.HAStats()
+	fmt.Printf("%-42s degraded-writes=%d lost-writes=%d failover-queries=%d\n",
+		"degradation so far:", st.DegradedWrites, st.LostWrites, st.FailoverQueries)
+
+	// Phase 3: collector 1 rejoins. Until Rebalance replays peer
+	// snapshots into it, it is stale and only a last-resort responder;
+	// afterwards it serves its slice — including everything it missed.
+	if err := cluster.SetUp(1); err != nil {
+		log.Fatal(err)
+	}
+	if err := cluster.Rebalance(); err != nil {
+		log.Fatal(err)
+	}
+	direct := 0
+	ownedBy1 := 0
+	for i := uint64(0); i < keys; i++ {
+		k := dta.KeyFromUint64(i)
+		for _, o := range cluster.Owners(k) {
+			if o != 1 {
+				continue
+			}
+			ownedBy1++
+			data, found, err := cluster.System(1).LookupValue(k, 2)
+			if err == nil && found && bytes.Equal(data, value(i)) {
+				direct++
+			}
+		}
+	}
+	fmt.Printf("%-42s %d/%d owned keys served directly\n",
+		"collector 1 rejoined + resynced:", direct, ownedBy1)
+
+	// Phase 4: live resharding. A fourth collector joins; the
+	// rendezvous ring moves ~R/(n+1) of the keys to it, Rebalance
+	// replays them in, and the whole key space still answers.
+	id, err := cluster.AddCollector()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cluster.Rebalance(); err != nil {
+		log.Fatal(err)
+	}
+	check(fmt.Sprintf("grown to %d collectors:", cluster.Size()), 0, keys)
+	gained := 0
+	for i := uint64(0); i < keys; i++ {
+		for _, o := range cluster.Owners(dta.KeyFromUint64(i)) {
+			if o == id {
+				gained++
+			}
+		}
+	}
+	fmt.Printf("%-42s %d/%d keys moved to the newcomer\n", "ring movement:", gained, keys)
+}

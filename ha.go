@@ -1,0 +1,617 @@
+package dta
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+
+	"dta/internal/ha"
+	"dta/internal/reporter"
+	"dta/internal/snapshot"
+	"dta/internal/wire"
+)
+
+// HAStats counts replication degradation events (degraded/lost writes,
+// failover/failed queries, resyncs). See internal/ha for field docs.
+type HAStats = ha.Stats
+
+// ErrAllReplicasDown is returned by HACluster queries when every owner
+// of the key is marked down.
+var ErrAllReplicasDown = errors.New("dta: all replicas for key are down")
+
+// HACluster is a replicated, fault-tolerant multi-collector deployment:
+// the high-availability layer over the same collectors a Cluster shards
+// across (§7, extended). Three mechanisms distinguish it from Cluster's
+// static CRC-mod-N partitioning:
+//
+//   - Replicated ownership. A rendezvous-hash ring maps every key (and
+//     Append list) to R replica collectors; reporters fan each report
+//     out to all live owners, and membership change moves only the keys
+//     the joining/leaving collector gains or loses.
+//   - Failure injection and failover. SetDown/SetUp flip a lock-free
+//     per-collector health flag mid-run. Writers skip down replicas
+//     (counting degraded and lost writes instead of failing — reports
+//     are best-effort, as in the paper's rate limiter), and queries
+//     fall back across surviving replicas with a plurality merge,
+//     counting degraded and failover queries.
+//   - Recovery and live resharding. A rejoining (SetUp) or newly added
+//     (AddCollector) collector is marked stale — queries use it only as
+//     a last resort — until Rebalance drains in-flight reports and
+//     replays peer snapshots into it (internal/ha.Resync), after which
+//     it serves its owned slice like any other replica.
+//
+// Writers and queries are safe concurrently with SetDown/SetUp.
+// Membership changes (AddCollector, Decommission) and Rebalance require
+// quiesced producers: Flush any AsyncReporters, then call them.
+type HACluster struct {
+	opts   Options
+	r      int
+	ring   *ha.Ring
+	health *ha.Health
+
+	// mu guards systems growth, the stale set and pending snapshots;
+	// the write lock makes Rebalance exclusive with queries.
+	mu      sync.RWMutex
+	systems []*System
+	stale   map[int]bool
+	// pending holds captures of decommissioned collectors whose keys
+	// must still be replayed into their new owners at the next Rebalance.
+	pending []*snapshot.Snapshot
+	eng     *Engine
+}
+
+// NewHACluster builds n identical collectors replicating every key to
+// r of them. r = 1 reproduces Cluster's single-owner behaviour (but
+// over the rendezvous ring, so membership can still change); r ≥ 2
+// survives collector failure without losing acknowledged reports.
+func NewHACluster(n, r int, opts Options) (*HACluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dta: cluster size %d < 1", n)
+	}
+	if n > ha.MaxMembers {
+		return nil, fmt.Errorf("dta: cluster size %d exceeds %d", n, ha.MaxMembers)
+	}
+	if r < 1 || r > ha.MaxReplicas {
+		return nil, fmt.Errorf("dta: replication factor %d out of range [1,%d]", r, ha.MaxReplicas)
+	}
+	if r > n {
+		return nil, fmt.Errorf("dta: replication factor %d exceeds cluster size %d", r, n)
+	}
+	c := &HACluster{
+		opts:   opts,
+		r:      r,
+		ring:   ha.NewRing(n),
+		health: ha.NewHealth(),
+		stale:  make(map[int]bool),
+	}
+	for i := 0; i < n; i++ {
+		o := opts
+		o.Seed = opts.Seed + int64(i)
+		sys, err := New(o)
+		if err != nil {
+			return nil, err
+		}
+		c.systems = append(c.systems, sys)
+	}
+	return c, nil
+}
+
+// Size returns the number of collectors ever attached (including
+// decommissioned ones, whose Systems stay inspectable).
+func (c *HACluster) Size() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.systems)
+}
+
+// Replicas returns the replication factor R.
+func (c *HACluster) Replicas() int { return c.r }
+
+// System returns collector i (direct inspection, Append polling).
+func (c *HACluster) System(i int) *System {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.systems[i]
+}
+
+// Owners returns the R ring owners of key, primary first.
+func (c *HACluster) Owners(key Key) []int {
+	return c.ring.Owners(key[:], c.r, nil)
+}
+
+// OwnersOfList returns the R ring owners of an Append list, primary
+// first.
+func (c *HACluster) OwnersOfList(list uint32) []int {
+	return c.ring.OwnersOfList(list, c.r, nil)
+}
+
+// owners is the allocation-free variant for hot paths.
+func (c *HACluster) owners(key []byte, out []int) []int {
+	return c.ring.Owners(key, c.r, out)
+}
+
+// HAStats snapshots the degradation counters.
+func (c *HACluster) HAStats() HAStats { return c.health.Snapshot() }
+
+// SetDown injects a failure: collector i stops receiving writes and
+// answering queries until SetUp. Safe mid-run.
+func (c *HACluster) SetDown(i int) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if i < 0 || i >= len(c.systems) {
+		return fmt.Errorf("dta: collector %d out of range [0,%d)", i, len(c.systems))
+	}
+	return c.health.SetDown(i)
+}
+
+// SetUp revives collector i. It comes back stale — it missed every
+// write while down, so queries prefer its peers — until Rebalance
+// resynchronises it.
+func (c *HACluster) SetUp(i int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i < 0 || i >= len(c.systems) {
+		return fmt.Errorf("dta: collector %d out of range [0,%d)", i, len(c.systems))
+	}
+	if !c.health.IsDown(i) {
+		return nil
+	}
+	if err := c.health.SetUp(i); err != nil {
+		return err
+	}
+	c.stale[i] = true
+	return nil
+}
+
+// AddCollector grows the cluster by one collector and returns its
+// index. The rendezvous ring reassigns only the keys the newcomer now
+// owns; it starts stale and serves them after the next Rebalance.
+// Requires no attached engine (engines have a fixed shard set: Close
+// it, add, then attach a new one) and quiesced producers.
+func (c *HACluster) AddCollector() (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.eng != nil && !c.eng.Closed() {
+		return 0, errors.New("dta: cannot add collector while an engine is attached (Close it first)")
+	}
+	id := len(c.systems)
+	if id >= ha.MaxMembers {
+		return 0, fmt.Errorf("dta: cluster size limit %d reached", ha.MaxMembers)
+	}
+	o := c.opts
+	o.Seed = c.opts.Seed + int64(id)
+	sys, err := New(o)
+	if err != nil {
+		return 0, err
+	}
+	if err := c.ring.Add(id); err != nil {
+		return 0, err
+	}
+	c.systems = append(c.systems, sys)
+	c.stale[id] = true
+	return id, nil
+}
+
+// Decommission shrinks the cluster: collector i leaves the ring and its
+// keys move to their new owners. Its data is captured immediately and
+// replayed into the survivors at the next Rebalance; until then every
+// remaining collector is stale for the moved keys, so all are marked
+// stale. Same quiescence requirements as AddCollector.
+func (c *HACluster) Decommission(i int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.eng != nil && !c.eng.Closed() {
+		return errors.New("dta: cannot decommission while an engine is attached (Close it first)")
+	}
+	if i < 0 || i >= len(c.systems) {
+		return fmt.Errorf("dta: collector %d out of range [0,%d)", i, len(c.systems))
+	}
+	if err := c.ring.Remove(i); err != nil {
+		return err
+	}
+	if !c.health.IsDown(i) {
+		if err := c.systems[i].Flush(); err != nil {
+			return err
+		}
+		c.pending = append(c.pending, snapshot.Capture(c.systems[i].Host()))
+	}
+	delete(c.stale, i)
+	for _, id := range c.ring.Members() {
+		if !c.health.IsDown(id) {
+			c.stale[id] = true
+		}
+	}
+	return nil
+}
+
+// Rebalance is the resharding barrier: it drains the attached engine
+// (or flushes every live collector when reporting synchronously), then
+// replays peer snapshots into every live stale collector and clears its
+// stale mark. Afterwards rejoined, added and survivor collectors all
+// serve their owned slices at full fidelity. When every live collector
+// is stale (e.g. after decommissioning one while it was down), the
+// survivors cross-sync from each other's snapshots, so keys that moved
+// owner regain their full replica count from whichever peer still holds
+// them.
+//
+// Producers must be quiesced first (Flush AsyncReporters, stop sync
+// reporters): Rebalance copies store memory and must not race ingest.
+func (c *HACluster) Rebalance() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.eng != nil && !c.eng.Closed() {
+		if err := c.eng.Drain(); err != nil {
+			return err
+		}
+	} else {
+		for _, id := range c.ring.Members() {
+			if c.health.IsDown(id) {
+				continue
+			}
+			if err := c.systems[id].Flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if len(c.stale) == 0 && len(c.pending) == 0 {
+		return nil
+	}
+	// Capture every live ring member once, before any resync, so all
+	// replays see pre-rebalance state. Stale members are peers too:
+	// when everyone is stale (Decommission marks all survivors), they
+	// cross-sync from each other — each survivor holds data its peers
+	// are missing — rather than skipping resync for want of a fresh
+	// peer. Stale captures are merely older, so they replay BEFORE
+	// pending and fresh ones: later merges win slot conflicts, keeping
+	// fresher values on top.
+	var stalePeers, freshPeers []int
+	for _, id := range c.ring.Members() {
+		if c.health.IsDown(id) {
+			continue
+		}
+		if c.stale[id] {
+			stalePeers = append(stalePeers, id)
+		} else {
+			freshPeers = append(freshPeers, id)
+		}
+	}
+	caps := make(map[int]*snapshot.Snapshot, len(stalePeers)+len(freshPeers))
+	for _, id := range append(append([]int(nil), stalePeers...), freshPeers...) {
+		caps[id] = snapshot.Capture(c.systems[id].Host())
+	}
+	for id := range c.stale {
+		if c.health.IsDown(id) {
+			continue // still down: stays stale for its next rejoin
+		}
+		var snaps []*snapshot.Snapshot
+		for _, p := range stalePeers {
+			if p != id {
+				snaps = append(snaps, caps[p])
+			}
+		}
+		snaps = append(snaps, c.pending...)
+		for _, p := range freshPeers {
+			snaps = append(snaps, caps[p])
+		}
+		if len(snaps) > 0 {
+			if _, err := ha.Resync(c.systems[id].Host(), snaps); err != nil {
+				return err
+			}
+			c.health.RecordResync()
+		}
+		delete(c.stale, id)
+	}
+	c.pending = nil
+	return nil
+}
+
+// Reporter attaches a synchronous reporter switch that fans every
+// report out to all live owners. Like ClusterReporter it is not
+// goroutine-safe; create one per producer goroutine.
+func (c *HACluster) Reporter(switchID uint32) *HAReporter {
+	r := &HAReporter{hac: c, switchID: switchID}
+	c.mu.RLock()
+	for _, sys := range c.systems {
+		r.reps = append(r.reps, r.newRep(sys))
+	}
+	c.mu.RUnlock()
+	return r
+}
+
+// Engine attaches an async ingest engine with one shard per collector;
+// its AsyncReporters fan every report out to all live owners. Rebalance
+// uses the engine's Drain as its barrier.
+func (c *HACluster) Engine(cfg EngineConfig) (*Engine, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.eng != nil && !c.eng.Closed() {
+		return nil, errors.New("dta: engine already attached")
+	}
+	e, err := newEngine(c.systems, nil, c, cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.eng = e
+	return e, nil
+}
+
+// lookupState tracks one failover query across replicas.
+type lookupState struct {
+	degraded        bool // some owner was down or stale
+	queried         int  // live replicas consulted
+	primaryAnswered bool
+}
+
+func (c *HACluster) record(st *lookupState) {
+	skipped := 0
+	if st.degraded {
+		skipped = 1
+	}
+	c.health.RecordQuery(skipped, st.queried > 0, st.primaryAnswered)
+}
+
+// LookupValue queries the Key-Write stores of key's owners: live fresh
+// replicas are consulted and their answers plurality-merged (ties
+// favour the primary); stale replicas are a last resort. Returns
+// ErrAllReplicasDown when no owner is live.
+func (c *HACluster) LookupValue(key Key, n int) ([]byte, bool, error) {
+	var ob [ha.MaxReplicas]int
+	owners := c.owners(key[:], ob[:0])
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var st lookupState
+	var answers [][]byte
+	for pass := 0; pass < 2; pass++ {
+		useStale := pass == 1
+		if useStale && len(answers) > 0 {
+			break
+		}
+		for oi, o := range owners {
+			if c.health.IsDown(o) || c.stale[o] != useStale {
+				if !useStale {
+					st.degraded = st.degraded || c.health.IsDown(o) || c.stale[o]
+				}
+				continue
+			}
+			st.queried++
+			data, ok, err := c.systems[o].LookupValue(key, n)
+			if err != nil {
+				return nil, false, err
+			}
+			if ok {
+				answers = append(answers, data)
+				if oi == 0 {
+					st.primaryAnswered = true
+				}
+			}
+		}
+	}
+	c.record(&st)
+	if st.queried == 0 {
+		return nil, false, ErrAllReplicasDown
+	}
+	best, votes := -1, 0
+	for i := range answers {
+		v := 1
+		for j := i + 1; j < len(answers); j++ {
+			if bytes.Equal(answers[i], answers[j]) {
+				v++
+			}
+		}
+		if v > votes {
+			best, votes = i, v
+		}
+	}
+	if best < 0 {
+		return nil, false, nil
+	}
+	return answers[best], true, nil
+}
+
+// LookupPath queries the Postcarding stores of key's owners, failing
+// over in owner order (fresh live replicas first, then stale ones).
+func (c *HACluster) LookupPath(key Key, n int) ([]uint32, bool, error) {
+	var ob [ha.MaxReplicas]int
+	owners := c.owners(key[:], ob[:0])
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var st lookupState
+	defer func() { c.record(&st) }()
+	for pass := 0; pass < 2; pass++ {
+		useStale := pass == 1
+		for oi, o := range owners {
+			if c.health.IsDown(o) || c.stale[o] != useStale {
+				if !useStale {
+					st.degraded = st.degraded || c.health.IsDown(o) || c.stale[o]
+				}
+				continue
+			}
+			st.queried++
+			values, ok, err := c.systems[o].LookupPath(key, n)
+			if err != nil {
+				return nil, false, err
+			}
+			if ok {
+				st.primaryAnswered = oi == 0
+				return values, true, nil
+			}
+		}
+	}
+	if st.queried == 0 {
+		return nil, false, ErrAllReplicasDown
+	}
+	return nil, false, nil
+}
+
+// LookupCount returns the count-min estimate for key: the minimum over
+// its live fresh owners (each owner received every increment for the
+// key, so the cross-replica minimum keeps the never-undercount
+// guarantee while discarding single-replica collision inflation).
+// Stale replicas undercount and are consulted only if no fresh owner
+// is live.
+func (c *HACluster) LookupCount(key Key, n int) (uint64, error) {
+	var ob [ha.MaxReplicas]int
+	owners := c.owners(key[:], ob[:0])
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var st lookupState
+	defer func() { c.record(&st) }()
+	for pass := 0; pass < 2; pass++ {
+		useStale := pass == 1
+		var min uint64
+		for oi, o := range owners {
+			if c.health.IsDown(o) || c.stale[o] != useStale {
+				if !useStale {
+					st.degraded = st.degraded || c.health.IsDown(o) || c.stale[o]
+				}
+				continue
+			}
+			count, err := c.systems[o].LookupCount(key, n)
+			if err != nil {
+				return 0, err
+			}
+			if st.queried == 0 || count < min {
+				min = count
+			}
+			st.queried++
+			if oi == 0 {
+				st.primaryAnswered = true
+			}
+		}
+		if st.queried > 0 {
+			return min, nil
+		}
+	}
+	return 0, ErrAllReplicasDown
+}
+
+// Poller returns an Append reader over the first live owner of list.
+// Call Flush (or drain the engine) first to push out partial batches.
+func (c *HACluster) Poller(list uint32) (*AppendPoller, error) {
+	var ob [ha.MaxReplicas]int
+	owners := c.ring.OwnersOfList(list, c.r, ob[:0])
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for pass := 0; pass < 2; pass++ {
+		useStale := pass == 1
+		for _, o := range owners {
+			if c.health.IsDown(o) || c.stale[o] != useStale {
+				continue
+			}
+			return c.systems[o].Poller(int(list))
+		}
+	}
+	return nil, ErrAllReplicasDown
+}
+
+// Flush flushes every live collector's translator state. Only for
+// synchronous reporting; with an engine attached use Drain instead.
+func (c *HACluster) Flush() error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, id := range c.ring.Members() {
+		if c.health.IsDown(id) {
+			continue
+		}
+		if err := c.systems[id].Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats sums counters across all collectors (including down ones:
+// their pre-failure work still happened).
+func (c *HACluster) Stats() Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return aggregateStats(c.systems)
+}
+
+// HAReporter is a reporter switch whose reports fan out to every live
+// owner of the key (or Append list). Down owners are skipped and
+// counted — a report is acknowledged as long as one owner is live, and
+// counted as lost otherwise (best-effort, never an error).
+type HAReporter struct {
+	hac      *HACluster
+	switchID uint32
+	reps     []*Reporter
+}
+
+// newRep builds a per-collector reporter handle directly (bypassing
+// System.Reporter, whose bookkeeping append is not goroutine-safe
+// across concurrently created HAReporters).
+func (r *HAReporter) newRep(sys *System) *Reporter {
+	return &Reporter{
+		sys: sys,
+		rep: reporter.New(reporterConfig(r.switchID)),
+		buf: make([]byte, wire.MaxReportLen),
+	}
+}
+
+// rep returns the handle for collector o, growing the slice after
+// AddCollector (which requires quiesced producers, so growth never
+// races reporting).
+func (r *HAReporter) rep(o int) *Reporter {
+	for len(r.reps) <= o {
+		r.hac.mu.RLock()
+		sys := r.hac.systems[len(r.reps)]
+		r.hac.mu.RUnlock()
+		r.reps = append(r.reps, r.newRep(sys))
+	}
+	return r.reps[o]
+}
+
+func (r *HAReporter) fanKey(key Key, write func(rep *Reporter) error) error {
+	var ob [ha.MaxReplicas]int
+	owners := r.hac.owners(key[:], ob[:0])
+	return r.fan(owners, write)
+}
+
+func (r *HAReporter) fan(owners []int, write func(rep *Reporter) error) error {
+	live := 0
+	for _, o := range owners {
+		if r.hac.health.IsDown(o) {
+			continue
+		}
+		if err := write(r.rep(o)); err != nil {
+			return err
+		}
+		live++
+	}
+	r.hac.health.RecordWrite(live, len(owners))
+	return nil
+}
+
+// KeyWrite stores data under key on every live owner.
+func (r *HAReporter) KeyWrite(key Key, data []byte, n int) error {
+	return r.fanKey(key, func(rep *Reporter) error { return rep.KeyWrite(key, data, n) })
+}
+
+// KeyWriteImmediate is KeyWrite with the immediate flag set.
+func (r *HAReporter) KeyWriteImmediate(key Key, data []byte, n int) error {
+	return r.fanKey(key, func(rep *Reporter) error { return rep.KeyWriteImmediate(key, data, n) })
+}
+
+// Increment adds delta on every live owner.
+func (r *HAReporter) Increment(key Key, delta uint64, n int) error {
+	return r.fanKey(key, func(rep *Reporter) error { return rep.Increment(key, delta, n) })
+}
+
+// Postcard reports a hop observation to every live owner.
+func (r *HAReporter) Postcard(key Key, hop, pathLen int) error {
+	return r.fanKey(key, func(rep *Reporter) error { return rep.Postcard(key, hop, pathLen) })
+}
+
+// PostcardValue reports an arbitrary per-hop value to every live owner.
+func (r *HAReporter) PostcardValue(key Key, hop, pathLen int, value uint32) error {
+	return r.fanKey(key, func(rep *Reporter) error { return rep.PostcardValue(key, hop, pathLen, value) })
+}
+
+// Append adds data to list on every live owner of the list.
+func (r *HAReporter) Append(list uint32, data []byte) error {
+	var ob [ha.MaxReplicas]int
+	owners := r.hac.ring.OwnersOfList(list, r.hac.r, ob[:0])
+	return r.fan(owners, func(rep *Reporter) error { return rep.Append(list, data) })
+}

@@ -1,0 +1,148 @@
+package dta_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"dta"
+)
+
+// haBenchOptions sizes stores like cmd/dtaload, so slot-overwrite noise
+// does not pollute the replication measurements.
+func haBenchOptions() dta.Options {
+	return dta.Options{
+		KeyWrite:     &dta.KeyWriteOptions{Slots: 1 << 20, DataSize: 4},
+		KeyIncrement: &dta.KeyIncrementOptions{Slots: 1 << 18},
+	}
+}
+
+func benchKeyData(i uint64) []byte {
+	var d [4]byte
+	binary.BigEndian.PutUint32(d[:], uint32(i))
+	return d[:]
+}
+
+// BenchmarkHA_SyncKeyWrite measures the synchronous fan-out cost of
+// replication: every report crosses the full wire path R times.
+func BenchmarkHA_SyncKeyWrite(b *testing.B) {
+	for _, r := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("R=%d", r), func(b *testing.B) {
+			c, err := dta.NewHACluster(4, r, haBenchOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep := c.Reporter(1)
+			data := []byte{1, 2, 3, 4}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := rep.KeyWrite(dta.KeyFromUint64(uint64(i)), data, 2); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)*float64(r)/b.Elapsed().Seconds(), "replica-writes/s")
+		})
+	}
+}
+
+// BenchmarkHA_EngineIngest measures end-to-end async throughput under
+// R=1/2/3: submissions fan out to R shard queues and the benchmark
+// drains before stopping the clock, so the figure covers ingestion,
+// not just enqueueing.
+func BenchmarkHA_EngineIngest(b *testing.B) {
+	for _, r := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("R=%d", r), func(b *testing.B) {
+			c, err := dta.NewHACluster(4, r, haBenchOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng, err := c.Engine(dta.EngineConfig{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep := eng.Reporter(1)
+			data := []byte{1, 2, 3, 4}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := rep.KeyWrite(dta.KeyFromUint64(uint64(i)), data, 2); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := rep.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			if err := eng.Drain(); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if err := eng.Close(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkHA_FailoverIngest kills a collector mid-run and reports,
+// alongside throughput, the fraction of written keys still answerable
+// afterwards (with the victim restored and rebalanced): the
+// availability-under-failure trade R buys.
+func BenchmarkHA_FailoverIngest(b *testing.B) {
+	for _, r := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("R=%d", r), func(b *testing.B) {
+			c, err := dta.NewHACluster(4, r, haBenchOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng, err := c.Engine(dta.EngineConfig{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep := eng.Reporter(1)
+			victim := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i == b.N/2 {
+					if err := c.SetDown(victim); err != nil {
+						b.Fatal(err)
+					}
+				}
+				k := uint64(i) % (1 << 16) // bounded key space: queries verifiable
+				if err := rep.KeyWrite(dta.KeyFromUint64(k), benchKeyData(k), 2); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := rep.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			if err := eng.Drain(); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if err := c.SetUp(victim); err != nil {
+				b.Fatal(err)
+			}
+			if err := c.Rebalance(); err != nil {
+				b.Fatal(err)
+			}
+			keys := uint64(b.N)
+			if keys > 1<<16 {
+				keys = 1 << 16
+			}
+			found := 0
+			for k := uint64(0); k < keys; k++ {
+				data, ok, err := c.LookupValue(dta.KeyFromUint64(k), 2)
+				if err == nil && ok && bytes.Equal(data, benchKeyData(k)) {
+					found++
+				}
+			}
+			b.ReportMetric(100*float64(found)/float64(keys), "%recovered")
+			if err := eng.Close(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,564 @@
+package dta
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// haOptions is fullOptions with a roomier Key-Write store, so multi-
+// hundred-key scenarios are not dominated by slot-overwrite noise.
+func haOptions() Options {
+	o := fullOptions()
+	o.KeyWrite = &KeyWriteOptions{Slots: 1 << 16, DataSize: 4}
+	return o
+}
+
+func keyData(i uint64) []byte {
+	var d [4]byte
+	binary.BigEndian.PutUint32(d[:], uint32(i))
+	return d[:]
+}
+
+func TestHAClusterValidation(t *testing.T) {
+	if _, err := NewHACluster(0, 1, haOptions()); err == nil {
+		t.Error("zero-size cluster accepted")
+	}
+	if _, err := NewHACluster(2, 0, haOptions()); err == nil {
+		t.Error("zero replication accepted")
+	}
+	if _, err := NewHACluster(2, 3, haOptions()); err == nil {
+		t.Error("replication factor beyond cluster size accepted")
+	}
+	if _, err := NewHACluster(2, 9, haOptions()); err == nil {
+		t.Error("replication factor beyond MaxReplicas accepted")
+	}
+}
+
+// TestHAClusterReplicatedWrites: every report lands on all R owners,
+// and each owner can answer for it independently.
+func TestHAClusterReplicatedWrites(t *testing.T) {
+	c, err := NewHACluster(4, 2, haOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := c.Reporter(1)
+	const keys = 200
+	for i := uint64(0); i < keys; i++ {
+		if err := rep.KeyWrite(KeyFromUint64(i), keyData(i), 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < keys; i++ {
+		k := KeyFromUint64(i)
+		owners := c.Owners(k)
+		if len(owners) != 2 || owners[0] == owners[1] {
+			t.Fatalf("key %d: owners = %v", i, owners)
+		}
+		for _, o := range owners {
+			data, ok, err := c.System(o).LookupValue(k, 2)
+			if err != nil || !ok || !bytes.Equal(data, keyData(i)) {
+				t.Fatalf("key %d owner %d: %v %v %v", i, o, data, ok, err)
+			}
+		}
+		data, ok, err := c.LookupValue(k, 2)
+		if err != nil || !ok || !bytes.Equal(data, keyData(i)) {
+			t.Fatalf("key %d cluster lookup: %v %v %v", i, data, ok, err)
+		}
+	}
+	if st := c.HAStats(); st.DegradedWrites != 0 || st.LostWrites != 0 {
+		t.Errorf("healthy run recorded degradation: %+v", st)
+	}
+}
+
+// TestHAClusterFailoverQuery: with one owner down, queries are served
+// by the survivor; with all owners down they fail loudly.
+func TestHAClusterFailoverQuery(t *testing.T) {
+	c, err := NewHACluster(3, 2, haOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := c.Reporter(1)
+	k := KeyFromUint64(42)
+	if err := rep.KeyWrite(k, keyData(42), 2); err != nil {
+		t.Fatal(err)
+	}
+	for hop := 0; hop < 5; hop++ {
+		if err := rep.Postcard(k, hop, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rep.Increment(k, 7, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	owners := c.Owners(k)
+	if err := c.SetDown(owners[0]); err != nil {
+		t.Fatal(err)
+	}
+	data, ok, err := c.LookupValue(k, 2)
+	if err != nil || !ok || !bytes.Equal(data, keyData(42)) {
+		t.Fatalf("failover value lookup: %v %v %v", data, ok, err)
+	}
+	if path, ok, err := c.LookupPath(k, 1); err != nil || !ok || len(path) != 5 {
+		t.Fatalf("failover path lookup: %v %v %v", path, ok, err)
+	}
+	if count, err := c.LookupCount(k, 2); err != nil || count != 7 {
+		t.Fatalf("failover count lookup: %d %v", count, err)
+	}
+	st := c.HAStats()
+	if st.DegradedQueries == 0 || st.FailoverQueries == 0 {
+		t.Errorf("failover not accounted: %+v", st)
+	}
+
+	if err := c.SetDown(owners[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.LookupValue(k, 2); !errors.Is(err, ErrAllReplicasDown) {
+		t.Fatalf("all-down lookup error = %v, want ErrAllReplicasDown", err)
+	}
+	if _, err := c.LookupCount(k, 2); !errors.Is(err, ErrAllReplicasDown) {
+		t.Fatalf("all-down count error = %v, want ErrAllReplicasDown", err)
+	}
+	if st := c.HAStats(); st.FailedQueries == 0 {
+		t.Errorf("failed query not accounted: %+v", st)
+	}
+}
+
+// TestHAReporterBestEffortLoss: writes to an all-down owner set are
+// shed with a counter, not errored — loss is a measured regime.
+func TestHAReporterBestEffortLoss(t *testing.T) {
+	c, err := NewHACluster(2, 1, haOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := c.Reporter(1)
+	k := KeyFromUint64(7)
+	if err := c.SetDown(c.Owners(k)[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.KeyWrite(k, keyData(7), 2); err != nil {
+		t.Fatalf("write to down owner errored: %v", err)
+	}
+	if st := c.HAStats(); st.LostWrites != 1 {
+		t.Errorf("lost writes = %d, want 1", st.LostWrites)
+	}
+}
+
+// TestHAClusterRejoinResync is the snapshot round-trip satellite: a
+// collector misses writes while down, rejoins, and after Rebalance
+// serves the missed slice — captured on its replica peers, restored
+// into it — with LookupValue and LookupCount agreeing with the cluster.
+func TestHAClusterRejoinResync(t *testing.T) {
+	c, err := NewHACluster(3, 2, haOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := c.Reporter(1)
+	const keys = 150
+	write := func(from, to uint64) {
+		t.Helper()
+		for i := from; i < to; i++ {
+			if err := rep.KeyWrite(KeyFromUint64(i), keyData(i), 2); err != nil {
+				t.Fatal(err)
+			}
+			if err := rep.Increment(KeyFromUint64(i), 1+i%5, 2); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	write(0, keys/2)
+
+	const victim = 1
+	if err := c.SetDown(victim); err != nil {
+		t.Fatal(err)
+	}
+	write(keys/2, keys) // victim misses its share of these
+	if err := c.SetUp(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.HAStats(); st.Resyncs != 1 {
+		t.Errorf("resyncs = %d, want 1", st.Resyncs)
+	}
+
+	for i := uint64(0); i < keys; i++ {
+		k := KeyFromUint64(i)
+		mine := false
+		for _, o := range c.Owners(k) {
+			if o == victim {
+				mine = true
+			}
+		}
+		if !mine {
+			continue
+		}
+		// The rejoined collector must answer for its owned slice
+		// directly, matching the cluster's routed answer.
+		direct, ok, err := c.System(victim).LookupValue(k, 2)
+		if err != nil || !ok || !bytes.Equal(direct, keyData(i)) {
+			t.Errorf("victim lookup key %d: %v %v %v", i, direct, ok, err)
+			continue
+		}
+		routed, ok, err := c.LookupValue(k, 2)
+		if err != nil || !ok || !bytes.Equal(routed, direct) {
+			t.Errorf("routed lookup key %d disagrees: %v vs %v (%v %v)", i, routed, direct, ok, err)
+		}
+		// Count-min never undercounts; collisions (and the resync's
+		// max-merge) may inflate, so assert the lower bound.
+		want := 1 + i%5
+		if got, err := c.System(victim).LookupCount(k, 2); err != nil || got < want {
+			t.Errorf("victim count key %d = %d (%v), want >= %d", i, got, err, want)
+		}
+		if got, err := c.LookupCount(k, 2); err != nil || got < want {
+			t.Errorf("routed count key %d = %d (%v), want >= %d", i, got, err, want)
+		}
+	}
+}
+
+// TestHAClusterStaleLastResort: between rejoin and Rebalance, a stale
+// replica is only consulted when no fresh owner survives.
+func TestHAClusterStaleLastResort(t *testing.T) {
+	c, err := NewHACluster(2, 2, haOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := c.Reporter(1)
+	k := KeyFromUint64(3)
+	if err := rep.KeyWrite(k, keyData(3), 2); err != nil {
+		t.Fatal(err)
+	}
+	owners := c.Owners(k)
+	// Rejoin owner[0] without rebalancing: it is stale but live.
+	if err := c.SetDown(owners[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.KeyWrite(k, []byte{9, 9, 9, 9}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetUp(owners[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Fresh owner has the new value; the stale one still has the old.
+	data, ok, err := c.LookupValue(k, 2)
+	if err != nil || !ok || !bytes.Equal(data, []byte{9, 9, 9, 9}) {
+		t.Fatalf("stale replica won over fresh: %v %v %v", data, ok, err)
+	}
+	// With the fresh owner down too, the stale answer is better than
+	// none: last resort.
+	if err := c.SetDown(owners[1]); err != nil {
+		t.Fatal(err)
+	}
+	data, ok, err = c.LookupValue(k, 2)
+	if err != nil || !ok || !bytes.Equal(data, keyData(3)) {
+		t.Fatalf("stale last-resort lookup: %v %v %v", data, ok, err)
+	}
+}
+
+// TestHAClusterAddCollector grows the cluster live: after Rebalance the
+// newcomer serves the keys the ring moved to it.
+func TestHAClusterAddCollector(t *testing.T) {
+	c, err := NewHACluster(3, 2, haOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := c.Reporter(1)
+	const keys = 200
+	for i := uint64(0); i < keys; i++ {
+		if err := rep.KeyWrite(KeyFromUint64(i), keyData(i), 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	id, err := c.AddCollector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 3 || c.Size() != 4 {
+		t.Fatalf("AddCollector -> id %d size %d", id, c.Size())
+	}
+	if err := c.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	gained := 0
+	for i := uint64(0); i < keys; i++ {
+		k := KeyFromUint64(i)
+		data, ok, err := c.LookupValue(k, 2)
+		if err != nil || !ok || !bytes.Equal(data, keyData(i)) {
+			t.Fatalf("key %d after growth: %v %v %v", i, data, ok, err)
+		}
+		for _, o := range c.Owners(k) {
+			if o != id {
+				continue
+			}
+			gained++
+			direct, ok, err := c.System(id).LookupValue(k, 2)
+			if err != nil || !ok || !bytes.Equal(direct, keyData(i)) {
+				t.Errorf("new collector cannot serve its key %d: %v %v %v", i, direct, ok, err)
+			}
+		}
+	}
+	// Rendezvous expectation: the newcomer enters a key's top-2 of 4
+	// with probability ~1/2.
+	if gained < keys/4 || gained > keys*3/4 {
+		t.Errorf("new collector owns %d/%d keys, expected near %d", gained, keys, keys/2)
+	}
+}
+
+// TestHAClusterDecommission shrinks the cluster: the leaver's keys are
+// replayed into the survivors at the next Rebalance.
+func TestHAClusterDecommission(t *testing.T) {
+	c, err := NewHACluster(4, 2, haOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := c.Reporter(1)
+	const keys = 200
+	for i := uint64(0); i < keys; i++ {
+		if err := rep.KeyWrite(KeyFromUint64(i), keyData(i), 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Decommission(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < keys; i++ {
+		k := KeyFromUint64(i)
+		for _, o := range c.Owners(k) {
+			if o == 2 {
+				t.Fatalf("key %d still owned by decommissioned collector", i)
+			}
+		}
+		data, ok, err := c.LookupValue(k, 2)
+		if err != nil || !ok || !bytes.Equal(data, keyData(i)) {
+			t.Fatalf("key %d after decommission: %v %v %v", i, data, ok, err)
+		}
+	}
+}
+
+// TestHAClusterDecommissionWhileDown: removing a collector that is
+// already dead cannot capture its data — but the survivors cross-sync
+// from each other at Rebalance, so every key regains its full R-way
+// replica coverage from whichever live peer still holds it.
+func TestHAClusterDecommissionWhileDown(t *testing.T) {
+	c, err := NewHACluster(4, 2, haOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := c.Reporter(1)
+	const keys = 300
+	for i := uint64(0); i < keys; i++ {
+		if err := rep.KeyWrite(KeyFromUint64(i), keyData(i), 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.SetDown(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Decommission(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < keys; i++ {
+		k := KeyFromUint64(i)
+		// Every surviving owner — including ones the key moved to —
+		// must answer directly, or a second failure would lose data a
+		// live replica held at rebalance time.
+		for _, o := range c.Owners(k) {
+			data, ok, err := c.System(o).LookupValue(k, 2)
+			if err != nil || !ok || !bytes.Equal(data, keyData(i)) {
+				t.Fatalf("key %d owner %d after down-decommission: %v %v %v", i, o, data, ok, err)
+			}
+		}
+	}
+}
+
+// TestHAEngineReplicatedFanout: the async path fans out like the sync
+// path, and a collector killed mid-run costs no acknowledged data when
+// R >= 2.
+func TestHAEngineReplicatedFanout(t *testing.T) {
+	c, err := NewHACluster(3, 2, haOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := c.Engine(EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := eng.Reporter(1)
+	const keys = 300
+	for i := uint64(0); i < keys; i++ {
+		if i == keys/3 {
+			if err := c.SetDown(1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i == 2*keys/3 {
+			if err := c.SetUp(1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := rep.KeyWrite(KeyFromUint64(i), keyData(i), 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rep.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < keys; i++ {
+		data, ok, err := c.LookupValue(KeyFromUint64(i), 2)
+		if err != nil || !ok || !bytes.Equal(data, keyData(i)) {
+			t.Fatalf("key %d after mid-run failure: %v %v %v", i, data, ok, err)
+		}
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddCollector(); err != nil {
+		t.Fatalf("AddCollector after engine close: %v", err)
+	}
+}
+
+// TestHAEngineDrainDuringFailover hammers the engine from concurrent
+// producers while a chaos goroutine injects failures and the main
+// goroutine drains — the drain-during-failover -race satellite.
+func TestHAEngineDrainDuringFailover(t *testing.T) {
+	c, err := NewHACluster(4, 2, haOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := c.Engine(EngineConfig{QueueDepth: 64, ChunkFrames: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const producers, perProducer = 4, 400
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			rep := eng.Reporter(uint32(p + 1))
+			for j := 0; j < perProducer; j++ {
+				k := uint64(p*perProducer + j)
+				if err := rep.KeyWrite(KeyFromUint64(k), keyData(k), 2); err != nil {
+					t.Errorf("producer %d: %v", p, err)
+					return
+				}
+			}
+			if err := rep.Flush(); err != nil {
+				t.Errorf("producer %d flush: %v", p, err)
+			}
+		}(p)
+	}
+	chaosDone := make(chan struct{})
+	go func() {
+		defer close(chaosDone)
+		for round := 0; round < 20; round++ {
+			target := round % 4
+			if err := c.SetDown(target); err != nil {
+				t.Errorf("chaos SetDown: %v", err)
+			}
+			if err := c.SetUp(target); err != nil {
+				t.Errorf("chaos SetUp: %v", err)
+			}
+		}
+	}()
+	for i := 0; i < 5; i++ {
+		if err := eng.Drain(); err != nil {
+			t.Fatalf("drain during failover: %v", err)
+		}
+	}
+	wg.Wait()
+	<-chaosDone
+	if err := c.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	total := producers * perProducer
+	for k := uint64(0); k < uint64(total); k++ {
+		data, ok, err := c.LookupValue(KeyFromUint64(k), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok && bytes.Equal(data, keyData(k)) {
+			found++
+		}
+	}
+	// The chaos windows are instantaneous (down, immediately up), so a
+	// write can miss at most one replica per toggle; after Rebalance
+	// resyncs, effectively everything should be recoverable — leave
+	// slack only for the store's own overwrite collisions.
+	if found < total*99/100 {
+		t.Errorf("recovered %d/%d keys after chaos + rebalance", found, total)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHAClusterAppendFailover: Append lists replicate too, and polling
+// fails over to a surviving owner.
+func TestHAClusterAppendFailover(t *testing.T) {
+	c, err := NewHACluster(3, 2, haOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := c.Reporter(1)
+	const list = uint32(2)
+	for i := 0; i < 3; i++ {
+		if err := rep.Append(list, []byte{byte(i), 1, 2, 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Poll performs no validity check (the ring wraps forever), so read
+	// exactly the number of entries written.
+	read := func() []byte {
+		t.Helper()
+		p, err := c.Poller(list)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []byte
+		for i := 0; i < 3; i++ {
+			out = append(out, p.Poll()[0])
+		}
+		return out
+	}
+	if got := read(); !bytes.Equal(got, []byte{0, 1, 2}) {
+		t.Fatalf("append entries = %v", got)
+	}
+	// Kill the primary owner; the other replica holds the same list.
+	owners := c.OwnersOfList(list)
+	if len(owners) != 2 {
+		t.Fatalf("list owners = %v", owners)
+	}
+	if err := c.SetDown(owners[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := read(); !bytes.Equal(got, []byte{0, 1, 2}) {
+		t.Fatalf("append entries after failover = %v", got)
+	}
+	if err := c.SetDown(owners[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Poller(list); !errors.Is(err, ErrAllReplicasDown) {
+		t.Fatalf("all-down poller error = %v, want ErrAllReplicasDown", err)
+	}
+}

@@ -346,6 +346,9 @@ func (e *Engine) Close() error {
 	return e.Err()
 }
 
+// Closed reports whether Close has been called.
+func (e *Engine) Closed() bool { return e.closed.Load() }
+
 // Err returns the first sink error the engine observed, if any.
 func (e *Engine) Err() error {
 	if p := e.firstErr.Load(); p != nil {

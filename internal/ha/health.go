@@ -1,0 +1,137 @@
+package ha
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// MaxMembers bounds the number of collectors a Health view can track.
+// Fixed capacity keeps every flag access a lock-free atomic load even
+// while the cluster grows.
+const MaxMembers = 64
+
+// Stats counts degradation events. All counters are cumulative.
+type Stats struct {
+	// DegradedWrites counts reports that reached some but not all of
+	// their R owners because the rest were down. The write is still
+	// acknowledged: surviving replicas answer for it.
+	DegradedWrites uint64
+	// LostWrites counts reports whose owners were ALL down. Best-effort
+	// semantics: the report is shed with a counter, like the translator's
+	// rate limiter, not errored.
+	LostWrites uint64
+	// ReplicaSkips counts individual replica writes skipped because that
+	// replica was down (DegradedWrites counts reports; this counts
+	// misses, so it exceeds DegradedWrites when R > 2).
+	ReplicaSkips uint64
+	// DegradedQueries counts queries that skipped at least one down or
+	// stale replica.
+	DegradedQueries uint64
+	// FailoverQueries counts queries answered by a non-primary replica
+	// because the primary was down, stale, or had no answer.
+	FailoverQueries uint64
+	// FailedQueries counts queries with no live replica to ask.
+	FailedQueries uint64
+	// Resyncs counts replica resynchronisations (rejoin/add rebalances).
+	Resyncs uint64
+}
+
+// Health is the cluster's failure-injection view: a lock-free up/down
+// flag per collector plus degradation counters. Writers consult it to
+// skip dead replicas; queries consult it to fail over. SetDown/SetUp
+// are safe to call concurrently with writes and queries — that is the
+// point: failures strike mid-run.
+type Health struct {
+	down [MaxMembers]atomic.Bool
+
+	degradedWrites  atomic.Uint64
+	lostWrites      atomic.Uint64
+	replicaSkips    atomic.Uint64
+	degradedQueries atomic.Uint64
+	failoverQueries atomic.Uint64
+	failedQueries   atomic.Uint64
+	resyncs         atomic.Uint64
+}
+
+// NewHealth returns a view with every member up.
+func NewHealth() *Health { return &Health{} }
+
+func checkMember(i int) error {
+	if i < 0 || i >= MaxMembers {
+		return fmt.Errorf("ha: member %d out of range [0,%d)", i, MaxMembers)
+	}
+	return nil
+}
+
+// SetDown marks collector i failed: writers skip it, queries fail over.
+func (h *Health) SetDown(i int) error {
+	if err := checkMember(i); err != nil {
+		return err
+	}
+	h.down[i].Store(true)
+	return nil
+}
+
+// SetUp marks collector i reachable again. The caller is responsible
+// for resyncing it (it missed every write while down).
+func (h *Health) SetUp(i int) error {
+	if err := checkMember(i); err != nil {
+		return err
+	}
+	h.down[i].Store(false)
+	return nil
+}
+
+// IsDown reports collector i's health. Out-of-range members read as up;
+// ownership always comes from a Ring, which only holds valid members.
+func (h *Health) IsDown(i int) bool {
+	if i < 0 || i >= MaxMembers {
+		return false
+	}
+	return h.down[i].Load()
+}
+
+// RecordWrite accounts one fanned-out report that reached live of its
+// total owners.
+func (h *Health) RecordWrite(live, total int) {
+	if live >= total {
+		return
+	}
+	h.replicaSkips.Add(uint64(total - live))
+	if live == 0 {
+		h.lostWrites.Add(1)
+	} else {
+		h.degradedWrites.Add(1)
+	}
+}
+
+// RecordQuery accounts one query: skipped replicas (down or stale),
+// whether any replica answered, and whether the primary did.
+func (h *Health) RecordQuery(skipped int, answered, byPrimary bool) {
+	if skipped > 0 {
+		h.degradedQueries.Add(1)
+	}
+	if !answered {
+		h.failedQueries.Add(1)
+		return
+	}
+	if !byPrimary {
+		h.failoverQueries.Add(1)
+	}
+}
+
+// RecordResync accounts one replica resynchronisation.
+func (h *Health) RecordResync() { h.resyncs.Add(1) }
+
+// Snapshot returns the current counters.
+func (h *Health) Snapshot() Stats {
+	return Stats{
+		DegradedWrites:  h.degradedWrites.Load(),
+		LostWrites:      h.lostWrites.Load(),
+		ReplicaSkips:    h.replicaSkips.Load(),
+		DegradedQueries: h.degradedQueries.Load(),
+		FailoverQueries: h.failoverQueries.Load(),
+		FailedQueries:   h.failedQueries.Load(),
+		Resyncs:         h.resyncs.Load(),
+	}
+}

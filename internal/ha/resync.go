@@ -1,0 +1,139 @@
+package ha
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dta/internal/collector"
+	"dta/internal/core/keyincrement"
+	"dta/internal/core/postcarding"
+	"dta/internal/snapshot"
+)
+
+// ResyncStats summarises one replica resynchronisation.
+type ResyncStats struct {
+	// Peers is the number of peer snapshots replayed.
+	Peers int
+	// KeyWriteSlots counts Key-Write slots copied from peers.
+	KeyWriteSlots uint64
+	// Counters counts Key-Increment counters raised to a peer's value.
+	Counters uint64
+	// PostcardSlots counts Postcarding hop slots copied from peers.
+	PostcardSlots uint64
+}
+
+// Resync replays peer snapshots into a rejoining or newly added
+// collector, reconstructing the writes it missed while down (or never
+// saw). It exploits the stores' statelessness: every collector computes
+// slot addresses from the same global CRC families, so slot i of a
+// peer's store holds exactly the keys that hash to slot i of the
+// target's store — resync is slot-wise memory merge, no key iteration.
+//
+// Per primitive:
+//
+//   - Key-Write: every occupied (non-zero) peer slot overwrites the
+//     target slot. Peers are strictly fresher for keys the target
+//     missed; for colliding foreign keys the overwrite is the same
+//     last-writer-wins hazard the store already absorbs via its
+//     N-slot plurality vote.
+//   - Key-Increment: element-wise max. Each owner of a key receives
+//     every increment for it, so a peer's counter is an upper bound on
+//     the slot's true sum for shared keys; max-merge preserves the
+//     count-min "never undercounts" guarantee without double counting.
+//   - Postcarding: every occupied peer hop slot overwrites the target
+//     slot (slots are checksum⊕g(v) encodings, consistent across
+//     replicas for the same flow).
+//   - Append: not resynced. Rings are ordered logs with per-list head
+//     state; replaying them would interleave two histories. Failover
+//     polling reads surviving replicas instead.
+//
+// Peer slots for keys the target does not own come along for the ride;
+// they are invisible to routed queries (ownership routing never asks
+// the target for them) and harmless to owned keys beyond the usual
+// collision probability.
+//
+// The target must be quiescent (no concurrent ingest): callers run
+// Resync under a drain barrier.
+func Resync(target *collector.Host, peers []*snapshot.Snapshot) (ResyncStats, error) {
+	st := ResyncStats{Peers: len(peers)}
+	for pi, peer := range peers {
+		if err := mergeKeyWrite(target, peer, &st); err != nil {
+			return st, fmt.Errorf("ha: resync peer %d: %w", pi, err)
+		}
+		if err := mergeKeyIncrement(target, peer, &st); err != nil {
+			return st, fmt.Errorf("ha: resync peer %d: %w", pi, err)
+		}
+		if err := mergePostcarding(target, peer, &st); err != nil {
+			return st, fmt.Errorf("ha: resync peer %d: %w", pi, err)
+		}
+	}
+	return st, nil
+}
+
+func occupied(b []byte) bool {
+	for _, x := range b {
+		if x != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func mergeKeyWrite(target *collector.Host, peer *snapshot.Snapshot, st *ResyncStats) error {
+	dst := target.KeyWriteStore()
+	if dst == nil || peer.KeyWrite == nil {
+		return nil
+	}
+	cfg := dst.Indexer().Config()
+	if *peer.KeyWrite != cfg {
+		return fmt.Errorf("key-write geometry mismatch: peer %+v vs %+v", *peer.KeyWrite, cfg)
+	}
+	buf, src, slot := dst.Buffer(), peer.KeyWriteBuf, cfg.SlotSize()
+	for off := 0; off+slot <= len(src) && off+slot <= len(buf); off += slot {
+		if occupied(src[off : off+slot]) {
+			copy(buf[off:off+slot], src[off:off+slot])
+			st.KeyWriteSlots++
+		}
+	}
+	return nil
+}
+
+func mergeKeyIncrement(target *collector.Host, peer *snapshot.Snapshot, st *ResyncStats) error {
+	dst := target.KeyIncrementStore()
+	if dst == nil || peer.KeyIncrement == nil {
+		return nil
+	}
+	buf, src := dst.Buffer(), peer.KeyIncBuf
+	if len(src) != len(buf) {
+		return fmt.Errorf("key-increment geometry mismatch: peer %dB vs %dB", len(src), len(buf))
+	}
+	for off := 0; off+keyincrement.CounterSize <= len(src); off += keyincrement.CounterSize {
+		pv := binary.BigEndian.Uint64(src[off:])
+		if pv > binary.BigEndian.Uint64(buf[off:]) {
+			binary.BigEndian.PutUint64(buf[off:], pv)
+			st.Counters++
+		}
+	}
+	return nil
+}
+
+func mergePostcarding(target *collector.Host, peer *snapshot.Snapshot, st *ResyncStats) error {
+	dst := target.PostcardingStore()
+	if dst == nil || peer.Postcarding == nil {
+		return nil
+	}
+	cfg := dst.Coder().Config()
+	pc := *peer.Postcarding
+	if pc.Chunks != cfg.Chunks || pc.Hops != cfg.Hops || pc.SlotBits != cfg.SlotBits {
+		return fmt.Errorf("postcarding geometry mismatch: peer %d×%d vs %d×%d",
+			pc.Chunks, pc.Hops, cfg.Chunks, cfg.Hops)
+	}
+	buf, src := dst.Buffer(), peer.PostcardBuf
+	for off := 0; off+postcarding.SlotSize <= len(src) && off+postcarding.SlotSize <= len(buf); off += postcarding.SlotSize {
+		if occupied(src[off : off+postcarding.SlotSize]) {
+			copy(buf[off:off+postcarding.SlotSize], src[off:off+postcarding.SlotSize])
+			st.PostcardSlots++
+		}
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+// Package ha is the high-availability control plane for multi-collector
+// DTA (§7, "Supporting Multiple Collectors", extended): replicated key
+// ownership over a rendezvous-hash ring, a failure-injection health
+// view with degradation accounting, and snapshot-replay resynchronisation
+// for collectors that rejoin or are added live.
+//
+// DTA already buys resilience with redundancy *inside* one collector —
+// N-slot writes and plurality-vote queries. This package applies the
+// same idea one layer up: each key is owned by R collectors instead of
+// one, writers fan out to every live owner, and queries fall back across
+// surviving owners. Loss of a replica is a first-class, measured regime
+// (degraded writes/queries are counted, not errored), in the spirit of
+// self-stabilising best-effort communication.
+package ha
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"dta/internal/crc"
+)
+
+// MaxReplicas is the largest supported replication factor R. It matches
+// the store-level redundancy bound (N ≤ 8): replicating a key to more
+// collectors than its slots inside one collector buys nothing.
+const MaxReplicas = 8
+
+// Ring maps keys to R replica owners with rendezvous (highest-random-
+// weight) hashing: every (key, member) pair gets a deterministic score
+// and the R highest-scoring members own the key. Unlike CRC-mod-N,
+// membership change moves only the keys whose top-R set the joining or
+// leaving member enters or leaves — on average an R/(n+1) fraction — so
+// the cluster can grow, shrink and reshard incrementally.
+//
+// Scores are CRC-based for the same reason the stores' slot hashes are:
+// the ring models what a reporter's forwarding table computes in a
+// switch pipeline, where CRC units are the available hash hardware.
+type Ring struct {
+	keyEng *crc.Engine // key bytes → 32-bit digest
+	mixEng *crc.Engine // (digest, member) → score; distinct polynomial
+
+	mu      sync.RWMutex
+	members []int // sorted member IDs currently in the ring
+}
+
+// NewRing builds a ring over members 0..n-1.
+func NewRing(n int) *Ring {
+	r := &Ring{
+		keyEng: crc.New(crc.K32K),
+		mixEng: crc.New(crc.Castagnoli),
+	}
+	for i := 0; i < n; i++ {
+		r.members = append(r.members, i)
+	}
+	return r
+}
+
+// Size returns the current member count.
+func (r *Ring) Size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}
+
+// Members returns a copy of the current member set, sorted.
+func (r *Ring) Members() []int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]int(nil), r.members...)
+}
+
+// Contains reports whether id is in the ring.
+func (r *Ring) Contains(id int) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	i := sort.SearchInts(r.members, id)
+	return i < len(r.members) && r.members[i] == id
+}
+
+// Add inserts a member. Adding an existing member is an error: callers
+// track membership and a silent double-add would mask a bookkeeping bug.
+func (r *Ring) Add(id int) error {
+	if id < 0 {
+		return fmt.Errorf("ha: negative member id %d", id)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i := sort.SearchInts(r.members, id)
+	if i < len(r.members) && r.members[i] == id {
+		return fmt.Errorf("ha: member %d already in ring", id)
+	}
+	r.members = append(r.members, 0)
+	copy(r.members[i+1:], r.members[i:])
+	r.members[i] = id
+	return nil
+}
+
+// Remove deletes a member.
+func (r *Ring) Remove(id int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i := sort.SearchInts(r.members, id)
+	if i >= len(r.members) || r.members[i] != id {
+		return fmt.Errorf("ha: member %d not in ring", id)
+	}
+	r.members = append(r.members[:i], r.members[i+1:]...)
+	return nil
+}
+
+// score is the rendezvous weight of member id for a key digest. Ties are
+// broken by member ID below, so scores need not be unique.
+func (r *Ring) score(digest uint32, id int) uint32 {
+	return r.mixEng.Sum64Pair(uint64(digest), uint64(id))
+}
+
+// Owners appends the IDs of the min(n, Size) members owning key to out
+// (pass a reused slice to avoid allocation) in descending score order,
+// so out[0] is the primary replica. Deterministic for a fixed member
+// set; stable under membership change except for keys the change moves.
+func (r *Ring) Owners(key []byte, n int, out []int) []int {
+	digest := r.keyEng.Sum(key)
+	if n > MaxReplicas {
+		n = MaxReplicas
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	var scores [MaxReplicas]uint32
+	base := len(out)
+	for _, id := range r.members {
+		s := r.score(digest, id)
+		have := len(out) - base
+		// Insertion position among the current top-`have`: descending by
+		// score, ascending by ID on ties (members is sorted, so an equal
+		// score never displaces an earlier, smaller ID).
+		pos := have
+		for pos > 0 && s > scores[pos-1] {
+			pos--
+		}
+		if pos >= n {
+			continue
+		}
+		if have < n {
+			out = append(out, 0)
+			have++
+		}
+		copy(scores[pos+1:have], scores[pos:have-1])
+		copy(out[base+pos+1:base+have], out[base+pos:base+have-1])
+		scores[pos] = s
+		out[base+pos] = id
+	}
+	return out
+}
+
+// OwnersOfList is Owners for an Append list ID: lists are replicated
+// across collectors exactly like keys, hashing the 32-bit list ID.
+func (r *Ring) OwnersOfList(list uint32, n int, out []int) []int {
+	key := [4]byte{byte(list >> 24), byte(list >> 16), byte(list >> 8), byte(list)}
+	return r.Owners(key[:], n, out)
+}

@@ -16,6 +16,9 @@ package loadgen
 import (
 	"fmt"
 	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -132,6 +135,82 @@ func (p Profile) withDefaults() Profile {
 	return p
 }
 
+// Action is a failure-schedule verb.
+type Action int
+
+const (
+	// Kill marks a collector failed (e.g. HACluster.SetDown).
+	Kill Action = iota
+	// Restore revives a collector (e.g. HACluster.SetUp).
+	Restore
+)
+
+func (a Action) String() string {
+	switch a {
+	case Kill:
+		return "kill"
+	case Restore:
+		return "restore"
+	default:
+		return fmt.Sprintf("action(%d)", int(a))
+	}
+}
+
+// Event is one failure-schedule entry: apply Action to Collector once
+// the run has submitted an After fraction of its planned reports.
+// Anchoring to report progress rather than wall time keeps scenarios
+// meaningful across machines of very different speeds.
+type Event struct {
+	// After is the trigger point as a fraction [0,1] of the run's total
+	// planned reports (Reporters × Reports).
+	After float64
+	// Action is what to do.
+	Action Action
+	// Collector is the target collector index.
+	Collector int
+}
+
+// ParseSchedule parses a compact schedule spec of comma-separated
+// `action@fraction=collector` entries, e.g. "kill@0.25=1,restore@0.75=1".
+// An empty spec is an empty schedule.
+func ParseSchedule(spec string) ([]Event, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var out []Event
+	for _, part := range strings.Split(spec, ",") {
+		var ev Event
+		head, target, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("loadgen: schedule entry %q: want action@fraction=collector", part)
+		}
+		action, frac, ok := strings.Cut(head, "@")
+		if !ok {
+			return nil, fmt.Errorf("loadgen: schedule entry %q: want action@fraction=collector", part)
+		}
+		switch strings.TrimSpace(action) {
+		case "kill":
+			ev.Action = Kill
+		case "restore":
+			ev.Action = Restore
+		default:
+			return nil, fmt.Errorf("loadgen: schedule entry %q: unknown action %q (want kill or restore)", part, action)
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(frac), 64)
+		if err != nil || f < 0 || f > 1 {
+			return nil, fmt.Errorf("loadgen: schedule entry %q: fraction must be in [0,1]", part)
+		}
+		ev.After = f
+		n, err := strconv.Atoi(strings.TrimSpace(target))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("loadgen: schedule entry %q: bad collector index", part)
+		}
+		ev.Collector = n
+		out = append(out, ev)
+	}
+	return out, nil
+}
+
 // Config describes one load-generation run.
 type Config struct {
 	Profile Profile
@@ -145,6 +224,16 @@ type Config struct {
 	// included in Elapsed — pass the engine's Drain so throughput covers
 	// full ingestion, not just enqueueing.
 	Drain func() error
+	// Schedule lists failure events to inject while the run progresses;
+	// requires Control. Events fire in After order; any still unfired
+	// when the reporters finish (e.g. a restore at 1.0) are applied
+	// before Drain, so a scheduled recovery always happens.
+	Schedule []Event
+	// Control applies one event to the system under test (e.g. mapping
+	// Kill to HACluster.SetDown and Restore to SetUp). It runs on the
+	// scheduler goroutine, concurrently with the reporters — which is
+	// the point: failures strike mid-run.
+	Control func(Event) error
 }
 
 func (c Config) withDefaults() Config {
@@ -158,6 +247,12 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Defaulted returns the config with every default applied — exactly
+// what Run executes. Drivers use it to align verification parameters
+// (e.g. the Key-Write redundancy to query with) instead of duplicating
+// the default values.
+func (c Config) Defaulted() Config { return c.withDefaults() }
+
 // Result summarises a run.
 type Result struct {
 	// Submitted counts reports handed to the Reporter without error,
@@ -169,6 +264,9 @@ type Result struct {
 	Err    error
 	// Elapsed spans goroutine start through the optional Drain.
 	Elapsed time.Duration
+	// EventsFired counts schedule events applied (all of them, unless
+	// the run aborted on an error first).
+	EventsFired int
 }
 
 // Throughput returns submitted reports per second.
@@ -192,19 +290,60 @@ func Run(cfg Config, newReporter func(i int) Reporter) (Result, error) {
 		// panic in every reporter goroutine.
 		return Result{}, fmt.Errorf("loadgen: zipf needs s > 1 and v >= 1 (got s=%v v=%v)", p.ZipfS, p.ZipfV)
 	}
+	if len(cfg.Schedule) > 0 && cfg.Control == nil {
+		return Result{}, fmt.Errorf("loadgen: schedule without Control")
+	}
 	res := Result{PerReporter: make([]uint64, cfg.Reporters)}
 	var (
-		wg       sync.WaitGroup
-		errCount atomic.Uint64
-		firstErr atomic.Pointer[error]
+		wg        sync.WaitGroup
+		errCount  atomic.Uint64
+		firstErr  atomic.Pointer[error]
+		submitted atomic.Uint64 // run-wide progress, drives the schedule
 	)
+	fail := func(err error) {
+		errCount.Add(1)
+		firstErr.CompareAndSwap(nil, &err)
+	}
 	start := time.Now()
+
+	// The scheduler fires events as the submission counter crosses each
+	// threshold; whatever is left when the reporters finish is applied
+	// synchronously afterwards, so scheduled recoveries always happen.
+	var fired atomic.Uint64
+	schedule := append([]Event(nil), cfg.Schedule...)
+	sort.SliceStable(schedule, func(i, j int) bool { return schedule[i].After < schedule[j].After })
+	total := uint64(cfg.Reporters) * uint64(cfg.Reports)
+	stop := make(chan struct{})
+	schedDone := make(chan struct{})
+	go func() {
+		defer close(schedDone)
+		for _, ev := range schedule {
+			threshold := uint64(ev.After * float64(total))
+			for submitted.Load() < threshold {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Plain sleep, not time.After: a fresh timer allocation
+				// every 100µs for the whole run would be GC pressure in
+				// a throughput-measurement harness.
+				time.Sleep(100 * time.Microsecond)
+			}
+			if err := cfg.Control(ev); err != nil {
+				fail(err)
+				return
+			}
+			fired.Add(1)
+		}
+	}()
+
 	for i := 0; i < cfg.Reporters; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			rep := newReporter(i)
-			n, err := drive(cfg, i, rep)
+			n, err := drive(cfg, i, rep, &submitted)
 			if err == nil {
 				// Batching reporters (e.g. the engine's) stage frames
 				// locally; push them out before this goroutine exits so
@@ -215,16 +354,27 @@ func Run(cfg Config, newReporter func(i int) Reporter) (Result, error) {
 			}
 			res.PerReporter[i] = n
 			if err != nil {
-				errCount.Add(1)
-				firstErr.CompareAndSwap(nil, &err)
+				fail(err)
 			}
 		}(i)
 	}
 	wg.Wait()
+	close(stop)
+	<-schedDone
+	for _, ev := range schedule[fired.Load():] {
+		if errCount.Load() > 0 {
+			break
+		}
+		if err := cfg.Control(ev); err != nil {
+			fail(err)
+			break
+		}
+		fired.Add(1)
+	}
+	res.EventsFired = int(fired.Load())
 	if cfg.Drain != nil {
 		if err := cfg.Drain(); err != nil {
-			errCount.Add(1)
-			firstErr.CompareAndSwap(nil, &err)
+			fail(err)
 		}
 	}
 	res.Elapsed = time.Since(start)
@@ -244,50 +394,117 @@ func reporterSeed(seed int64, i int) int64 {
 	return seed + int64(i)*-0x61c8864680b583eb
 }
 
-// drive submits cfg.Reports reports from reporter i. It stops at the
+// report is one generated submission before it reaches a Reporter.
+type report struct {
+	op    int // 0 KeyWrite, 1 Increment, 2 Postcard, 3 Append
+	key   uint64
+	delta uint64
+	hop   int
+	list  uint32
+}
+
+// stream derives reporter i's deterministic report sequence. drive
+// (submission) and WrittenKeys (verification) both consume it, so what
+// a run writes and what a verifier later expects can never diverge.
+type stream struct {
+	p    Profile
+	rng  *rand.Rand
+	zipf *rand.Zipf
+}
+
+func newStream(cfg Config, i int) *stream {
+	s := &stream{p: cfg.Profile, rng: rand.New(rand.NewSource(reporterSeed(cfg.Seed, i)))}
+	if s.p.Kind == Zipf {
+		s.zipf = rand.NewZipf(s.rng, s.p.ZipfS, s.p.ZipfV, s.p.Keys-1)
+	}
+	return s
+}
+
+func (s *stream) next() report {
+	var r report
+	switch s.p.Kind {
+	case Zipf:
+		r.key = s.zipf.Uint64()
+	case Incast:
+		r.key = s.rng.Uint64() % s.p.HotKeys
+	default:
+		r.key = s.rng.Uint64() % s.p.Keys
+	}
+	if s.p.Kind == Mixed {
+		r.op = s.rng.Intn(4)
+	}
+	switch r.op {
+	case 1:
+		r.delta = 1 + r.key%16
+	case 2:
+		r.hop = s.rng.Intn(s.p.Hops)
+	case 3:
+		r.list = uint32(s.rng.Uint32()) % s.p.Lists
+	}
+	return r
+}
+
+// KeyWriteValue returns the payload every generated Key-Write for keyID
+// carries: verification recomputes the expected value from the key.
+func KeyWriteValue(keyID uint64) [4]byte {
+	return [4]byte{byte(keyID >> 24), byte(keyID >> 16), byte(keyID >> 8), byte(keyID)}
+}
+
+// WrittenKeys replays the run's PRNG streams without submitting anything
+// and returns the deduplicated, sorted set of key IDs the run Key-Writes
+// (the full key set for single-primitive profiles, the KeyWrite subset
+// for Mixed). Combined with KeyWriteValue it lets a driver check, after
+// a failure scenario, which acknowledged writes survived.
+func WrittenKeys(cfg Config) []uint64 {
+	cfg = cfg.withDefaults()
+	seen := make(map[uint64]struct{})
+	for i := 0; i < cfg.Reporters; i++ {
+		st := newStream(cfg, i)
+		for n := 0; n < cfg.Reports; n++ {
+			if r := st.next(); r.op == 0 {
+				seen[r.key] = struct{}{}
+			}
+		}
+	}
+	keys := make([]uint64, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// drive submits cfg.Reports reports from reporter i, bumping submitted
+// after each success (the schedule's progress clock). It stops at the
 // first submission error: under the engine's Block policy errors mean
 // the pipeline is broken, not congested.
-func drive(cfg Config, i int, rep Reporter) (uint64, error) {
+func drive(cfg Config, i int, rep Reporter, submitted *atomic.Uint64) (uint64, error) {
 	p := cfg.Profile
-	rng := rand.New(rand.NewSource(reporterSeed(cfg.Seed, i)))
-	var zipf *rand.Zipf
-	if p.Kind == Zipf {
-		zipf = rand.NewZipf(rng, p.ZipfS, p.ZipfV, p.Keys-1)
-	}
+	st := newStream(cfg, i)
 	data := make([]byte, 4)
 	var sent uint64
 	for n := 0; n < cfg.Reports; n++ {
-		var keyID uint64
-		switch p.Kind {
-		case Zipf:
-			keyID = zipf.Uint64()
-		case Incast:
-			keyID = rng.Uint64() % p.HotKeys
-		default:
-			keyID = rng.Uint64() % p.Keys
-		}
-		key := wire.KeyFromUint64(keyID)
-		data[0], data[1], data[2], data[3] = byte(keyID>>24), byte(keyID>>16), byte(keyID>>8), byte(keyID)
+		r := st.next()
+		key := wire.KeyFromUint64(r.key)
+		v := KeyWriteValue(r.key)
+		copy(data, v[:])
 
-		op := 0 // KeyWrite
-		if p.Kind == Mixed {
-			op = rng.Intn(4)
-		}
 		var err error
-		switch op {
+		switch r.op {
 		case 0:
 			err = rep.KeyWrite(key, data, p.Redundancy)
 		case 1:
-			err = rep.Increment(key, 1+keyID%16, p.Redundancy)
+			err = rep.Increment(key, r.delta, p.Redundancy)
 		case 2:
-			err = rep.Postcard(key, rng.Intn(p.Hops), p.Hops)
+			err = rep.Postcard(key, r.hop, p.Hops)
 		case 3:
-			err = rep.Append(uint32(rng.Uint32())%p.Lists, data)
+			err = rep.Append(r.list, data)
 		}
 		if err != nil {
 			return sent, fmt.Errorf("loadgen: reporter %d report %d: %w", i, n, err)
 		}
 		sent++
+		submitted.Add(1)
 		if p.Kind == Bursty && (n+1)%p.BurstLen == 0 {
 			time.Sleep(p.BurstIdle)
 		}

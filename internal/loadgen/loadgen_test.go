@@ -3,6 +3,7 @@ package loadgen
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -218,3 +219,154 @@ func TestRunSurfacesErrors(t *testing.T) {
 		t.Fatalf("res = %+v, want 2 errors, 0 submitted", res)
 	}
 }
+
+func TestParseSchedule(t *testing.T) {
+	got, err := ParseSchedule(" kill@0.25=1, restore@0.75=1 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{
+		{After: 0.25, Action: Kill, Collector: 1},
+		{After: 0.75, Action: Restore, Collector: 1},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if ev, err := ParseSchedule(""); err != nil || len(ev) != 0 {
+		t.Errorf("empty spec: %v %v", ev, err)
+	}
+	for _, bad := range []string{"kill@0.5", "nuke@0.5=1", "kill@1.5=1", "kill@0.5=x", "kill=1"} {
+		if _, err := ParseSchedule(bad); err == nil {
+			t.Errorf("ParseSchedule(%q) accepted", bad)
+		}
+	}
+}
+
+// TestScheduleFiresInOrder: events fire as submission progress crosses
+// their thresholds, in order, and leftovers apply before Drain.
+func TestScheduleFiresInOrder(t *testing.T) {
+	var mu sync.Mutex
+	var fired []Event
+	var progressAtFire []uint64
+	var submitted atomic.Uint64
+	cfg := Config{
+		Reporters: 2,
+		Reports:   5000,
+		Schedule: []Event{
+			{After: 1.0, Action: Restore, Collector: 1}, // deliberately out of order
+			{After: 0.2, Action: Kill, Collector: 1},
+		},
+		Control: func(ev Event) error {
+			mu.Lock()
+			defer mu.Unlock()
+			fired = append(fired, ev)
+			progressAtFire = append(progressAtFire, submitted.Load())
+			return nil
+		},
+		Drain: func() error {
+			mu.Lock()
+			defer mu.Unlock()
+			if len(fired) != 2 {
+				t.Errorf("drain ran with %d events fired, want 2", len(fired))
+			}
+			return nil
+		},
+	}
+	res, err := Run(cfg, func(int) Reporter {
+		return countingReporter{&submitted}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EventsFired != 2 {
+		t.Fatalf("EventsFired = %d, want 2", res.EventsFired)
+	}
+	if fired[0].Action != Kill || fired[1].Action != Restore {
+		t.Fatalf("fired order = %v", fired)
+	}
+	// The kill must not fire before its 20% threshold: the scheduler
+	// waits for the counter, which only grows, so the progress observed
+	// at fire time is at least the threshold.
+	if progressAtFire[0] < 2000 {
+		t.Errorf("kill fired at %d submissions, threshold 2000", progressAtFire[0])
+	}
+}
+
+func TestScheduleRequiresControl(t *testing.T) {
+	_, err := Run(Config{Reporters: 1, Reports: 1, Schedule: []Event{{After: 0.5}}},
+		func(int) Reporter { return newMemReporter() })
+	if err == nil {
+		t.Fatal("schedule without Control accepted")
+	}
+}
+
+func TestScheduleControlErrorSurfaced(t *testing.T) {
+	res, err := Run(Config{
+		Reporters: 1,
+		Reports:   100,
+		Schedule:  []Event{{After: 0, Action: Kill, Collector: 3}},
+		Control:   func(Event) error { return fmt.Errorf("no such collector") },
+	}, func(int) Reporter { return newMemReporter() })
+	if err == nil {
+		t.Fatal("Control error not surfaced")
+	}
+	if res.EventsFired != 0 {
+		t.Fatalf("EventsFired = %d, want 0", res.EventsFired)
+	}
+}
+
+// countingReporter tracks global submissions for the schedule test.
+type countingReporter struct{ n *atomic.Uint64 }
+
+func (r countingReporter) KeyWrite(wire.Key, []byte, int) error  { r.n.Add(1); return nil }
+func (r countingReporter) Increment(wire.Key, uint64, int) error { r.n.Add(1); return nil }
+func (r countingReporter) Postcard(wire.Key, int, int) error     { r.n.Add(1); return nil }
+func (r countingReporter) Append(uint32, []byte) error           { r.n.Add(1); return nil }
+
+// TestWrittenKeysMatchesRun: WrittenKeys must predict exactly the keys
+// a run Key-Writes — the contract failure-scenario verification rests on.
+func TestWrittenKeysMatchesRun(t *testing.T) {
+	for _, kind := range []Kind{Uniform, Mixed} {
+		t.Run(kind.String(), func(t *testing.T) {
+			cfg := Config{Profile: Profile{Kind: kind}, Reporters: 3, Reports: 2000, Seed: 11}
+			var mu sync.Mutex
+			written := map[uint64]struct{}{}
+			_, err := Run(cfg, func(int) Reporter {
+				return recordKWReporter{mu: &mu, keys: written}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			predicted := WrittenKeys(cfg)
+			if len(predicted) != len(written) {
+				t.Fatalf("predicted %d keys, run wrote %d", len(predicted), len(written))
+			}
+			for _, k := range predicted {
+				if _, ok := written[k]; !ok {
+					t.Fatalf("predicted key %d never written", k)
+				}
+			}
+		})
+	}
+}
+
+// recordKWReporter records only Key-Write keys (what WrittenKeys predicts).
+type recordKWReporter struct {
+	mu   *sync.Mutex
+	keys map[uint64]struct{}
+}
+
+func (r recordKWReporter) KeyWrite(k wire.Key, _ []byte, _ int) error {
+	r.mu.Lock()
+	r.keys[keyID(k)] = struct{}{}
+	r.mu.Unlock()
+	return nil
+}
+func (r recordKWReporter) Increment(wire.Key, uint64, int) error { return nil }
+func (r recordKWReporter) Postcard(wire.Key, int, int) error     { return nil }
+func (r recordKWReporter) Append(uint32, []byte) error           { return nil }
