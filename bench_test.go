@@ -325,11 +325,18 @@ func BenchmarkEngine_Sync1Shard(b *testing.B) {
 // concurrent producer goroutines; ns/op across shard counts shows the
 // shard-scaling curve, and against Sync1Shard the async win. Shard
 // scaling is real parallelism, so it only shows on GOMAXPROCS ≥ 2: a
-// single-core run measures pure queueing overhead (async necessarily
-// loses there — it does strictly more work per report).
-func benchEngineAsync(b *testing.B, shards int) {
+// single-core run measures pure queueing overhead. The frames flag
+// selects the wire-level baseline (serialise + parse per report) versus
+// the structured zero-allocation fast path — the Fig. 10-style
+// comparison dtabench -json records in BENCH_results.json.
+func benchEngineAsync(b *testing.B, shards int, frames bool) {
 	cl := engineBenchCluster(b, shards)
-	eng, err := cl.Engine(dta.EngineConfig{QueueDepth: 8192, Batch: 128})
+	// Shallow queues on purpose: with Block backpressure the producers
+	// simply wait, and the in-flight chunk working set stays
+	// cache-resident (deep queues — e.g. 8192 — put >100MB in flight and
+	// turn every chunk touch into a DRAM miss, measuring memory latency
+	// instead of the ingest path).
+	eng, err := cl.Engine(dta.EngineConfig{QueueDepth: 256, Batch: 64})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -342,6 +349,9 @@ func benchEngineAsync(b *testing.B, shards int) {
 		go func(g int) {
 			defer wg.Done()
 			rep := eng.Reporter(uint32(g + 1))
+			if frames {
+				rep = eng.FrameReporter(uint32(g + 1))
+			}
 			data := []byte{1, 2, 3, 4}
 			for i := g; i < b.N; i += producers {
 				if err := rep.KeyWrite(dta.KeyFromUint64(uint64(i)), data, 2); err != nil {
@@ -368,9 +378,15 @@ func benchEngineAsync(b *testing.B, shards int) {
 	}
 }
 
-func BenchmarkEngine_Async1Shard(b *testing.B) { benchEngineAsync(b, 1) }
-func BenchmarkEngine_Async2Shard(b *testing.B) { benchEngineAsync(b, 2) }
-func BenchmarkEngine_Async4Shard(b *testing.B) { benchEngineAsync(b, 4) }
+// Structured fast path (the default Reporter).
+func BenchmarkEngine_Async1Shard(b *testing.B) { benchEngineAsync(b, 1, false) }
+func BenchmarkEngine_Async2Shard(b *testing.B) { benchEngineAsync(b, 2, false) }
+func BenchmarkEngine_Async4Shard(b *testing.B) { benchEngineAsync(b, 4, false) }
+
+// Wire-level frame baseline (FrameReporter) at the same shard counts.
+func BenchmarkEngine_AsyncFrame1Shard(b *testing.B) { benchEngineAsync(b, 1, true) }
+func BenchmarkEngine_AsyncFrame2Shard(b *testing.B) { benchEngineAsync(b, 2, true) }
+func BenchmarkEngine_AsyncFrame4Shard(b *testing.B) { benchEngineAsync(b, 4, true) }
 
 func BenchmarkIntegration_MarpleTimeouts(b *testing.B) {
 	sys, err := dta.New(dta.Options{

@@ -47,7 +47,7 @@ func (c *Cluster) Owner(key Key) int {
 		// here, and a mod-by-zero panic would point at the wrong culprit.
 		panic("dta: Owner on empty Cluster (construct with NewCluster)")
 	}
-	return int(c.eng.Sum(key[:]) % uint32(len(c.systems)))
+	return int(c.eng.Sum128((*[16]byte)(&key)) % uint32(len(c.systems)))
 }
 
 // OwnerOfList returns the collector responsible for an Append list.

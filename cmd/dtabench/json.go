@@ -1,0 +1,205 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"dta"
+)
+
+// JSON benchmark mode: runs the core ingest benchmark suite with
+// testing.Benchmark and writes machine-readable results, so the
+// repository's performance trajectory is recorded (BENCH_results.json)
+// and comparable across commits. The suite mirrors the
+// BenchmarkEngine_* benchmarks in bench_test.go: the synchronous path,
+// the frame-based async path (baseline representation) and the
+// structured zero-allocation async path, at 1 and 4 shards.
+
+// BenchResult is one benchmark measurement.
+type BenchResult struct {
+	Name          string  `json:"name"`
+	Path          string  `json:"path"` // "sync", "frame" or "structured"
+	Shards        int     `json:"shards"`
+	Iterations    int     `json:"iterations"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	ReportsPerSec float64 `json:"reports_per_sec"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+}
+
+// BenchComparison relates a baseline measurement to an optimised one.
+type BenchComparison struct {
+	Name          string  `json:"name"`
+	Baseline      string  `json:"baseline"`
+	Optimized     string  `json:"optimized"`
+	SpeedupPct    float64 `json:"speedup_pct"` // +X% reports/sec over baseline
+	BaselineNsOp  float64 `json:"baseline_ns_per_op"`
+	OptimizedNsOp float64 `json:"optimized_ns_per_op"`
+}
+
+// BenchReport is the file-level schema of BENCH_results.json.
+type BenchReport struct {
+	Schema      int               `json:"schema"`
+	Generated   string            `json:"generated"`
+	GoVersion   string            `json:"go_version"`
+	GOMAXPROCS  int               `json:"gomaxprocs"`
+	Note        string            `json:"note"`
+	Results     []BenchResult     `json:"results"`
+	Comparisons []BenchComparison `json:"comparisons"`
+}
+
+// benchCluster builds the cluster geometry shared by every ingest
+// benchmark (identical to bench_test.go's engineBenchCluster).
+func benchCluster(shards int) (*dta.Cluster, error) {
+	return dta.NewCluster(shards, dta.Options{
+		KeyWrite:     &dta.KeyWriteOptions{Slots: 1 << 18, DataSize: 4},
+		KeyIncrement: &dta.KeyIncrementOptions{Slots: 1 << 16},
+	})
+}
+
+// benchSync measures the synchronous single-collector call chain.
+func benchSync(b *testing.B) {
+	cl, err := benchCluster(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep := cl.Reporter(1)
+	data := []byte{1, 2, 3, 4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rep.KeyWrite(dta.KeyFromUint64(uint64(i)), data, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchAsync measures the async engine, frame or structured path.
+func benchAsync(b *testing.B, shards int, frames bool) {
+	cl, err := benchCluster(shards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := cl.Engine(dta.EngineConfig{QueueDepth: 256, Batch: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const producers = 4
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for g := 0; g < producers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rep := eng.Reporter(uint32(g + 1))
+			if frames {
+				rep = eng.FrameReporter(uint32(g + 1))
+			}
+			data := []byte{1, 2, 3, 4}
+			for i := g; i < b.N; i += producers {
+				if err := rep.KeyWrite(dta.KeyFromUint64(uint64(i)), data, 2); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+			if err := rep.Flush(); err != nil {
+				b.Error(err)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := eng.Drain(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if err := eng.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func toResult(name, path string, shards int, r testing.BenchmarkResult) BenchResult {
+	ns := float64(r.T.Nanoseconds()) / float64(r.N)
+	rps := 0.0
+	if ns > 0 {
+		rps = 1e9 / ns
+	}
+	return BenchResult{
+		Name:          name,
+		Path:          path,
+		Shards:        shards,
+		Iterations:    r.N,
+		NsPerOp:       ns,
+		ReportsPerSec: rps,
+		AllocsPerOp:   r.AllocsPerOp(),
+		BytesPerOp:    r.AllocedBytesPerOp(),
+	}
+}
+
+// runJSONBench runs the suite and writes the report to out ("-" for
+// stdout).
+func runJSONBench(out string) error {
+	type spec struct {
+		name   string
+		path   string
+		shards int
+		fn     func(b *testing.B)
+	}
+	specs := []spec{
+		{"Engine_Sync1Shard", "sync", 1, benchSync},
+		{"Engine_AsyncFrame1Shard", "frame", 1, func(b *testing.B) { benchAsync(b, 1, true) }},
+		{"Engine_AsyncFrame4Shard", "frame", 4, func(b *testing.B) { benchAsync(b, 4, true) }},
+		{"Engine_Async1Shard", "structured", 1, func(b *testing.B) { benchAsync(b, 1, false) }},
+		{"Engine_Async4Shard", "structured", 4, func(b *testing.B) { benchAsync(b, 4, false) }},
+	}
+	report := BenchReport{
+		Schema:     1,
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Note: "Key-Write redundancy 2; async rows drive 4 producer goroutines. " +
+			"frame = serialise/parse wire frames per report (baseline ingest " +
+			"representation); structured = zero-allocation staged-report fast path.",
+	}
+	byName := map[string]BenchResult{}
+	for _, s := range specs {
+		fmt.Fprintf(os.Stderr, "bench %s...\n", s.name)
+		res := toResult(s.name, s.path, s.shards, testing.Benchmark(s.fn))
+		report.Results = append(report.Results, res)
+		byName[s.name] = res
+	}
+	for _, shards := range []int{1, 4} {
+		base := byName[fmt.Sprintf("Engine_AsyncFrame%dShard", shards)]
+		opt := byName[fmt.Sprintf("Engine_Async%dShard", shards)]
+		if base.NsPerOp == 0 || opt.NsPerOp == 0 {
+			continue
+		}
+		report.Comparisons = append(report.Comparisons, BenchComparison{
+			Name:          fmt.Sprintf("structured_vs_frame_%dshard", shards),
+			Baseline:      base.Name,
+			Optimized:     opt.Name,
+			SpeedupPct:    (base.NsPerOp/opt.NsPerOp - 1) * 100,
+			BaselineNsOp:  base.NsPerOp,
+			OptimizedNsOp: opt.NsPerOp,
+		})
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", out)
+	return nil
+}

@@ -7,6 +7,13 @@
 //	dtabench -experiment fig10    # one table/figure
 //	dtabench -scale 1             # paper-scale store geometries
 //	dtabench -list                # enumerate experiment IDs
+//	dtabench -json                # machine-readable ingest benchmarks
+//	dtabench -json -out FILE      # ... written to FILE (default BENCH_results.json)
+//
+// The -json mode runs the core ingest benchmark suite (sync, frame-async
+// and structured-async Key-Write paths) and records name, ns/op,
+// reports/sec and allocs/op, so the repository's performance trajectory
+// stays comparable across commits.
 //
 // See DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
 // paper-vs-measured results.
@@ -30,8 +37,18 @@ func main() {
 		cores      = flag.Int("cores", 0, "cap cores for parallel measurements (0 = all)")
 		quick      = flag.Bool("quick", false, "shrink workloads (CI mode)")
 		list       = flag.Bool("list", false, "list experiment IDs and exit")
+		jsonBench  = flag.Bool("json", false, "run the ingest benchmark suite, write JSON results")
+		jsonOut    = flag.String("out", "BENCH_results.json", "output path for -json ('-' = stdout)")
 	)
 	flag.Parse()
+
+	if *jsonBench {
+		if err := runJSONBench(*jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "dtabench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {

@@ -52,6 +52,7 @@ func main() {
 		replicas  = flag.Int("replicas", 0, "replication factor R (0 = plain cluster, no HA)")
 		schedule  = flag.String("schedule", "", "failure schedule, e.g. 'kill@0.25=1,restore@0.75=1' (needs -replicas)")
 		verify    = flag.Int("verify", 20000, "max written keys to query back after an HA run (0 = skip)")
+		frames    = flag.Bool("frames", false, "use the wire-level frame reporters instead of the structured fast path")
 	)
 	flag.Parse()
 
@@ -98,18 +99,31 @@ func main() {
 		Schedule:  sched,
 	}
 
-	fmt.Printf("profile=%s shards=%d reporters=%d reports/reporter=%d seed=%d policy=%s replicas=%d gomaxprocs=%d\n",
-		prof.Kind, *shards, *reporters, *reports, *seed, *policy, *replicas, runtime.GOMAXPROCS(0))
+	path := "structured"
+	if *frames {
+		path = "frames"
+	}
+	fmt.Printf("profile=%s shards=%d reporters=%d reports/reporter=%d seed=%d policy=%s replicas=%d path=%s gomaxprocs=%d\n",
+		prof.Kind, *shards, *reporters, *reports, *seed, *policy, *replicas, path, runtime.GOMAXPROCS(0))
 
 	if *replicas >= 1 {
-		runHA(opts, cfg, lcfg, *shards, *replicas, *verify)
+		runHA(opts, cfg, lcfg, *shards, *replicas, *verify, *frames)
 		return
 	}
-	runPlain(opts, cfg, lcfg, *shards)
+	runPlain(opts, cfg, lcfg, *shards, *frames)
+}
+
+// newReporter picks the ingest representation the run drives: the
+// structured zero-allocation fast path (default) or real wire frames.
+func newReporter(eng *dta.Engine, id uint32, frames bool) loadgen.Reporter {
+	if frames {
+		return eng.FrameReporter(id)
+	}
+	return eng.Reporter(id)
 }
 
 // runPlain is the original single-owner cluster path.
-func runPlain(opts dta.Options, cfg dta.EngineConfig, lcfg loadgen.Config, shards int) {
+func runPlain(opts dta.Options, cfg dta.EngineConfig, lcfg loadgen.Config, shards int, frames bool) {
 	cluster, err := dta.NewCluster(shards, opts)
 	if err != nil {
 		log.Fatal(err)
@@ -120,7 +134,7 @@ func runPlain(opts dta.Options, cfg dta.EngineConfig, lcfg loadgen.Config, shard
 	}
 	lcfg.Drain = eng.Drain
 	res, err := loadgen.Run(lcfg, func(i int) loadgen.Reporter {
-		return eng.Reporter(uint32(i + 1))
+		return newReporter(eng, uint32(i+1), frames)
 	})
 	if err != nil {
 		log.Fatalf("dtaload: %v", err)
@@ -134,7 +148,7 @@ func runPlain(opts dta.Options, cfg dta.EngineConfig, lcfg loadgen.Config, shard
 
 // runHA drives the replicated cluster, optionally injecting the failure
 // schedule, then rebalances and verifies recovery of written keys.
-func runHA(opts dta.Options, cfg dta.EngineConfig, lcfg loadgen.Config, shards, replicas, verify int) {
+func runHA(opts dta.Options, cfg dta.EngineConfig, lcfg loadgen.Config, shards, replicas, verify int, frames bool) {
 	hac, err := dta.NewHACluster(shards, replicas, opts)
 	if err != nil {
 		log.Fatal(err)
@@ -156,7 +170,7 @@ func runHA(opts dta.Options, cfg dta.EngineConfig, lcfg loadgen.Config, shards, 
 		return fmt.Errorf("dtaload: unknown action %v", ev.Action)
 	}
 	res, err := loadgen.Run(lcfg, func(i int) loadgen.Reporter {
-		return eng.Reporter(uint32(i + 1))
+		return newReporter(eng, uint32(i+1), frames)
 	})
 	if err != nil {
 		log.Fatalf("dtaload: %v", err)

@@ -246,6 +246,32 @@ func (s *System) deliverAt(frame []byte, nowNs uint64) error {
 	return err
 }
 
+// deliverReportAt is the structured counterpart of deliverAt: the report
+// was never serialised, so the translator skips the frame parse
+// entirely. The lossy-link model still sees the exact on-the-wire size
+// the report would have occupied, keeping loss behaviour identical
+// across the two ingest paths.
+func (s *System) deliverReportAt(r *wire.Report, nowNs uint64) error {
+	if s.link != nil {
+		if _, dropped := s.link.Send(nowNs, wire.FrameLen(r)); dropped {
+			return nil // best-effort: silently lost, like UDP
+		}
+	}
+	return s.tr.ProcessReport(r, nowNs)
+}
+
+// deliverStagedAt is deliverReportAt for compact staged records: the
+// hottest path, reaching the translator with no report materialisation
+// at all.
+func (s *System) deliverStagedAt(rec *wire.StagedReport, nowNs uint64) error {
+	if s.link != nil {
+		if _, dropped := s.link.Send(nowNs, rec.FrameLen()); dropped {
+			return nil // best-effort: silently lost, like UDP
+		}
+	}
+	return s.tr.ProcessStaged(rec, nowNs)
+}
+
 // Reporter is a handle for one reporting switch.
 type Reporter struct {
 	sys *System

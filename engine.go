@@ -47,11 +47,21 @@ type Engine struct {
 }
 
 // systemSink adapts one System's lossy-link + translator + collector
-// chain to the engine's per-shard Sink.
+// chain to the engine's per-shard Sink. It implements both ingest
+// representations: serialised frames (wire-level path) and decoded
+// reports (structured zero-allocation fast path).
 type systemSink struct{ s *System }
 
 func (k systemSink) ProcessFrame(frame []byte, nowNs uint64) error {
 	return k.s.deliverAt(frame, nowNs)
+}
+
+func (k systemSink) ProcessReport(r *wire.Report, nowNs uint64) error {
+	return k.s.deliverReportAt(r, nowNs)
+}
+
+func (k systemSink) ProcessStaged(s *wire.StagedReport, nowNs uint64) error {
+	return k.s.deliverStagedAt(s, nowNs)
 }
 
 func (k systemSink) Flush(nowNs uint64) error { return k.s.flushAt(nowNs) }
@@ -119,16 +129,33 @@ func (e *Engine) ShardStats() []EngineStats {
 	return out
 }
 
-// Reporter attaches an async reporter switch. The handle owns a frame
-// buffer, per-shard encoder state and staged report chunks, so it is
-// NOT goroutine-safe: give each producer goroutine its own
-// AsyncReporter (they are cheap). Call Flush before Drain so staged
+// Reporter attaches an async reporter switch using the structured fast
+// path: reports are staged by value (fixed-size struct + inline payload)
+// in per-shard chunks, never serialised to a wire frame and never
+// re-parsed — the zero-allocation ingest path. The handle owns staged
+// chunks, so it is NOT goroutine-safe: give each producer goroutine its
+// own AsyncReporter (they are cheap). Call Flush before Drain so staged
 // reports reach the shard queues.
 func (e *Engine) Reporter(switchID uint32) *AsyncReporter {
+	return &AsyncReporter{
+		eng:      e,
+		sub:      e.inner.Submitter(),
+		switchID: switchID,
+	}
+}
+
+// FrameReporter attaches an async reporter that serialises every report
+// into a full Ethernet/IPv4/UDP/DTA frame which the shard worker parses
+// back — the wire-level path. It exists for wire-format coverage and as
+// the baseline the structured path is benchmarked against; semantics
+// (routing, loss, stored bytes) are identical to Reporter's.
+func (e *Engine) FrameReporter(switchID uint32) *AsyncReporter {
 	r := &AsyncReporter{
-		eng: e,
-		sub: e.inner.Submitter(),
-		buf: make([]byte, wire.MaxReportLen),
+		eng:      e,
+		sub:      e.inner.Submitter(),
+		switchID: switchID,
+		frames:   true,
+		buf:      make([]byte, wire.MaxReportLen),
 	}
 	for range e.systems {
 		r.reps = append(r.reps, reporter.New(reporterConfig(switchID)))
@@ -136,15 +163,27 @@ func (e *Engine) Reporter(switchID uint32) *AsyncReporter {
 	return r
 }
 
-// AsyncReporter is a reporter handle that encodes reports on the calling
+// AsyncReporter is a reporter handle that stages reports on the calling
 // goroutine (reporter-side work is parallel across switches, as in the
-// real system) and stages the frames in per-shard chunks that are
-// queued on the owning shard every EngineConfig.ChunkFrames reports.
+// real system) into per-shard chunks that are queued on the owning
+// shard every EngineConfig.ChunkFrames reports. Reporter handles use
+// the structured fast path; FrameReporter handles serialise real
+// frames.
 type AsyncReporter struct {
-	eng  *Engine
-	sub  *engine.Submitter
-	reps []*reporter.Reporter // per-shard encoder, so each system sees its own IP-ID stream
-	buf  []byte
+	eng      *Engine
+	sub      *engine.Submitter
+	switchID uint32
+
+	// scratch is the structured-path staging report, reused across calls
+	// so only the active sub-header is written per report (SubmitReport
+	// copies it out before returning; stale sibling sub-headers are never
+	// read).
+	scratch wire.Report
+
+	// Frame-mode state (FrameReporter only).
+	frames bool
+	reps   []*reporter.Reporter // per-shard encoder, so each system sees its own IP-ID stream
+	buf    []byte
 }
 
 // shardFor routes a key the same way ClusterReporter does, so sync and
@@ -163,8 +202,16 @@ func (r *AsyncReporter) submit(shard int, ln int, err error) error {
 	return r.sub.Submit(shard, r.buf[:ln], r.eng.systems[shard].Now())
 }
 
-// haFan encodes and submits one report to every live replica owner
-// (HACluster engines only): the same fan-out HAReporter performs
+// submitReport validates and stages one structured report on shard.
+func (r *AsyncReporter) submitReport(shard int, rep *wire.Report) error {
+	if err := rep.Validate(); err != nil {
+		return err
+	}
+	return r.sub.SubmitReport(shard, rep, r.eng.systems[shard].Now())
+}
+
+// haFan encodes and submits one frame-mode report to every live replica
+// owner (HACluster engines only): the same fan-out HAReporter performs
 // synchronously, staged through the owners' shard queues. Down owners
 // are skipped with a counter, never an error.
 func (r *AsyncReporter) haFan(owners []int, encode func(rep *reporter.Reporter, buf []byte) (int, error)) error {
@@ -187,6 +234,28 @@ func (r *AsyncReporter) haFan(owners []int, encode func(rep *reporter.Reporter, 
 	return nil
 }
 
+// haFanReport is haFan for the structured path: the report is built
+// once and staged by value on every live owner — no per-replica
+// re-encoding at all.
+func (r *AsyncReporter) haFanReport(owners []int, rep *wire.Report) error {
+	if err := rep.Validate(); err != nil {
+		return err
+	}
+	h := r.eng.hac
+	live := 0
+	for _, o := range owners {
+		if h.health.IsDown(o) {
+			continue
+		}
+		if err := r.sub.SubmitReport(o, rep, r.eng.systems[o].Now()); err != nil {
+			return err
+		}
+		live++
+	}
+	h.health.RecordWrite(live, len(owners))
+	return nil
+}
+
 // Flush queues this reporter's staged chunks. Producers must call it
 // (on their own goroutine) before the engine's Drain or Close covers
 // their reports.
@@ -195,58 +264,107 @@ func (r *AsyncReporter) Flush() error { return r.sub.Flush() }
 // KeyWrite stores data under key with redundancy n via the owning
 // shard (all R owning shards on an HACluster engine).
 func (r *AsyncReporter) KeyWrite(key Key, data []byte, n int) error {
+	if r.frames {
+		if h := r.eng.hac; h != nil {
+			var ob [ha.MaxReplicas]int
+			return r.haFan(h.owners(key[:], ob[:0]), func(rep *reporter.Reporter, buf []byte) (int, error) {
+				return rep.KeyWrite(buf, key, data, uint8(n), false)
+			})
+		}
+		sh := r.shardFor(key)
+		ln, err := r.reps[sh].KeyWrite(r.buf, key, data, uint8(n), false)
+		return r.submit(sh, ln, err)
+	}
+	rep := &r.scratch
+	rep.Header = wire.Header{Version: wire.Version, Primitive: wire.PrimKeyWrite}
+	rep.KeyWrite = wire.KeyWrite{Redundancy: uint8(n), DataLen: uint16(len(data)), Key: key}
+	rep.Data = data
 	if h := r.eng.hac; h != nil {
 		var ob [ha.MaxReplicas]int
-		return r.haFan(h.owners(key[:], ob[:0]), func(rep *reporter.Reporter, buf []byte) (int, error) {
-			return rep.KeyWrite(buf, key, data, uint8(n), false)
-		})
+		return r.haFanReport(h.owners(key[:], ob[:0]), rep)
 	}
-	sh := r.shardFor(key)
-	ln, err := r.reps[sh].KeyWrite(r.buf, key, data, uint8(n), false)
-	return r.submit(sh, ln, err)
+	return r.submitReport(r.shardFor(key), rep)
 }
 
 // Increment adds delta to key's counter with redundancy n.
 func (r *AsyncReporter) Increment(key Key, delta uint64, n int) error {
+	if r.frames {
+		if h := r.eng.hac; h != nil {
+			var ob [ha.MaxReplicas]int
+			return r.haFan(h.owners(key[:], ob[:0]), func(rep *reporter.Reporter, buf []byte) (int, error) {
+				return rep.KeyIncrement(buf, key, delta, uint8(n))
+			})
+		}
+		sh := r.shardFor(key)
+		ln, err := r.reps[sh].KeyIncrement(r.buf, key, delta, uint8(n))
+		return r.submit(sh, ln, err)
+	}
+	rep := &r.scratch
+	rep.Header = wire.Header{Version: wire.Version, Primitive: wire.PrimKeyIncrement}
+	rep.KeyIncrement = wire.KeyIncrement{Redundancy: uint8(n), Key: key, Delta: delta}
+	rep.Data = nil
 	if h := r.eng.hac; h != nil {
 		var ob [ha.MaxReplicas]int
-		return r.haFan(h.owners(key[:], ob[:0]), func(rep *reporter.Reporter, buf []byte) (int, error) {
-			return rep.KeyIncrement(buf, key, delta, uint8(n))
-		})
+		return r.haFanReport(h.owners(key[:], ob[:0]), rep)
 	}
-	sh := r.shardFor(key)
-	ln, err := r.reps[sh].KeyIncrement(r.buf, key, delta, uint8(n))
-	return r.submit(sh, ln, err)
+	return r.submitReport(r.shardFor(key), rep)
 }
 
-// Postcard reports a hop observation for key (path tracing).
+// Postcard reports a hop observation for key (path tracing), carrying
+// this reporter's switch ID as the hop value.
 func (r *AsyncReporter) Postcard(key Key, hop, pathLen int) error {
+	if r.frames {
+		if h := r.eng.hac; h != nil {
+			var ob [ha.MaxReplicas]int
+			return r.haFan(h.owners(key[:], ob[:0]), func(rep *reporter.Reporter, buf []byte) (int, error) {
+				return rep.Postcard(buf, key, uint8(hop), uint8(pathLen))
+			})
+		}
+		sh := r.shardFor(key)
+		ln, err := r.reps[sh].Postcard(r.buf, key, uint8(hop), uint8(pathLen))
+		return r.submit(sh, ln, err)
+	}
+	rep := &r.scratch
+	rep.Header = wire.Header{Version: wire.Version, Primitive: wire.PrimPostcarding}
+	rep.Postcard = wire.Postcard{Key: key, Hop: uint8(hop), PathLen: uint8(pathLen), Value: r.switchID}
+	rep.Data = nil
 	if h := r.eng.hac; h != nil {
 		var ob [ha.MaxReplicas]int
-		return r.haFan(h.owners(key[:], ob[:0]), func(rep *reporter.Reporter, buf []byte) (int, error) {
-			return rep.Postcard(buf, key, uint8(hop), uint8(pathLen))
-		})
+		return r.haFanReport(h.owners(key[:], ob[:0]), rep)
 	}
-	sh := r.shardFor(key)
-	ln, err := r.reps[sh].Postcard(r.buf, key, uint8(hop), uint8(pathLen))
-	return r.submit(sh, ln, err)
+	return r.submitReport(r.shardFor(key), rep)
 }
 
 // Append adds data to the tail of list on the shard owning the list
 // (all R owning shards on an HACluster engine).
 func (r *AsyncReporter) Append(list uint32, data []byte) error {
+	if r.frames {
+		if h := r.eng.hac; h != nil {
+			var ob [ha.MaxReplicas]int
+			return r.haFan(h.ring.OwnersOfList(list, h.r, ob[:0]), func(rep *reporter.Reporter, buf []byte) (int, error) {
+				return rep.Append(buf, list, data, false)
+			})
+		}
+		sh := 0
+		if r.eng.cluster != nil {
+			sh = r.eng.cluster.OwnerOfList(list)
+		}
+		ln, err := r.reps[sh].Append(r.buf, list, data, false)
+		return r.submit(sh, ln, err)
+	}
+	rep := &r.scratch
+	rep.Header = wire.Header{Version: wire.Version, Primitive: wire.PrimAppend}
+	rep.Append = wire.Append{ListID: list, DataLen: uint16(len(data))}
+	rep.Data = data
 	if h := r.eng.hac; h != nil {
 		var ob [ha.MaxReplicas]int
-		return r.haFan(h.ring.OwnersOfList(list, h.r, ob[:0]), func(rep *reporter.Reporter, buf []byte) (int, error) {
-			return rep.Append(buf, list, data, false)
-		})
+		return r.haFanReport(h.ring.OwnersOfList(list, h.r, ob[:0]), rep)
 	}
 	sh := 0
 	if r.eng.cluster != nil {
 		sh = r.eng.cluster.OwnerOfList(list)
 	}
-	ln, err := r.reps[sh].Append(r.buf, list, data, false)
-	return r.submit(sh, ln, err)
+	return r.submitReport(sh, rep)
 }
 
 // String aids debugging output in benchmarks and the dtaload CLI.

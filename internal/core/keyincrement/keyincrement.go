@@ -61,7 +61,7 @@ func NewIndexer(cfg Config) (*Indexer, error) {
 
 // Slot computes the n'th counter location for key.
 func (x *Indexer) Slot(n int, key wire.Key) uint64 {
-	return uint64(x.slots.Hash(n, key[:])) & x.mask
+	return uint64(x.slots.Hash16(n, (*[wire.KeySize]byte)(&key))) & x.mask
 }
 
 // Offset converts a slot index to a byte offset.

@@ -103,12 +103,12 @@ func NewIndexer(cfg Config) (*Indexer, error) {
 
 // Slot computes the n'th redundant location for key.
 func (x *Indexer) Slot(n int, key wire.Key) uint64 {
-	return uint64(x.slots.Hash(n, key[:])) & x.slotMask
+	return uint64(x.slots.Hash16(n, (*[wire.KeySize]byte)(&key))) & x.slotMask
 }
 
 // Checksum computes the key checksum, masked to the configured width.
 func (x *Indexer) Checksum(key wire.Key) uint32 {
-	return x.csumEng.Sum(key[:]) & x.csumMask
+	return x.csumEng.Sum128((*[wire.KeySize]byte)(&key)) & x.csumMask
 }
 
 // Offset converts a slot index to a byte offset within the store buffer.

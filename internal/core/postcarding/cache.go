@@ -73,7 +73,7 @@ func NewCache(rows int, hops int) (*Cache, error) {
 
 // rowIndex hashes a flow to its cache row.
 func (c *Cache) rowIndex(x wire.Key) uint64 {
-	return uint64(c.idxEng.Sum(x[:])) & c.mask
+	return uint64(c.idxEng.Sum128((*[wire.KeySize]byte)(&x))) & c.mask
 }
 
 // flush converts a row into an Emit, blanking uncollected hops.

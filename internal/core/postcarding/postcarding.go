@@ -140,7 +140,7 @@ func (c *Coder) g(v uint32) uint32 { return c.gEng.Sum64(uint64(v)) & c.mask }
 
 // Chunk computes the j'th redundant chunk index for flow key x.
 func (c *Coder) Chunk(j int, x wire.Key) uint64 {
-	return uint64(c.chunks.Hash(j, x[:])) & (c.cfg.Chunks - 1)
+	return uint64(c.chunks.Hash16(j, (*[wire.KeySize]byte)(&x))) & (c.cfg.Chunks - 1)
 }
 
 // checksum computes the hop-specific checksum(x, i). Each hop uses a

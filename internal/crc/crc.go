@@ -70,9 +70,14 @@ var (
 // checksum polynomials D and K32K are intentionally absent.
 var polyPool = []Params{IEEE, Castagnoli, Koopman, Koopman2, Q, AUTOSAR, CDROMEDC, XFER}
 
-// Engine is a single configured CRC unit.
+// Engine is a single configured CRC unit. The register update is
+// implemented with slicing-by-8: tables[0] is the classic byte-at-a-time
+// table and tables[k] advances a byte through k further zero bytes, so
+// eight input bytes fold into the register with eight independent table
+// reads instead of eight serial ones. Telemetry keys are 8 or 16 bytes,
+// so the slot-hash path runs entirely inside the unrolled fast path.
 type Engine struct {
-	table  [256]uint32
+	tables [8][256]uint32
 	init   uint32
 	xorOut uint32
 	name   string
@@ -81,7 +86,7 @@ type Engine struct {
 // New builds an Engine for the given parameters.
 func New(p Params) *Engine {
 	e := &Engine{init: p.Init, xorOut: p.XorOut, name: p.Name}
-	for i := range e.table {
+	for i := range e.tables[0] {
 		c := uint32(i)
 		for k := 0; k < 8; k++ {
 			if c&1 != 0 {
@@ -90,7 +95,14 @@ func New(p Params) *Engine {
 				c >>= 1
 			}
 		}
-		e.table[i] = c
+		e.tables[0][i] = c
+	}
+	// tables[k][i] = CRC register after byte i followed by k zero bytes.
+	for k := 1; k < 8; k++ {
+		for i := range e.tables[k] {
+			c := e.tables[k-1][i]
+			e.tables[k][i] = e.tables[0][byte(c)] ^ (c >> 8)
+		}
 	}
 	return e
 }
@@ -98,39 +110,62 @@ func New(p Params) *Engine {
 // Name reports the configured variant name.
 func (e *Engine) Name() string { return e.name }
 
+// slice8 folds eight stream-order bytes into the register.
+func (e *Engine) slice8(c uint32, b0, b1, b2, b3, b4, b5, b6, b7 byte) uint32 {
+	c ^= uint32(b0) | uint32(b1)<<8 | uint32(b2)<<16 | uint32(b3)<<24
+	return e.tables[7][byte(c)] ^ e.tables[6][byte(c>>8)] ^
+		e.tables[5][byte(c>>16)] ^ e.tables[4][byte(c>>24)] ^
+		e.tables[3][b4] ^ e.tables[2][b5] ^ e.tables[1][b6] ^ e.tables[0][b7]
+}
+
 // Sum computes the CRC of data.
 func (e *Engine) Sum(data []byte) uint32 {
 	c := e.init
+	for len(data) >= 8 {
+		c = e.slice8(c, data[0], data[1], data[2], data[3], data[4], data[5], data[6], data[7])
+		data = data[8:]
+	}
 	for _, b := range data {
-		c = e.table[byte(c)^b] ^ (c >> 8)
+		c = e.tables[0][byte(c)^b] ^ (c >> 8)
 	}
 	return c ^ e.xorOut
+}
+
+// sumBytewise is the reference byte-at-a-time implementation. It is kept
+// (unexported) so differential tests can pin the slicing-by-8 path to it.
+func (e *Engine) sumBytewise(data []byte) uint32 {
+	c := e.init
+	for _, b := range data {
+		c = e.tables[0][byte(c)^b] ^ (c >> 8)
+	}
+	return c ^ e.xorOut
+}
+
+// fold64 folds the 8-byte big-endian encoding of v into the register.
+func (e *Engine) fold64(c uint32, v uint64) uint32 {
+	return e.slice8(c,
+		byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
 }
 
 // Sum64 computes the CRC of an 8-byte big-endian encoding of v without
 // allocating. Switch pipelines hash fixed-width header fields; this is the
 // fast path for numeric flow keys.
 func (e *Engine) Sum64(v uint64) uint32 {
-	c := e.init
-	for shift := 56; shift >= 0; shift -= 8 {
-		b := byte(v >> uint(shift))
-		c = e.table[byte(c)^b] ^ (c >> 8)
-	}
-	return c ^ e.xorOut
+	return e.fold64(e.init, v) ^ e.xorOut
 }
 
 // Sum64Pair hashes two 8-byte values (e.g. a key and a sub-index) as their
 // concatenated big-endian encoding.
 func (e *Engine) Sum64Pair(a, b uint64) uint32 {
-	c := e.init
-	for shift := 56; shift >= 0; shift -= 8 {
-		x := byte(a >> uint(shift))
-		c = e.table[byte(c)^x] ^ (c >> 8)
-	}
-	for shift := 56; shift >= 0; shift -= 8 {
-		x := byte(b >> uint(shift))
-		c = e.table[byte(c)^x] ^ (c >> 8)
-	}
+	return e.fold64(e.fold64(e.init, a), b) ^ e.xorOut
+}
+
+// Sum128 hashes a 16-byte key (the wire.Key width) in two unrolled
+// rounds, equivalent to Sum over the same bytes.
+func (e *Engine) Sum128(key *[16]byte) uint32 {
+	c := e.slice8(e.init, key[0], key[1], key[2], key[3], key[4], key[5], key[6], key[7])
+	c = e.slice8(c, key[8], key[9], key[10], key[11], key[12], key[13], key[14], key[15])
 	return c ^ e.xorOut
 }
 
@@ -168,6 +203,10 @@ func (f *Family) Size() int { return len(f.engines) }
 
 // Hash applies the i'th function to data.
 func (f *Family) Hash(i int, data []byte) uint32 { return f.engines[i].Sum(data) }
+
+// Hash16 applies the i'th function to a fixed 16-byte key (the DTA
+// telemetry key width) through the fully unrolled fast path.
+func (f *Family) Hash16(i int, key *[16]byte) uint32 { return f.engines[i].Sum128(key) }
 
 // Hash64 applies the i'th function to a fixed 64-bit key.
 func (f *Family) Hash64(i int, key uint64) uint32 { return f.engines[i].Sum64(key) }

@@ -27,6 +27,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"dta/internal/wire"
 )
 
 // Sink consumes reporter frames for one shard. Implementations are NOT
@@ -39,6 +41,33 @@ type Sink interface {
 	// Flush pushes out partial aggregation state (append batches,
 	// postcard caches, key-increment aggregates).
 	Flush(nowNs uint64) error
+}
+
+// ReportSink is the structured fast-path extension of Sink: it ingests
+// already-decoded reports, skipping frame serialisation on the producer
+// and frame parsing on the worker. Sinks that implement it accept
+// SubmitReport/EnqueueReport traffic; the frame-based path keeps working
+// either way (wire-level tests exercise real frames through it).
+type ReportSink interface {
+	Sink
+	// ProcessReport ingests one decoded report at the given simulation
+	// time. r (including r.Data) is only read during the call.
+	ProcessReport(r *wire.Report, nowNs uint64) error
+}
+
+// ErrNoReportSink is returned by structured submissions to a shard whose
+// sink does not implement ReportSink.
+var ErrNoReportSink = errors.New("engine: sink does not implement ReportSink")
+
+// StagedSink is an optional further refinement of ReportSink: the worker
+// hands over the compact staged record itself, saving even the
+// decompression into a scratch wire.Report. Sinks that only implement
+// ReportSink get records decompressed for them.
+type StagedSink interface {
+	ReportSink
+	// ProcessStaged ingests one staged record. s is only read during
+	// the call.
+	ProcessStaged(s *wire.StagedReport, nowNs uint64) error
 }
 
 // Policy selects the backpressure behaviour when a shard queue is full.
@@ -120,21 +149,29 @@ func (s *Stats) Add(other Stats) {
 // ErrClosed is returned by submissions and Drain after Close.
 var ErrClosed = errors.New("engine: closed")
 
-// chunk is one queue entry: zero or more packed frames, or a drain
-// barrier (nil data, non-nil drain).
+// chunk is one queue entry: zero or more packed frames, zero or more
+// staged structured reports, or a drain barrier (non-nil drain). A chunk
+// only ever carries one representation at a time (Submitters flush on a
+// mode switch), and its backing slices are recycled through the engine
+// pool, so steady-state ingest allocates nothing.
 type chunk struct {
-	data  []byte  // concatenated frames
-	lens  []int32 // per-frame lengths into data
-	nowNs uint64  // latest clock among the staged frames
+	data  []byte              // concatenated frames
+	lens  []int32             // per-frame lengths into data
+	recs  []wire.StagedReport // structured reports (fast path)
+	nowNs uint64              // latest clock among the staged entries
 	drain chan struct{}
 }
 
 func (c *chunk) reset() {
 	c.data = c.data[:0]
 	c.lens = c.lens[:0]
+	c.recs = c.recs[:0]
 	c.nowNs = 0
 	c.drain = nil
 }
+
+// count returns the number of staged reports.
+func (c *chunk) count() int { return len(c.lens) + len(c.recs) }
 
 type shardCounters struct {
 	enqueued  atomic.Uint64
@@ -157,9 +194,11 @@ func (c *shardCounters) snapshot() Stats {
 }
 
 type shard struct {
-	sink Sink
-	ch   chan *chunk
-	ctr  shardCounters
+	sink  Sink
+	rsink ReportSink // non-nil when sink implements the structured path
+	ssink StagedSink // non-nil when sink consumes staged records directly
+	ch    chan *chunk
+	ctr   shardCounters
 }
 
 // Engine fans reports out to per-shard worker goroutines.
@@ -192,7 +231,10 @@ func New(sinks []Sink, cfg Config) (*Engine, error) {
 		if s == nil {
 			return nil, errors.New("engine: nil sink")
 		}
-		e.shards = append(e.shards, &shard{sink: s, ch: make(chan *chunk, c.QueueDepth)})
+		sh := &shard{sink: s, ch: make(chan *chunk, c.QueueDepth)}
+		sh.rsink, _ = s.(ReportSink)
+		sh.ssink, _ = s.(StagedSink)
+		e.shards = append(e.shards, sh)
 	}
 	for _, sh := range e.shards {
 		e.wg.Add(1)
@@ -219,10 +261,46 @@ func (e *Engine) Enqueue(shardIdx int, frame []byte, nowNs uint64) error {
 	return e.send(e.shards[shardIdx], ck)
 }
 
+// EnqueueReport copies r and queues it on shard as a single-report
+// structured chunk, bypassing producer-side batching. Safe for
+// concurrent use; for hot paths prefer a per-goroutine Submitter.
+func (e *Engine) EnqueueReport(shardIdx int, r *wire.Report, nowNs uint64) error {
+	if shardIdx < 0 || shardIdx >= len(e.shards) {
+		return fmt.Errorf("engine: shard %d out of range [0,%d)", shardIdx, len(e.shards))
+	}
+	sh := e.shards[shardIdx]
+	if sh.rsink == nil {
+		return ErrNoReportSink
+	}
+	ck := e.pool.Get().(*chunk)
+	ck.reset()
+	ck.recs = stageInto(ck.recs, r, e.cfg.ChunkFrames)
+	ck.nowNs = nowNs
+	return e.send(sh, ck)
+}
+
+// stageInto appends a staged copy of r to recs. Capacity is reserved for
+// the full chunk up front (and then recycled through the pool), so
+// steady-state staging never re-allocates — incremental append growth
+// would churn the heap badly enough under deep queues to defeat the
+// pool via GC clearing.
+func stageInto(recs []wire.StagedReport, r *wire.Report, chunkFrames int) []wire.StagedReport {
+	n := len(recs)
+	if n < cap(recs) {
+		recs = recs[:n+1]
+	} else {
+		grown := make([]wire.StagedReport, n+1, max(chunkFrames, n+1))
+		copy(grown, recs)
+		recs = grown
+	}
+	recs[n].Stage(r)
+	return recs
+}
+
 // send hands a chunk to the shard worker, applying the backpressure
 // policy. It consumes ck (requeued to the pool on drop or ErrClosed).
 func (e *Engine) send(sh *shard, ck *chunk) error {
-	frames := uint64(len(ck.lens))
+	frames := uint64(ck.count())
 	// The read lock pins the channel open: Close takes the write lock
 	// before closing channels, so a send in flight here cannot panic.
 	e.mu.RLock()
@@ -261,6 +339,28 @@ func (e *Engine) Submitter() *Submitter {
 	return &Submitter{e: e, pending: make([]*chunk, len(e.shards))}
 }
 
+// stagedChunk returns the shard's pending chunk, materialising it from
+// the pool on first use. If the pending chunk holds the other
+// representation (frames vs structured reports), it is flushed first so
+// each chunk stays single-mode and per-producer FIFO order is preserved.
+func (s *Submitter) stagedChunk(shardIdx int, structured bool) (*chunk, error) {
+	ck := s.pending[shardIdx]
+	if ck != nil {
+		other := len(ck.lens) > 0 && structured || len(ck.recs) > 0 && !structured
+		if !other {
+			return ck, nil
+		}
+		s.pending[shardIdx] = nil
+		if err := s.e.send(s.e.shards[shardIdx], ck); err != nil {
+			return nil, err
+		}
+	}
+	ck = s.e.pool.Get().(*chunk)
+	ck.reset()
+	s.pending[shardIdx] = ck
+	return ck, nil
+}
+
 // Submit copies frame into shard's staged chunk, queueing the chunk
 // once it holds ChunkFrames frames.
 func (s *Submitter) Submit(shardIdx int, frame []byte, nowNs uint64) error {
@@ -270,11 +370,9 @@ func (s *Submitter) Submit(shardIdx int, frame []byte, nowNs uint64) error {
 	if s.e.closed.Load() {
 		return ErrClosed
 	}
-	ck := s.pending[shardIdx]
-	if ck == nil {
-		ck = s.e.pool.Get().(*chunk)
-		ck.reset()
-		s.pending[shardIdx] = ck
+	ck, err := s.stagedChunk(shardIdx, false)
+	if err != nil {
+		return err
 	}
 	ck.data = append(ck.data, frame...)
 	ck.lens = append(ck.lens, int32(len(frame)))
@@ -288,10 +386,38 @@ func (s *Submitter) Submit(shardIdx int, frame []byte, nowNs uint64) error {
 	return nil
 }
 
+// SubmitReport stages a copy of r into shard's staged chunk — no frame
+// serialisation, no heap allocation — queueing the chunk once it holds
+// ChunkFrames reports. The shard's sink must implement ReportSink.
+func (s *Submitter) SubmitReport(shardIdx int, r *wire.Report, nowNs uint64) error {
+	if shardIdx < 0 || shardIdx >= len(s.pending) {
+		return fmt.Errorf("engine: shard %d out of range [0,%d)", shardIdx, len(s.pending))
+	}
+	if s.e.closed.Load() {
+		return ErrClosed
+	}
+	if s.e.shards[shardIdx].rsink == nil {
+		return ErrNoReportSink
+	}
+	ck, err := s.stagedChunk(shardIdx, true)
+	if err != nil {
+		return err
+	}
+	ck.recs = stageInto(ck.recs, r, s.e.cfg.ChunkFrames)
+	if nowNs > ck.nowNs {
+		ck.nowNs = nowNs
+	}
+	if len(ck.recs) >= s.e.cfg.ChunkFrames {
+		s.pending[shardIdx] = nil
+		return s.e.send(s.e.shards[shardIdx], ck)
+	}
+	return nil
+}
+
 // Flush queues every non-empty staged chunk.
 func (s *Submitter) Flush() error {
 	for i, ck := range s.pending {
-		if ck == nil || len(ck.lens) == 0 {
+		if ck == nil || ck.count() == 0 {
 			continue
 		}
 		s.pending[i] = nil
@@ -380,6 +506,9 @@ func (e *Engine) run(sh *shard) {
 	batch := make([]*chunk, 0, e.cfg.Batch)
 	var lastNow uint64
 	sinceFlush := 0
+	// scratch is the decompression target for staged reports: one
+	// worker-lifetime value, overwritten per record.
+	var scratch wire.Report
 
 	flush := func(nowNs uint64) {
 		if nowNs > lastNow {
@@ -411,8 +540,28 @@ func (e *Engine) run(sh *shard) {
 				e.recordErr(err)
 			}
 		}
-		sh.ctr.processed.Add(uint64(len(ck.lens)))
-		sinceFlush += len(ck.lens)
+		// Structured fast path: hand staged records straight to the
+		// sink, no frame parse (and, for StagedSinks, no decompression
+		// either). Submission guarantees recs is empty when the sink
+		// lacks ReportSink support.
+		if sh.ssink != nil {
+			for i := range ck.recs {
+				if err := sh.ssink.ProcessStaged(&ck.recs[i], lastNow); err != nil {
+					sh.ctr.errors.Add(1)
+					e.recordErr(err)
+				}
+			}
+		} else {
+			for i := range ck.recs {
+				if err := sh.rsink.ProcessReport(ck.recs[i].View(&scratch), lastNow); err != nil {
+					sh.ctr.errors.Add(1)
+					e.recordErr(err)
+				}
+			}
+		}
+		n := ck.count()
+		sh.ctr.processed.Add(uint64(n))
+		sinceFlush += n
 		e.pool.Put(ck)
 		if e.cfg.FlushEvery > 0 && sinceFlush >= e.cfg.FlushEvery {
 			flush(lastNow)

@@ -1,0 +1,206 @@
+package engine
+
+import (
+	"errors"
+	"runtime/debug"
+	"testing"
+
+	"dta/internal/wire"
+)
+
+// reportRecordSink extends recordSink with the structured path,
+// snapshotting each report it receives.
+type reportRecordSink struct {
+	recordSink
+	reports []wire.Report
+	datas   [][]byte
+}
+
+func (s *reportRecordSink) ProcessReport(r *wire.Report, nowNs uint64) error {
+	s.ops = append(s.ops, "r")
+	s.frames++
+	s.lastNow = nowNs
+	cp := *r
+	cp.Data = append([]byte(nil), r.Data...)
+	s.reports = append(s.reports, cp)
+	s.datas = append(s.datas, cp.Data)
+	return s.err
+}
+
+func kwReport(key uint64, data []byte) *wire.Report {
+	return &wire.Report{
+		Header:   wire.Header{Version: wire.Version, Primitive: wire.PrimKeyWrite},
+		KeyWrite: wire.KeyWrite{Redundancy: 2, DataLen: uint16(len(data)), Key: wire.KeyFromUint64(key)},
+		Data:     data,
+	}
+}
+
+func TestSubmitReportRoundTrip(t *testing.T) {
+	sink := &reportRecordSink{}
+	e := mustEngine(t, []Sink{sink}, Config{ChunkFrames: 4})
+	sub := e.Submitter()
+	data := []byte{9, 8, 7}
+	for i := 0; i < 10; i++ {
+		if err := sub.SubmitReport(0, kwReport(uint64(i), data), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sub.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Drain(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.reports) != 10 {
+		t.Fatalf("sink saw %d reports, want 10", len(sink.reports))
+	}
+	for i, r := range sink.reports {
+		if r.Header.Primitive != wire.PrimKeyWrite {
+			t.Fatalf("report %d: primitive %v", i, r.Header.Primitive)
+		}
+		if r.KeyWrite.Key != wire.KeyFromUint64(uint64(i)) {
+			t.Fatalf("report %d: wrong key (order not preserved?)", i)
+		}
+		if r.KeyWrite.Redundancy != 2 || len(r.Data) != 3 || r.Data[0] != 9 {
+			t.Fatalf("report %d: fields corrupted: %+v data=%v", i, r.KeyWrite, r.Data)
+		}
+	}
+	st := e.Stats()
+	if st.Enqueued != 10 || st.Processed != 10 {
+		t.Fatalf("stats = %+v, want 10 enqueued+processed", st)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSubmitReportPayloadSnapshot verifies the staged copy is immune to
+// the producer reusing its payload buffer — the whole point of the
+// inline payload array.
+func TestSubmitReportPayloadSnapshot(t *testing.T) {
+	sink := &reportRecordSink{}
+	e := mustEngine(t, []Sink{sink}, Config{ChunkFrames: 8})
+	sub := e.Submitter()
+	buf := []byte{1, 1, 1, 1}
+	if err := sub.SubmitReport(0, kwReport(1, buf), 0); err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, []byte{2, 2, 2, 2}) // producer reuses its buffer
+	if err := sub.SubmitReport(0, kwReport(2, buf), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Drain(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := sink.datas[0]; got[0] != 1 {
+		t.Fatalf("first report data = %v, want the pre-reuse snapshot", got)
+	}
+	if got := sink.datas[1]; got[0] != 2 {
+		t.Fatalf("second report data = %v", got)
+	}
+	e.Close()
+}
+
+// TestSubmitterModeSwitchFlushes checks that interleaving frame and
+// structured submissions on one shard preserves per-producer FIFO order
+// (the staged chunk is flushed when the representation changes).
+func TestSubmitterModeSwitchFlushes(t *testing.T) {
+	sink := &reportRecordSink{}
+	e := mustEngine(t, []Sink{sink}, Config{ChunkFrames: 100})
+	sub := e.Submitter()
+	if err := sub.SubmitReport(0, kwReport(1, nil), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Submit(0, []byte{0xab}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.SubmitReport(0, kwReport(2, nil), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Drain(0); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"r", "p", "r", "f"}
+	if len(sink.ops) != len(want) {
+		t.Fatalf("ops = %v, want %v", sink.ops, want)
+	}
+	for i := range want {
+		if sink.ops[i] != want[i] {
+			t.Fatalf("ops = %v, want %v (FIFO across mode switch)", sink.ops, want)
+		}
+	}
+	e.Close()
+}
+
+func TestSubmitReportToFrameOnlySink(t *testing.T) {
+	sink := &recordSink{} // no ProcessReport
+	e := mustEngine(t, []Sink{sink}, Config{})
+	defer e.Close()
+	sub := e.Submitter()
+	if err := sub.SubmitReport(0, kwReport(1, nil), 0); !errors.Is(err, ErrNoReportSink) {
+		t.Fatalf("err = %v, want ErrNoReportSink", err)
+	}
+	if err := e.EnqueueReport(0, kwReport(1, nil), 0); !errors.Is(err, ErrNoReportSink) {
+		t.Fatalf("EnqueueReport err = %v, want ErrNoReportSink", err)
+	}
+}
+
+func TestEnqueueReportBypassesBatching(t *testing.T) {
+	sink := &reportRecordSink{}
+	e := mustEngine(t, []Sink{sink}, Config{ChunkFrames: 100})
+	if err := e.EnqueueReport(0, kwReport(7, []byte{4}), 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Drain(42); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.reports) != 1 || sink.reports[0].KeyWrite.Key != wire.KeyFromUint64(7) {
+		t.Fatalf("reports = %+v", sink.reports)
+	}
+	e.Close()
+}
+
+// TestStructuredSteadyStateZeroAllocs pins the structured submission
+// path at zero allocations per report once the chunk pool is warm. GC is
+// disabled for the measurement so sync.Pool victim clearing cannot
+// inject warmup re-allocations.
+func TestStructuredSteadyStateZeroAllocs(t *testing.T) {
+	sink := &nullReportSink{}
+	e := mustEngine(t, []Sink{sink}, Config{ChunkFrames: 32, QueueDepth: 64})
+	defer e.Close()
+	sub := e.Submitter()
+	rep := kwReport(1, []byte{1, 2, 3, 4})
+
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	// Warm the pool and the chunk slices.
+	for i := 0; i < 10_000; i++ {
+		if err := sub.SubmitReport(0, rep, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Drain(0); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(2000, func() {
+		if err := sub.SubmitReport(0, rep, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("structured submit allocated %.2f/op, want 0", allocs)
+	}
+}
+
+// nullReportSink discards everything (for allocation measurements the
+// recording sinks would themselves allocate).
+type nullReportSink struct{ n int }
+
+func (s *nullReportSink) ProcessFrame(frame []byte, nowNs uint64) error    { s.n++; return nil }
+func (s *nullReportSink) ProcessReport(r *wire.Report, nowNs uint64) error { s.n++; return nil }
+func (s *nullReportSink) Flush(nowNs uint64) error                         { return nil }

@@ -213,12 +213,23 @@ type Packet struct {
 
 var icrcTable = crc32.MakeTable(crc32.Castagnoli)
 
-// appendICRC computes and appends the (simplified) invariant CRC.
-func appendICRC(b []byte) []byte {
-	crc := crc32.Checksum(b, icrcTable)
-	var tail [ICRCLen]byte
-	binary.BigEndian.PutUint32(tail[:], crc)
-	return append(b, tail[:]...)
+// grow returns buf resized to n bytes, reusing its backing array when the
+// capacity suffices. The builders below are called once per emitted RDMA
+// message, so they must not allocate when handed an adequately sized
+// caller-owned buffer; callers keep the returned slice to retain the
+// capacity across calls.
+func grow(buf []byte, n int) []byte {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return append(buf[:0], make([]byte, n)...)
+}
+
+// stampICRC computes the (simplified) invariant CRC over b[:len(b)-4] and
+// writes it into the trailing 4 bytes.
+func stampICRC(b []byte) {
+	body := b[:len(b)-ICRCLen]
+	binary.BigEndian.PutUint32(b[len(b)-ICRCLen:], crc32.Checksum(body, icrcTable))
 }
 
 // checkICRC verifies and strips the trailing ICRC.
@@ -237,68 +248,91 @@ func checkICRC(b []byte) ([]byte, error) {
 // BuildWrite serializes an RDMA WRITE-only request into buf and returns
 // the packet. If imm is non-nil the WRITE carries immediate data, which
 // raises a completion interrupt at the target host (DTA's immediate flag).
+//
+// The packet is crafted entirely inside buf's backing array when it fits
+// (callers keep the returned slice so the capacity is reused); only an
+// undersized buffer allocates.
 func BuildWrite(buf []byte, destQP, psn uint32, va uint64, rkey uint32, payload []byte, ackReq bool, imm *uint32) []byte {
 	bth := BTH{Opcode: OpWriteOnly, DestQP: destQP, AckReq: ackReq, PSN: psn}
+	n := BTHLen + RETHLen + len(payload) + ICRCLen
 	if imm != nil {
 		bth.Opcode = OpWriteOnlyImm
+		n += ImmLen
 	}
-	b := buf[:0]
-	b = append(b, make([]byte, BTHLen+RETHLen)...)
+	b := grow(buf, n)
 	bth.serializeTo(b)
 	reth := RETH{VA: va, RKey: rkey, Length: uint32(len(payload))}
 	reth.serializeTo(b[BTHLen:])
+	off := BTHLen + RETHLen
 	if imm != nil {
-		var im [ImmLen]byte
-		binary.BigEndian.PutUint32(im[:], *imm)
-		b = append(b, im[:]...)
+		binary.BigEndian.PutUint32(b[off:], *imm)
+		off += ImmLen
 	}
-	b = append(b, payload...)
-	return appendICRC(b)
+	copy(b[off:], payload)
+	stampICRC(b)
+	return b
 }
 
-// BuildFetchAdd serializes an RDMA FETCH&ADD request into buf.
+// RepatchPSNVA rewrites the PSN and the remote virtual address of a
+// previously built WRITE or FETCH&ADD request in place and restamps the
+// trailing ICRC. Multicast redundancy (Key-Write/Key-Increment fan-out,
+// §5.2) emits N near-identical packets that differ only in these two
+// fields, so the translator crafts the headers and payload once and
+// patches per replica instead of rebuilding.
+func RepatchPSNVA(pkt []byte, psn uint32, va uint64) {
+	pkt[9] = byte(psn >> 16)
+	pkt[10] = byte(psn >> 8)
+	pkt[11] = byte(psn)
+	// RETH and AtomicETH both lead with the 8-byte VA right after BTH.
+	binary.BigEndian.PutUint64(pkt[BTHLen:], va)
+	stampICRC(pkt)
+}
+
+// BuildFetchAdd serializes an RDMA FETCH&ADD request into buf. Like
+// BuildWrite it reuses buf's backing array when it fits.
 func BuildFetchAdd(buf []byte, destQP, psn uint32, va uint64, rkey uint32, add uint64) []byte {
 	bth := BTH{Opcode: OpFetchAdd, DestQP: destQP, AckReq: true, PSN: psn}
-	b := buf[:0]
-	b = append(b, make([]byte, BTHLen+AtomicETHLen)...)
+	b := grow(buf, BTHLen+AtomicETHLen+ICRCLen)
 	bth.serializeTo(b)
 	aeth := AtomicETH{VA: va, RKey: rkey, AddData: add}
 	aeth.serializeTo(b[BTHLen:])
-	return appendICRC(b)
+	stampICRC(b)
+	return b
 }
 
 // BuildSend serializes a SEND-only packet (used by the collector to
 // advertise primitive metadata to the translator, §5.3).
 func BuildSend(buf []byte, destQP, psn uint32, payload []byte) []byte {
 	bth := BTH{Opcode: OpSendOnly, DestQP: destQP, AckReq: true, PSN: psn}
-	b := buf[:0]
-	b = append(b, make([]byte, BTHLen)...)
+	b := grow(buf, BTHLen+len(payload)+ICRCLen)
 	bth.serializeTo(b)
-	b = append(b, payload...)
-	return appendICRC(b)
+	copy(b[BTHLen:], payload)
+	stampICRC(b)
+	return b
 }
 
-// BuildAck serializes an acknowledge with the given syndrome. For atomic
-// acknowledges origValue carries the pre-add value.
+// BuildAck serializes an acknowledge with the given syndrome into buf,
+// reusing its backing array when it fits. For atomic acknowledges
+// origValue carries the pre-add value.
 func BuildAck(buf []byte, destQP, psn uint32, syndrome uint8, msn uint32, atomic bool, origValue uint64) []byte {
 	op := OpAcknowledge
 	if atomic {
 		op = OpAtomicAck
 	}
 	bth := BTH{Opcode: op, DestQP: destQP, PSN: psn}
-	b := buf[:0]
-	n := BTHLen + AETHLen
+	n := BTHLen + AETHLen + ICRCLen
 	if atomic {
 		n += AtomicAckETHLen
 	}
-	b = append(b, make([]byte, n)...)
+	b := grow(buf, n)
 	bth.serializeTo(b)
 	a := AETH{Syndrome: syndrome, MSN: msn}
 	a.serializeTo(b[BTHLen:])
 	if atomic {
 		binary.BigEndian.PutUint64(b[BTHLen+AETHLen:], origValue)
 	}
-	return appendICRC(b)
+	stampICRC(b)
+	return b
 }
 
 // DecodePacket parses a RoCE packet, verifying the ICRC.

@@ -103,43 +103,29 @@ type Translator struct {
 
 	// Emit delivers a crafted RoCEv2 packet towards the collector. It
 	// is typically Device.Process wrapped by the fabric; acks flow back
-	// through HandleAck.
+	// through HandleAck. Emit must consume pkt before returning: the
+	// translator reuses (and repatches) the buffer for the next emission.
 	Emit func(pkt []byte)
 
 	// NACK, if non-nil, is invoked with the reporter-visible reason when
 	// a report is dropped by the rate limiter.
 	NACK func(r *wire.Report)
 
+	// pktBuf and chunkBuf are the crafting scratch buffers: every
+	// outgoing RoCEv2 packet (and postcard chunk image) is built in
+	// place here, so the steady-state emit path performs no allocation.
 	pktBuf   []byte
 	chunkBuf []byte
+	// frame is the ingress parsing scratch for ProcessFrame. Keeping it
+	// on the Translator (single-threaded by contract) rather than the
+	// stack stops the decoded report from escaping to the heap on every
+	// frame.
+	frame wire.ParsedFrame
+	// nackScratch is the lazily materialised report handed to the NACK
+	// callback when a staged report is rate-limit dropped.
+	nackScratch wire.Report
 
 	Stats Stats
-}
-
-// tokenBucket is the translator's RDMA rate limiter.
-type tokenBucket struct {
-	rate   float64 // tokens per second
-	burst  float64
-	tokens float64
-	last   uint64 // ns
-}
-
-func (tb *tokenBucket) allow(nowNs uint64, n float64) bool {
-	if tb.rate <= 0 {
-		return true
-	}
-	if nowNs > tb.last {
-		tb.tokens += float64(nowNs-tb.last) * tb.rate / 1e9
-		if tb.tokens > tb.burst {
-			tb.tokens = tb.burst
-		}
-		tb.last = nowNs
-	}
-	if tb.tokens < n {
-		return false
-	}
-	tb.tokens -= n
-	return true
 }
 
 // New builds a translator connected through the given CM listener, which
@@ -156,9 +142,10 @@ func New(cfg Config, l *rdma.Listener) (*Translator, error) {
 		pktBuf:   make([]byte, 0, 512),
 		chunkBuf: make([]byte, 0, postcarding.MaxHops*postcarding.SlotSize),
 	}
-	if cfg.RateLimit > 0 {
-		t.limiter = &tokenBucket{rate: cfg.RateLimit, burst: cfg.RateLimit / 1000, tokens: cfg.RateLimit / 1000}
-	}
+	// Burst of rate/1000 ≈ one millisecond of credit, as before; the
+	// integer bucket floors it at one whole token so low rates still
+	// admit (see ratelimit.go).
+	t.limiter = newTokenBucket(cfg.RateLimit, cfg.RateLimit/1000)
 	if cfg.KeyWrite != nil {
 		t.kwIdx, err = keywrite.NewIndexer(*cfg.KeyWrite)
 		if err != nil {
@@ -236,10 +223,12 @@ func needRegion(regions []rdma.RegionInfo, label string, minLen uint64) (rdma.Re
 var ErrNotDTA = errors.New("translator: user traffic")
 
 // ProcessFrame parses a full Ethernet frame and processes DTA reports;
-// other traffic only counts as forwarded.
+// other traffic only counts as forwarded. This is the wire-level ingest
+// path; structured producers that already hold a decoded report should
+// call ProcessReport and skip the parse entirely.
 func (t *Translator) ProcessFrame(frame []byte, nowNs uint64) error {
-	var p wire.ParsedFrame
-	if err := wire.DecodeFrame(frame, &p); err != nil {
+	p := &t.frame
+	if err := wire.DecodeFrame(frame, p); err != nil {
 		t.Stats.ParseErrors++
 		return err
 	}
@@ -247,11 +236,15 @@ func (t *Translator) ProcessFrame(frame []byte, nowNs uint64) error {
 		t.Stats.UserPackets++
 		return ErrNotDTA
 	}
-	return t.Process(&p.Report, nowNs)
+	return t.ProcessReport(&p.Report, nowNs)
 }
 
-// Process translates one DTA report into RDMA operations.
-func (t *Translator) Process(r *wire.Report, nowNs uint64) error {
+// ProcessReport translates one already-decoded DTA report into RDMA
+// operations. It is the structured fast path: no frame crafting or
+// parsing happens between the reporter and the RDMA verbs, and the
+// steady state allocates nothing. r (including r.Data) is only read for
+// the duration of the call.
+func (t *Translator) ProcessReport(r *wire.Report, nowNs uint64) error {
 	t.Stats.Reports++
 	switch r.Header.Primitive {
 	case wire.PrimKeyWrite:
@@ -268,53 +261,125 @@ func (t *Translator) Process(r *wire.Report, nowNs uint64) error {
 	}
 }
 
+// Process translates one DTA report into RDMA operations.
+//
+// Deprecated: Process is the old name of ProcessReport, kept for
+// existing callers.
+func (t *Translator) Process(r *wire.Report, nowNs uint64) error {
+	return t.ProcessReport(r, nowNs)
+}
+
+// ProcessStaged translates one staged report without materialising a
+// wire.Report at all: the active fields are read straight out of the
+// compact record. This is the hottest ingest entry — the engine's shard
+// workers feed queued records here — and is semantically identical to
+// ProcessReport on the record's View (a full report is materialised
+// lazily only if a rate-limit drop must raise a NACK).
+func (t *Translator) ProcessStaged(s *wire.StagedReport, nowNs uint64) error {
+	t.Stats.Reports++
+	switch s.Primitive() {
+	case wire.PrimKeyWrite:
+		key, red := s.KeyWriteArgs()
+		return t.keyWriteArgs(key, int(red), s.Flags(), s.Payload(), nackRef{s: s}, nowNs)
+	case wire.PrimKeyIncrement:
+		key, red, delta := s.KeyIncrementArgs()
+		ki := wire.KeyIncrement{Redundancy: red, Key: *key, Delta: delta}
+		return t.keyIncrementArgs(&ki, nowNs)
+	case wire.PrimPostcarding:
+		key, hop, pathLen, value := s.PostcardArgs()
+		pc := wire.Postcard{Key: *key, Hop: hop, PathLen: pathLen, Value: value}
+		return t.postcardArgs(&pc, s.Flags(), nackRef{s: s}, nowNs)
+	case wire.PrimAppend:
+		return t.appendArgs(s.AppendArgs(), s.Payload(), s.Flags(), nackRef{s: s}, nowNs)
+	default:
+		t.Stats.ParseErrors++
+		return fmt.Errorf("translator: unknown primitive %v", s.Primitive())
+	}
+}
+
 // drop handles a rate-limited report.
-func (t *Translator) drop(r *wire.Report) error {
+// nackRef is a lazily materialised handle to the report being
+// processed, used only on the (rare) rate-limit drop path: the staged
+// fast path decompresses a full wire.Report for the NACK callback only
+// if a NACK is actually sent.
+type nackRef struct {
+	r *wire.Report
+	s *wire.StagedReport
+}
+
+func (n nackRef) report(scratch *wire.Report) *wire.Report {
+	if n.r != nil {
+		return n.r
+	}
+	if n.s != nil {
+		return n.s.View(scratch)
+	}
+	// Epoch flushes (FlushAppend/DrainPostcards) carry no originating
+	// report; hand the callback a zeroed one, never a stale scratch.
+	*scratch = wire.Report{}
+	return scratch
+}
+
+func (t *Translator) drop(src nackRef) error {
 	t.Stats.RateDropped++
 	if t.NACK != nil {
 		t.Stats.NACKs++
-		t.NACK(r)
+		t.NACK(src.report(&t.nackScratch))
 	}
 	return nil
 }
 
-func (t *Translator) immediate(r *wire.Report) *uint32 {
-	if r.Header.Flags&wire.FlagImmediate == 0 {
+func immediateOf(prim wire.Primitive, flags uint8) *uint32 {
+	if flags&wire.FlagImmediate == 0 {
 		return nil
 	}
-	imm := uint32(r.Header.Primitive)
+	imm := uint32(prim)
 	return &imm
 }
 
 func (t *Translator) keyWrite(r *wire.Report, nowNs uint64) error {
+	return t.keyWriteArgs(&r.KeyWrite.Key, int(r.KeyWrite.Redundancy), r.Header.Flags, r.Data, nackRef{r: r}, nowNs)
+}
+
+func (t *Translator) keyWriteArgs(key *wire.Key, n int, flags uint8, data []byte, src nackRef, nowNs uint64) error {
 	if t.kwIdx == nil {
 		return errors.New("translator: Key-Write not enabled")
 	}
-	n := int(r.KeyWrite.Redundancy)
 	if max := t.cfg.MaxKWRedundancy; max > 0 && n > max {
 		n = max
 	}
 	if n > keywrite.MaxRedundancy {
 		n = keywrite.MaxRedundancy
 	}
-	if t.limiter != nil && !t.limiter.allow(nowNs, float64(n)) {
-		return t.drop(r)
+	if n < 1 {
+		return nil
+	}
+	if !t.limiter.allow(nowNs, n) {
+		return t.drop(src)
 	}
 	cfg := t.kwIdx.Config()
 	// Slot image: 4B checksum followed by the (padded) value.
 	var payload [keywrite.ChecksumSize + wire.MaxData]byte
-	csum := t.kwIdx.Checksum(r.KeyWrite.Key)
+	csum := t.kwIdx.Checksum(*key)
 	payload[0] = byte(csum >> 24)
 	payload[1] = byte(csum >> 16)
 	payload[2] = byte(csum >> 8)
 	payload[3] = byte(csum)
-	copy(payload[keywrite.ChecksumSize:keywrite.ChecksumSize+cfg.DataSize], r.Data)
+	copy(payload[keywrite.ChecksumSize:keywrite.ChecksumSize+cfg.DataSize], data)
 	img := payload[:keywrite.ChecksumSize+cfg.DataSize]
-	// Multicast: one RDMA WRITE per redundancy level.
-	for i := 0; i < n; i++ {
-		slot := t.kwIdx.Slot(i, r.KeyWrite.Key)
-		va := t.kwReg.VA + uint64(t.kwIdx.Offset(slot))
-		pkt := rdma.BuildWrite(t.pktBuf, t.req.DestQP, t.req.NextPSN(), va, t.kwReg.RKey, img, false, t.immediate(r))
+	// Multicast: craft the RoCEv2 WRITE once, then patch the address and
+	// PSN per replica — the N copies differ in nothing else, so
+	// rebuilding headers and re-copying the payload N times is pure
+	// waste (the hardware multicast engine replicates identically).
+	slot := t.kwIdx.Slot(0, *key)
+	pkt := rdma.BuildWrite(t.pktBuf, t.req.DestQP, t.req.NextPSN(),
+		t.kwReg.VA+uint64(t.kwIdx.Offset(slot)), t.kwReg.RKey, img, false, immediateOf(wire.PrimKeyWrite, flags))
+	t.pktBuf = pkt[:0]
+	t.Stats.RDMAWrites++
+	t.Emit(pkt)
+	for i := 1; i < n; i++ {
+		slot := t.kwIdx.Slot(i, *key)
+		rdma.RepatchPSNVA(pkt, t.req.NextPSN(), t.kwReg.VA+uint64(t.kwIdx.Offset(slot)))
 		t.Stats.RDMAWrites++
 		t.Emit(pkt)
 	}
@@ -322,11 +387,15 @@ func (t *Translator) keyWrite(r *wire.Report, nowNs uint64) error {
 }
 
 func (t *Translator) keyIncrement(r *wire.Report, nowNs uint64) error {
+	return t.keyIncrementArgs(&r.KeyIncrement, nowNs)
+}
+
+func (t *Translator) keyIncrementArgs(ki *wire.KeyIncrement, nowNs uint64) error {
 	if t.kiIdx == nil {
 		return errors.New("translator: Key-Increment not enabled")
 	}
 	if t.kiAgg != nil {
-		key, delta, red, flushed := t.kiAgg.add(&r.KeyIncrement)
+		key, delta, red, flushed := t.kiAgg.add(ki)
 		if !flushed {
 			t.Stats.KIAggregated++
 			return nil
@@ -335,7 +404,7 @@ func (t *Translator) keyIncrement(r *wire.Report, nowNs uint64) error {
 		agg := wire.KeyIncrement{Redundancy: red, Key: key, Delta: delta}
 		return t.emitFetchAdds(&agg, nowNs)
 	}
-	return t.emitFetchAdds(&r.KeyIncrement, nowNs)
+	return t.emitFetchAdds(ki, nowNs)
 }
 
 func (t *Translator) emitFetchAdds(ki *wire.KeyIncrement, nowNs uint64) error {
@@ -343,17 +412,23 @@ func (t *Translator) emitFetchAdds(ki *wire.KeyIncrement, nowNs uint64) error {
 	if n > keyincrement.MaxRedundancy {
 		n = keyincrement.MaxRedundancy
 	}
-	if n > keyincrement.MaxRedundancy {
-		n = keyincrement.MaxRedundancy
+	if n < 1 {
+		return nil
 	}
-	if t.limiter != nil && !t.limiter.allow(nowNs, float64(n)) {
+	if !t.limiter.allow(nowNs, n) {
 		t.Stats.RateDropped++
 		return nil
 	}
-	for i := 0; i < n; i++ {
+	// Craft once, patch address+PSN per replica (see keyWrite).
+	slot := t.kiIdx.Slot(0, ki.Key)
+	pkt := rdma.BuildFetchAdd(t.pktBuf, t.req.DestQP, t.req.NextPSN(),
+		t.kiReg.VA+uint64(t.kiIdx.Offset(slot)), t.kiReg.RKey, ki.Delta)
+	t.pktBuf = pkt[:0]
+	t.Stats.RDMAAtomics++
+	t.Emit(pkt)
+	for i := 1; i < n; i++ {
 		slot := t.kiIdx.Slot(i, ki.Key)
-		va := t.kiReg.VA + uint64(t.kiIdx.Offset(slot))
-		pkt := rdma.BuildFetchAdd(t.pktBuf, t.req.DestQP, t.req.NextPSN(), va, t.kiReg.RKey, ki.Delta)
+		rdma.RepatchPSNVA(pkt, t.req.NextPSN(), t.kiReg.VA+uint64(t.kiIdx.Offset(slot)))
 		t.Stats.RDMAAtomics++
 		t.Emit(pkt)
 	}
@@ -375,8 +450,12 @@ func (t *Translator) FlushKeyIncrements(nowNs uint64) error {
 }
 
 func (t *Translator) postcard(r *wire.Report, nowNs uint64) error {
+	return t.postcardArgs(&r.Postcard, r.Header.Flags, nackRef{r: r}, nowNs)
+}
+
+func (t *Translator) postcardArgs(pc *wire.Postcard, flags uint8, src nackRef, nowNs uint64) error {
 	if q := t.thresholdQuery; q != nil {
-		if ev, consumed := q.Offer(&r.Postcard); consumed {
+		if ev, consumed := q.Offer(pc); consumed {
 			if ev == nil {
 				return nil
 			}
@@ -387,9 +466,9 @@ func (t *Translator) postcard(r *wire.Report, nowNs uint64) error {
 	if t.pcCoder == nil {
 		return errors.New("translator: Postcarding not enabled")
 	}
-	emits := t.pcCache.Insert(&r.Postcard)
+	emits := t.pcCache.Insert(pc)
 	for i := range emits {
-		if err := t.emitChunk(&emits[i], r, nowNs); err != nil {
+		if err := t.emitChunk(&emits[i], flags, src, nowNs); err != nil {
 			return err
 		}
 	}
@@ -398,7 +477,7 @@ func (t *Translator) postcard(r *wire.Report, nowNs uint64) error {
 
 // emitChunk writes one aggregated flow chunk with redundancy N
 // (configured at the store; the paper uses the same N for all flows).
-func (t *Translator) emitChunk(e *postcarding.Emit, r *wire.Report, nowNs uint64) error {
+func (t *Translator) emitChunk(e *postcarding.Emit, flags uint8, src nackRef, nowNs uint64) error {
 	t.Stats.PostcardEmits++
 	cfg := t.pcCoder.Config()
 	n := t.cfg.PostcardRedundancy
@@ -408,16 +487,23 @@ func (t *Translator) emitChunk(e *postcarding.Emit, r *wire.Report, nowNs uint64
 	if n > postcarding.MaxRedundancy {
 		n = postcarding.MaxRedundancy
 	}
-	if t.limiter != nil && !t.limiter.allow(nowNs, float64(n)) {
-		return t.drop(r)
+	if !t.limiter.allow(nowNs, n) {
+		return t.drop(src)
 	}
 	// Encode hop-positionally: missing middle hops stay blank so a
 	// query rejects the chunk instead of returning a shifted path.
 	payload := t.pcCoder.EncodeChunkSparse(e.Key, &e.Values, t.chunkBuf)
-	for j := 0; j < n; j++ {
+	t.chunkBuf = payload[:0]
+	// Craft once, patch address+PSN per redundant chunk (see keyWrite).
+	chunk := t.pcCoder.Chunk(0, e.Key)
+	pkt := rdma.BuildWrite(t.pktBuf, t.req.DestQP, t.req.NextPSN(),
+		t.pcReg.VA+uint64(int(chunk)*cfg.ChunkBytes()), t.pcReg.RKey, payload, false, immediateOf(wire.PrimPostcarding, flags))
+	t.pktBuf = pkt[:0]
+	t.Stats.RDMAWrites++
+	t.Emit(pkt)
+	for j := 1; j < n; j++ {
 		chunk := t.pcCoder.Chunk(j, e.Key)
-		va := t.pcReg.VA + uint64(int(chunk)*cfg.ChunkBytes())
-		pkt := rdma.BuildWrite(t.pktBuf, t.req.DestQP, t.req.NextPSN(), va, t.pcReg.RKey, payload, false, t.immediate(r))
+		rdma.RepatchPSNVA(pkt, t.req.NextPSN(), t.pcReg.VA+uint64(int(chunk)*cfg.ChunkBytes()))
 		t.Stats.RDMAWrites++
 		t.Emit(pkt)
 	}
@@ -425,33 +511,32 @@ func (t *Translator) emitChunk(e *postcarding.Emit, r *wire.Report, nowNs uint64
 }
 
 func (t *Translator) append(r *wire.Report, nowNs uint64) error {
+	return t.appendArgs(r.Append.ListID, r.Data, r.Header.Flags, nackRef{r: r}, nowNs)
+}
+
+func (t *Translator) appendArgs(listID uint32, data []byte, flags uint8, src nackRef, nowNs uint64) error {
 	if t.apBatch == nil {
 		return errors.New("translator: Append not enabled")
 	}
-	f, err := t.apBatch.Append(int(r.Append.ListID), r.Data)
+	f, err := t.apBatch.Append(int(listID), data)
 	if err != nil {
 		return err
 	}
 	if f == nil {
 		return nil
 	}
-	return t.emitAppendFlush(f, r, nowNs)
+	return t.emitAppendFlush(f, immediateOf(wire.PrimAppend, flags), src, nowNs)
 }
 
-func (t *Translator) emitAppendFlush(f *appendlist.Flush, r *wire.Report, nowNs uint64) error {
-	if t.limiter != nil && !t.limiter.allow(nowNs, 1) {
-		return t.drop(r)
+func (t *Translator) emitAppendFlush(f *appendlist.Flush, imm *uint32, src nackRef, nowNs uint64) error {
+	if !t.limiter.allow(nowNs, 1) {
+		return t.drop(src)
 	}
 	t.Stats.AppendFlushes++
-	cfg := t.apBatch
-	_ = cfg
 	apCfg := t.cfg.Append
 	va := t.apReg.VA + uint64(f.List*apCfg.ListBytes()+f.Index*apCfg.EntrySize)
-	var imm *uint32
-	if r != nil {
-		imm = t.immediate(r)
-	}
 	pkt := rdma.BuildWrite(t.pktBuf, t.req.DestQP, t.req.NextPSN(), va, t.apReg.RKey, f.Data, false, imm)
+	t.pktBuf = pkt[:0]
 	t.Stats.RDMAWrites++
 	t.Emit(pkt)
 	return nil
@@ -465,7 +550,7 @@ func (t *Translator) FlushAppend(nowNs uint64) error {
 	}
 	for l := 0; l < t.cfg.Append.Lists; l++ {
 		if f := t.apBatch.FlushPartial(l); f != nil {
-			if err := t.emitAppendFlush(f, nil, nowNs); err != nil {
+			if err := t.emitAppendFlush(f, nil, nackRef{}, nowNs); err != nil {
 				return err
 			}
 		}
@@ -480,7 +565,7 @@ func (t *Translator) DrainPostcards(nowNs uint64) error {
 	}
 	for _, e := range t.pcCache.Drain() {
 		e := e
-		if err := t.emitChunk(&e, &wire.Report{}, nowNs); err != nil {
+		if err := t.emitChunk(&e, 0, nackRef{}, nowNs); err != nil {
 			return err
 		}
 	}

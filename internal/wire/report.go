@@ -19,6 +19,165 @@ type Report struct {
 // Ethernet, IPv4 and UDP carriers.
 const MaxReportLen = EthernetLen + IPv4Len + UDPLen + HeaderLen + KeyIncrementLen + MaxData
 
+// ReportLen returns the serialized length of the DTA portion of r
+// (sub-header selected by the primitive, plus payload for Key-Write and
+// Append), or 0 for an unknown primitive. It performs no serialization;
+// the structured ingest path uses it to model wire sizes (link byte
+// accounting) without crafting a frame.
+func ReportLen(r *Report) int {
+	switch r.Header.Primitive {
+	case PrimKeyWrite:
+		return HeaderLen + KeyWriteLen + len(r.Data)
+	case PrimAppend:
+		return HeaderLen + AppendLen + len(r.Data)
+	case PrimKeyIncrement:
+		return HeaderLen + KeyIncrementLen
+	case PrimPostcarding:
+		return HeaderLen + PostcardLen
+	default:
+		return 0
+	}
+}
+
+// FrameLen returns the full on-the-wire length of r once encapsulated in
+// Ethernet/IPv4/UDP, or 0 for an unknown primitive.
+func FrameLen(r *Report) int {
+	n := ReportLen(r)
+	if n == 0 {
+		return 0
+	}
+	return EthernetLen + IPv4Len + UDPLen + n
+}
+
+// StagedReport is a compact, fixed-size staging form of a Report that
+// queues and pools can hold by value with no heap indirection: only the
+// fields of the active primitive are kept, and the payload (whose slice
+// in a Report normally aliases a transient packet buffer) is snapshotted
+// into an inline array. At ~112 bytes it is well under half a full
+// Report plus side buffer, which matters both for the per-report staging
+// copy and for the resident size of deep shard queues.
+type StagedReport struct {
+	prim    Primitive
+	flags   uint8
+	red     uint8 // Key-Write / Key-Increment redundancy
+	hop     uint8 // Postcarding
+	pathLen uint8 // Postcarding
+	dataLen int16 // -1 = nil payload (Key-Increment, Postcarding)
+	listID  uint32
+	value   uint32 // Postcarding hop value
+	key     Key
+	delta   uint64 // Key-Increment
+	buf     [MaxData]byte
+}
+
+// Stage copies the active fields of r (and up to MaxData bytes of its
+// payload) into s. Payloads longer than MaxData — which no valid report
+// carries — are truncated.
+func (s *StagedReport) Stage(r *Report) {
+	s.prim = r.Header.Primitive
+	s.flags = r.Header.Flags
+	if r.Data == nil {
+		s.dataLen = -1
+	} else {
+		s.dataLen = int16(copy(s.buf[:], r.Data))
+	}
+	switch r.Header.Primitive {
+	case PrimKeyWrite:
+		s.red = r.KeyWrite.Redundancy
+		s.key = r.KeyWrite.Key
+	case PrimAppend:
+		s.listID = r.Append.ListID
+	case PrimKeyIncrement:
+		s.red = r.KeyIncrement.Redundancy
+		s.key = r.KeyIncrement.Key
+		s.delta = r.KeyIncrement.Delta
+	case PrimPostcarding:
+		s.key = r.Postcard.Key
+		s.hop = r.Postcard.Hop
+		s.pathLen = r.Postcard.PathLen
+		s.value = r.Postcard.Value
+	}
+}
+
+// Primitive returns the staged report's primitive.
+func (s *StagedReport) Primitive() Primitive { return s.prim }
+
+// Flags returns the staged base-header flags.
+func (s *StagedReport) Flags() uint8 { return s.flags }
+
+// Payload returns the staged payload view (nil if the original report
+// carried none). Valid only while s is.
+func (s *StagedReport) Payload() []byte {
+	if s.dataLen < 0 {
+		return nil
+	}
+	return s.buf[:s.dataLen]
+}
+
+// KeyWriteArgs returns the Key-Write fields. The key pointer aliases s.
+func (s *StagedReport) KeyWriteArgs() (key *Key, redundancy uint8) {
+	return &s.key, s.red
+}
+
+// AppendArgs returns the Append list ID.
+func (s *StagedReport) AppendArgs() (listID uint32) { return s.listID }
+
+// KeyIncrementArgs returns the Key-Increment fields. The key pointer
+// aliases s.
+func (s *StagedReport) KeyIncrementArgs() (key *Key, redundancy uint8, delta uint64) {
+	return &s.key, s.red, s.delta
+}
+
+// PostcardArgs returns the Postcarding fields. The key pointer aliases s.
+func (s *StagedReport) PostcardArgs() (key *Key, hop, pathLen uint8, value uint32) {
+	return &s.key, s.hop, s.pathLen, s.value
+}
+
+// FrameLen returns the full on-the-wire length the staged report would
+// occupy once encapsulated (see FrameLen), or 0 for an unknown
+// primitive.
+func (s *StagedReport) FrameLen() int {
+	n := 0
+	switch s.prim {
+	case PrimKeyWrite:
+		n = HeaderLen + KeyWriteLen + len(s.Payload())
+	case PrimAppend:
+		n = HeaderLen + AppendLen + len(s.Payload())
+	case PrimKeyIncrement:
+		n = HeaderLen + KeyIncrementLen
+	case PrimPostcarding:
+		n = HeaderLen + PostcardLen
+	default:
+		return 0
+	}
+	return EthernetLen + IPv4Len + UDPLen + n
+}
+
+// View decompresses s into dst, overwriting the header, the active
+// sub-header and Data (re-pointed at the inline buffer, so it is only
+// valid while s is). dst is a scratch the caller reuses across records;
+// sub-headers of other primitives may hold stale values, which consumers
+// never read. Returns dst.
+func (s *StagedReport) View(dst *Report) *Report {
+	dst.Header = Header{Version: Version, Primitive: s.prim, Flags: s.flags}
+	if s.dataLen >= 0 {
+		dst.Data = s.buf[:s.dataLen]
+	} else {
+		dst.Data = nil
+	}
+	switch s.prim {
+	case PrimKeyWrite:
+		dst.KeyWrite = KeyWrite{Redundancy: s.red, DataLen: uint16(len(dst.Data)), Key: s.key}
+	case PrimAppend:
+		dst.Append = Append{ListID: s.listID, DataLen: uint16(len(dst.Data))}
+	case PrimKeyIncrement:
+		dst.KeyIncrement = KeyIncrement{Redundancy: s.red, Key: s.key, Delta: s.delta}
+	case PrimPostcarding:
+		dst.Postcard = Postcard{Key: s.key, Hop: s.hop, PathLen: s.pathLen, Value: s.value}
+	}
+	return dst
+}
+
 // DecodeReport parses the DTA portion of a packet (everything after UDP)
 // into r. It is the translator's ingress parser.
 func DecodeReport(b []byte, r *Report) error {
@@ -42,6 +201,36 @@ func DecodeReport(b []byte, r *Report) error {
 		return fmt.Errorf("wire: unknown primitive %v", r.Header.Primitive)
 	}
 	return err
+}
+
+// Validate applies the same semantic checks DecodeReport enforces to an
+// in-memory report, so the structured ingest path (which never
+// serialises) rejects exactly what the wire path would.
+func (r *Report) Validate() error {
+	switch r.Header.Primitive {
+	case PrimKeyWrite:
+		if r.KeyWrite.Redundancy == 0 {
+			return fmt.Errorf("wire: key-write redundancy 0")
+		}
+		if len(r.Data) > MaxData {
+			return fmt.Errorf("wire: key-write data %dB exceeds max %d", len(r.Data), MaxData)
+		}
+	case PrimAppend:
+		if len(r.Data) == 0 || len(r.Data) > MaxData {
+			return fmt.Errorf("wire: append data %dB out of range (1,%d]", len(r.Data), MaxData)
+		}
+	case PrimKeyIncrement:
+		if r.KeyIncrement.Redundancy == 0 {
+			return fmt.Errorf("wire: key-increment redundancy 0")
+		}
+	case PrimPostcarding:
+		if r.Postcard.PathLen != 0 && r.Postcard.Hop >= r.Postcard.PathLen {
+			return fmt.Errorf("wire: postcard hop %d outside path of length %d", r.Postcard.Hop, r.Postcard.PathLen)
+		}
+	default:
+		return fmt.Errorf("wire: unknown primitive %v", r.Header.Primitive)
+	}
+	return nil
 }
 
 // SerializeReport writes the DTA portion of r into b and returns the bytes
