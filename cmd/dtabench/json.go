@@ -23,8 +23,9 @@ import (
 // BenchResult is one benchmark measurement.
 type BenchResult struct {
 	Name          string  `json:"name"`
-	Path          string  `json:"path"` // "sync", "frame" or "structured"
+	Path          string  `json:"path"` // "sync", "frame", "structured" or "ha"
 	Shards        int     `json:"shards"`
+	Replicas      int     `json:"replicas,omitempty"` // HA suite: replication factor R
 	Iterations    int     `json:"iterations"`
 	NsPerOp       float64 `json:"ns_per_op"`
 	ReportsPerSec float64 `json:"reports_per_sec"`
@@ -123,6 +124,41 @@ func benchAsync(b *testing.B, shards int, frames bool) {
 	}
 }
 
+// benchHA measures end-to-end replicated ingest through the HA engine
+// at replication factor r over 4 collectors (structured fast path).
+func benchHA(b *testing.B, replicas int) {
+	hac, err := dta.NewHACluster(4, replicas, dta.Options{
+		KeyWrite:     &dta.KeyWriteOptions{Slots: 1 << 18, DataSize: 4},
+		KeyIncrement: &dta.KeyIncrementOptions{Slots: 1 << 16},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := hac.Engine(dta.EngineConfig{QueueDepth: 256, Batch: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep := eng.Reporter(1)
+	data := []byte{1, 2, 3, 4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rep.KeyWrite(dta.KeyFromUint64(uint64(i)), data, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := rep.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Drain(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if err := eng.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
 func toResult(name, path string, shards int, r testing.BenchmarkResult) BenchResult {
 	ns := float64(r.T.Nanoseconds()) / float64(r.N)
 	rps := 0.0
@@ -145,17 +181,26 @@ func toResult(name, path string, shards int, r testing.BenchmarkResult) BenchRes
 // stdout).
 func runJSONBench(out string) error {
 	type spec struct {
-		name   string
-		path   string
-		shards int
-		fn     func(b *testing.B)
+		name     string
+		path     string
+		shards   int
+		replicas int
+		fn       func(b *testing.B)
 	}
+	// The shard sweep (1/2/4 structured) records the shard-scaling
+	// curve — meaningful only at GOMAXPROCS >= 4, which is how CI runs
+	// this capture; the HA sweep (R=1/2/3) records the replication
+	// fan-out cost through the same engine.
 	specs := []spec{
-		{"Engine_Sync1Shard", "sync", 1, benchSync},
-		{"Engine_AsyncFrame1Shard", "frame", 1, func(b *testing.B) { benchAsync(b, 1, true) }},
-		{"Engine_AsyncFrame4Shard", "frame", 4, func(b *testing.B) { benchAsync(b, 4, true) }},
-		{"Engine_Async1Shard", "structured", 1, func(b *testing.B) { benchAsync(b, 1, false) }},
-		{"Engine_Async4Shard", "structured", 4, func(b *testing.B) { benchAsync(b, 4, false) }},
+		{"Engine_Sync1Shard", "sync", 1, 0, benchSync},
+		{"Engine_AsyncFrame1Shard", "frame", 1, 0, func(b *testing.B) { benchAsync(b, 1, true) }},
+		{"Engine_AsyncFrame4Shard", "frame", 4, 0, func(b *testing.B) { benchAsync(b, 4, true) }},
+		{"Engine_Async1Shard", "structured", 1, 0, func(b *testing.B) { benchAsync(b, 1, false) }},
+		{"Engine_Async2Shard", "structured", 2, 0, func(b *testing.B) { benchAsync(b, 2, false) }},
+		{"Engine_Async4Shard", "structured", 4, 0, func(b *testing.B) { benchAsync(b, 4, false) }},
+		{"HA_EngineIngest_R1", "ha", 4, 1, func(b *testing.B) { benchHA(b, 1) }},
+		{"HA_EngineIngest_R2", "ha", 4, 2, func(b *testing.B) { benchHA(b, 2) }},
+		{"HA_EngineIngest_R3", "ha", 4, 3, func(b *testing.B) { benchHA(b, 3) }},
 	}
 	report := BenchReport{
 		Schema:     1,
@@ -164,12 +209,16 @@ func runJSONBench(out string) error {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Note: "Key-Write redundancy 2; async rows drive 4 producer goroutines. " +
 			"frame = serialise/parse wire frames per report (baseline ingest " +
-			"representation); structured = zero-allocation staged-report fast path.",
+			"representation); structured = zero-allocation staged-report fast path. " +
+			"Engine_Async{1,2,4}Shard is the shard-scaling curve (capture at " +
+			"GOMAXPROCS >= 4); HA_EngineIngest_R{1,2,3} is replicated fan-out " +
+			"over 4 collectors.",
 	}
 	byName := map[string]BenchResult{}
 	for _, s := range specs {
 		fmt.Fprintf(os.Stderr, "bench %s...\n", s.name)
 		res := toResult(s.name, s.path, s.shards, testing.Benchmark(s.fn))
+		res.Replicas = s.replicas
 		report.Results = append(report.Results, res)
 		byName[s.name] = res
 	}
@@ -187,6 +236,23 @@ func runJSONBench(out string) error {
 			BaselineNsOp:  base.NsPerOp,
 			OptimizedNsOp: opt.NsPerOp,
 		})
+	}
+	// The shard-scaling curve as comparisons against the 1-shard point.
+	if base := byName["Engine_Async1Shard"]; base.NsPerOp > 0 {
+		for _, shards := range []int{2, 4} {
+			opt := byName[fmt.Sprintf("Engine_Async%dShard", shards)]
+			if opt.NsPerOp == 0 {
+				continue
+			}
+			report.Comparisons = append(report.Comparisons, BenchComparison{
+				Name:          fmt.Sprintf("shard_scaling_1to%d", shards),
+				Baseline:      base.Name,
+				Optimized:     opt.Name,
+				SpeedupPct:    (base.NsPerOp/opt.NsPerOp - 1) * 100,
+				BaselineNsOp:  base.NsPerOp,
+				OptimizedNsOp: opt.NsPerOp,
+			})
+		}
 	}
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -175,19 +175,32 @@ func runHA(opts dta.Options, cfg dta.EngineConfig, lcfg loadgen.Config, shards, 
 	if err != nil {
 		log.Fatalf("dtaload: %v", err)
 	}
+	printRun(res, eng)
+
+	// First verification pass BEFORE Rebalance: failover queries hit
+	// whatever divergence the failure schedule left behind, and
+	// read-repair heals it query by query — the ReadRepairs delta is
+	// the divergence the pass observed and fixed on the spot.
+	if verify > 0 {
+		verifyHA(hac, lcfg, verify, "verify (pre-rebalance, read-repairing)")
+		fmt.Printf("read-repairs so far: %d\n", hac.HAStats().ReadRepairs)
+	}
+
 	if err := hac.Rebalance(); err != nil {
 		log.Fatalf("dtaload: rebalance: %v", err)
 	}
-	printRun(res, eng)
 
 	hst := hac.HAStats()
-	fmt.Printf("ha: degraded-writes=%d lost-writes=%d replica-skips=%d degraded-queries=%d failover-queries=%d resyncs=%d\n\n",
-		hst.DegradedWrites, hst.LostWrites, hst.ReplicaSkips, hst.DegradedQueries, hst.FailoverQueries, hst.Resyncs)
+	fmt.Printf("ha: degraded-writes=%d lost-writes=%d replica-skips=%d degraded-queries=%d failover-queries=%d\n",
+		hst.DegradedWrites, hst.LostWrites, hst.ReplicaSkips, hst.DegradedQueries, hst.FailoverQueries)
+	fmt.Printf("ha: read-repairs=%d resyncs=%d resync-slots=%d resync-slots-skipped=%d append-entries-resynced=%d\n\n",
+		hst.ReadRepairs, hst.Resyncs, hst.ResyncSlots, hst.ResyncSlotsSkipped, hst.AppendEntriesResynced)
 
 	printShards(eng, func(i int) dta.Stats { return hac.System(i).Stats() })
 
 	if verify > 0 {
-		verifyHA(hac, lcfg, verify)
+		verifyHA(hac, lcfg, verify, "verify (post-rebalance)")
+		verifyAppendLists(hac, lcfg)
 	}
 	if err := eng.Close(); err != nil {
 		log.Fatalf("dtaload: close: %v", err)
@@ -196,7 +209,7 @@ func runHA(opts dta.Options, cfg dta.EngineConfig, lcfg loadgen.Config, shards, 
 
 // verifyHA queries back the keys the deterministic workload wrote and
 // reports how many survived the failure scenario.
-func verifyHA(hac *dta.HACluster, lcfg loadgen.Config, limit int) {
+func verifyHA(hac *dta.HACluster, lcfg loadgen.Config, limit int, stage string) {
 	keys := loadgen.WrittenKeys(lcfg)
 	if len(keys) > limit {
 		keys = keys[:limit]
@@ -228,8 +241,75 @@ func verifyHA(hac *dta.HACluster, lcfg loadgen.Config, limit int) {
 		}
 		return 100 * float64(n) / float64(len(keys))
 	}
-	fmt.Printf("\nverify: keys=%d found=%d (%.2f%%) correct=%d (%.2f%%) unreachable=%d\n",
-		len(keys), found, pct(found), correct, pct(correct), unreachable)
+	fmt.Printf("\n%s: keys=%d found=%d (%.2f%%) correct=%d (%.2f%%) unreachable=%d\n",
+		stage, len(keys), found, pct(found), correct, pct(correct), unreachable)
+}
+
+// verifyAppendLists replays the workload streams to learn what every
+// Append list should hold, then reads each live owner's ring back and
+// reports the worst per-owner recovery. After a kill/rejoin schedule
+// plus Rebalance, the rejoined owner's rings have been resynced from
+// surviving replicas, so recovery should be ~100% for every owner (with
+// several concurrent reporters the replicas' arrival orders can differ
+// around the failure boundary, costing a sliver of the suffix — the
+// same best-effort hazard failover polling has).
+func verifyAppendLists(hac *dta.HACluster, lcfg loadgen.Config) {
+	expected := loadgen.AppendedKeys(lcfg)
+	if len(expected) == 0 {
+		return // profile never appends
+	}
+	totalWant, totalGot := 0, 0
+	worst := 100.0
+	for list, keys := range expected {
+		want := make(map[[4]byte]int, len(keys))
+		for _, k := range keys {
+			want[loadgen.KeyWriteValue(k)]++
+		}
+		owners := hac.OwnersOfList(list)
+		for _, o := range owners {
+			sys := hac.System(o)
+			store := sys.Host().AppendStore()
+			if store == nil {
+				continue
+			}
+			cfg := store.Config()
+			written := sys.Translator().AppendBatcher().Written(int(list))
+			window := written
+			if window > uint64(cfg.EntriesPerList) {
+				window = uint64(cfg.EntriesPerList) // the ring keeps one lap
+			}
+			remaining := make(map[[4]byte]int, len(want))
+			for v, n := range want {
+				remaining[v] = n
+			}
+			got := 0
+			start := written - window
+			for i := uint64(0); i < window; i++ {
+				idx := int((start + i) % uint64(cfg.EntriesPerList))
+				var e [4]byte
+				copy(e[:], store.Entry(int(list), idx))
+				if remaining[e] > 0 {
+					remaining[e]--
+					got++
+				}
+			}
+			pct := 100.0
+			if len(keys) > 0 {
+				pct = 100 * float64(got) / float64(len(keys))
+			}
+			if pct < worst {
+				worst = pct
+			}
+			totalWant += len(keys)
+			totalGot += got
+		}
+	}
+	pct := 100.0
+	if totalWant > 0 {
+		pct = 100 * float64(totalGot) / float64(totalWant)
+	}
+	fmt.Printf("append-verify: lists=%d expected-entries/owner-pair=%d recovered=%d (%.2f%%) worst-owner=%.2f%%\n",
+		len(expected), totalWant, totalGot, pct, worst)
 }
 
 func printRun(res loadgen.Result, eng *dta.Engine) {

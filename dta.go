@@ -138,6 +138,12 @@ type System struct {
 	eventsOnce sync.Once
 	events     chan ImmediateEvent
 
+	// markDirty, when set (by HACluster), observes every crafted RDMA
+	// packet before it is applied, tagging written store blocks for
+	// incremental resync. Installed at construction time, before any
+	// ingest, so the plain field read below never races.
+	markDirty func(pkt []byte)
+
 	// Stats mirrors the translator's counters.
 	reporters []*Reporter
 }
@@ -181,6 +187,9 @@ func New(opts Options) (*System, error) {
 	// Translator → collector is the lossless RDMA hop: emissions apply
 	// immediately and acks return synchronously.
 	tr.Emit = func(pkt []byte) {
+		if s.markDirty != nil {
+			s.markDirty(pkt)
+		}
 		ack, err := host.Ingest(pkt)
 		if err != nil {
 			// A crafting bug, not a runtime condition: surface loudly.
@@ -207,12 +216,31 @@ func reporterConfig(switchID uint32) reporter.Config {
 	}
 }
 
-// Reporter attaches a new reporter switch with the given ID.
+// Reporter attaches a new reporter switch with the given ID. Reports
+// take the structured staged-report fast path: validated in memory,
+// staged by value and handed to the translator with no frame
+// serialisation or re-parse — the same zero-allocation chain the
+// engine's AsyncReporters use, minus the queue. The lossy-link model
+// still accounts the exact on-the-wire frame size, so loss behaviour is
+// identical to the wire-format path (FrameReporter).
 func (s *System) Reporter(switchID uint32) *Reporter {
+	r := &Reporter{sys: s, switchID: switchID}
+	s.reporters = append(s.reporters, r)
+	return r
+}
+
+// FrameReporter attaches a reporter switch that serialises every report
+// into a full Ethernet/IPv4/UDP/DTA frame which the translator parses
+// back — the wire-format path. It exists for wire coverage and as the
+// baseline the structured Reporter is measured against; semantics
+// (validation, routing, loss, stored bytes) are identical.
+func (s *System) FrameReporter(switchID uint32) *Reporter {
 	r := &Reporter{
-		sys: s,
-		rep: reporter.New(reporterConfig(switchID)),
-		buf: make([]byte, wire.MaxReportLen),
+		sys:      s,
+		switchID: switchID,
+		frames:   true,
+		rep:      reporter.New(reporterConfig(switchID)),
+		buf:      make([]byte, wire.MaxReportLen),
 	}
 	s.reporters = append(s.reporters, r)
 	return r
@@ -272,68 +300,121 @@ func (s *System) deliverStagedAt(rec *wire.StagedReport, nowNs uint64) error {
 	return s.tr.ProcessStaged(rec, nowNs)
 }
 
-// Reporter is a handle for one reporting switch.
+// Reporter is a handle for one reporting switch. Not goroutine-safe:
+// the staging scratch (and, in frame mode, the serialisation buffer) is
+// per-handle. Create one per producer goroutine; they are cheap.
 type Reporter struct {
-	sys *System
-	rep *reporter.Reporter
-	buf []byte
+	sys      *System
+	switchID uint32
+
+	// scratch/staged are the structured-path staging state: the report
+	// is assembled in scratch (only the active sub-header is written per
+	// report), validated with decoder parity, snapshotted into staged
+	// and handed to the translator — no frame bytes anywhere.
+	scratch wire.Report
+	staged  wire.StagedReport
+
+	// Frame-mode state (FrameReporter only).
+	frames bool
+	rep    *reporter.Reporter
+	buf    []byte
+}
+
+// send validates and delivers the scratch report via the staged path.
+func (r *Reporter) send(rep *wire.Report) error {
+	if err := rep.Validate(); err != nil {
+		return err
+	}
+	r.staged.Stage(rep)
+	return r.sys.deliverStagedAt(&r.staged, r.sys.Now())
 }
 
 // KeyWrite stores data under key with redundancy n.
 func (r *Reporter) KeyWrite(key Key, data []byte, n int) error {
-	ln, err := r.rep.KeyWrite(r.buf, key, data, uint8(n), false)
-	if err != nil {
-		return err
+	if r.frames {
+		ln, err := r.rep.KeyWrite(r.buf, key, data, uint8(n), false)
+		if err != nil {
+			return err
+		}
+		return r.sys.deliver(r.buf[:ln])
 	}
-	return r.sys.deliver(r.buf[:ln])
+	rep := &r.scratch
+	rep.Header = wire.Header{Version: wire.Version, Primitive: wire.PrimKeyWrite}
+	rep.KeyWrite = wire.KeyWrite{Redundancy: uint8(n), DataLen: uint16(len(data)), Key: key}
+	rep.Data = data
+	return r.send(rep)
 }
 
 // KeyWriteImmediate is KeyWrite with the immediate flag set, raising a
 // push notification at the collector.
 func (r *Reporter) KeyWriteImmediate(key Key, data []byte, n int) error {
-	ln, err := r.rep.KeyWrite(r.buf, key, data, uint8(n), true)
-	if err != nil {
-		return err
+	if r.frames {
+		ln, err := r.rep.KeyWrite(r.buf, key, data, uint8(n), true)
+		if err != nil {
+			return err
+		}
+		return r.sys.deliver(r.buf[:ln])
 	}
-	return r.sys.deliver(r.buf[:ln])
+	rep := &r.scratch
+	rep.Header = wire.Header{Version: wire.Version, Primitive: wire.PrimKeyWrite, Flags: wire.FlagImmediate}
+	rep.KeyWrite = wire.KeyWrite{Redundancy: uint8(n), DataLen: uint16(len(data)), Key: key}
+	rep.Data = data
+	return r.send(rep)
 }
 
 // Append adds data to the tail of list.
 func (r *Reporter) Append(list uint32, data []byte) error {
-	ln, err := r.rep.Append(r.buf, list, data, false)
-	if err != nil {
-		return err
+	if r.frames {
+		ln, err := r.rep.Append(r.buf, list, data, false)
+		if err != nil {
+			return err
+		}
+		return r.sys.deliver(r.buf[:ln])
 	}
-	return r.sys.deliver(r.buf[:ln])
+	rep := &r.scratch
+	rep.Header = wire.Header{Version: wire.Version, Primitive: wire.PrimAppend}
+	rep.Append = wire.Append{ListID: list, DataLen: uint16(len(data))}
+	rep.Data = data
+	return r.send(rep)
 }
 
 // Increment adds delta to key's counter with redundancy n.
 func (r *Reporter) Increment(key Key, delta uint64, n int) error {
-	ln, err := r.rep.KeyIncrement(r.buf, key, delta, uint8(n))
-	if err != nil {
-		return err
+	if r.frames {
+		ln, err := r.rep.KeyIncrement(r.buf, key, delta, uint8(n))
+		if err != nil {
+			return err
+		}
+		return r.sys.deliver(r.buf[:ln])
 	}
-	return r.sys.deliver(r.buf[:ln])
+	rep := &r.scratch
+	rep.Header = wire.Header{Version: wire.Version, Primitive: wire.PrimKeyIncrement}
+	rep.KeyIncrement = wire.KeyIncrement{Redundancy: uint8(n), Key: key, Delta: delta}
+	rep.Data = nil
+	return r.send(rep)
 }
 
 // Postcard reports this switch's observation of hop of the packet/flow
 // identified by key, carrying the switch ID as the value (path tracing).
 func (r *Reporter) Postcard(key Key, hop, pathLen int) error {
-	ln, err := r.rep.Postcard(r.buf, key, uint8(hop), uint8(pathLen))
-	if err != nil {
-		return err
-	}
-	return r.sys.deliver(r.buf[:ln])
+	return r.PostcardValue(key, hop, pathLen, r.switchID)
 }
 
 // PostcardValue reports an arbitrary per-hop value (e.g. queueing
 // latency) for the packet/flow identified by key.
 func (r *Reporter) PostcardValue(key Key, hop, pathLen int, value uint32) error {
-	ln, err := r.rep.PostcardValue(r.buf, key, uint8(hop), uint8(pathLen), value)
-	if err != nil {
-		return err
+	if r.frames {
+		ln, err := r.rep.PostcardValue(r.buf, key, uint8(hop), uint8(pathLen), value)
+		if err != nil {
+			return err
+		}
+		return r.sys.deliver(r.buf[:ln])
 	}
-	return r.sys.deliver(r.buf[:ln])
+	rep := &r.scratch
+	rep.Header = wire.Header{Version: wire.Version, Primitive: wire.PrimPostcarding}
+	rep.Postcard = wire.Postcard{Key: key, Hop: uint8(hop), PathLen: uint8(pathLen), Value: value}
+	rep.Data = nil
+	return r.send(rep)
 }
 
 // LookupValue queries the Key-Write store: the value stored under key,

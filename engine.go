@@ -216,9 +216,16 @@ func (r *AsyncReporter) submitReport(shard int, rep *wire.Report) error {
 // are skipped with a counter, never an error.
 func (r *AsyncReporter) haFan(owners []int, encode func(rep *reporter.Reporter, buf []byte) (int, error)) error {
 	h := r.eng.hac
+	// Skip set decided before the first submit — see HAReporter.fan for
+	// why this ordering is load-bearing for the incremental-resync
+	// epoch fence.
+	var skip [ha.MaxReplicas]bool
+	for i, o := range owners {
+		skip[i] = h.health.IsDown(o)
+	}
 	live := 0
-	for _, o := range owners {
-		if h.health.IsDown(o) {
+	for i, o := range owners {
+		if skip[i] {
 			continue
 		}
 		ln, err := encode(r.reps[o], r.buf)
@@ -242,9 +249,14 @@ func (r *AsyncReporter) haFanReport(owners []int, rep *wire.Report) error {
 		return err
 	}
 	h := r.eng.hac
+	// Skip set decided before the first submit — see HAReporter.fan.
+	var skip [ha.MaxReplicas]bool
+	for i, o := range owners {
+		skip[i] = h.health.IsDown(o)
+	}
 	live := 0
-	for _, o := range owners {
-		if h.health.IsDown(o) {
+	for i, o := range owners {
+		if skip[i] {
 			continue
 		}
 		if err := r.sub.SubmitReport(o, rep, r.eng.systems[o].Now()); err != nil {

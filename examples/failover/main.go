@@ -5,9 +5,11 @@
 // Three collectors hold every key on R=2 of them, chosen by a
 // rendezvous-hash ring. The walkthrough kills a collector mid-run,
 // shows queries failing over to the surviving replica, rejoins the dead
-// collector, resynchronises it from peer snapshots with Rebalance, and
-// finally grows the cluster by a fourth collector — all without losing
-// an acknowledged report. Run with:
+// collector and lets failover queries read-repair it key by key, then
+// resynchronises the rest incrementally with Rebalance (replaying only
+// the store blocks written since the crash), and finally grows the
+// cluster by a fourth collector — all without losing an acknowledged
+// report. Run with:
 //
 //	go run ./examples/failover
 package main
@@ -75,15 +77,36 @@ func main() {
 	fmt.Printf("%-42s degraded-writes=%d lost-writes=%d failover-queries=%d\n",
 		"degradation so far:", st.DegradedWrites, st.LostWrites, st.FailoverQueries)
 
-	// Phase 3: collector 1 rejoins. Until Rebalance replays peer
-	// snapshots into it, it is stale and only a last-resort responder;
-	// afterwards it serves its slice — including everything it missed.
+	// Phase 3: collector 1 rejoins stale. Every failover query that
+	// notices it disagreeing with the fresh replica writes the winning
+	// value back into it — read-repair: the cluster heals continuously,
+	// query by query, before any rebalance barrier.
 	if err := cluster.SetUp(1); err != nil {
 		log.Fatal(err)
 	}
+	healed := 0
+	for i := uint64(keys / 2); i < keys; i++ { // the slice collector 1 missed
+		k := dta.KeyFromUint64(i)
+		if _, _, err := cluster.LookupValue(k, 2); err != nil {
+			log.Fatal(err)
+		}
+		if data, found, err := cluster.System(1).LookupValue(k, 2); err == nil && found && bytes.Equal(data, value(i)) {
+			healed++
+		}
+	}
+	st = cluster.HAStats()
+	fmt.Printf("%-42s %d keys healed in place, read-repairs=%d\n",
+		"rejoined stale, queries read-repairing:", healed, st.ReadRepairs)
+
+	// Phase 3b: Rebalance mops up whatever no query touched — and only
+	// that: the dirty tracker replays just the store blocks written
+	// since collector 1 crashed, not whole peer snapshots.
 	if err := cluster.Rebalance(); err != nil {
 		log.Fatal(err)
 	}
+	st = cluster.HAStats()
+	fmt.Printf("%-42s slots-replayed=%d slots-skipped=%d\n",
+		"incremental rebalance:", st.ResyncSlots, st.ResyncSlotsSkipped)
 	direct := 0
 	ownedBy1 := 0
 	for i := uint64(0); i < keys; i++ {

@@ -4,10 +4,11 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"slices"
 	"sync"
 
+	"dta/internal/core/keyincrement"
 	"dta/internal/ha"
-	"dta/internal/reporter"
 	"dta/internal/snapshot"
 	"dta/internal/wire"
 )
@@ -36,10 +37,20 @@ var ErrAllReplicasDown = errors.New("dta: all replicas for key are down")
 //     fall back across surviving replicas with a plurality merge,
 //     counting degraded and failover queries.
 //   - Recovery and live resharding. A rejoining (SetUp) or newly added
-//     (AddCollector) collector is marked stale — queries use it only as
-//     a last resort — until Rebalance drains in-flight reports and
-//     replays peer snapshots into it (internal/ha.Resync), after which
-//     it serves its owned slice like any other replica.
+//     (AddCollector) collector is marked stale — queries prefer its
+//     peers — until Rebalance drains in-flight reports and replays peer
+//     snapshots into it (internal/ha.Resync), after which it serves its
+//     owned slice like any other replica. Rebalance is incremental: a
+//     dirty tracker tags written store blocks with a staleness epoch
+//     (bumped by SetDown/AddCollector/Decommission), so a rejoining
+//     collector replays only the blocks written since it went stale,
+//     and Append rings replay exactly the missed suffix via cumulative
+//     head counts.
+//   - Read-repair. Queries consult every live owner; when replicas
+//     disagree, the plurality winner is written back to the divergent
+//     replicas on the spot (counted in HAStats.ReadRepairs), so
+//     divergence observed by a failover query is healed by that query
+//     instead of waiting for the next Rebalance.
 //
 // Writers and queries are safe concurrently with SetDown/SetUp.
 // Membership changes (AddCollector, Decommission) and Rebalance require
@@ -51,14 +62,29 @@ type HACluster struct {
 	health *ha.Health
 
 	// mu guards systems growth, the stale set and pending snapshots;
-	// the write lock makes Rebalance exclusive with queries.
+	// the write lock makes Rebalance (and read-repair store writes)
+	// exclusive with queries.
 	mu      sync.RWMutex
 	systems []*System
-	stale   map[int]bool
+	// trackers[i] tags collector i's written store blocks with the
+	// epoch current at write time (hooked into its RDMA emit path).
+	trackers []*ha.Tracker
+	// stale maps a live-but-unsynchronised collector to the epoch it
+	// went stale at: Rebalance replays only peer blocks written at or
+	// after that epoch. 0 means "missed everything, replay in full"
+	// (newly added collectors, decommission survivors).
+	stale map[int]uint64
+	// downAt remembers the epoch a down collector failed at, so SetUp
+	// can open its staleness window there.
+	downAt map[int]uint64
 	// pending holds captures of decommissioned collectors whose keys
 	// must still be replayed into their new owners at the next Rebalance.
 	pending []*snapshot.Snapshot
 	eng     *Engine
+	// fullResync forces Rebalance to ignore staleness windows and replay
+	// whole peer snapshots (the pre-incremental behaviour); benchmarks
+	// use it to measure what epoch tracking saves.
+	fullResync bool
 }
 
 // NewHACluster builds n identical collectors replicating every key to
@@ -83,7 +109,8 @@ func NewHACluster(n, r int, opts Options) (*HACluster, error) {
 		r:      r,
 		ring:   ha.NewRing(n),
 		health: ha.NewHealth(),
-		stale:  make(map[int]bool),
+		stale:  make(map[int]uint64),
+		downAt: make(map[int]uint64),
 	}
 	for i := 0; i < n; i++ {
 		o := opts
@@ -92,9 +119,37 @@ func NewHACluster(n, r int, opts Options) (*HACluster, error) {
 		if err != nil {
 			return nil, err
 		}
-		c.systems = append(c.systems, sys)
+		c.attach(sys)
 	}
 	return c, nil
+}
+
+// attach registers a collector system and hooks its RDMA emit path into
+// a fresh dirty tracker, so every write is epoch-tagged for incremental
+// resync. Called before the system sees any traffic.
+func (c *HACluster) attach(sys *System) int {
+	tk := ha.NewTracker(c.health, sys.Host().Listener().Regions)
+	sys.markDirty = tk.MarkPacket
+	c.systems = append(c.systems, sys)
+	c.trackers = append(c.trackers, tk)
+	return len(c.systems) - 1
+}
+
+// capture snapshots collector id's stores together with the replication
+// metadata resync needs: Append head counts (ring-suffix replay) and
+// dirty-epoch tags (incremental replay).
+func (c *HACluster) capture(id int) *snapshot.Snapshot {
+	s := snapshot.Capture(c.systems[id].Host())
+	if b := c.systems[id].Translator().AppendBatcher(); b != nil {
+		s.AppendHeads = b.WrittenCounts(nil)
+	}
+	if tk := c.trackers[id]; tk != nil {
+		s.KeyWriteTags = tk.Tags("keywrite")
+		s.KeyIncTags = tk.Tags("keyincrement")
+		s.PostcardTags = tk.Tags("postcarding")
+		s.TagBlockBytes = ha.TagBlockBytes
+	}
+	return s
 }
 
 // Size returns the number of collectors ever attached (including
@@ -135,19 +190,29 @@ func (c *HACluster) owners(key []byte, out []int) []int {
 func (c *HACluster) HAStats() HAStats { return c.health.Snapshot() }
 
 // SetDown injects a failure: collector i stops receiving writes and
-// answering queries until SetUp. Safe mid-run.
+// answering queries until SetUp. Safe mid-run. The staleness epoch is
+// bumped BEFORE the down flag flips, and the bumped epoch remembered as
+// the rejoin replay window: a fan-out writer decides its whole skip set
+// before its first emit (see HAReporter.fan), so if it skips i it
+// observed the flag — and therefore the bump — before tagging any
+// replica's blocks, putting every one of its marks at or after the
+// window. No skipped write can escape the replay.
 func (c *HACluster) SetDown(i int) error {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if i < 0 || i >= len(c.systems) {
 		return fmt.Errorf("dta: collector %d out of range [0,%d)", i, len(c.systems))
 	}
+	if c.health.IsDown(i) {
+		return nil
+	}
+	c.downAt[i] = c.health.BumpEpoch()
 	return c.health.SetDown(i)
 }
 
 // SetUp revives collector i. It comes back stale — it missed every
 // write while down, so queries prefer its peers — until Rebalance
-// resynchronises it.
+// resynchronises it (replaying only what was written since it failed).
 func (c *HACluster) SetUp(i int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -160,7 +225,13 @@ func (c *HACluster) SetUp(i int) error {
 	if err := c.health.SetUp(i); err != nil {
 		return err
 	}
-	c.stale[i] = true
+	since := c.downAt[i] // 0 (replay everything) when the failure epoch is unknown
+	delete(c.downAt, i)
+	// A collector that flapped without an intervening Rebalance keeps
+	// its oldest window: it still misses writes from the first failure.
+	if cur, ok := c.stale[i]; !ok || since < cur {
+		c.stale[i] = since
+	}
 	return nil
 }
 
@@ -188,8 +259,9 @@ func (c *HACluster) AddCollector() (int, error) {
 	if err := c.ring.Add(id); err != nil {
 		return 0, err
 	}
-	c.systems = append(c.systems, sys)
-	c.stale[id] = true
+	c.attach(sys)
+	c.health.BumpEpoch()
+	c.stale[id] = 0 // the newcomer missed everything: full replay
 	return id, nil
 }
 
@@ -210,16 +282,20 @@ func (c *HACluster) Decommission(i int) error {
 	if err := c.ring.Remove(i); err != nil {
 		return err
 	}
+	c.health.BumpEpoch()
 	if !c.health.IsDown(i) {
 		if err := c.systems[i].Flush(); err != nil {
 			return err
 		}
-		c.pending = append(c.pending, snapshot.Capture(c.systems[i].Host()))
+		c.pending = append(c.pending, c.capture(i))
 	}
 	delete(c.stale, i)
+	delete(c.downAt, i)
 	for _, id := range c.ring.Members() {
 		if !c.health.IsDown(id) {
-			c.stale[id] = true
+			// Moved keys may have been written at any time, so epoch
+			// windows cannot narrow this replay: full resync.
+			c.stale[id] = 0
 		}
 	}
 	return nil
@@ -237,6 +313,14 @@ func (c *HACluster) Decommission(i int) error {
 //
 // Producers must be quiesced first (Flush AsyncReporters, stop sync
 // reporters): Rebalance copies store memory and must not race ingest.
+//
+// Resync failures do not abort the loop: every live stale collector is
+// attempted, the errors are aggregated, and only the failed collectors
+// keep their stale marks (and the pending snapshots their data) for the
+// next attempt. Successfully resynced collectors are never replayed
+// again on retry, and a retried replay into a still-stale collector is
+// idempotent (overwrite / max-merge), so a partial failure leaves the
+// cluster in a consistent, retryable state rather than half-rebalanced.
 func (c *HACluster) Rebalance() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -270,7 +354,7 @@ func (c *HACluster) Rebalance() error {
 		if c.health.IsDown(id) {
 			continue
 		}
-		if c.stale[id] {
+		if _, isStale := c.stale[id]; isStale {
 			stalePeers = append(stalePeers, id)
 		} else {
 			freshPeers = append(freshPeers, id)
@@ -278,9 +362,10 @@ func (c *HACluster) Rebalance() error {
 	}
 	caps := make(map[int]*snapshot.Snapshot, len(stalePeers)+len(freshPeers))
 	for _, id := range append(append([]int(nil), stalePeers...), freshPeers...) {
-		caps[id] = snapshot.Capture(c.systems[id].Host())
+		caps[id] = c.capture(id)
 	}
-	for id := range c.stale {
+	var errs []error
+	for id, since := range c.stale {
 		if c.health.IsDown(id) {
 			continue // still down: stays stale for its next rejoin
 		}
@@ -295,12 +380,26 @@ func (c *HACluster) Rebalance() error {
 			snaps = append(snaps, caps[p])
 		}
 		if len(snaps) > 0 {
-			if _, err := ha.Resync(c.systems[id].Host(), snaps); err != nil {
-				return err
+			if c.fullResync {
+				since = 0
 			}
-			c.health.RecordResync()
+			st, err := ha.Resync(ha.Target{
+				Host:       c.systems[id].Host(),
+				Batcher:    c.systems[id].Translator().AppendBatcher(),
+				Dirty:      c.trackers[id],
+				StaleSince: since,
+			}, snaps)
+			if err != nil {
+				errs = append(errs, fmt.Errorf("dta: rebalance collector %d: %w", id, err))
+				continue // keep the stale mark: retry resyncs it
+			}
+			c.health.RecordResync(&st)
 		}
 		delete(c.stale, id)
+	}
+	if len(errs) > 0 {
+		// Keep pending too: still-stale collectors need it on retry.
+		return errors.Join(errs...)
 	}
 	c.pending = nil
 	return nil
@@ -351,36 +450,106 @@ func (c *HACluster) record(st *lookupState) {
 	c.health.RecordQuery(skipped, st.queried > 0, st.primaryAnswered)
 }
 
-// LookupValue queries the Key-Write stores of key's owners: live fresh
-// replicas are consulted and their answers plurality-merged (ties
-// favour the primary); stale replicas are a last resort. Returns
+// replicaScan is the per-owner view one failover query collects before
+// merging: which owners are live, which of those are stale, and what
+// each answered. Fixed-size so the no-divergence fast path allocates
+// nothing.
+type replicaScan struct {
+	live     [ha.MaxReplicas]bool
+	staleRep [ha.MaxReplicas]bool
+	answered [ha.MaxReplicas]bool
+}
+
+// scanOwner classifies owner index oi (collector o) and reports whether
+// it should be consulted. Down owners are skipped; stale live owners ARE
+// consulted — their divergence is exactly what read-repair heals — but
+// marked so the merge can prefer fresh answers.
+func (c *HACluster) scanOwner(sc *replicaScan, st *lookupState, oi, o int) bool {
+	if c.health.IsDown(o) {
+		st.degraded = true
+		return false
+	}
+	_, isStale := c.stale[o]
+	if isStale {
+		st.degraded = true
+	}
+	sc.live[oi] = true
+	sc.staleRep[oi] = isStale
+	st.queried++
+	return true
+}
+
+// markKeyWrite, markKeyIncrement and markPostcard stamp read-repaired
+// slots in collector o's dirty tracker, so a later incremental resync
+// treating o as a peer replays them.
+func (c *HACluster) markKeyWrite(o int, key Key, n int) {
+	tk := c.trackers[o]
+	if tk == nil {
+		return
+	}
+	x := c.systems[o].Host().KeyWriteStore().Indexer()
+	size := x.Config().SlotSize()
+	for i := 0; i < n; i++ {
+		tk.MarkRange("keywrite", x.Offset(x.Slot(i, key)), size)
+	}
+}
+
+func (c *HACluster) markKeyIncrement(o int, key Key, n int) {
+	tk := c.trackers[o]
+	if tk == nil {
+		return
+	}
+	x := c.systems[o].Host().KeyIncrementStore().Indexer()
+	for i := 0; i < n; i++ {
+		tk.MarkRange("keyincrement", x.Offset(x.Slot(i, key)), keyincrement.CounterSize)
+	}
+}
+
+func (c *HACluster) markPostcard(o int, key Key, n int) {
+	tk := c.trackers[o]
+	if tk == nil {
+		return
+	}
+	pcs := c.systems[o].Host().PostcardingStore()
+	size := pcs.Coder().Config().ChunkBytes()
+	for j := 0; j < n; j++ {
+		tk.MarkRange("postcarding", pcs.ChunkOffset(pcs.Coder().Chunk(j, key)), size)
+	}
+}
+
+// LookupValue queries the Key-Write stores of every live owner of key
+// and plurality-merges the answers: fresh replicas outvote stale ones
+// (stale answers are used only when no fresh replica has one), and ties
+// favour the earliest answer in owner order — the primary when it
+// answered, including a stale primary when only stale replicas answer.
+// Owners found disagreeing with the winner — and stale owners with no
+// answer at all, which most likely missed the write — are read-repaired:
+// the winning value is written back into their slots before returning,
+// so a failover query leaves the live replicas converged (see repairSet
+// for why a fresh owner without an answer is left untouched). Returns
 // ErrAllReplicasDown when no owner is live.
 func (c *HACluster) LookupValue(key Key, n int) ([]byte, bool, error) {
 	var ob [ha.MaxReplicas]int
 	owners := c.owners(key[:], ob[:0])
 	c.mu.RLock()
-	defer c.mu.RUnlock()
 	var st lookupState
-	var answers [][]byte
-	for pass := 0; pass < 2; pass++ {
-		useStale := pass == 1
-		if useStale && len(answers) > 0 {
-			break
+	var sc replicaScan
+	var answers [ha.MaxReplicas][]byte
+	fresh := 0
+	for oi, o := range owners {
+		if !c.scanOwner(&sc, &st, oi, o) {
+			continue
 		}
-		for oi, o := range owners {
-			if c.health.IsDown(o) || c.stale[o] != useStale {
-				if !useStale {
-					st.degraded = st.degraded || c.health.IsDown(o) || c.stale[o]
-				}
-				continue
-			}
-			st.queried++
-			data, ok, err := c.systems[o].LookupValue(key, n)
-			if err != nil {
-				return nil, false, err
-			}
-			if ok {
-				answers = append(answers, data)
+		data, ok, err := c.systems[o].LookupValue(key, n)
+		if err != nil {
+			c.mu.RUnlock()
+			c.record(&st)
+			return nil, false, err
+		}
+		if ok {
+			answers[oi], sc.answered[oi] = data, true
+			if !sc.staleRep[oi] {
+				fresh++
 				if oi == 0 {
 					st.primaryAnswered = true
 				}
@@ -389,101 +558,258 @@ func (c *HACluster) LookupValue(key Key, n int) ([]byte, bool, error) {
 	}
 	c.record(&st)
 	if st.queried == 0 {
+		c.mu.RUnlock()
 		return nil, false, ErrAllReplicasDown
 	}
+	// Merge over fresh answers when any exist; stale answers (from
+	// replicas that missed writes while down) are a last resort.
+	useStale := fresh == 0
 	best, votes := -1, 0
-	for i := range answers {
+	for i := range owners {
+		if !sc.answered[i] || sc.staleRep[i] != useStale {
+			continue
+		}
 		v := 1
-		for j := i + 1; j < len(answers); j++ {
-			if bytes.Equal(answers[i], answers[j]) {
+		for j := i + 1; j < len(owners); j++ {
+			if sc.answered[j] && sc.staleRep[j] == useStale && bytes.Equal(answers[i], answers[j]) {
 				v++
 			}
 		}
-		if v > votes {
+		if v > votes { // ties keep the earlier owner: primary preference
 			best, votes = i, v
 		}
 	}
 	if best < 0 {
+		c.mu.RUnlock()
 		return nil, false, nil
 	}
-	return answers[best], true, nil
+	// Copy the winner out of the store before releasing any lock: store
+	// views are no longer stable once queries can write (a concurrent
+	// query read-repairing a colliding slot would mutate the bytes under
+	// the caller).
+	var vbuf [wire.MaxData]byte
+	winner := vbuf[:copy(vbuf[:], answers[best])]
+	repair, repairs := repairSet(&sc, len(owners), func(i int) bool { return bytes.Equal(answers[i], winner) })
+	if repairs == 0 {
+		c.mu.RUnlock()
+		return winner, true, nil
+	}
+	// Read-repair under the write lock: the write lock orders repairs
+	// against other queries and Rebalance captures. Producers are a
+	// non-issue by contract, not by lock — queries were never safe
+	// concurrently with ingest (they read the same raw store buffers the
+	// writers mutate), so no acknowledged write can land between the
+	// merge above and the repair below.
+	c.mu.RUnlock()
+	c.mu.Lock()
+	repaired := 0
+	for i, o := range owners {
+		if !repair[i] || c.health.IsDown(o) {
+			continue
+		}
+		if kw := c.systems[o].Host().KeyWriteStore(); kw != nil {
+			if err := kw.Write(key, winner, n); err == nil {
+				c.markKeyWrite(o, key, n)
+				repaired++
+			}
+		}
+	}
+	c.health.RecordReadRepair(repaired)
+	c.mu.Unlock()
+	return winner, true, nil
 }
 
-// LookupPath queries the Postcarding stores of key's owners, failing
-// over in owner order (fresh live replicas first, then stale ones).
+// repairSet picks the replicas a divergence-observing query writes the
+// winner back to: every live replica whose answer differs from the
+// winner (observed divergence), plus live STALE replicas with no answer
+// at all — a stale replica most likely missed the write while down. A
+// live FRESH replica with no answer is deliberately left alone: the
+// usual cause is a colliding key legitimately occupying the slot
+// (last-writer-wins), and "repairing" it would resurrect the older key
+// over the newer one and set up a repair ping-pong between the two.
+func repairSet(sc *replicaScan, owners int, matches func(i int) bool) (repair [ha.MaxReplicas]bool, repairs int) {
+	for i := 0; i < owners; i++ {
+		if !sc.live[i] {
+			continue
+		}
+		if sc.answered[i] && !matches(i) || !sc.answered[i] && sc.staleRep[i] {
+			repair[i] = true
+			repairs++
+		}
+	}
+	return repair, repairs
+}
+
+// LookupPath queries the Postcarding stores of every live owner of key
+// and plurality-merges the reconstructed paths exactly like LookupValue
+// merges values: fresh replicas outvote stale ones, ties favour the
+// earliest owner in order, and owners that disagree with (or lack) the
+// winning path are read-repaired by re-encoding the winning chunk into
+// their stores.
 func (c *HACluster) LookupPath(key Key, n int) ([]uint32, bool, error) {
 	var ob [ha.MaxReplicas]int
 	owners := c.owners(key[:], ob[:0])
 	c.mu.RLock()
-	defer c.mu.RUnlock()
 	var st lookupState
-	defer func() { c.record(&st) }()
-	for pass := 0; pass < 2; pass++ {
-		useStale := pass == 1
-		for oi, o := range owners {
-			if c.health.IsDown(o) || c.stale[o] != useStale {
-				if !useStale {
-					st.degraded = st.degraded || c.health.IsDown(o) || c.stale[o]
+	var sc replicaScan
+	var answers [ha.MaxReplicas][]uint32
+	fresh := 0
+	for oi, o := range owners {
+		if !c.scanOwner(&sc, &st, oi, o) {
+			continue
+		}
+		values, ok, err := c.systems[o].LookupPath(key, n)
+		if err != nil {
+			c.mu.RUnlock()
+			c.record(&st)
+			return nil, false, err
+		}
+		if ok {
+			answers[oi], sc.answered[oi] = values, true
+			if !sc.staleRep[oi] {
+				fresh++
+				if oi == 0 {
+					st.primaryAnswered = true
 				}
-				continue
-			}
-			st.queried++
-			values, ok, err := c.systems[o].LookupPath(key, n)
-			if err != nil {
-				return nil, false, err
-			}
-			if ok {
-				st.primaryAnswered = oi == 0
-				return values, true, nil
 			}
 		}
 	}
+	c.record(&st)
 	if st.queried == 0 {
+		c.mu.RUnlock()
 		return nil, false, ErrAllReplicasDown
 	}
-	return nil, false, nil
+	useStale := fresh == 0
+	best, votes := -1, 0
+	for i := range owners {
+		if !sc.answered[i] || sc.staleRep[i] != useStale {
+			continue
+		}
+		v := 1
+		for j := i + 1; j < len(owners); j++ {
+			if sc.answered[j] && sc.staleRep[j] == useStale && slices.Equal(answers[i], answers[j]) {
+				v++
+			}
+		}
+		if v > votes { // ties keep the earlier owner: primary preference
+			best, votes = i, v
+		}
+	}
+	if best < 0 {
+		c.mu.RUnlock()
+		return nil, false, nil
+	}
+	winner := answers[best] // a heap copy from the store query, stable after unlock
+	repair, repairs := repairSet(&sc, len(owners), func(i int) bool { return slices.Equal(answers[i], winner) })
+	c.mu.RUnlock()
+	if repairs == 0 {
+		return winner, true, nil
+	}
+	c.mu.Lock()
+	repaired := 0
+	for i, o := range owners {
+		if !repair[i] || c.health.IsDown(o) {
+			continue
+		}
+		if pcs := c.systems[o].Host().PostcardingStore(); pcs != nil {
+			if err := pcs.Write(key, winner, len(winner), n); err == nil {
+				c.markPostcard(o, key, n)
+				repaired++
+			}
+		}
+	}
+	c.health.RecordReadRepair(repaired)
+	c.mu.Unlock()
+	return winner, true, nil
 }
+
 
 // LookupCount returns the count-min estimate for key: the minimum over
 // its live fresh owners (each owner received every increment for the
 // key, so the cross-replica minimum keeps the never-undercount
 // guarantee while discarding single-replica collision inflation).
-// Stale replicas undercount and are consulted only if no fresh owner
-// is live.
+// Stale replicas undercount and contribute to the estimate only when no
+// fresh owner is live — but they are still consulted, and any stale
+// replica reporting less than the fresh estimate is read-repaired by
+// raising its counters to that estimate (never lowering, so other keys'
+// guarantees survive).
 func (c *HACluster) LookupCount(key Key, n int) (uint64, error) {
 	var ob [ha.MaxReplicas]int
 	owners := c.owners(key[:], ob[:0])
 	c.mu.RLock()
-	defer c.mu.RUnlock()
 	var st lookupState
-	defer func() { c.record(&st) }()
-	for pass := 0; pass < 2; pass++ {
-		useStale := pass == 1
-		var min uint64
-		for oi, o := range owners {
-			if c.health.IsDown(o) || c.stale[o] != useStale {
-				if !useStale {
-					st.degraded = st.degraded || c.health.IsDown(o) || c.stale[o]
-				}
-				continue
-			}
-			count, err := c.systems[o].LookupCount(key, n)
-			if err != nil {
-				return 0, err
-			}
-			if st.queried == 0 || count < min {
-				min = count
-			}
-			st.queried++
+	var sc replicaScan
+	var counts [ha.MaxReplicas]uint64
+	fresh := 0
+	for oi, o := range owners {
+		if !c.scanOwner(&sc, &st, oi, o) {
+			continue
+		}
+		count, err := c.systems[o].LookupCount(key, n)
+		if err != nil {
+			c.mu.RUnlock()
+			c.record(&st)
+			return 0, err
+		}
+		counts[oi], sc.answered[oi] = count, true
+		if !sc.staleRep[oi] {
+			fresh++
 			if oi == 0 {
 				st.primaryAnswered = true
 			}
 		}
-		if st.queried > 0 {
-			return min, nil
+	}
+	c.record(&st)
+	if st.queried == 0 {
+		c.mu.RUnlock()
+		return 0, ErrAllReplicasDown
+	}
+	useStale := fresh == 0
+	var min uint64
+	first := true
+	for i := range owners {
+		if !sc.answered[i] || sc.staleRep[i] != useStale {
+			continue
+		}
+		if first || counts[i] < min {
+			min, first = counts[i], false
 		}
 	}
-	return 0, ErrAllReplicasDown
+	// Read-repair: a stale replica reporting below the fresh estimate
+	// missed increments while down; raise its counters to the estimate.
+	// (Fresh replicas are never below the fresh minimum by definition,
+	// and counters are never lowered — inflation is collision noise the
+	// count-min contract already absorbs.)
+	var repair [ha.MaxReplicas]bool
+	repairs := 0
+	if !useStale {
+		for i := range owners {
+			if sc.live[i] && sc.staleRep[i] && counts[i] < min {
+				repair[i] = true
+				repairs++
+			}
+		}
+	}
+	c.mu.RUnlock()
+	if repairs == 0 {
+		return min, nil
+	}
+	c.mu.Lock()
+	repaired := 0
+	for i, o := range owners {
+		if !repair[i] || c.health.IsDown(o) {
+			continue
+		}
+		if ki := c.systems[o].Host().KeyIncrementStore(); ki != nil {
+			if err := ki.Raise(key, min, n); err == nil {
+				c.markKeyIncrement(o, key, n)
+				repaired++
+			}
+		}
+	}
+	c.health.RecordReadRepair(repaired)
+	c.mu.Unlock()
+	return min, nil
 }
 
 // Poller returns an Append reader over the first live owner of list.
@@ -496,7 +822,8 @@ func (c *HACluster) Poller(list uint32) (*AppendPoller, error) {
 	for pass := 0; pass < 2; pass++ {
 		useStale := pass == 1
 		for _, o := range owners {
-			if c.health.IsDown(o) || c.stale[o] != useStale {
+			_, isStale := c.stale[o]
+			if c.health.IsDown(o) || isStale != useStale {
 				continue
 			}
 			return c.systems[o].Poller(int(list))
@@ -541,13 +868,10 @@ type HAReporter struct {
 
 // newRep builds a per-collector reporter handle directly (bypassing
 // System.Reporter, whose bookkeeping append is not goroutine-safe
-// across concurrently created HAReporters).
+// across concurrently created HAReporters). Handles use the structured
+// staged-report fast path, like System.Reporter.
 func (r *HAReporter) newRep(sys *System) *Reporter {
-	return &Reporter{
-		sys: sys,
-		rep: reporter.New(reporterConfig(r.switchID)),
-		buf: make([]byte, wire.MaxReportLen),
-	}
+	return &Reporter{sys: sys, switchID: r.switchID}
 }
 
 // rep returns the handle for collector o, growing the slice after
@@ -570,9 +894,21 @@ func (r *HAReporter) fanKey(key Key, write func(rep *Reporter) error) error {
 }
 
 func (r *HAReporter) fan(owners []int, write func(rep *Reporter) error) error {
+	// Decide the skip set for ALL owners before the first write. This
+	// ordering is what makes SetDown's bump-before-flag epoch fence
+	// airtight: if any owner reads as down here, the fence's epoch bump
+	// already happened, so every block this fan-out subsequently tags —
+	// on any replica — carries an epoch inside the skipped owner's
+	// replay window. (Interleaving checks with writes would let a write
+	// tag a surviving peer just below the window and then skip the
+	// victim, silently escaping the incremental resync.)
+	var skip [ha.MaxReplicas]bool
+	for i, o := range owners {
+		skip[i] = r.hac.health.IsDown(o)
+	}
 	live := 0
-	for _, o := range owners {
-		if r.hac.health.IsDown(o) {
+	for i, o := range owners {
+		if skip[i] {
 			continue
 		}
 		if err := write(r.rep(o)); err != nil {

@@ -223,9 +223,12 @@ func TestHAClusterRejoinResync(t *testing.T) {
 	}
 }
 
-// TestHAClusterStaleLastResort: between rejoin and Rebalance, a stale
-// replica is only consulted when no fresh owner survives.
-func TestHAClusterStaleLastResort(t *testing.T) {
+// TestHAClusterStaleReadRepair: between rejoin and Rebalance, a stale
+// replica never outvotes a fresh one — and the failover query that
+// observes the divergence heals it on the spot (read-repair), so when
+// the fresh owner dies next, the once-stale replica already serves the
+// repaired value instead of its outdated one.
+func TestHAClusterStaleReadRepair(t *testing.T) {
 	c, err := NewHACluster(2, 2, haOptions())
 	if err != nil {
 		t.Fatal(err)
@@ -247,18 +250,29 @@ func TestHAClusterStaleLastResort(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Fresh owner has the new value; the stale one still has the old.
+	// The query prefers the fresh answer AND writes it back to the
+	// divergent stale replica.
 	data, ok, err := c.LookupValue(k, 2)
 	if err != nil || !ok || !bytes.Equal(data, []byte{9, 9, 9, 9}) {
 		t.Fatalf("stale replica won over fresh: %v %v %v", data, ok, err)
 	}
-	// With the fresh owner down too, the stale answer is better than
-	// none: last resort.
+	if st := c.HAStats(); st.ReadRepairs == 0 {
+		t.Errorf("divergent failover query recorded no read-repair: %+v", st)
+	}
+	// Direct slot read: the stale replica is converged now, no
+	// Rebalance needed.
+	direct, ok, err := c.System(owners[0]).LookupValue(k, 2)
+	if err != nil || !ok || !bytes.Equal(direct, []byte{9, 9, 9, 9}) {
+		t.Fatalf("stale replica not repaired: %v %v %v", direct, ok, err)
+	}
+	// So even with the fresh owner down, the repaired replica answers
+	// with the up-to-date value.
 	if err := c.SetDown(owners[1]); err != nil {
 		t.Fatal(err)
 	}
 	data, ok, err = c.LookupValue(k, 2)
-	if err != nil || !ok || !bytes.Equal(data, keyData(3)) {
-		t.Fatalf("stale last-resort lookup: %v %v %v", data, ok, err)
+	if err != nil || !ok || !bytes.Equal(data, []byte{9, 9, 9, 9}) {
+		t.Fatalf("post-repair last-resort lookup: %v %v %v", data, ok, err)
 	}
 }
 

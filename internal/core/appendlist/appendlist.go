@@ -110,8 +110,13 @@ type Batcher struct {
 	cfg   Config
 	batch int
 	heads []int // next write index per list, in entries
-	stash [][]byte
-	fill  []int
+	// written counts entries flushed to the collector per list,
+	// cumulatively (never wrapping): heads[l] == written[l] %
+	// EntriesPerList. Replica resync compares cumulative counts to
+	// decide how much of a peer's ring a rejoining collector missed.
+	written []uint64
+	stash   [][]byte
+	fill    []int
 	// Stats tracks batching effectiveness.
 	Stats BatcherStats
 }
@@ -149,11 +154,12 @@ func NewBatcher(cfg Config, batch int) (*Batcher, error) {
 		return nil, fmt.Errorf("appendlist: ring of %d entries not a multiple of batch %d", cfg.EntriesPerList, batch)
 	}
 	b := &Batcher{
-		cfg:   cfg,
-		batch: batch,
-		heads: make([]int, cfg.Lists),
-		stash: make([][]byte, cfg.Lists),
-		fill:  make([]int, cfg.Lists),
+		cfg:     cfg,
+		batch:   batch,
+		heads:   make([]int, cfg.Lists),
+		written: make([]uint64, cfg.Lists),
+		stash:   make([][]byte, cfg.Lists),
+		fill:    make([]int, cfg.Lists),
 	}
 	return b, nil
 }
@@ -163,6 +169,36 @@ func (b *Batcher) Batch() int { return b.batch }
 
 // Head returns the translator's head pointer for list l, in entries.
 func (b *Batcher) Head(l int) int { return b.heads[l] }
+
+// Written returns the cumulative (non-wrapping) number of entries
+// flushed to the collector for list l. Stashed-but-unflushed entries are
+// not counted: they are not in collector memory yet.
+func (b *Batcher) Written(l int) uint64 { return b.written[l] }
+
+// WrittenCounts appends a copy of every list's cumulative flushed-entry
+// count to out (pass nil to allocate). Snapshot capture records these
+// next to the ring buffers so resync can replay exactly the missed
+// suffix.
+func (b *Batcher) WrittenCounts(out []uint64) []uint64 {
+	return append(out, b.written...)
+}
+
+// SyncList force-sets list l's cumulative count (and therefore its head
+// pointer) after a resync copied a peer's ring suffix into the local
+// collector. It refuses to run over stashed entries: callers must flush
+// before resyncing, or the stash would be appended at a head it was not
+// staged for.
+func (b *Batcher) SyncList(l int, written uint64) error {
+	if l < 0 || l >= b.cfg.Lists {
+		return fmt.Errorf("appendlist: list %d out of range [0,%d)", l, b.cfg.Lists)
+	}
+	if b.fill[l] != 0 {
+		return fmt.Errorf("appendlist: list %d has %d unflushed entries", l, b.fill[l])
+	}
+	b.written[l] = written
+	b.heads[l] = int(written % uint64(b.cfg.EntriesPerList))
+	return nil
+}
 
 // Append adds one entry to list l. When the entry completes a batch, the
 // returned Flush describes the single RDMA WRITE to issue; otherwise the
@@ -193,6 +229,7 @@ func (b *Batcher) Append(l int, entry []byte) (*Flush, error) {
 		Data:    b.stash[l],
 	}
 	b.heads[l] = (b.heads[l] + b.batch) % b.cfg.EntriesPerList
+	b.written[l] += uint64(b.batch)
 	b.fill[l] = 0
 	b.Stats.Flushes++
 	return f, nil
@@ -216,6 +253,7 @@ func (b *Batcher) FlushPartial(l int) *Flush {
 		Data:    b.stash[l][:n*b.cfg.EntrySize],
 	}
 	b.heads[l] = (b.heads[l] + n) % b.cfg.EntriesPerList
+	b.written[l] += uint64(n)
 	b.fill[l] = 0
 	b.Stats.Flushes++
 	return f

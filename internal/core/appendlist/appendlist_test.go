@@ -302,3 +302,64 @@ func BenchmarkPoll(b *testing.B) {
 	}
 	_ = sink
 }
+
+func TestWrittenTracksFlushedEntries(t *testing.T) {
+	cfg := Config{Lists: 2, EntriesPerList: 16, EntrySize: 4}
+	bt, err := NewBatcher(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := []byte{1, 2, 3, 4}
+	for i := 0; i < 6; i++ { // one full batch + 2 stashed
+		if _, err := bt.Append(0, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Stashed entries are not in collector memory, so not counted.
+	if got := bt.Written(0); got != 4 {
+		t.Errorf("written = %d after 6 appends (batch 4), want 4", got)
+	}
+	if bt.FlushPartial(0) == nil {
+		t.Fatal("no partial flush for 2 stashed entries")
+	}
+	if got := bt.Written(0); got != 6 {
+		t.Errorf("written = %d after partial flush, want 6", got)
+	}
+	// Cumulative: wraps in the ring never reset the count.
+	for i := 0; i < 32; i++ {
+		if _, err := bt.Append(0, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, head := bt.Written(0), bt.Head(0); got != 38 || head != int(got%16) {
+		t.Errorf("written = %d head = %d, want 38 and %d", got, head, got%16)
+	}
+	counts := bt.WrittenCounts(nil)
+	if len(counts) != 2 || counts[0] != 38 || counts[1] != 0 {
+		t.Errorf("WrittenCounts = %v", counts)
+	}
+}
+
+func TestSyncList(t *testing.T) {
+	cfg := Config{Lists: 1, EntriesPerList: 16, EntrySize: 4}
+	bt, err := NewBatcher(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bt.SyncList(0, 37); err != nil {
+		t.Fatal(err)
+	}
+	if bt.Written(0) != 37 || bt.Head(0) != 5 {
+		t.Errorf("after sync: written=%d head=%d, want 37/5", bt.Written(0), bt.Head(0))
+	}
+	if err := bt.SyncList(1, 0); err == nil {
+		t.Error("out-of-range list accepted")
+	}
+	// Stashed entries block a sync: the stash was staged for another head.
+	if _, err := bt.Append(0, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bt.SyncList(0, 40); err == nil {
+		t.Error("sync over stashed entries accepted")
+	}
+}

@@ -123,6 +123,26 @@ func (s *Store) Increment(key wire.Key, delta uint64, n int) error {
 	return nil
 }
 
+// Raise lifts each of key's N counters to at least value, leaving
+// larger counters untouched. It is the count-min read-repair primitive:
+// a replica that missed increments while down can have its counters
+// restored to a peer-derived lower bound without ever lowering a
+// counter, so the never-undercount guarantee of every other key is
+// preserved.
+func (s *Store) Raise(key wire.Key, value uint64, n int) error {
+	if n < 1 || n > MaxRedundancy {
+		return fmt.Errorf("keyincrement: redundancy %d out of range [1,%d]", n, MaxRedundancy)
+	}
+	for i := 0; i < n; i++ {
+		slot := s.x.Slot(i, key)
+		if s.counter(slot) < value {
+			off := s.x.Offset(slot)
+			binary.BigEndian.PutUint64(s.buf[off:off+CounterSize], value)
+		}
+	}
+	return nil
+}
+
 // Query returns the count-min estimate for key: the minimum of its N
 // counters (Algorithm 6). The estimate never undercounts.
 func (s *Store) Query(key wire.Key, n int) (uint64, error) {

@@ -175,3 +175,40 @@ func BenchmarkQueryN2(b *testing.B) {
 		s.Query(key(uint64(i%(1<<16))), 2)
 	}
 }
+
+func TestRaiseNeverLowers(t *testing.T) {
+	s := mustStore(t, Config{Slots: 1 << 10})
+	k := key(7)
+	if err := s.Increment(k, 10, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Raising below the current value is a no-op.
+	if err := s.Raise(k, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Query(k, 2); got != 10 {
+		t.Errorf("count after low raise = %d, want 10", got)
+	}
+	// Raising above lifts every slot to exactly the bound.
+	if err := s.Raise(k, 25, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Query(k, 2); got != 25 {
+		t.Errorf("count after raise = %d, want 25", got)
+	}
+	// A colliding key whose slot was already higher is untouched: Raise
+	// preserves the never-undercount guarantee for everyone else.
+	other := key(9)
+	if err := s.Increment(other, 100, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Raise(k, 50, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Query(other, 2); got < 100 {
+		t.Errorf("colliding key undercounts after raise: %d", got)
+	}
+	if err := s.Raise(k, 1, 0); err == nil {
+		t.Error("redundancy 0 accepted")
+	}
+}

@@ -1,0 +1,64 @@
+package ha
+
+import (
+	"testing"
+
+	"dta/internal/rdma"
+)
+
+func TestTrackerMarksWritePackets(t *testing.T) {
+	h := NewHealth()
+	regions := []rdma.RegionInfo{
+		{Label: "keywrite", VA: 0x1000, Length: 8 * TagBlockBytes},
+		{Label: "keyincrement", VA: 0x100000, Length: 2 * TagBlockBytes},
+	}
+	tk := NewTracker(h, regions)
+
+	if got := tk.Tags("keywrite"); len(got) != 8 {
+		t.Fatalf("keywrite tags = %d blocks, want 8", len(got))
+	}
+	if tk.Tags("nosuch") != nil {
+		t.Error("unknown label returned tags")
+	}
+
+	// A WRITE into block 2 of the keywrite region tags it with the
+	// current epoch; everything else stays at 0 (never written).
+	payload := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	pkt := rdma.BuildWrite(nil, 1, 0, 0x1000+2*TagBlockBytes+10, 1, payload, false, nil)
+	tk.MarkPacket(pkt)
+	tags := tk.Tags("keywrite")
+	for b, tag := range tags {
+		want := uint64(0)
+		if b == 2 {
+			want = 1 // NewHealth starts the epoch clock at 1
+		}
+		if tag != want {
+			t.Errorf("block %d tag = %d, want %d", b, tag, want)
+		}
+	}
+
+	// A write straddling a block boundary tags both blocks, at the
+	// bumped epoch.
+	h.BumpEpoch()
+	pkt = rdma.BuildWrite(pkt[:0], 1, 0, 0x1000+4*TagBlockBytes-4, 1, payload, false, nil)
+	tk.MarkPacket(pkt)
+	tags = tk.Tags("keywrite")
+	if tags[3] != 2 || tags[4] != 2 {
+		t.Errorf("straddling write: blocks 3,4 = %d,%d, want 2,2", tags[3], tags[4])
+	}
+
+	// FETCH&ADD tags the other region; epochs only move forward.
+	pkt = rdma.BuildFetchAdd(pkt[:0], 1, 0, 0x100000+TagBlockBytes, 1, 5)
+	tk.MarkPacket(pkt)
+	if got := tk.Tags("keyincrement"); got[0] != 0 || got[1] != 2 {
+		t.Errorf("fetchadd tags = %v, want [0 2]", got)
+	}
+	tk.markLabel("keyincrement", int(TagBlockBytes), 8, 1) // stale epoch
+	if got := tk.Tags("keyincrement"); got[1] != 2 {
+		t.Errorf("tag lowered by stale mark: %d", got[1])
+	}
+
+	// Packets outside every region (and non-write opcodes) are ignored.
+	tk.MarkPacket(rdma.BuildWrite(pkt[:0], 1, 0, 0xdead0000, 1, payload, false, nil))
+	tk.MarkPacket(rdma.BuildAck(nil, 1, 0, rdma.SynACK, 0, false, 0))
+}

@@ -34,6 +34,22 @@ type Stats struct {
 	FailedQueries uint64
 	// Resyncs counts replica resynchronisations (rejoin/add rebalances).
 	Resyncs uint64
+	// ReadRepairs counts replica stores written back by queries that
+	// observed replicas disagreeing (read-repair): divergence detected
+	// by a failover query is healed by that query instead of waiting
+	// for the next Rebalance. One count per repaired replica store.
+	ReadRepairs uint64
+	// ResyncSlots counts store slots actually copied (or counters
+	// raised) into stale collectors by resyncs.
+	ResyncSlots uint64
+	// ResyncSlotsSkipped counts slots incremental resync never scanned
+	// because their block's last-write epoch predates the target's
+	// staleness window. The ratio to ResyncSlots is what epoch-based
+	// rebalance buys over full snapshot replay.
+	ResyncSlotsSkipped uint64
+	// AppendEntriesResynced counts Append ring entries replayed into
+	// stale collectors from peer ring segments.
+	AppendEntriesResynced uint64
 }
 
 // Health is the cluster's failure-injection view: a lock-free up/down
@@ -44,6 +60,14 @@ type Stats struct {
 type Health struct {
 	down [MaxMembers]atomic.Bool
 
+	// epoch is the cluster staleness clock: a monotone counter bumped by
+	// every membership or health transition (SetDown, AddCollector,
+	// Decommission). Dirty trackers tag written blocks with the current
+	// epoch, and incremental resync replays only blocks written at or
+	// after the epoch a target went stale. Epoch 0 is reserved for
+	// "never written", so the clock starts at 1.
+	epoch atomic.Uint64
+
 	degradedWrites  atomic.Uint64
 	lostWrites      atomic.Uint64
 	replicaSkips    atomic.Uint64
@@ -51,10 +75,25 @@ type Health struct {
 	failoverQueries atomic.Uint64
 	failedQueries   atomic.Uint64
 	resyncs         atomic.Uint64
+	readRepairs     atomic.Uint64
+	resyncSlots     atomic.Uint64
+	resyncSkipped   atomic.Uint64
+	appendResynced  atomic.Uint64
 }
 
 // NewHealth returns a view with every member up.
-func NewHealth() *Health { return &Health{} }
+func NewHealth() *Health {
+	h := &Health{}
+	h.epoch.Store(1)
+	return h
+}
+
+// Epoch returns the current staleness epoch. Safe concurrently with
+// writers tagging blocks.
+func (h *Health) Epoch() uint64 { return h.epoch.Load() }
+
+// BumpEpoch advances the staleness clock and returns the new epoch.
+func (h *Health) BumpEpoch() uint64 { return h.epoch.Add(1) }
 
 func checkMember(i int) error {
 	if i < 0 || i >= MaxMembers {
@@ -120,18 +159,39 @@ func (h *Health) RecordQuery(skipped int, answered, byPrimary bool) {
 	}
 }
 
-// RecordResync accounts one replica resynchronisation.
-func (h *Health) RecordResync() { h.resyncs.Add(1) }
+// RecordResync accounts one replica resynchronisation and its replay
+// volume.
+func (h *Health) RecordResync(st *ResyncStats) {
+	h.resyncs.Add(1)
+	if st == nil {
+		return
+	}
+	h.resyncSlots.Add(st.SlotsReplayed())
+	h.resyncSkipped.Add(st.SlotsSkipped)
+	h.appendResynced.Add(st.AppendEntries)
+}
+
+// RecordReadRepair accounts replica stores fixed up by one divergence-
+// observing query.
+func (h *Health) RecordReadRepair(replicas int) {
+	if replicas > 0 {
+		h.readRepairs.Add(uint64(replicas))
+	}
+}
 
 // Snapshot returns the current counters.
 func (h *Health) Snapshot() Stats {
 	return Stats{
-		DegradedWrites:  h.degradedWrites.Load(),
-		LostWrites:      h.lostWrites.Load(),
-		ReplicaSkips:    h.replicaSkips.Load(),
-		DegradedQueries: h.degradedQueries.Load(),
-		FailoverQueries: h.failoverQueries.Load(),
-		FailedQueries:   h.failedQueries.Load(),
-		Resyncs:         h.resyncs.Load(),
+		DegradedWrites:        h.degradedWrites.Load(),
+		LostWrites:            h.lostWrites.Load(),
+		ReplicaSkips:          h.replicaSkips.Load(),
+		DegradedQueries:       h.degradedQueries.Load(),
+		FailoverQueries:       h.failoverQueries.Load(),
+		FailedQueries:         h.failedQueries.Load(),
+		Resyncs:               h.resyncs.Load(),
+		ReadRepairs:           h.readRepairs.Load(),
+		ResyncSlots:           h.resyncSlots.Load(),
+		ResyncSlotsSkipped:    h.resyncSkipped.Load(),
+		AppendEntriesResynced: h.appendResynced.Load(),
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"dta/internal/collector"
+	"dta/internal/core/appendlist"
 	"dta/internal/core/keyincrement"
 	"dta/internal/core/postcarding"
 	"dta/internal/snapshot"
@@ -20,6 +21,36 @@ type ResyncStats struct {
 	Counters uint64
 	// PostcardSlots counts Postcarding hop slots copied from peers.
 	PostcardSlots uint64
+	// AppendLists counts lists whose ring suffix was replayed; and
+	// AppendEntries the entries copied across all of them.
+	AppendLists   uint64
+	AppendEntries uint64
+	// SlotsSkipped counts slots incremental resync never scanned because
+	// their block's last-write epoch predates the target's staleness
+	// window (summed across peers and primitives).
+	SlotsSkipped uint64
+}
+
+// SlotsReplayed sums the slots actually merged into the target.
+func (st *ResyncStats) SlotsReplayed() uint64 {
+	return st.KeyWriteSlots + st.Counters + st.PostcardSlots + st.AppendEntries
+}
+
+// Target bundles the mutable state of the collector being resynced.
+type Target struct {
+	// Host is the collector whose stores receive the replay.
+	Host *collector.Host
+	// Batcher is the target translator's Append batcher, whose head
+	// pointers are advanced when peer ring segments are replayed. Nil
+	// skips Append resync (snapshots without head metadata skip it too).
+	Batcher *appendlist.Batcher
+	// Dirty, when non-nil, is stamped for every merged range so the
+	// target can in turn serve as an incremental peer later.
+	Dirty *Tracker
+	// StaleSince is the epoch at which the target went stale: peers'
+	// blocks whose last-write epoch is older are skipped. Zero replays
+	// everything (a newly added collector, or peers without tags).
+	StaleSince uint64
 }
 
 // Resync replays peer snapshots into a rejoining or newly added
@@ -43,9 +74,20 @@ type ResyncStats struct {
 //   - Postcarding: every occupied peer hop slot overwrites the target
 //     slot (slots are checksum⊕g(v) encodings, consistent across
 //     replicas for the same flow).
-//   - Append: not resynced. Rings are ordered logs with per-list head
-//     state; replaying them would interleave two histories. Failover
-//     polling reads surviving replicas instead.
+//   - Append: ring-suffix replay. Snapshots carry each list's
+//     cumulative flushed-entry count; the entries the target's own
+//     count trails the peer's by (capped at one ring) are copied
+//     index-for-index — both translators address list l's ring
+//     identically — and the target's head pointer is advanced to the
+//     peer's. The target's own pre-failure prefix is left untouched, so
+//     two histories are never interleaved entry-by-entry; with multiple
+//     concurrent reporters the suffix can reorder across the failure
+//     boundary, the same best-effort hazard failover polling has.
+//
+// When t.StaleSince > 0 and a peer carries dirty-epoch tags, only the
+// blocks written at or after that epoch are scanned: everything older
+// was already replicated to the target while it was still up. Peers
+// without tags (or a zero StaleSince) are replayed in full.
 //
 // Peer slots for keys the target does not own come along for the ride;
 // they are invisible to routed queries (ownership routing never asks
@@ -54,16 +96,19 @@ type ResyncStats struct {
 //
 // The target must be quiescent (no concurrent ingest): callers run
 // Resync under a drain barrier.
-func Resync(target *collector.Host, peers []*snapshot.Snapshot) (ResyncStats, error) {
+func Resync(t Target, peers []*snapshot.Snapshot) (ResyncStats, error) {
 	st := ResyncStats{Peers: len(peers)}
 	for pi, peer := range peers {
-		if err := mergeKeyWrite(target, peer, &st); err != nil {
+		if err := mergeKeyWrite(t, peer, &st); err != nil {
 			return st, fmt.Errorf("ha: resync peer %d: %w", pi, err)
 		}
-		if err := mergeKeyIncrement(target, peer, &st); err != nil {
+		if err := mergeKeyIncrement(t, peer, &st); err != nil {
 			return st, fmt.Errorf("ha: resync peer %d: %w", pi, err)
 		}
-		if err := mergePostcarding(target, peer, &st); err != nil {
+		if err := mergePostcarding(t, peer, &st); err != nil {
+			return st, fmt.Errorf("ha: resync peer %d: %w", pi, err)
+		}
+		if err := mergeAppend(t, peer, &st); err != nil {
 			return st, fmt.Errorf("ha: resync peer %d: %w", pi, err)
 		}
 	}
@@ -79,8 +124,24 @@ func occupied(b []byte) bool {
 	return false
 }
 
-func mergeKeyWrite(target *collector.Host, peer *snapshot.Snapshot, st *ResyncStats) error {
-	dst := target.KeyWriteStore()
+// blockStale reports whether the slot at [off, off+size) can be skipped:
+// every block it touches was last written before the staleness window
+// opened. Nil tags (or a zero window) keep everything.
+func blockStale(tags []uint64, blockBytes int, since uint64, off, size int) bool {
+	if since == 0 || tags == nil || blockBytes <= 0 {
+		return false
+	}
+	first, last := off/blockBytes, (off+size-1)/blockBytes
+	for b := first; b <= last; b++ {
+		if b < len(tags) && tags[b] >= since {
+			return false
+		}
+	}
+	return true
+}
+
+func mergeKeyWrite(t Target, peer *snapshot.Snapshot, st *ResyncStats) error {
+	dst := t.Host.KeyWriteStore()
 	if dst == nil || peer.KeyWrite == nil {
 		return nil
 	}
@@ -90,16 +151,23 @@ func mergeKeyWrite(target *collector.Host, peer *snapshot.Snapshot, st *ResyncSt
 	}
 	buf, src, slot := dst.Buffer(), peer.KeyWriteBuf, cfg.SlotSize()
 	for off := 0; off+slot <= len(src) && off+slot <= len(buf); off += slot {
+		if blockStale(peer.KeyWriteTags, peer.TagBlockBytes, t.StaleSince, off, slot) {
+			st.SlotsSkipped++
+			continue
+		}
 		if occupied(src[off : off+slot]) {
 			copy(buf[off:off+slot], src[off:off+slot])
 			st.KeyWriteSlots++
+			if t.Dirty != nil {
+				t.Dirty.MarkRange("keywrite", off, slot)
+			}
 		}
 	}
 	return nil
 }
 
-func mergeKeyIncrement(target *collector.Host, peer *snapshot.Snapshot, st *ResyncStats) error {
-	dst := target.KeyIncrementStore()
+func mergeKeyIncrement(t Target, peer *snapshot.Snapshot, st *ResyncStats) error {
+	dst := t.Host.KeyIncrementStore()
 	if dst == nil || peer.KeyIncrement == nil {
 		return nil
 	}
@@ -108,17 +176,24 @@ func mergeKeyIncrement(target *collector.Host, peer *snapshot.Snapshot, st *Resy
 		return fmt.Errorf("key-increment geometry mismatch: peer %dB vs %dB", len(src), len(buf))
 	}
 	for off := 0; off+keyincrement.CounterSize <= len(src); off += keyincrement.CounterSize {
+		if blockStale(peer.KeyIncTags, peer.TagBlockBytes, t.StaleSince, off, keyincrement.CounterSize) {
+			st.SlotsSkipped++
+			continue
+		}
 		pv := binary.BigEndian.Uint64(src[off:])
 		if pv > binary.BigEndian.Uint64(buf[off:]) {
 			binary.BigEndian.PutUint64(buf[off:], pv)
 			st.Counters++
+			if t.Dirty != nil {
+				t.Dirty.MarkRange("keyincrement", off, keyincrement.CounterSize)
+			}
 		}
 	}
 	return nil
 }
 
-func mergePostcarding(target *collector.Host, peer *snapshot.Snapshot, st *ResyncStats) error {
-	dst := target.PostcardingStore()
+func mergePostcarding(t Target, peer *snapshot.Snapshot, st *ResyncStats) error {
+	dst := t.Host.PostcardingStore()
 	if dst == nil || peer.Postcarding == nil {
 		return nil
 	}
@@ -130,10 +205,58 @@ func mergePostcarding(target *collector.Host, peer *snapshot.Snapshot, st *Resyn
 	}
 	buf, src := dst.Buffer(), peer.PostcardBuf
 	for off := 0; off+postcarding.SlotSize <= len(src) && off+postcarding.SlotSize <= len(buf); off += postcarding.SlotSize {
+		if blockStale(peer.PostcardTags, peer.TagBlockBytes, t.StaleSince, off, postcarding.SlotSize) {
+			st.SlotsSkipped++
+			continue
+		}
 		if occupied(src[off : off+postcarding.SlotSize]) {
 			copy(buf[off:off+postcarding.SlotSize], src[off:off+postcarding.SlotSize])
 			st.PostcardSlots++
+			if t.Dirty != nil {
+				t.Dirty.MarkRange("postcarding", off, postcarding.SlotSize)
+			}
 		}
+	}
+	return nil
+}
+
+func mergeAppend(t Target, peer *snapshot.Snapshot, st *ResyncStats) error {
+	dst := t.Host.AppendStore()
+	if dst == nil || peer.Append == nil || peer.AppendHeads == nil || t.Batcher == nil {
+		return nil
+	}
+	cfg := dst.Config()
+	if *peer.Append != cfg {
+		return fmt.Errorf("append geometry mismatch: peer %+v vs %+v", *peer.Append, cfg)
+	}
+	entries := uint64(cfg.EntriesPerList)
+	listBytes, entrySize := cfg.ListBytes(), cfg.EntrySize
+	buf, src := dst.Buffer(), peer.AppendBuf
+	for l := 0; l < cfg.Lists && l < len(peer.AppendHeads); l++ {
+		pw, tw := peer.AppendHeads[l], t.Batcher.Written(l)
+		if pw <= tw {
+			continue // target is at least as fresh for this list
+		}
+		missed := pw - tw
+		if missed > entries {
+			missed = entries // the peer's ring only retains one lap
+		}
+		start := (pw - missed) % entries
+		for i := uint64(0); i < missed; i++ {
+			idx := int((start + i) % entries)
+			off := l*listBytes + idx*entrySize
+			copy(buf[off:off+entrySize], src[off:off+entrySize])
+			st.AppendEntries++
+		}
+		if err := t.Batcher.SyncList(l, pw); err != nil {
+			return err
+		}
+		if t.Dirty != nil {
+			// The replayed suffix may wrap; marking the whole list span
+			// is cheap and conservative.
+			t.Dirty.MarkRange("append", l*listBytes, listBytes)
+		}
+		st.AppendLists++
 	}
 	return nil
 }

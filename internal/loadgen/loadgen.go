@@ -474,6 +474,27 @@ func WrittenKeys(cfg Config) []uint64 {
 	return keys
 }
 
+// AppendedKeys replays the run's PRNG streams without submitting
+// anything and returns, per Append list, the key IDs whose entries the
+// run appends (duplicates preserved: lists are multisets, not sets —
+// every entry is KeyWriteValue of its key). Only the Mixed profile
+// appends; other profiles return an empty map. Combined with the ring
+// contents after a failure scenario it lets a driver measure how much
+// of each list's history survived and was resynced.
+func AppendedKeys(cfg Config) map[uint32][]uint64 {
+	cfg = cfg.withDefaults()
+	out := make(map[uint32][]uint64)
+	for i := 0; i < cfg.Reporters; i++ {
+		st := newStream(cfg, i)
+		for n := 0; n < cfg.Reports; n++ {
+			if r := st.next(); r.op == 3 {
+				out[r.list] = append(out[r.list], r.key)
+			}
+		}
+	}
+	return out
+}
+
 // drive submits cfg.Reports reports from reporter i, bumping submitted
 // after each success (the schedule's progress clock). It stops at the
 // first submission error: under the engine's Block policy errors mean

@@ -18,6 +18,18 @@ import (
 )
 
 // Snapshot is the serialised form of a collector's stores.
+//
+// Beyond the raw buffers, a snapshot may carry replication metadata the
+// HA layer attaches at capture time (all optional — offline dtacollect
+// snapshots leave them nil and are replayed in full):
+//
+//   - AppendHeads: per-list cumulative flushed-entry counts from the
+//     owning translator's batcher, so a resync can replay exactly the
+//     ring suffix a rejoining collector missed and restore its head
+//     pointers.
+//   - *Tags + TagBlockBytes: per-block last-write epochs from the
+//     collector's dirty tracker, so an incremental resync can skip
+//     blocks written before the target went stale.
 type Snapshot struct {
 	KeyWrite     *keywrite.Config
 	KeyWriteBuf  []byte
@@ -27,6 +39,19 @@ type Snapshot struct {
 	PostcardBuf  []byte
 	Append       *appendlist.Config
 	AppendBuf    []byte
+
+	// AppendHeads[l] is the cumulative (non-wrapping) number of entries
+	// the capturing collector's translator had flushed into list l; the
+	// ring head is AppendHeads[l] % EntriesPerList. Nil when captured
+	// outside a replicated cluster.
+	AppendHeads []uint64
+
+	// Per-block last-write epoch tags (see internal/ha.Tracker), block
+	// size TagBlockBytes. Nil tags mean "unknown: replay everything".
+	KeyWriteTags  []uint64
+	KeyIncTags    []uint64
+	PostcardTags  []uint64
+	TagBlockBytes int
 }
 
 // Capture copies a collector host's store memory.

@@ -128,3 +128,40 @@ func TestReadGarbage(t *testing.T) {
 		t.Error("garbage accepted")
 	}
 }
+
+// TestReplicationMetadataRoundTrip pins the optional HA fields — Append
+// head counts and dirty-epoch tags — through serialisation: a resync
+// driven from a loaded snapshot must see exactly what the capturing
+// cluster attached.
+func TestReplicationMetadataRoundTrip(t *testing.T) {
+	h := fullHost(t)
+	snap := Capture(h)
+	snap.AppendHeads = []uint64{7, 131}
+	snap.KeyWriteTags = []uint64{0, 3, 0, 5}
+	snap.KeyIncTags = []uint64{1}
+	snap.PostcardTags = []uint64{0, 2}
+	snap.TagBlockBytes = 1024
+
+	var buf bytes.Buffer
+	if err := snap.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.AppendHeads; len(got) != 2 || got[0] != 7 || got[1] != 131 {
+		t.Errorf("AppendHeads = %v", got)
+	}
+	if got := loaded.KeyWriteTags; len(got) != 4 || got[1] != 3 || got[3] != 5 {
+		t.Errorf("KeyWriteTags = %v", got)
+	}
+	if loaded.TagBlockBytes != 1024 {
+		t.Errorf("TagBlockBytes = %d", loaded.TagBlockBytes)
+	}
+	// Plain captures leave the metadata nil: full replay, old files load.
+	bare := Capture(h)
+	if bare.AppendHeads != nil || bare.KeyWriteTags != nil || bare.TagBlockBytes != 0 {
+		t.Errorf("bare capture carries replication metadata: %+v", bare)
+	}
+}
