@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"dta"
 	"dta/internal/baseline"
@@ -330,7 +331,22 @@ func BenchmarkEngine_Sync1Shard(b *testing.B) {
 // the structured zero-allocation fast path — the Fig. 10-style
 // comparison dtabench -json records in BENCH_results.json.
 func benchEngineAsync(b *testing.B, shards int, frames bool) {
+	benchEngineAsyncWAL(b, shards, frames, nil)
+}
+
+// benchEngineAsyncWAL is benchEngineAsync with an optional per-shard
+// write-ahead log: wal != nil attaches one under a fresh temp directory
+// with the given sync policy, measuring what durability costs the hot
+// ingest path (dtabench -json records WAL-on vs WAL-off per policy).
+func benchEngineAsyncWAL(b *testing.B, shards int, frames bool, wal *dta.WALPolicy) {
 	cl := engineBenchCluster(b, shards)
+	if wal != nil {
+		for i := 0; i < shards; i++ {
+			if err := cl.System(i).WithWAL(fmt.Sprintf("%s/wal-%d", b.TempDir(), i), *wal); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
 	// Shallow queues on purpose: with Block backpressure the producers
 	// simply wait, and the in-flight chunk working set stays
 	// cache-resident (deep queues — e.g. 8192 — put >100MB in flight and
@@ -387,6 +403,19 @@ func BenchmarkEngine_Async4Shard(b *testing.B) { benchEngineAsync(b, 4, false) }
 func BenchmarkEngine_AsyncFrame1Shard(b *testing.B) { benchEngineAsync(b, 1, true) }
 func BenchmarkEngine_AsyncFrame2Shard(b *testing.B) { benchEngineAsync(b, 2, true) }
 func BenchmarkEngine_AsyncFrame4Shard(b *testing.B) { benchEngineAsync(b, 4, true) }
+
+// Durability cost: the structured 4-shard path with a write-ahead log
+// per collector, across the sync-policy spectrum. WALNone (OS-paced)
+// must stay within a sliver of the WAL-off Async4Shard baseline.
+func BenchmarkEngine_Async4Shard_WALNone(b *testing.B) {
+	benchEngineAsyncWAL(b, 4, false, &dta.WALPolicy{Mode: dta.WALSyncNone})
+}
+func BenchmarkEngine_Async4Shard_WALInterval(b *testing.B) {
+	benchEngineAsyncWAL(b, 4, false, &dta.WALPolicy{Mode: dta.WALSyncInterval, Interval: 10 * time.Millisecond})
+}
+func BenchmarkEngine_Async4Shard_WALBatch(b *testing.B) {
+	benchEngineAsyncWAL(b, 4, false, &dta.WALPolicy{Mode: dta.WALSyncBatch})
+}
 
 func BenchmarkIntegration_MarpleTimeouts(b *testing.B) {
 	sys, err := dta.New(dta.Options{

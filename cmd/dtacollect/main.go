@@ -11,6 +11,18 @@
 //	dtacollect -duration 5s -rate 50000 -snapshot /tmp/dta.snap
 //
 // The resulting snapshot can be queried with dtaquery.
+//
+// With -wal every admitted report is also logged to a segmented
+// write-ahead log, so a crash loses at most what the -wal-sync policy
+// permits; -recover replays an existing log (checkpoint + tail) into
+// the stores before collecting, and -checkpoint writes a fresh
+// checkpoint (reclaiming covered segments) on exit:
+//
+//	dtacollect -duration 5s -wal /tmp/dta.wal -wal-sync interval=100ms
+//	dtacollect -duration 5s -wal /tmp/dta.wal -recover -checkpoint
+//
+// The log directory can be inspected with dtarecover and queried
+// directly with dtaquery -wal.
 package main
 
 import (
@@ -26,13 +38,23 @@ import (
 	"dta/internal/core/keyincrement"
 	"dta/internal/core/keywrite"
 	"dta/internal/core/postcarding"
+	"dta/internal/ha"
 	"dta/internal/snapshot"
 	"dta/internal/telemetry/inttel"
 	"dta/internal/telemetry/netseer"
 	"dta/internal/trace"
 	"dta/internal/translator"
+	"dta/internal/wal"
 	"dta/internal/wire"
 )
+
+// walConfig bundles the durability flags.
+type walConfig struct {
+	dir        string
+	sync       string
+	recover    bool
+	checkpoint bool
+}
 
 func main() {
 	var (
@@ -40,14 +62,22 @@ func main() {
 		rate     = flag.Int("rate", 50000, "reports per second to generate")
 		snapPath = flag.String("snapshot", "", "write a store snapshot here on exit")
 		addr     = flag.String("listen", "127.0.0.1:0", "UDP listen address")
+		wcfg     walConfig
 	)
+	flag.StringVar(&wcfg.dir, "wal", "", "write-ahead-log directory (empty = no WAL)")
+	flag.StringVar(&wcfg.sync, "wal-sync", "none", "WAL sync policy: none, interval[=d], batch")
+	flag.BoolVar(&wcfg.recover, "recover", false, "replay an existing WAL into the stores before collecting (needs -wal)")
+	flag.BoolVar(&wcfg.checkpoint, "checkpoint", false, "write a WAL checkpoint on exit, reclaiming covered segments (needs -wal)")
 	flag.Parse()
-	if err := run(*duration, *rate, *snapPath, *addr); err != nil {
+	if wcfg.dir == "" && (wcfg.recover || wcfg.checkpoint) {
+		log.Fatal("dtacollect: -recover/-checkpoint need -wal")
+	}
+	if err := run(*duration, *rate, *snapPath, *addr, wcfg); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(duration time.Duration, rate int, snapPath, addr string) error {
+func run(duration time.Duration, rate int, snapPath, addr string, wcfg walConfig) error {
 	// Store geometry: small enough to start instantly, large enough for
 	// minutes of traffic.
 	kw := keywrite.Config{Slots: 1 << 20, DataSize: 20}
@@ -83,6 +113,43 @@ func run(duration time.Duration, rate int, snapPath, addr string) error {
 		}
 	}
 
+	// Durability: recover any prior log into the fresh stores, THEN
+	// attach the writer (recovery must not re-log replayed records).
+	var walW *wal.Writer
+	if wcfg.dir != "" {
+		if wcfg.recover {
+			last, skipped, err := wal.Recover(wcfg.dir,
+				func(ck *snapshot.Snapshot) error {
+					_, err := ha.Resync(ha.Target{Host: host, Batcher: tr.AppendBatcher()}, []ha.Peer{{Snap: ck}})
+					return err
+				},
+				func(lsn, nowNs uint64, rec *wire.StagedReport) error {
+					return tr.ProcessStaged(rec, nowNs)
+				})
+			if err != nil {
+				return fmt.Errorf("recover: %w", err)
+			}
+			fmt.Printf("recovered %d reports from %s (up to LSN %d, %d skipped)\n",
+				tr.Stats.Reports, wcfg.dir, last, skipped)
+		}
+		pol, err := wal.ParsePolicy(wcfg.sync)
+		if err != nil {
+			return err
+		}
+		walW, err = wal.Create(wcfg.dir, pol)
+		if err != nil {
+			return err
+		}
+		if err := wal.SaveMeta(wcfg.dir, &wal.Meta{Translator: tr.Config()}); err != nil {
+			return err
+		}
+		tr.WAL = func(rec *wire.StagedReport, nowNs uint64) error {
+			_, err := walW.Append(rec, nowNs)
+			return err
+		}
+		defer walW.Close()
+	}
+
 	conn, err := net.ListenPacket("udp", addr)
 	if err != nil {
 		return err
@@ -92,7 +159,9 @@ func run(duration time.Duration, rate int, snapPath, addr string) error {
 
 	// Receiver loop: UDP datagram payload = DTA report.
 	done := make(chan struct{})
+	recvDone := make(chan struct{})
 	go func() {
+		defer close(recvDone)
 		buf := make([]byte, 2048)
 		var rep wire.Report
 		start := time.Now()
@@ -113,6 +182,12 @@ func run(duration time.Duration, rate int, snapPath, addr string) error {
 			now := uint64(time.Since(start))
 			if err := tr.Process(&rep, now); err != nil {
 				log.Printf("translate: %v", err)
+			}
+			if walW != nil {
+				// Each datagram is an ingest batch on this path.
+				if err := walW.CommitBatch(); err != nil {
+					log.Printf("wal: %v", err)
+				}
 			}
 		}
 	}()
@@ -165,6 +240,9 @@ func run(duration time.Duration, rate int, snapPath, addr string) error {
 				st.Reports, st.RDMAWrites, st.RDMAAtomics, st.PostcardEmits, st.AppendFlushes)
 		case <-deadline:
 			close(done)
+			// The receiver owns the translator (and WAL writer) until it
+			// notices done; flushing concurrently would race it.
+			<-recvDone
 			tr.FlushAppend(0)
 			tr.DrainPostcards(0)
 			st := tr.Stats
@@ -173,6 +251,27 @@ func run(duration time.Duration, rate int, snapPath, addr string) error {
 					host.Device().AttributeReports(st.Reports - host.Device().Mem.Reports)
 					return host.Device().Mem.PerReport()
 				}())
+			if walW != nil {
+				if err := walW.Sync(); err != nil {
+					return err
+				}
+				ws := walW.WStats()
+				fmt.Printf("wal: %d records durable (LSN %d), %d syncs, %d segment rotations, %.1f MiB\n",
+					ws.DurableLSN, ws.LastLSN, ws.Syncs, ws.Rotations, float64(ws.Bytes)/(1<<20))
+				if wcfg.checkpoint && walW.LastLSN() > 0 {
+					snap := snapshot.Capture(host)
+					snap.AppendHeads = tr.AppendBatcher().WrittenCounts(nil)
+					snap.WALLSN = walW.LastLSN()
+					if err := wal.WriteCheckpoint(wcfg.dir, snap); err != nil {
+						return err
+					}
+					removed, err := wal.TruncateBelow(wcfg.dir, snap.WALLSN)
+					if err != nil {
+						return err
+					}
+					fmt.Printf("checkpoint: LSN %d written, %d segments reclaimed\n", snap.WALLSN, removed)
+				}
+			}
 			if snapPath != "" {
 				if err := snapshot.Capture(host).Save(snapPath); err != nil {
 					return err

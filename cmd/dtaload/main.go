@@ -53,6 +53,8 @@ func main() {
 		schedule  = flag.String("schedule", "", "failure schedule, e.g. 'kill@0.25=1,restore@0.75=1' (needs -replicas)")
 		verify    = flag.Int("verify", 20000, "max written keys to query back after an HA run (0 = skip)")
 		frames    = flag.Bool("frames", false, "use the wire-level frame reporters instead of the structured fast path")
+		walDir    = flag.String("wal", "", "write-ahead-log root directory (needs -replicas; enables exact log-based Append resync)")
+		walSync   = flag.String("wal-sync", "none", "WAL sync policy: none, interval[=d], batch")
 	)
 	flag.Parse()
 
@@ -106,8 +108,12 @@ func main() {
 	fmt.Printf("profile=%s shards=%d reporters=%d reports/reporter=%d seed=%d policy=%s replicas=%d path=%s gomaxprocs=%d\n",
 		prof.Kind, *shards, *reporters, *reports, *seed, *policy, *replicas, path, runtime.GOMAXPROCS(0))
 
+	if *walDir != "" && *replicas < 1 {
+		log.Fatal("dtaload: -wal requires -replicas >= 1")
+	}
+
 	if *replicas >= 1 {
-		runHA(opts, cfg, lcfg, *shards, *replicas, *verify, *frames)
+		runHA(opts, cfg, lcfg, *shards, *replicas, *verify, *frames, *walDir, *walSync)
 		return
 	}
 	runPlain(opts, cfg, lcfg, *shards, *frames)
@@ -148,10 +154,20 @@ func runPlain(opts dta.Options, cfg dta.EngineConfig, lcfg loadgen.Config, shard
 
 // runHA drives the replicated cluster, optionally injecting the failure
 // schedule, then rebalances and verifies recovery of written keys.
-func runHA(opts dta.Options, cfg dta.EngineConfig, lcfg loadgen.Config, shards, replicas, verify int, frames bool) {
+func runHA(opts dta.Options, cfg dta.EngineConfig, lcfg loadgen.Config, shards, replicas, verify int, frames bool, walDir, walSync string) {
 	hac, err := dta.NewHACluster(shards, replicas, opts)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if walDir != "" {
+		pol, err := dta.ParseWALPolicy(walSync)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := hac.WithWAL(walDir, pol); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wal: logging to %s (sync=%s); Append resync is log-based (exact)\n", walDir, walSync)
 	}
 	eng, err := hac.Engine(cfg)
 	if err != nil {

@@ -1,10 +1,13 @@
 // Command dtaquery runs queries against a collector snapshot written by
-// dtacollect.
+// dtacollect, or against the state recovered from a write-ahead-log
+// directory (-wal replays the checkpoint and log tail, answering with
+// everything the log retained — including reports newer than any
+// snapshot).
 //
 //	dtaquery -snapshot /tmp/dta.snap -primitive keywrite -key 42 -n 2
 //	dtaquery -snapshot /tmp/dta.snap -primitive postcarding -key 42
 //	dtaquery -snapshot /tmp/dta.snap -primitive append -list 1 -count 10
-//	dtaquery -snapshot /tmp/dta.snap -primitive keyincrement -key 42
+//	dtaquery -wal /tmp/dta.wal -primitive keyincrement -key 42
 package main
 
 import (
@@ -13,14 +16,26 @@ import (
 	"fmt"
 	"log"
 
+	"dta"
+	"dta/internal/core/appendlist"
+	"dta/internal/core/keyincrement"
+	"dta/internal/core/keywrite"
+	"dta/internal/core/postcarding"
 	"dta/internal/snapshot"
 	"dta/internal/telemetry/netseer"
 	"dta/internal/wire"
 )
 
+// storeView answers the four primitive queries from either source.
+type storeView struct {
+	snap *snapshot.Snapshot
+	sys  *dta.System
+}
+
 func main() {
 	var (
 		snapPath  = flag.String("snapshot", "", "snapshot file from dtacollect")
+		walDir    = flag.String("wal", "", "WAL directory to recover and query (alternative to -snapshot)")
 		primitive = flag.String("primitive", "keywrite", "keywrite | postcarding | append | keyincrement")
 		key       = flag.Uint64("key", 0, "telemetry key (64-bit form)")
 		n         = flag.Int("n", 2, "redundancy used at report time")
@@ -28,17 +43,34 @@ func main() {
 		count     = flag.Int("count", 10, "append entries to read")
 	)
 	flag.Parse()
-	if *snapPath == "" {
-		log.Fatal("dtaquery: -snapshot is required")
-	}
-	snap, err := snapshot.Load(*snapPath)
-	if err != nil {
-		log.Fatal(err)
+	var view storeView
+	switch {
+	case *snapPath != "" && *walDir != "":
+		log.Fatal("dtaquery: -snapshot and -wal are mutually exclusive")
+	case *snapPath != "":
+		snap, err := snapshot.Load(*snapPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		view.snap = snap
+	case *walDir != "":
+		sys, err := dta.RecoverSystem(*walDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Recovery replays through the live translator; flush so cached
+		// aggregation state (postcards, partial batches) is queryable.
+		if err := sys.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		view.sys = sys
+	default:
+		log.Fatal("dtaquery: -snapshot or -wal is required")
 	}
 	k := wire.KeyFromUint64(*key)
 	switch *primitive {
 	case "keywrite":
-		st, err := snap.KeyWriteStore()
+		st, err := view.keyWriteStore()
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -53,7 +85,7 @@ func main() {
 		fmt.Printf("key %d: value=%s (agreements %d/%d)\n",
 			*key, hex.EncodeToString(res.Data), res.Agreements, res.Matches)
 	case "postcarding":
-		st, err := snap.PostcardingStore()
+		st, err := view.postcardingStore()
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -67,7 +99,7 @@ func main() {
 		}
 		fmt.Printf("flow %d: path %v (%d valid chunks)\n", *key, res.Values, res.ValidChunks)
 	case "append":
-		st, err := snap.AppendStore()
+		st, err := view.appendStore()
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -86,7 +118,7 @@ func main() {
 			}
 		}
 	case "keyincrement":
-		st, err := snap.KeyIncrementStore()
+		st, err := view.keyIncrementStore()
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -98,4 +130,44 @@ func main() {
 	default:
 		log.Fatalf("dtaquery: unknown primitive %q", *primitive)
 	}
+}
+
+func (v *storeView) keyWriteStore() (*keywrite.Store, error) {
+	if v.sys != nil {
+		if st := v.sys.Host().KeyWriteStore(); st != nil {
+			return st, nil
+		}
+		return nil, fmt.Errorf("dtaquery: recovered system has no key-write store")
+	}
+	return v.snap.KeyWriteStore()
+}
+
+func (v *storeView) keyIncrementStore() (*keyincrement.Store, error) {
+	if v.sys != nil {
+		if st := v.sys.Host().KeyIncrementStore(); st != nil {
+			return st, nil
+		}
+		return nil, fmt.Errorf("dtaquery: recovered system has no key-increment store")
+	}
+	return v.snap.KeyIncrementStore()
+}
+
+func (v *storeView) postcardingStore() (*postcarding.Store, error) {
+	if v.sys != nil {
+		if st := v.sys.Host().PostcardingStore(); st != nil {
+			return st, nil
+		}
+		return nil, fmt.Errorf("dtaquery: recovered system has no postcarding store")
+	}
+	return v.snap.PostcardingStore()
+}
+
+func (v *storeView) appendStore() (*appendlist.Store, error) {
+	if v.sys != nil {
+		if st := v.sys.Host().AppendStore(); st != nil {
+			return st, nil
+		}
+		return nil, fmt.Errorf("dtaquery: recovered system has no append store")
+	}
+	return v.snap.AppendStore()
 }

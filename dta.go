@@ -45,6 +45,7 @@ import (
 	"dta/internal/netsim"
 	"dta/internal/reporter"
 	"dta/internal/translator"
+	"dta/internal/wal"
 	"dta/internal/wire"
 )
 
@@ -143,6 +144,10 @@ type System struct {
 	// incremental resync. Installed at construction time, before any
 	// ingest, so the plain field read below never races.
 	markDirty func(pkt []byte)
+
+	// wal, when attached (WithWAL), logs every admitted report for crash
+	// recovery and exact log-based replication resync. See durability.go.
+	wal *wal.Writer
 
 	// Stats mirrors the translator's counters.
 	reporters []*Reporter
@@ -466,7 +471,12 @@ func (s *System) flushAt(nowNs uint64) error {
 	if err := s.tr.FlushKeyIncrements(nowNs); err != nil {
 		return err
 	}
-	return s.tr.DrainPostcards(nowNs)
+	if err := s.tr.DrainPostcards(nowNs); err != nil {
+		return err
+	}
+	// A flush is a batch boundary for the WAL sync policy too: drains
+	// and epoch ends leave the log as durable as the policy promises.
+	return s.walCommitBatch()
 }
 
 // ImmediateEvent is a push notification raised by a report sent with

@@ -66,6 +66,11 @@ func (k systemSink) ProcessStaged(s *wire.StagedReport, nowNs uint64) error {
 
 func (k systemSink) Flush(nowNs uint64) error { return k.s.flushAt(nowNs) }
 
+// BatchEnd marks a worker dequeue-batch boundary: with a WAL attached
+// under the every-batch sync policy this is where the batch's records
+// become durable.
+func (k systemSink) BatchEnd(nowNs uint64) error { return k.s.walCommitBatch() }
+
 // Engine attaches a single-shard async ingest engine to this System.
 func (s *System) Engine(cfg EngineConfig) (*Engine, error) {
 	return newEngine([]*System{s}, nil, nil, cfg)

@@ -81,6 +81,25 @@ type HACluster struct {
 	// must still be replayed into their new owners at the next Rebalance.
 	pending []*snapshot.Snapshot
 	eng     *Engine
+	// walDir/walPol, when set (WithWAL), give every collector a write-
+	// ahead log under walDir/collector-%03d and enable log-shipping
+	// resync (see durability.go).
+	walDir string
+	walPol WALPolicy
+	// walMark[target][peer] is the peer log LSN recorded when target
+	// went stale: every write target missed was logged by its live peers
+	// ABOVE this mark (the mark is snapshotted before the down flag
+	// flips, mirroring the epoch fence), so Rebalance replays exactly
+	// the peers' log suffixes. An entry with an empty inner map (a newly
+	// added collector) replays peer logs from the beginning; a target
+	// with no entry at all resyncs from snapshots.
+	walMark map[int]map[int]uint64
+	// walSelf[target] is the target's OWN log LSN at the same instant:
+	// everything the target logged above it — in-flight ops applied
+	// while flagged down, and all post-restore fan-out — it already
+	// holds, so Rebalance multiset-subtracts those entries from the
+	// peers' replay streams instead of appending them twice.
+	walSelf map[int]uint64
 	// fullResync forces Rebalance to ignore staleness windows and replay
 	// whole peer snapshots (the pre-incremental behaviour); benchmarks
 	// use it to measure what epoch tracking saves.
@@ -105,12 +124,14 @@ func NewHACluster(n, r int, opts Options) (*HACluster, error) {
 		return nil, fmt.Errorf("dta: replication factor %d exceeds cluster size %d", r, n)
 	}
 	c := &HACluster{
-		opts:   opts,
-		r:      r,
-		ring:   ha.NewRing(n),
-		health: ha.NewHealth(),
-		stale:  make(map[int]uint64),
-		downAt: make(map[int]uint64),
+		opts:    opts,
+		r:       r,
+		ring:    ha.NewRing(n),
+		health:  ha.NewHealth(),
+		stale:   make(map[int]uint64),
+		downAt:  make(map[int]uint64),
+		walMark: make(map[int]map[int]uint64),
+		walSelf: make(map[int]uint64),
 	}
 	for i := 0; i < n; i++ {
 		o := opts
@@ -206,6 +227,49 @@ func (c *HACluster) SetDown(i int) error {
 	if c.health.IsDown(i) {
 		return nil
 	}
+	// Log-shipping watermark, snapshotted BEFORE the down flag flips
+	// (the same fence ordering as the epoch bump below): a fan-out that
+	// skips i observed the flag, so its peer submissions — and therefore
+	// their log records — land strictly above these marks. Nothing i
+	// misses can hide below its replay window; records at or below the
+	// marks that i also holds are merely replayed redundantly (append
+	// replay tolerates duplicates within one ring lap). A flapping
+	// collector keeps its oldest marks, like its oldest epoch window.
+	//
+	// Two exclusions keep the marks honest:
+	//   - A collector that is ALREADY stale without marks (reshard via
+	//     Decommission/SetCollectorWeight voided them) must keep the
+	//     snapshot resync path: lists moved to it carry history from
+	//     long before any mark taken now, so fresh marks would hide it.
+	//   - Down peers are still marked (not skipped): their logs are
+	//     frozen while down, and the suffix i misses — including what a
+	//     currently-down peer logs after ITS later revival — sits above
+	//     today's frozen position. Omitting the entry would default the
+	//     watermark to zero and replay that peer's entire log,
+	//     duplicating all shared history far beyond one ring lap.
+	if c.walDir != "" {
+		_, hasMarks := c.walMark[i]
+		_, wasStale := c.stale[i]
+		if !hasMarks && !wasStale {
+			// The target's own position first: anything it logs from
+			// here on (in-flight ops applied while flagged down, later
+			// post-restore fan-out) it provably holds, and Rebalance
+			// subtracts those entries from the peers' replay streams.
+			if w := c.systems[i].wal; w != nil {
+				c.walSelf[i] = w.LastLSN()
+			}
+			m := make(map[int]uint64)
+			for _, p := range c.ring.Members() {
+				if p == i {
+					continue
+				}
+				if w := c.systems[p].wal; w != nil {
+					m[p] = w.LastLSN()
+				}
+			}
+			c.walMark[i] = m
+		}
+	}
 	c.downAt[i] = c.health.BumpEpoch()
 	return c.health.SetDown(i)
 }
@@ -256,6 +320,14 @@ func (c *HACluster) AddCollector() (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	if c.walDir != "" {
+		if err := sys.WithWAL(walSubdir(c.walDir, id), c.walPol); err != nil {
+			return 0, err
+		}
+		// Empty mark map: replay every peer's log from the beginning —
+		// the newcomer missed the whole history.
+		c.walMark[id] = make(map[int]uint64)
+	}
 	if err := c.ring.Add(id); err != nil {
 		return 0, err
 	}
@@ -264,6 +336,40 @@ func (c *HACluster) AddCollector() (int, error) {
 	c.stale[id] = 0 // the newcomer missed everything: full replay
 	return id, nil
 }
+
+// SetCollectorWeight assigns collector i a capacity weight (> 0) in the
+// rendezvous ring: heterogeneous collectors own key slices proportional
+// to their weight. Changing a weight reshards — keys move owners — so
+// it carries the same contract as AddCollector/Decommission: no
+// attached engine, quiesced producers, and every live collector is
+// marked stale until the next Rebalance cross-syncs the moved keys
+// (weight moves cannot be narrowed by epoch windows or log watermarks,
+// so the resync is a full snapshot replay).
+func (c *HACluster) SetCollectorWeight(i int, weight float64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.eng != nil && !c.eng.Closed() {
+		return errors.New("dta: cannot change collector weight while an engine is attached (Close it first)")
+	}
+	if i < 0 || i >= len(c.systems) {
+		return fmt.Errorf("dta: collector %d out of range [0,%d)", i, len(c.systems))
+	}
+	if err := c.ring.SetWeight(i, weight); err != nil {
+		return err
+	}
+	c.health.BumpEpoch()
+	c.walMark = make(map[int]map[int]uint64)
+	c.walSelf = make(map[int]uint64)
+	for _, id := range c.ring.Members() {
+		if !c.health.IsDown(id) {
+			c.stale[id] = 0
+		}
+	}
+	return nil
+}
+
+// CollectorWeight returns collector i's ring capacity weight.
+func (c *HACluster) CollectorWeight(i int) float64 { return c.ring.Weight(i) }
 
 // Decommission shrinks the cluster: collector i leaves the ring and its
 // keys move to their new owners. Its data is captured immediately and
@@ -291,6 +397,11 @@ func (c *HACluster) Decommission(i int) error {
 	}
 	delete(c.stale, i)
 	delete(c.downAt, i)
+	// Decommission moves keys whose history lives only in the pending
+	// capture, which carries no log; every survivor resyncs from
+	// snapshots, so all log watermarks are void.
+	c.walMark = make(map[int]map[int]uint64)
+	c.walSelf = make(map[int]uint64)
 	for _, id := range c.ring.Members() {
 		if !c.health.IsDown(id) {
 			// Moved keys may have been written at any time, so epoch
@@ -364,22 +475,50 @@ func (c *HACluster) Rebalance() error {
 	for _, id := range append(append([]int(nil), stalePeers...), freshPeers...) {
 		caps[id] = c.capture(id)
 	}
+	livePeers := append(append([]int(nil), stalePeers...), freshPeers...)
 	var errs []error
+	var resynced []int
 	for id, since := range c.stale {
 		if c.health.IsDown(id) {
 			continue // still down: stays stale for its next rejoin
 		}
-		var snaps []*snapshot.Snapshot
-		for _, p := range stalePeers {
-			if p != id {
-				snaps = append(snaps, caps[p])
+		// Log-shipping: when the target has recorded watermarks and
+		// every live peer's log still retains its suffix, Append resync
+		// replays the peers' logged operations (exact) instead of the
+		// snapshots' index-aligned ring suffixes (approximate under
+		// concurrent producers).
+		marks, useLog := c.walMark[id]
+		if c.fullResync || !useLog {
+			useLog = false
+		} else {
+			useLog = c.logResyncReady(id, marks, livePeers)
+		}
+		var excl map[appendOpKey]int
+		if useLog {
+			var err error
+			if excl, err = c.appendExclusion(id, c.walSelf[id]); err != nil {
+				useLog = false // self-log unreadable: snapshot path
 			}
 		}
-		snaps = append(snaps, c.pending...)
-		for _, p := range freshPeers {
-			snaps = append(snaps, caps[p])
+		opsFor := func(p int) ha.AppendOps {
+			if !useLog {
+				return nil
+			}
+			return c.appendOpsFrom(id, p, marks[p], excl)
 		}
-		if len(snaps) > 0 {
+		var peers []ha.Peer
+		for _, p := range stalePeers {
+			if p != id {
+				peers = append(peers, ha.Peer{Snap: caps[p], AppendOps: opsFor(p)})
+			}
+		}
+		for _, snap := range c.pending {
+			peers = append(peers, ha.Peer{Snap: snap})
+		}
+		for _, p := range freshPeers {
+			peers = append(peers, ha.Peer{Snap: caps[p], AppendOps: opsFor(p)})
+		}
+		if len(peers) > 0 {
 			if c.fullResync {
 				since = 0
 			}
@@ -388,14 +527,36 @@ func (c *HACluster) Rebalance() error {
 				Batcher:    c.systems[id].Translator().AppendBatcher(),
 				Dirty:      c.trackers[id],
 				StaleSince: since,
-			}, snaps)
+			}, peers)
 			if err != nil {
 				errs = append(errs, fmt.Errorf("dta: rebalance collector %d: %w", id, err))
-				continue // keep the stale mark: retry resyncs it
+				continue // keep the stale mark (and watermarks): retry resyncs it
 			}
 			c.health.RecordResync(&st)
+			resynced = append(resynced, id)
 		}
 		delete(c.stale, id)
+		delete(c.walMark, id)
+		delete(c.walSelf, id)
+	}
+	// Resync writes land in the stores directly, not through the
+	// targets' own logs — so without a checkpoint, a later crash would
+	// recover a healed collector from a log that never saw the healing
+	// and silently re-diverge. Checkpointing folds the healed stores
+	// into each target's recovery baseline (and reclaims its covered
+	// segments); it runs after the whole resync loop because a
+	// checkpoint truncates the target's log, which other stale targets
+	// may still be reading as log-shipping peers. A checkpoint failure
+	// is a durability regression, not a resync failure: the live
+	// replicas are already converged, so it joins the error aggregate
+	// without re-marking anyone stale.
+	for _, id := range resynced {
+		if c.systems[id].wal == nil {
+			continue
+		}
+		if _, err := c.systems[id].Checkpoint(); err != nil {
+			errs = append(errs, fmt.Errorf("dta: rebalance checkpoint collector %d: %w", id, err))
+		}
 	}
 	if len(errs) > 0 {
 		// Keep pending too: still-stale collectors need it on retry.

@@ -70,6 +70,14 @@ type StagedSink interface {
 	ProcessStaged(s *wire.StagedReport, nowNs uint64) error
 }
 
+// BatchSink is an optional Sink extension: BatchEnd is invoked on the
+// worker goroutine after each dequeue batch finishes processing. Sinks
+// with batch-granular side work (a write-ahead log's every-batch fsync)
+// hook it; errors are recorded like sink errors.
+type BatchSink interface {
+	BatchEnd(nowNs uint64) error
+}
+
 // Policy selects the backpressure behaviour when a shard queue is full.
 type Policy int
 
@@ -197,6 +205,7 @@ type shard struct {
 	sink  Sink
 	rsink ReportSink // non-nil when sink implements the structured path
 	ssink StagedSink // non-nil when sink consumes staged records directly
+	bsink BatchSink  // non-nil when sink wants batch-boundary callbacks
 	ch    chan *chunk
 	ctr   shardCounters
 }
@@ -234,6 +243,7 @@ func New(sinks []Sink, cfg Config) (*Engine, error) {
 		sh := &shard{sink: s, ch: make(chan *chunk, c.QueueDepth)}
 		sh.rsink, _ = s.(ReportSink)
 		sh.ssink, _ = s.(StagedSink)
+		sh.bsink, _ = s.(BatchSink)
 		e.shards = append(e.shards, sh)
 	}
 	for _, sh := range e.shards {
@@ -506,6 +516,12 @@ func (e *Engine) run(sh *shard) {
 	batch := make([]*chunk, 0, e.cfg.Batch)
 	var lastNow uint64
 	sinceFlush := 0
+	// pendingDrains holds barrier acks deferred to the end of the
+	// dequeue batch: the BatchEnd callback must run before a Drain
+	// caller is released, so Drain is a true quiesce point (the sink's
+	// batch-granular state — e.g. a WAL's every-batch fsync — is settled
+	// when Drain returns).
+	var pendingDrains []chan struct{}
 	// scratch is the decompression target for staged reports: one
 	// worker-lifetime value, overwritten per record.
 	var scratch wire.Report
@@ -528,7 +544,7 @@ func (e *Engine) run(sh *shard) {
 		}
 		if ck.drain != nil {
 			flush(ck.nowNs)
-			close(ck.drain)
+			pendingDrains = append(pendingDrains, ck.drain)
 			return
 		}
 		off := 0
@@ -594,6 +610,16 @@ func (e *Engine) run(sh *shard) {
 		for _, ck := range batch {
 			process(ck)
 		}
+		if sh.bsink != nil {
+			if err := sh.bsink.BatchEnd(lastNow); err != nil {
+				sh.ctr.errors.Add(1)
+				e.recordErr(err)
+			}
+		}
+		for _, d := range pendingDrains {
+			close(d)
+		}
+		pendingDrains = pendingDrains[:0]
 		if closed {
 			flush(lastNow)
 			return

@@ -36,6 +36,23 @@ func (st *ResyncStats) SlotsReplayed() uint64 {
 	return st.KeyWriteSlots + st.Counters + st.PostcardSlots + st.AppendEntries
 }
 
+// AppendOps streams a peer's logged Append operations — the exact
+// (list, entry) sequence its translator admitted after the target's
+// watermark LSN — to yield, in log order. The callback's data slice is
+// only valid during the call.
+type AppendOps func(yield func(list uint32, data []byte) error) error
+
+// Peer is one resync source: a snapshot of its stores, plus optionally
+// the suffix of its operation log. When AppendOps is non-nil, Append
+// recovery replays those logged operations through the target's own
+// ring instead of copying the snapshot's index-aligned ring suffix —
+// exact under concurrent producers, where index alignment loses the
+// entries whose arrival order skewed across the failure boundary.
+type Peer struct {
+	Snap      *snapshot.Snapshot
+	AppendOps AppendOps
+}
+
 // Target bundles the mutable state of the collector being resynced.
 type Target struct {
 	// Host is the collector whose stores receive the replay.
@@ -96,20 +113,28 @@ type Target struct {
 //
 // The target must be quiescent (no concurrent ingest): callers run
 // Resync under a drain barrier.
-func Resync(t Target, peers []*snapshot.Snapshot) (ResyncStats, error) {
+func Resync(t Target, peers []Peer) (ResyncStats, error) {
 	st := ResyncStats{Peers: len(peers)}
 	for pi, peer := range peers {
-		if err := mergeKeyWrite(t, peer, &st); err != nil {
-			return st, fmt.Errorf("ha: resync peer %d: %w", pi, err)
+		if peer.Snap != nil {
+			if err := mergeKeyWrite(t, peer.Snap, &st); err != nil {
+				return st, fmt.Errorf("ha: resync peer %d: %w", pi, err)
+			}
+			if err := mergeKeyIncrement(t, peer.Snap, &st); err != nil {
+				return st, fmt.Errorf("ha: resync peer %d: %w", pi, err)
+			}
+			if err := mergePostcarding(t, peer.Snap, &st); err != nil {
+				return st, fmt.Errorf("ha: resync peer %d: %w", pi, err)
+			}
 		}
-		if err := mergeKeyIncrement(t, peer, &st); err != nil {
-			return st, fmt.Errorf("ha: resync peer %d: %w", pi, err)
-		}
-		if err := mergePostcarding(t, peer, &st); err != nil {
-			return st, fmt.Errorf("ha: resync peer %d: %w", pi, err)
-		}
-		if err := mergeAppend(t, peer, &st); err != nil {
-			return st, fmt.Errorf("ha: resync peer %d: %w", pi, err)
+		if peer.AppendOps != nil {
+			if err := mergeAppendOps(t, peer.AppendOps, &st); err != nil {
+				return st, fmt.Errorf("ha: resync peer %d: %w", pi, err)
+			}
+		} else if peer.Snap != nil {
+			if err := mergeAppend(t, peer.Snap, &st); err != nil {
+				return st, fmt.Errorf("ha: resync peer %d: %w", pi, err)
+			}
 		}
 	}
 	return st, nil
@@ -216,6 +241,61 @@ func mergePostcarding(t Target, peer *snapshot.Snapshot, st *ResyncStats) error 
 				t.Dirty.MarkRange("postcarding", off, postcarding.SlotSize)
 			}
 		}
+	}
+	return nil
+}
+
+// mergeAppendOps replays a peer's logged Append operations into the
+// target: each entry is appended at the target's OWN ring head (the
+// operations are re-executed, not position-copied), so every entry the
+// target missed lands exactly once regardless of how replica arrival
+// orders skewed around the failure — the recovery is multiset-exact
+// where mergeAppend's index-aligned suffix copy is approximate. The
+// target's pre-failure prefix stays in place; replayed entries follow
+// it in the peer's log order.
+func mergeAppendOps(t Target, ops AppendOps, st *ResyncStats) error {
+	dst := t.Host.AppendStore()
+	if dst == nil || t.Batcher == nil {
+		return nil
+	}
+	cfg := dst.Config()
+	entries := uint64(cfg.EntriesPerList)
+	listBytes, entrySize := cfg.ListBytes(), cfg.EntrySize
+	buf := dst.Buffer()
+	cur := make([]uint64, cfg.Lists)
+	touched := make([]bool, cfg.Lists)
+	for l := range cur {
+		cur[l] = t.Batcher.Written(l)
+	}
+	err := ops(func(list uint32, data []byte) error {
+		l := int(list)
+		if l < 0 || l >= cfg.Lists {
+			return fmt.Errorf("ha: logged append to list %d outside [0,%d)", l, cfg.Lists)
+		}
+		off := l*listBytes + int(cur[l]%entries)*entrySize
+		n := copy(buf[off:off+entrySize], data)
+		for i := n; i < entrySize; i++ {
+			buf[off+i] = 0
+		}
+		cur[l]++
+		touched[l] = true
+		st.AppendEntries++
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for l, tc := range touched {
+		if !tc {
+			continue
+		}
+		if err := t.Batcher.SyncList(l, cur[l]); err != nil {
+			return err
+		}
+		if t.Dirty != nil {
+			t.Dirty.MarkRange("append", l*listBytes, listBytes)
+		}
+		st.AppendLists++
 	}
 	return nil
 }

@@ -15,6 +15,7 @@ package ha
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 
@@ -36,19 +37,33 @@ const MaxReplicas = 8
 // Scores are CRC-based for the same reason the stores' slot hashes are:
 // the ring models what a reporter's forwarding table computes in a
 // switch pipeline, where CRC units are the available hash hardware.
+// Capacity weights (SetWeight) extend the scheme to heterogeneous
+// collectors with weighted rendezvous hashing: member i's score becomes
+// -wᵢ/ln(uᵢ) for uᵢ uniform in (0,1) derived from the CRC mix, so the
+// probability of owning a key is proportional to wᵢ — a bigger
+// collector owns a proportionally bigger key slice. The ring pays the
+// float math (and a different ownership assignment: switching scoring
+// functions reshards) only once some weight differs from 1; with all
+// weights back at 1 the integer fast path resumes.
 type Ring struct {
 	keyEng *crc.Engine // key bytes → 32-bit digest
 	mixEng *crc.Engine // (digest, member) → score; distinct polynomial
 
 	mu      sync.RWMutex
 	members []int // sorted member IDs currently in the ring
+	// weights holds per-member capacity weights; absent = 1. skewed
+	// counts members whose weight differs from 1, gating the weighted
+	// scoring path.
+	weights map[int]float64
+	skewed  int
 }
 
 // NewRing builds a ring over members 0..n-1.
 func NewRing(n int) *Ring {
 	r := &Ring{
-		keyEng: crc.New(crc.K32K),
-		mixEng: crc.New(crc.Castagnoli),
+		keyEng:  crc.New(crc.K32K),
+		mixEng:  crc.New(crc.Castagnoli),
+		weights: make(map[int]float64),
 	}
 	for i := 0; i < n; i++ {
 		r.members = append(r.members, i)
@@ -96,7 +111,7 @@ func (r *Ring) Add(id int) error {
 	return nil
 }
 
-// Remove deletes a member.
+// Remove deletes a member (its weight is forgotten with it).
 func (r *Ring) Remove(id int) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -105,13 +120,74 @@ func (r *Ring) Remove(id int) error {
 		return fmt.Errorf("ha: member %d not in ring", id)
 	}
 	r.members = append(r.members[:i], r.members[i+1:]...)
+	if w, ok := r.weights[id]; ok {
+		delete(r.weights, id)
+		if w != 1 {
+			r.skewed--
+		}
+	}
 	return nil
+}
+
+// SetWeight assigns member id a capacity weight (> 0): its expected
+// share of owned keys becomes weight/Σweights. Callers moving weights
+// on a live cluster own the resharding consequences (keys change
+// owners), exactly as with Add/Remove.
+func (r *Ring) SetWeight(id int, weight float64) error {
+	if !(weight > 0) || math.IsInf(weight, 1) {
+		return fmt.Errorf("ha: weight %v out of range (0, +Inf)", weight)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i := sort.SearchInts(r.members, id)
+	if i >= len(r.members) || r.members[i] != id {
+		return fmt.Errorf("ha: member %d not in ring", id)
+	}
+	old, had := r.weights[id]
+	if !had {
+		old = 1
+	}
+	if old != 1 && weight == 1 {
+		r.skewed--
+	} else if old == 1 && weight != 1 {
+		r.skewed++
+	}
+	r.weights[id] = weight
+	return nil
+}
+
+// Weight returns member id's capacity weight (1 when unset).
+func (r *Ring) Weight(id int) float64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if w, ok := r.weights[id]; ok {
+		return w
+	}
+	return 1
 }
 
 // score is the rendezvous weight of member id for a key digest. Ties are
 // broken by member ID below, so scores need not be unique.
 func (r *Ring) score(digest uint32, id int) uint32 {
 	return r.mixEng.Sum64Pair(uint64(digest), uint64(id))
+}
+
+// weightedScore is the weighted rendezvous score -w/ln(u), which makes
+// P(member wins) ∝ its weight. The CRC mix is GF(2)-linear, so raw
+// scores of different members for the same key are XOR-correlated —
+// harmless for the symmetric unweighted argmax, but weight-proportional
+// ownership needs (approximately) independent uniforms, so the mix is
+// passed through a 64-bit avalanche finalizer (splitmix64's) first.
+func (r *Ring) weightedScore(digest uint32, id int, w float64) float64 {
+	h := uint64(r.score(digest, id)) | uint64(id+1)<<32
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	// Map the top 53 bits into (0,1), offset by ½ so u is never 0 or 1.
+	u := (float64(h>>11) + 0.5) / (1 << 53)
+	return -w / math.Log(u)
 }
 
 // Owners appends the IDs of the min(n, Size) members owning key to out
@@ -128,6 +204,9 @@ func (r *Ring) Owners(key []byte, n int, out []int) []int {
 	if n > len(r.members) {
 		n = len(r.members)
 	}
+	if r.skewed > 0 {
+		return r.weightedOwners(digest, n, out)
+	}
 	var scores [MaxReplicas]uint32
 	base := len(out)
 	for _, id := range r.members {
@@ -136,6 +215,38 @@ func (r *Ring) Owners(key []byte, n int, out []int) []int {
 		// Insertion position among the current top-`have`: descending by
 		// score, ascending by ID on ties (members is sorted, so an equal
 		// score never displaces an earlier, smaller ID).
+		pos := have
+		for pos > 0 && s > scores[pos-1] {
+			pos--
+		}
+		if pos >= n {
+			continue
+		}
+		if have < n {
+			out = append(out, 0)
+			have++
+		}
+		copy(scores[pos+1:have], scores[pos:have-1])
+		copy(out[base+pos+1:base+have], out[base+pos:base+have-1])
+		scores[pos] = s
+		out[base+pos] = id
+	}
+	return out
+}
+
+// weightedOwners is Owners' scoring loop over weighted rendezvous
+// scores. Called under the read lock, only when some weight differs
+// from 1 (the float math costs a log per member per lookup).
+func (r *Ring) weightedOwners(digest uint32, n int, out []int) []int {
+	var scores [MaxReplicas]float64
+	base := len(out)
+	for _, id := range r.members {
+		w, ok := r.weights[id]
+		if !ok {
+			w = 1
+		}
+		s := r.weightedScore(digest, id, w)
+		have := len(out) - base
 		pos := have
 		for pos > 0 && s > scores[pos-1] {
 			pos--

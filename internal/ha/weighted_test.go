@@ -1,0 +1,160 @@
+package ha
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRingWeightValidation pins the SetWeight/Weight API contract.
+func TestRingWeightValidation(t *testing.T) {
+	r := NewRing(3)
+	for _, w := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		if err := r.SetWeight(0, w); err == nil {
+			t.Errorf("weight %v accepted", w)
+		}
+	}
+	if err := r.SetWeight(7, 2); err == nil {
+		t.Error("weight for non-member accepted")
+	}
+	if got := r.Weight(1); got != 1 {
+		t.Errorf("default weight = %v", got)
+	}
+	if err := r.SetWeight(1, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Weight(1); got != 2.5 {
+		t.Errorf("weight = %v after SetWeight", got)
+	}
+	// Removing a member forgets its weight.
+	if err := r.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Weight(1); got != 1 {
+		t.Errorf("re-added member keeps old weight %v", got)
+	}
+}
+
+// TestRingUniformWeightsStayUniform: the weighted scoring path with
+// equal weights must still spread ownership near-uniformly (the scoring
+// function differs from the unweighted path, so assignments move, but
+// the distribution must not skew).
+func TestRingUniformWeightsStayUniform(t *testing.T) {
+	const members, keys, rf = 4, 40000, 2
+	r := NewRing(members)
+	for i := 0; i < members; i++ {
+		if err := r.SetWeight(i, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.skewed == 0 {
+		t.Fatal("uniform non-1 weights must engage the weighted path")
+	}
+	counts := make([]int, members)
+	var buf [MaxReplicas]int
+	for i := uint64(0); i < keys; i++ {
+		for _, o := range r.Owners(ringKey(i), rf, buf[:0]) {
+			counts[o]++
+		}
+	}
+	mean := keys * rf / members
+	for i, n := range counts {
+		if n < mean*8/10 || n > mean*12/10 {
+			t.Errorf("member %d owns %d slots (mean %d): skewed beyond ±20%%", i, n, mean)
+		}
+	}
+	// Returning every weight to 1 restores the integer fast path.
+	for i := 0; i < members; i++ {
+		if err := r.SetWeight(i, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.skewed != 0 {
+		t.Fatalf("skewed = %d after resetting weights", r.skewed)
+	}
+	plain := NewRing(members)
+	for i := uint64(0); i < 2000; i++ {
+		a := r.Owners(ringKey(i), rf, nil)
+		b := plain.Owners(ringKey(i), rf, nil)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("key %d: reset ring %v vs fresh ring %v", i, a, b)
+			}
+		}
+	}
+}
+
+// TestRingWeightedDistribution is the ROADMAP's ownership-distribution
+// check over skewed weights: members weighted 1:2:3:4 must own key
+// slices proportional to their capacity (weighted rendezvous gives each
+// member a weight-proportional win probability).
+func TestRingWeightedDistribution(t *testing.T) {
+	const members, keys = 4, 60000
+	r := NewRing(members)
+	weights := []float64{1, 2, 3, 4}
+	total := 0.0
+	for i, w := range weights {
+		if err := r.SetWeight(i, w); err != nil {
+			t.Fatal(err)
+		}
+		total += w
+	}
+	counts := make([]int, members)
+	var buf [MaxReplicas]int
+	for i := uint64(0); i < keys; i++ {
+		counts[r.Owners(ringKey(i), 1, buf[:0])[0]]++
+	}
+	for i, n := range counts {
+		want := float64(keys) * weights[i] / total
+		if f := float64(n); f < want*0.9 || f > want*1.1 {
+			t.Errorf("member %d (weight %v) owns %d keys, want ~%.0f (±10%%)", i, weights[i], n, want)
+		}
+	}
+
+	// Extreme skew: a heavily weighted member dominates primaries.
+	r2 := NewRing(2)
+	if err := r2.SetWeight(1, 9); err != nil {
+		t.Fatal(err)
+	}
+	c := make([]int, 2)
+	for i := uint64(0); i < 20000; i++ {
+		c[r2.Owners(ringKey(i), 1, buf[:0])[0]]++
+	}
+	if frac := float64(c[1]) / 20000; frac < 0.85 || frac > 0.95 {
+		t.Errorf("weight-9 member owns %.3f of keys, want ~0.9", frac)
+	}
+}
+
+// TestRingWeightedReplicaSets checks the weighted path keeps the core
+// rendezvous contracts: R distinct owners, deterministic, and lists
+// hash like keys.
+func TestRingWeightedReplicaSets(t *testing.T) {
+	r := NewRing(5)
+	for i, w := range []float64{1, 0.5, 2, 4, 1} {
+		if err := r.SetWeight(i, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf [MaxReplicas]int
+	for i := uint64(0); i < 2000; i++ {
+		owners := r.Owners(ringKey(i), 3, buf[:0])
+		if len(owners) != 3 {
+			t.Fatalf("key %d: %d owners", i, len(owners))
+		}
+		seen := map[int]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("key %d: duplicate owner in %v", i, owners)
+			}
+			seen[o] = true
+		}
+		again := r.Owners(ringKey(i), 3, nil)
+		for j := range owners {
+			if owners[j] != again[j] {
+				t.Fatalf("key %d: nondeterministic owners", i)
+			}
+		}
+	}
+}

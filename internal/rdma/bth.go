@@ -17,6 +17,8 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"math/bits"
+	"sync/atomic"
 )
 
 // Port is the IANA UDP port for RoCEv2.
@@ -273,19 +275,124 @@ func BuildWrite(buf []byte, destQP, psn uint32, va uint64, rkey uint32, payload 
 	return b
 }
 
+// CRC-32C is GF(2)-linear in the message for a fixed length:
+// crc(m ⊕ d) = crc(m) ⊕ u(0, d), where u is the raw (init-0, no final
+// inversion) table update. RepatchPSNVA exploits this to maintain the
+// ICRC incrementally: it only ever flips bytes 9..19 (PSN + VA) of the
+// body, so d is zero outside that window and u(0, d) reduces to the raw
+// CRC of the 11 diff bytes advanced through the unchanged tail — and
+// advancing a CRC state through n ZERO bytes is itself a linear map,
+// applied in O(log n) via precomputed powers of the one-zero-byte step
+// matrix instead of re-hashing the whole packet per replica.
+
+// icrcShift[k] is the one-zero-byte CRC step composed 2^k times, as a
+// GF(2) matrix over the 32-bit state (column i = image of bit i). 22
+// powers cover tails up to 4 MiB, far beyond any packet.
+var icrcShift [22][32]uint32
+
+func init() {
+	for i := 0; i < 32; i++ {
+		s := uint32(1) << i
+		icrcShift[0][i] = icrcTable[s&0xff] ^ s>>8
+	}
+	for k := 1; k < len(icrcShift); k++ {
+		for i := 0; i < 32; i++ {
+			icrcShift[k][i] = icrcMatVec(&icrcShift[k-1], icrcShift[k-1][i])
+		}
+	}
+}
+
+func icrcMatVec(m *[32]uint32, v uint32) uint32 {
+	var r uint32
+	for v != 0 {
+		r ^= m[bits.TrailingZeros32(v)]
+		v &= v - 1
+	}
+	return r
+}
+
+// icrcZeroShift advances a raw CRC state through n zero bytes.
+func icrcZeroShift(s uint32, n int) uint32 {
+	for k := 0; n > 0 && k < len(icrcShift); k, n = k+1, n>>1 {
+		if n&1 == 1 {
+			s = icrcMatVec(&icrcShift[k], s)
+		}
+	}
+	return s
+}
+
+// tailEntry is the per-packet-length patch operator: tab[j][b] is the
+// ICRC contribution of XORing byte value b into body position 9+j (the
+// j'th byte of the PSN/VA window) — the raw single-byte CRC advanced
+// through the bytes remaining to the packet's end. CRC linearity makes
+// the total correction the XOR of one lookup per window byte, with no
+// serial dependency between them. Entries are cached per tail length in
+// a small direct-mapped array: a translator repatches same-geometry
+// packets millions of times, so each distinct length is built once and
+// then hit forever.
+type tailEntry struct {
+	n   int
+	tab [repatchRegion - 9][256]uint32
+}
+
+var tailEntries [64]atomic.Pointer[tailEntry]
+
+func tailOp(n int) *tailEntry {
+	slot := &tailEntries[n&(len(tailEntries)-1)]
+	if e := slot.Load(); e != nil && e.n == n {
+		return e
+	}
+	e := &tailEntry{n: n}
+	for j := range e.tab {
+		dist := len(e.tab) - 1 - j + n // zero bytes between window byte j and the body end
+		// Column form of the dist-byte shift, expanded to a byte table.
+		var m [32]uint32
+		for i := range m {
+			m[i] = icrcZeroShift(1<<i, dist)
+		}
+		for v := 0; v < 256; v++ {
+			e.tab[j][v] = icrcMatVec(&m, icrcTable[v])
+		}
+	}
+	slot.Store(e) // racing builders converge on identical entries
+	return e
+}
+
+func (e *tailEntry) apply(diff *[repatchRegion - 9]byte) uint32 {
+	var d uint32
+	for j, b := range diff {
+		d ^= e.tab[j][b]
+	}
+	return d
+}
+
+// repatchRegion spans the bytes RepatchPSNVA may change: BTH PSN
+// (bytes 9..11) then the leading 8 VA bytes of RETH/AtomicETH.
+const repatchRegion = BTHLen + 8
+
 // RepatchPSNVA rewrites the PSN and the remote virtual address of a
-// previously built WRITE or FETCH&ADD request in place and restamps the
-// trailing ICRC. Multicast redundancy (Key-Write/Key-Increment fan-out,
-// §5.2) emits N near-identical packets that differ only in these two
-// fields, so the translator crafts the headers and payload once and
-// patches per replica instead of rebuilding.
+// previously built WRITE or FETCH&ADD request in place and patches the
+// trailing ICRC incrementally (CRC-combining only the changed bytes —
+// see icrcShift — rather than re-hashing the whole packet). Multicast
+// redundancy (Key-Write/Key-Increment fan-out, §5.2) emits N
+// near-identical packets that differ only in these two fields, so the
+// translator crafts the headers and payload once and patches per
+// replica instead of rebuilding.
 func RepatchPSNVA(pkt []byte, psn uint32, va uint64) {
+	var diff [repatchRegion - 9]byte
+	diff[0] = pkt[9] ^ byte(psn>>16)
+	diff[1] = pkt[10] ^ byte(psn>>8)
+	diff[2] = pkt[11] ^ byte(psn)
 	pkt[9] = byte(psn >> 16)
 	pkt[10] = byte(psn >> 8)
 	pkt[11] = byte(psn)
 	// RETH and AtomicETH both lead with the 8-byte VA right after BTH.
+	old := binary.BigEndian.Uint64(pkt[BTHLen:])
+	binary.BigEndian.PutUint64(diff[3:], old^va)
 	binary.BigEndian.PutUint64(pkt[BTHLen:], va)
-	stampICRC(pkt)
+	d := tailOp(len(pkt) - ICRCLen - repatchRegion).apply(&diff)
+	tail := pkt[len(pkt)-ICRCLen:]
+	binary.BigEndian.PutUint32(tail, binary.BigEndian.Uint32(tail)^d)
 }
 
 // BuildFetchAdd serializes an RDMA FETCH&ADD request into buf. Like

@@ -2,6 +2,8 @@ package rdma
 
 import (
 	"bytes"
+	"encoding/binary"
+	"fmt"
 	"testing"
 )
 
@@ -45,6 +47,63 @@ func TestRepatchPSNVAMatchesRebuild(t *testing.T) {
 				if p.BTH.PSN != step.psn {
 					t.Fatalf("step %d: PSN = %d, want %d", i, p.BTH.PSN, step.psn)
 				}
+			}
+		})
+	}
+}
+
+// TestRepatchIncrementalICRCAllSizes pins the incremental ICRC patch
+// (CRC-combine over the changed PSN/VA bytes + zero-shifted tail)
+// against a full restamp across payload sizes from the minimum WRITE to
+// postcard-chunk scale, including PSN/VA edge patterns, and across
+// repeated patches of the same packet (the combine must compose).
+func TestRepatchIncrementalICRCAllSizes(t *testing.T) {
+	for _, n := range []int{0, 1, 4, 8, 24, 63, 100, 256, 1024, 4000} {
+		payload := make([]byte, n)
+		for i := range payload {
+			payload[i] = byte(i*7 + n)
+		}
+		pkt := BuildWrite(nil, 0x33, 5, 0x1234, 0x77, payload, false, nil)
+		steps := []struct {
+			psn uint32
+			va  uint64
+		}{
+			{0, 0},
+			{1<<24 - 1, ^uint64(0)},
+			{0x800000, 0x8000000000000000},
+			{6, 0x1234}, // back to (almost) the original fields
+			{42, 0xdeadbeefcafef00d},
+		}
+		for i, s := range steps {
+			RepatchPSNVA(pkt, s.psn, s.va)
+			want := append([]byte(nil), pkt...)
+			stampICRC(want)
+			if !bytes.Equal(pkt, want) {
+				t.Fatalf("payload %dB step %d: incremental ICRC diverges from full restamp", n, i)
+			}
+		}
+	}
+}
+
+// BenchmarkRepatchPSNVA measures the incremental patch against a full
+// rebuild-free restamp, at Key-Write slot scale and postcard-chunk
+// scale. The incremental path's cost is near-constant in packet size.
+func BenchmarkRepatchPSNVA(b *testing.B) {
+	for _, n := range []int{24, 1024} {
+		payload := make([]byte, n)
+		pkt := BuildWrite(nil, 0x33, 5, 0x1234, 0x77, payload, false, nil)
+		b.Run(fmt.Sprintf("incremental/%dB", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				RepatchPSNVA(pkt, uint32(i)&0xffffff, uint64(i))
+			}
+		})
+		b.Run(fmt.Sprintf("fullrestamp/%dB", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pkt[9] = byte(i >> 16)
+				pkt[10] = byte(i >> 8)
+				pkt[11] = byte(i)
+				binary.BigEndian.PutUint64(pkt[BTHLen:], uint64(i))
+				stampICRC(pkt)
 			}
 		})
 	}

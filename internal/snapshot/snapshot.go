@@ -52,6 +52,12 @@ type Snapshot struct {
 	KeyIncTags    []uint64
 	PostcardTags  []uint64
 	TagBlockBytes int
+
+	// WALLSN, when non-zero, makes the snapshot a WAL checkpoint: the
+	// image covers every logged operation up to and including this log
+	// sequence number, so recovery replays only the records above it
+	// (see internal/wal).
+	WALLSN uint64
 }
 
 // Capture copies a collector host's store memory.

@@ -111,6 +111,27 @@ type Translator struct {
 	// a report is dropped by the rate limiter.
 	NACK func(r *wire.Report)
 
+	// WAL, if non-nil, observes every admitted report in staged form
+	// before primitive processing — the durability hook (internal/wal):
+	// logging at admission rather than at RDMA emit keeps one compact
+	// record per report and lets recovery rebuild translator-side
+	// aggregation state (batcher stashes, postcard caches) by replaying
+	// through this same pipeline. A WAL error fails the report.
+	//
+	// Admission-time logging runs BEFORE the token-bucket rate limiter
+	// (whose shedding unit for Append is a whole batch flush, not a
+	// report, so a post-limiter hook could not attribute drops to
+	// records at all). A rate-dropped report therefore stays in the
+	// log, and a replay — whose fresh bucket also paces differently —
+	// can restore reports the live run shed. With rate limiting
+	// enabled, recovery and log-shipping resync are exact over admitted
+	// reports, not over emitted RDMA operations; restored state can
+	// only gain best-effort-shed reports, never lose acknowledged ones.
+	WAL func(rec *wire.StagedReport, nowNs uint64) error
+	// walScratch stages reports arriving through the non-staged entries
+	// (ProcessReport/ProcessFrame) for the WAL hook.
+	walScratch wire.StagedReport
+
 	// pktBuf and chunkBuf are the crafting scratch buffers: every
 	// outgoing RoCEv2 packet (and postcard chunk image) is built in
 	// place here, so the steady-state emit path performs no allocation.
@@ -245,6 +266,12 @@ func (t *Translator) ProcessFrame(frame []byte, nowNs uint64) error {
 // steady state allocates nothing. r (including r.Data) is only read for
 // the duration of the call.
 func (t *Translator) ProcessReport(r *wire.Report, nowNs uint64) error {
+	if t.WAL != nil {
+		t.walScratch.Stage(r)
+		if err := t.WAL(&t.walScratch, nowNs); err != nil {
+			return err
+		}
+	}
 	t.Stats.Reports++
 	switch r.Header.Primitive {
 	case wire.PrimKeyWrite:
@@ -276,6 +303,11 @@ func (t *Translator) Process(r *wire.Report, nowNs uint64) error {
 // ProcessReport on the record's View (a full report is materialised
 // lazily only if a rate-limit drop must raise a NACK).
 func (t *Translator) ProcessStaged(s *wire.StagedReport, nowNs uint64) error {
+	if t.WAL != nil {
+		if err := t.WAL(s, nowNs); err != nil {
+			return err
+		}
+	}
 	t.Stats.Reports++
 	switch s.Primitive() {
 	case wire.PrimKeyWrite:
@@ -586,6 +618,10 @@ func (t *Translator) HandleAck(pkt []byte) error {
 	}
 	return nil
 }
+
+// Config returns the translator's configuration (WAL metadata capture,
+// diagnostics).
+func (t *Translator) Config() Config { return t.cfg }
 
 // PostcardCache exposes the cache for statistics (Fig. 14).
 func (t *Translator) PostcardCache() *postcarding.Cache { return t.pcCache }

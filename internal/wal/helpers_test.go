@@ -1,0 +1,26 @@
+package wal
+
+import (
+	"dta/internal/core/appendlist"
+	"dta/internal/core/keywrite"
+	"dta/internal/snapshot"
+	"dta/internal/translator"
+)
+
+// testMeta is a small but complete deployment geometry.
+func testMeta() *Meta {
+	return &Meta{Translator: translator.Config{
+		KeyWrite:    &keywrite.Config{Slots: 1 << 10, DataSize: 4},
+		Append:      &appendlist.Config{Lists: 4, EntriesPerList: 64, EntrySize: 4},
+		AppendBatch: 16,
+	}}
+}
+
+// testSnapshot is a minimal checkpointable snapshot.
+func testSnapshot() *snapshot.Snapshot {
+	cfg := keywrite.Config{Slots: 1 << 10, DataSize: 4}
+	return &snapshot.Snapshot{
+		KeyWrite:    &cfg,
+		KeyWriteBuf: make([]byte, cfg.BufferSize()),
+	}
+}

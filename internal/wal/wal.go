@@ -1,0 +1,670 @@
+// Package wal is the collector's durability layer: an append-only,
+// segmented, CRC-framed operation log recording every admitted DTA
+// report at the translator's ingest entry, before primitive processing.
+//
+// The paper's collectors hold their primitive stores in plain RDMA-
+// written memory, so a collector crash loses every store. Logging the
+// admitted reports — not the RDMA packets they expand into — keeps the
+// record tiny (one compact staged record per report, derived from
+// wire.StagedReport's layout) and makes recovery a replay through the
+// exact same translator pipeline that built the lost state, so the
+// recovered stores, batcher heads and aggregation caches are
+// byte-identical to the pre-crash state up to the last durable record
+// (exact over admitted reports; with a translator rate limiter the
+// replay's fresh token bucket may restore best-effort reports the live
+// run shed — see translator.Translator.WAL).
+// The log doubles as an exact replication stream: the HA layer ships a
+// peer's log suffix to a rejoining collector (see internal/ha), which
+// is precise where index-aligned snapshot suffixes are only
+// approximate under concurrent producers.
+//
+// Layout: a directory of segment files named <base-LSN>.wseg, each a
+// 16-byte header (magic + base LSN) followed by CRC-framed records:
+//
+//	[4B CRC-32C][1B body length][1B group bitmap]
+//	[uvarint Δns][present 8-byte groups of the staged image][payload]
+//
+// The body starts from wire.StagedReport's fixed-size EncodeTo image,
+// but the frame is aggressively compacted — the log is on the ingest
+// hot path, and its cost is dominated by bytes written: the LSN is
+// implicit (records are contiguous, so a record's LSN is the segment
+// base plus its index), the ingest timestamp is a varint delta from
+// the previous record, and all-zero 8-byte groups of the fixed image
+// (most of it, for any single primitive) are elided via the bitmap. A
+// Key-Write record with a 4-byte value costs ~36 bytes instead of the
+// naive ~68. The CRC covers everything after itself, so a torn tail, a
+// truncated segment or a bit flip is detected at the first damaged
+// record and recovery stops exactly there. A checkpoint (snapshot
+// image + LSN, see Checkpoint) bounds replay and lets segments wholly
+// below the checkpoint LSN be reclaimed.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"dta/internal/wire"
+)
+
+// SyncMode selects when the writer fsyncs, trading ingest cost for
+// recovery-point objective (RPO).
+type SyncMode int
+
+const (
+	// SyncNone never fsyncs on the data path: the OS flushes when it
+	// pleases. Cheapest; a host crash can lose everything since the last
+	// Sync/Checkpoint/Close. A process crash alone loses at most the
+	// writer's buffered tail (the OS still holds flushed pages).
+	SyncNone SyncMode = iota
+	// SyncInterval fsyncs when at least Policy.Interval has elapsed
+	// since the last sync, bounding the RPO by the interval.
+	SyncInterval
+	// SyncBatch fsyncs at every ingest batch boundary (each engine
+	// worker dequeue batch; every Flush on the synchronous path), so an
+	// acknowledged batch is durable. Strongest; pays one fsync per batch.
+	SyncBatch
+)
+
+func (m SyncMode) String() string {
+	switch m {
+	case SyncNone:
+		return "none"
+	case SyncInterval:
+		return "interval"
+	case SyncBatch:
+		return "batch"
+	default:
+		return fmt.Sprintf("syncmode(%d)", int(m))
+	}
+}
+
+// Policy configures a Writer.
+type Policy struct {
+	// Mode selects the sync policy (default SyncNone).
+	Mode SyncMode
+	// Interval is the SyncInterval period (0 = 100ms).
+	Interval time.Duration
+	// SegmentBytes rotates to a fresh segment once the current one
+	// exceeds this size (0 = 64 MiB). Smaller segments reclaim space in
+	// finer checkpoint increments but cost more rotations (each one
+	// finalises a file).
+	SegmentBytes int64
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.Interval <= 0 {
+		p.Interval = 100 * time.Millisecond
+	}
+	if p.SegmentBytes <= 0 {
+		p.SegmentBytes = 64 << 20
+	}
+	return p
+}
+
+// ParsePolicy parses a CLI policy spec: "none", "batch", "interval" or
+// "interval=DURATION" (e.g. "interval=50ms").
+func ParsePolicy(s string) (Policy, error) {
+	mode, arg, _ := strings.Cut(strings.TrimSpace(s), "=")
+	switch mode {
+	case "none", "":
+		return Policy{Mode: SyncNone}, nil
+	case "batch", "every-batch":
+		return Policy{Mode: SyncBatch}, nil
+	case "interval":
+		p := Policy{Mode: SyncInterval}
+		if arg != "" {
+			d, err := time.ParseDuration(arg)
+			if err != nil || d <= 0 {
+				return Policy{}, fmt.Errorf("wal: bad sync interval %q", arg)
+			}
+			p.Interval = d
+		}
+		return p, nil
+	default:
+		return Policy{}, fmt.Errorf("wal: unknown sync policy %q (want none, interval[=d] or batch)", s)
+	}
+}
+
+// Record framing constants.
+const (
+	// recordHeaderLen frames every record: CRC, body length, group
+	// bitmap. The varint timestamp delta and the group/payload bytes
+	// follow as the body.
+	recordHeaderLen = 4 + 1 + 1
+	// stagedGroups is the staged image's fixed block in 8-byte groups.
+	stagedGroups = wire.StagedFixedLen / 8
+	// MaxRecordLen bounds one framed record.
+	MaxRecordLen = recordHeaderLen + binary.MaxVarintLen64 + wire.MaxStagedEncodedLen
+
+	// segHeaderLen is the per-segment file header: magic + base LSN.
+	segHeaderLen = 8 + 8
+	// segSuffix names segment files; the stem is the base LSN in
+	// zero-padded hex so lexical order is LSN order.
+	segSuffix = ".wseg"
+)
+
+var segMagic = [8]byte{'D', 'T', 'A', 'W', 'A', 'L', '0', '1'}
+
+// castagnoli frames records with CRC-32C (hardware-accelerated on
+// amd64/arm64, so framing costs ~1ns per record).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+func segName(base uint64) string {
+	return fmt.Sprintf("%016x%s", base, segSuffix)
+}
+
+func segBase(name string) (uint64, bool) {
+	stem, ok := strings.CutSuffix(name, segSuffix)
+	if !ok || len(stem) != 16 {
+		return 0, false
+	}
+	base, err := strconv.ParseUint(stem, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return base, true
+}
+
+// segBases lists the directory's segment base LSNs in ascending order.
+// A directory that does not exist yet is an empty log, not an error:
+// readers (Recover, Segments, Bounds) run before any writer has created
+// it.
+func segBases(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var bases []uint64
+	for _, e := range ents {
+		if base, ok := segBase(e.Name()); ok {
+			bases = append(bases, base)
+		}
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	return bases, nil
+}
+
+// Stats snapshots a writer's activity.
+type Stats struct {
+	// LastLSN is the highest LSN appended (0 = empty log).
+	LastLSN uint64
+	// DurableLSN is the highest LSN guaranteed on stable storage.
+	DurableLSN uint64
+	// Appends, Syncs and Rotations count operations since Open.
+	Appends   uint64
+	Syncs     uint64
+	Rotations uint64
+	// Bytes counts log bytes appended since Open (excluding headers of
+	// pre-existing segments).
+	Bytes uint64
+}
+
+// Writer appends records to a segmented log. It is single-writer: the
+// owning translator's ingest context (one engine shard worker, or the
+// synchronous caller) appends; LastLSN/DurableLSN are safe to read from
+// other goroutines (the HA layer snapshots watermarks concurrently).
+//
+// The ingest-path contract is "one bounded copy, nothing else": Append
+// places a copy of the staged record into a lock-free single-producer /
+// single-consumer ring and returns. A background flusher goroutine
+// consumes the ring and does ALL the heavy lifting — frame encoding,
+// CRC, buffered OS writes, segment rotation and fsyncs — so none of it
+// rides the ingest hot path (an engine shard worker's per-record cost
+// lands 1:1 on end-to-end throughput; a syscall there stalls the worker
+// AND every producer behind its bounded queue). Sync/Flush are barriers
+// that wait for the flusher to catch up; a full ring blocks Append — the
+// natural backpressure when the disk cannot keep up with ingest.
+type Writer struct {
+	dir string
+	pol Policy
+
+	// SPSC ring: Append (producer) copies records in and bumps head;
+	// the flusher (consumer) encodes them out and bumps tail.
+	ring []ringEntry
+	head atomic.Uint64 // records ever enqueued
+	tail atomic.Uint64 // records ever consumed
+
+	startLSN uint64        // LSN of the first record this Writer appends
+	durable  atomic.Uint64 // last LSN fsynced
+	lastSync time.Time
+
+	// wake nudges an idle flusher (sent only on empty→non-empty);
+	// space signals a blocked appender (sent only on full→not-full);
+	// ctrl carries barrier requests; done closes when the flusher exits.
+	wake  chan struct{}
+	space chan struct{}
+	ctrl  chan ctrlReq
+	quit  chan struct{}
+	done  chan struct{}
+
+	flushErr atomic.Pointer[error]
+	closed   bool
+
+	appends uint64 // appender-side counter (stats)
+
+	// Flusher-owned state (no appender access after Create).
+	f        *os.File
+	buf      []byte // write-behind buffer
+	segBytes int64
+	prevNow  uint64 // previous record's timestamp (delta encoding)
+	syncs    atomic.Uint64
+	rots     atomic.Uint64
+	bytes    atomic.Uint64
+	scratch  [MaxRecordLen]byte
+}
+
+// ringEntry is one in-flight record awaiting encoding.
+type ringEntry struct {
+	rec   wire.StagedReport
+	nowNs uint64
+}
+
+// ctrlReq asks the flusher to catch up to `upto` consumed records, push
+// everything to the OS, optionally fsync, and ack.
+type ctrlReq struct {
+	upto  uint64
+	fsync bool
+	ack   chan error
+}
+
+const (
+	// writerRingEntries bounds in-flight (unencoded) records; at ~120 B
+	// each the ring is ~1 MiB per collector.
+	writerRingEntries = 8192
+	// writerBufBytes sizes the flusher's write-behind buffer (one OS
+	// write per ~2k records at Key-Write record sizes).
+	writerBufBytes = 64 << 10
+)
+
+// Create initialises dir (creating it if needed) and opens a Writer
+// positioned after the last valid record. An existing torn tail is
+// truncated away first, so appends always extend a clean prefix.
+func Create(dir string, pol Policy) (*Writer, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if _, err := RepairTail(dir); err != nil {
+		return nil, err
+	}
+	bases, err := segBases(dir)
+	if err != nil {
+		return nil, err
+	}
+	w := &Writer{
+		dir:      dir,
+		pol:      pol.withDefaults(),
+		ring:     make([]ringEntry, writerRingEntries),
+		lastSync: time.Now(),
+		wake:     make(chan struct{}, 1),
+		space:    make(chan struct{}, 1),
+		ctrl:     make(chan ctrlReq, 1),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+		buf:      make([]byte, 0, writerBufBytes),
+	}
+	next := uint64(1)
+	if len(bases) > 0 {
+		last := bases[len(bases)-1]
+		info, err := scanSegment(filepath.Join(dir, segName(last)), last)
+		if err != nil {
+			return nil, err
+		}
+		f, err := os.OpenFile(filepath.Join(dir, segName(last)), os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		w.f = f
+		if info.Records > 0 {
+			// Force a fresh segment for the first new record: timestamp
+			// deltas are per-segment and the old tail's last timestamp
+			// is not tracked across runs, so appending mid-segment would
+			// decode the first new record's time wrong. The open handle
+			// just lets rotate finalise the old tail normally.
+			next = info.Last + 1
+			w.segBytes = w.pol.SegmentBytes
+		} else {
+			// Header-only tail (a crash right after rotation): continue
+			// inside it — it holds no timestamps to clash with.
+			next = last
+			w.segBytes = info.Bytes
+		}
+	} else if ck, err := LoadCheckpoint(dir); err != nil {
+		return nil, err
+	} else if ck != nil {
+		// All segments were reclaimed by the checkpoint: continue the
+		// LSN sequence after it instead of restarting at 1.
+		next = ck.WALLSN + 1
+	}
+	w.startLSN = next
+	w.durable.Store(next - 1)
+	go w.flusher()
+	return w, nil
+}
+
+// err surfaces the first flusher failure into the appender's control
+// flow: once the log can no longer persist, every subsequent operation
+// fails rather than silently acknowledging unlogged reports.
+func (w *Writer) err() error {
+	if p := w.flushErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Dir returns the log directory.
+func (w *Writer) Dir() string { return w.dir }
+
+// Policy returns the writer's sync policy.
+func (w *Writer) Policy() Policy { return w.pol }
+
+// LastLSN returns the highest LSN appended (0 = nothing logged). Safe
+// to call concurrently with Append.
+func (w *Writer) LastLSN() uint64 { return w.startLSN + w.head.Load() - 1 }
+
+// DurableLSN returns the highest LSN guaranteed on stable storage. Safe
+// to call concurrently with Append.
+func (w *Writer) DurableLSN() uint64 { return w.durable.Load() }
+
+// WStats snapshots the writer's counters (call from the writer's own
+// goroutine, or quiesced).
+func (w *Writer) WStats() Stats {
+	return Stats{
+		LastLSN:    w.LastLSN(),
+		DurableLSN: w.DurableLSN(),
+		Appends:    w.appends,
+		Syncs:      w.syncs.Load(),
+		Rotations:  w.rots.Load(),
+		Bytes:      w.bytes.Load(),
+	}
+}
+
+// Append logs one staged report with its ingest timestamp and returns
+// the assigned LSN. The record is copied into the flusher ring — one
+// bounded memmove, no encoding, no CRC, no syscalls — so the ingest
+// path pays tens of nanoseconds regardless of sync policy; a full ring
+// (the flusher lagging by writerRingEntries records) blocks until space
+// frees, which is the intended backpressure.
+func (w *Writer) Append(rec *wire.StagedReport, nowNs uint64) (uint64, error) {
+	if err := w.err(); err != nil {
+		return 0, err
+	}
+	if w.closed {
+		return 0, fmt.Errorf("wal: writer closed")
+	}
+	h := w.head.Load()
+	for h-w.tail.Load() == uint64(len(w.ring)) {
+		w.nudge()
+		select {
+		case <-w.space:
+		case <-w.done:
+			return 0, w.err()
+		}
+	}
+	e := &w.ring[h&uint64(len(w.ring)-1)]
+	e.rec = *rec
+	e.nowNs = nowNs
+	w.head.Store(h + 1)
+	w.appends++
+	// Wake the flusher if it may have gone (or be going) idle: reading
+	// tail AFTER publishing head closes the sleep race — a flusher that
+	// decided to sleep had consumed everything before this record, so
+	// its tail advance is visible here and the nudge fires.
+	if w.tail.Load() >= h {
+		w.nudge()
+	}
+	if w.pol.Mode == SyncInterval && time.Since(w.lastSync) >= w.pol.Interval {
+		return w.startLSN + h, w.Sync()
+	}
+	return w.startLSN + h, nil
+}
+
+// nudge wakes an idle flusher (non-blocking: a pending wake suffices).
+func (w *Writer) nudge() {
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+}
+
+// barrier waits until the flusher has consumed, encoded and written to
+// the OS every record appended so far, optionally fsyncing the segment.
+func (w *Writer) barrier(fsync bool) error {
+	if w.closed {
+		return w.err()
+	}
+	ack := make(chan error, 1)
+	w.ctrl <- ctrlReq{upto: w.head.Load(), fsync: fsync, ack: ack}
+	w.nudge()
+	return <-ack
+}
+
+// Flush pushes every appended record to the OS without fsyncing: after
+// it returns, readers of the segment files observe every appended
+// record (the log-shipping resync path reads peers' logs this way).
+func (w *Writer) Flush() error { return w.barrier(false) }
+
+// Sync makes every appended record durable: buffered records are
+// encoded, written out and the segment fsynced. DurableLSN has advanced
+// to (at least) the pre-call LastLSN when Sync returns.
+func (w *Writer) Sync() error {
+	err := w.barrier(true)
+	w.lastSync = time.Now()
+	return err
+}
+
+// CommitBatch marks an ingest batch boundary: it fsyncs under
+// SyncBatch, fsyncs under SyncInterval when the interval has elapsed,
+// and is a no-op under SyncNone (the background flusher paces the OS
+// writes). The engine's shard workers call it after every dequeue
+// batch; the synchronous path calls it from Flush.
+func (w *Writer) CommitBatch() error {
+	switch w.pol.Mode {
+	case SyncBatch:
+		return w.Sync()
+	case SyncInterval:
+		if time.Since(w.lastSync) >= w.pol.Interval {
+			return w.Sync()
+		}
+	}
+	return nil
+}
+
+// Close syncs and closes the log, stopping the flusher. The writer is
+// unusable afterwards.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	err := w.Sync()
+	w.closed = true
+	close(w.quit)
+	w.nudge()
+	<-w.done
+	if cerr := w.err(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// flusher is the background half of the writer: it consumes the ring,
+// frames records (varint timestamp delta + zero-elided groups + CRC),
+// batches them through the write-behind buffer, rotates segments and
+// performs every fsync. All file state is flusher-owned after Create.
+func (w *Writer) flusher() {
+	defer close(w.done)
+	defer func() {
+		if w.f != nil {
+			w.writeOut()
+			w.f.Close()
+		}
+	}()
+	fail := func(err error) bool {
+		if err == nil {
+			return false
+		}
+		// Box on the error path only: taking the parameter's address
+		// would heap-allocate it on every (overwhelmingly nil) call.
+		boxed := err
+		w.flushErr.CompareAndSwap(nil, &boxed)
+		return true
+	}
+	var pending *ctrlReq
+	idle := time.NewTimer(time.Hour)
+	defer idle.Stop()
+	for {
+		// Drain whatever is in the ring. Once the log has failed,
+		// records are consumed and discarded — the appender sees the
+		// error on its next call; blocking it forever would wedge the
+		// whole ingest pipeline behind a dead disk.
+		t := w.tail.Load()
+		h := w.head.Load()
+		for i := t; i < h; i++ {
+			e := &w.ring[i&uint64(len(w.ring)-1)]
+			if w.err() == nil {
+				fail(w.encode(e))
+			}
+			w.tail.Store(i + 1)
+			// Unconditional (non-blocking, coalescing) space signal: an
+			// appender may have seen the ring full against a head far
+			// past our snapshot, so no local occupancy check can decide
+			// whether one is waiting.
+			select {
+			case w.space <- struct{}{}:
+			default:
+			}
+		}
+		if pending == nil {
+			select {
+			case req := <-w.ctrl:
+				pending = &req
+			default:
+			}
+		}
+		if pending != nil && (w.tail.Load() >= pending.upto || w.err() != nil) {
+			fail(w.writeOut())
+			if pending.fsync && w.f != nil && w.err() == nil {
+				if !fail(w.f.Sync()) {
+					w.durable.Store(w.startLSN + w.tail.Load() - 1)
+				}
+				w.syncs.Add(1)
+			}
+			pending.ack <- w.err()
+			pending = nil
+		}
+		if w.tail.Load() == w.head.Load() && pending == nil {
+			// Idle: push the buffer to the OS (bounding staleness for
+			// log-shipping readers), then sleep until nudged. The
+			// appender's publish-then-check-tail ordering guarantees a
+			// nudge for the record that races this sleep decision; the
+			// long timer is a belt-and-suspenders bound, not a poll.
+			fail(w.writeOut())
+			if !idle.Stop() {
+				select {
+				case <-idle.C:
+				default:
+				}
+			}
+			idle.Reset(time.Second)
+			select {
+			case <-w.wake:
+			case <-idle.C:
+			case <-w.quit:
+				if w.tail.Load() == w.head.Load() {
+					return
+				}
+			}
+		}
+	}
+}
+
+// encode frames one ring entry into the write-behind buffer, rotating
+// segments as needed.
+func (w *Writer) encode(e *ringEntry) error {
+	if w.f == nil || w.segBytes >= w.pol.SegmentBytes {
+		if err := w.rotate(); err != nil {
+			return err
+		}
+	}
+	b := w.scratch[:]
+	off := recordHeaderLen
+	off += binary.PutVarint(b[off:], int64(e.nowNs-w.prevNow))
+	n, bitmap := e.rec.EncodeGroupsTo(b[off:])
+	total := off + n
+	b[4] = byte(total - recordHeaderLen)
+	b[5] = bitmap
+	binary.BigEndian.PutUint32(b[0:4], crc32.Checksum(b[4:total], castagnoli))
+	w.prevNow = e.nowNs
+	if len(w.buf)+total > cap(w.buf) {
+		if err := w.writeOut(); err != nil {
+			return err
+		}
+	}
+	w.buf = append(w.buf, b[:total]...)
+	w.segBytes += int64(total)
+	w.bytes.Add(uint64(total))
+	return nil
+}
+
+// writeOut drains the write-behind buffer to the OS.
+func (w *Writer) writeOut() error {
+	if len(w.buf) == 0 || w.f == nil {
+		return nil
+	}
+	_, err := w.f.Write(w.buf)
+	w.buf = w.buf[:0]
+	return err
+}
+
+// rotate finalises the current segment and opens a fresh one whose base
+// LSN is the next record's. Flusher-only.
+func (w *Writer) rotate() error {
+	if w.f != nil {
+		if err := w.writeOut(); err != nil {
+			return err
+		}
+		// Finalise the outgoing segment with an fsync under EVERY
+		// policy (including SyncNone, whose skipped fsyncs are the
+		// data-path ones): once closed, the file can never be fsynced
+		// by a later Sync(), so skipping here would let Sync advance
+		// DurableLSN over records that only the OS holds — a host crash
+		// would then lose acknowledged records mid-log. One fsync per
+		// SegmentBytes is far off the hot path, and it keeps "every
+		// non-tail segment is fully intact on stable storage" an
+		// invariant recovery and Sync can both lean on.
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+		w.durable.Store(w.startLSN + w.tail.Load() - 1)
+		if err := w.f.Close(); err != nil {
+			return err
+		}
+		w.rots.Add(1)
+	}
+	base := w.startLSN + w.tail.Load()
+	f, err := os.OpenFile(filepath.Join(w.dir, segName(base)), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	var hdr [segHeaderLen]byte
+	copy(hdr[:8], segMagic[:])
+	binary.BigEndian.PutUint64(hdr[8:], base)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	w.f = f
+	w.segBytes = segHeaderLen
+	w.prevNow = 0 // timestamp deltas restart per segment
+	return nil
+}

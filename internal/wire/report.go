@@ -153,6 +153,165 @@ func (s *StagedReport) FrameLen() int {
 	return EthernetLen + IPv4Len + UDPLen + n
 }
 
+// StagedFixedLen is the fixed (payload-less) portion of a StagedReport's
+// serialised form (see EncodeTo): every active field of every primitive,
+// at a fixed offset, so encode and decode are straight-line byte moves.
+const StagedFixedLen = 1 + 1 + 1 + 1 + 1 + 1 + 2 + 4 + 4 + KeySize + 8
+
+// MaxStagedEncodedLen bounds EncodeTo's output.
+const MaxStagedEncodedLen = StagedFixedLen + MaxData
+
+// EncodedLen returns the exact number of bytes EncodeTo writes for s.
+func (s *StagedReport) EncodedLen() int {
+	n := StagedFixedLen
+	if s.dataLen > 0 {
+		n += int(s.dataLen)
+	}
+	return n
+}
+
+// EncodeTo serialises s into b — the WAL's record body — and returns the
+// bytes written. The layout is the staged record itself (fixed fields at
+// fixed offsets, payload appended), so encoding is a plain copy with no
+// per-primitive branching and no allocation. b must hold EncodedLen()
+// bytes (MaxStagedEncodedLen always suffices).
+func (s *StagedReport) EncodeTo(b []byte) int {
+	b[0] = byte(s.prim)
+	b[1] = s.flags
+	b[2] = s.red
+	b[3] = s.hop
+	b[4] = s.pathLen
+	b[5] = 0 // reserved
+	b[6] = byte(uint16(s.dataLen) >> 8)
+	b[7] = byte(uint16(s.dataLen))
+	b[8] = byte(s.listID >> 24)
+	b[9] = byte(s.listID >> 16)
+	b[10] = byte(s.listID >> 8)
+	b[11] = byte(s.listID)
+	b[12] = byte(s.value >> 24)
+	b[13] = byte(s.value >> 16)
+	b[14] = byte(s.value >> 8)
+	b[15] = byte(s.value)
+	copy(b[16:16+KeySize], s.key[:])
+	off := 16 + KeySize
+	b[off+0] = byte(s.delta >> 56)
+	b[off+1] = byte(s.delta >> 48)
+	b[off+2] = byte(s.delta >> 40)
+	b[off+3] = byte(s.delta >> 32)
+	b[off+4] = byte(s.delta >> 24)
+	b[off+5] = byte(s.delta >> 16)
+	b[off+6] = byte(s.delta >> 8)
+	b[off+7] = byte(s.delta)
+	n := StagedFixedLen
+	if s.dataLen > 0 {
+		n += copy(b[n:], s.buf[:s.dataLen])
+	}
+	return n
+}
+
+// StagedGroups is the number of 8-byte groups in the fixed image.
+const StagedGroups = StagedFixedLen / 8
+
+// EncodeGroupsTo is the zero-elided form of EncodeTo for log framing:
+// it writes only the non-zero 8-byte groups of the fixed image
+// (returning a bitmap of which), then the payload, in one pass — no
+// intermediate 40-byte image, no rescan. Reassembling the present
+// groups at their bitmap positions over zeros reproduces the EncodeTo
+// image exactly. b must hold MaxStagedEncodedLen bytes.
+func (s *StagedReport) EncodeGroupsTo(b []byte) (n int, bitmap uint8) {
+	// Group 0 (primitive..dataLen) is never zero: every valid record
+	// has a non-zero primitive.
+	bitmap = 1
+	b[0] = byte(s.prim)
+	b[1] = s.flags
+	b[2] = s.red
+	b[3] = s.hop
+	b[4] = s.pathLen
+	b[5] = 0
+	b[6] = byte(uint16(s.dataLen) >> 8)
+	b[7] = byte(uint16(s.dataLen))
+	n = 8
+	if s.listID|s.value != 0 {
+		bitmap |= 1 << 1
+		b[n+0] = byte(s.listID >> 24)
+		b[n+1] = byte(s.listID >> 16)
+		b[n+2] = byte(s.listID >> 8)
+		b[n+3] = byte(s.listID)
+		b[n+4] = byte(s.value >> 24)
+		b[n+5] = byte(s.value >> 16)
+		b[n+6] = byte(s.value >> 8)
+		b[n+7] = byte(s.value)
+		n += 8
+	}
+	if [8]byte(s.key[:8]) != ([8]byte{}) {
+		bitmap |= 1 << 2
+		n += copy(b[n:], s.key[:8])
+	}
+	if [8]byte(s.key[8:]) != ([8]byte{}) {
+		bitmap |= 1 << 3
+		n += copy(b[n:], s.key[8:])
+	}
+	if s.delta != 0 {
+		bitmap |= 1 << 4
+		b[n+0] = byte(s.delta >> 56)
+		b[n+1] = byte(s.delta >> 48)
+		b[n+2] = byte(s.delta >> 40)
+		b[n+3] = byte(s.delta >> 32)
+		b[n+4] = byte(s.delta >> 24)
+		b[n+5] = byte(s.delta >> 16)
+		b[n+6] = byte(s.delta >> 8)
+		b[n+7] = byte(s.delta)
+		n += 8
+	}
+	if s.dataLen > 0 {
+		n += copy(b[n:], s.buf[:s.dataLen])
+	}
+	return n, bitmap
+}
+
+// DecodeStaged parses an EncodeTo image back into s, returning the bytes
+// consumed. It validates the framing (length, primitive, payload bounds)
+// but not report semantics — records were validated on admission; use
+// View + Validate to re-check.
+func DecodeStaged(b []byte, s *StagedReport) (int, error) {
+	if len(b) < StagedFixedLen {
+		return 0, fmt.Errorf("wire: staged record truncated at %dB", len(b))
+	}
+	prim := Primitive(b[0])
+	switch prim {
+	case PrimKeyWrite, PrimAppend, PrimKeyIncrement, PrimPostcarding:
+	default:
+		return 0, fmt.Errorf("wire: staged record has unknown primitive %v", prim)
+	}
+	dataLen := int16(uint16(b[6])<<8 | uint16(b[7]))
+	if dataLen < -1 || dataLen > MaxData {
+		return 0, fmt.Errorf("wire: staged record payload length %d out of range [-1,%d]", dataLen, MaxData)
+	}
+	n := StagedFixedLen
+	if dataLen > 0 {
+		n += int(dataLen)
+		if len(b) < n {
+			return 0, fmt.Errorf("wire: staged record payload truncated (%dB of %d)", len(b), n)
+		}
+	}
+	s.prim = prim
+	s.flags = b[1]
+	s.red = b[2]
+	s.hop = b[3]
+	s.pathLen = b[4]
+	s.dataLen = dataLen
+	s.listID = uint32(b[8])<<24 | uint32(b[9])<<16 | uint32(b[10])<<8 | uint32(b[11])
+	s.value = uint32(b[12])<<24 | uint32(b[13])<<16 | uint32(b[14])<<8 | uint32(b[15])
+	copy(s.key[:], b[16:16+KeySize])
+	off := 16 + KeySize
+	s.delta = uint64(b[off])<<56 | uint64(b[off+1])<<48 | uint64(b[off+2])<<40 | uint64(b[off+3])<<32 |
+		uint64(b[off+4])<<24 | uint64(b[off+5])<<16 | uint64(b[off+6])<<8 | uint64(b[off+7])
+	if dataLen > 0 {
+		copy(s.buf[:dataLen], b[StagedFixedLen:n])
+	}
+	return n, nil
+}
+
 // View decompresses s into dst, overwriting the header, the active
 // sub-header and Data (re-pointed at the inline buffer, so it is only
 // valid while s is). dst is a scratch the caller reuses across records;
