@@ -2,8 +2,10 @@ package dta
 
 import (
 	"fmt"
+	"strconv"
 
 	"dta/internal/crc"
+	"dta/internal/obs"
 )
 
 // Cluster shards telemetry across multiple collectors (§7, "Supporting
@@ -13,18 +15,26 @@ import (
 type Cluster struct {
 	systems []*System
 	eng     *crc.Engine
+	// reg is the shared telemetry registry every member registers into,
+	// each under a collector="i" label (nil with DisableTelemetry).
+	reg *obs.Registry
 }
 
-// NewCluster builds n identical collectors from the same options.
+// NewCluster builds n identical collectors from the same options. All
+// members share one telemetry registry (Metrics), their series told
+// apart by a collector="i" label.
 func NewCluster(n int, opts Options) (*Cluster, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("dta: cluster size %d < 1", n)
 	}
 	c := &Cluster{eng: crc.New(crc.K32K)}
+	if !opts.DisableTelemetry {
+		c.reg = obs.NewRegistry()
+	}
 	for i := 0; i < n; i++ {
 		o := opts
 		o.Seed = opts.Seed + int64(i)
-		sys, err := New(o)
+		sys, err := newSystem(o, c.reg, c.reg.Scope(obs.L("collector", strconv.Itoa(i))))
 		if err != nil {
 			return nil, err
 		}

@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -27,11 +29,19 @@ type BenchResult struct {
 	Path          string  `json:"path"` // "sync", "frame", "structured" or "ha"
 	Shards        int     `json:"shards"`
 	Replicas      int     `json:"replicas,omitempty"` // HA suite: replication factor R
+	GOMAXPROCS    int     `json:"gomaxprocs"`
 	Iterations    int     `json:"iterations"`
 	NsPerOp       float64 `json:"ns_per_op"`
 	ReportsPerSec float64 `json:"reports_per_sec"`
 	AllocsPerOp   int64   `json:"allocs_per_op"`
 	BytesPerOp    int64   `json:"bytes_per_op"`
+	// ShardUtilization is each shard worker's busy fraction over the
+	// measurement wall clock (the dta_engine_batch_ns histogram sum /
+	// elapsed), recorded for async rows. Utilizations summing well below
+	// GOMAXPROCS with a flat scaling curve point at queue-bound or
+	// producer-bound ingest; summing near the physical core count with a
+	// flat curve points at hardware timesharing.
+	ShardUtilization []float64 `json:"shard_utilization,omitempty"`
 }
 
 // BenchComparison relates a baseline measurement to an optimised one.
@@ -50,9 +60,21 @@ type BenchReport struct {
 	Generated   string            `json:"generated"`
 	GoVersion   string            `json:"go_version"`
 	GOMAXPROCS  int               `json:"gomaxprocs"`
+	NumCPU      int               `json:"num_cpu"`
+	GitRev      string            `json:"git_rev,omitempty"`
 	Note        string            `json:"note"`
 	Results     []BenchResult     `json:"results"`
 	Comparisons []BenchComparison `json:"comparisons"`
+}
+
+// gitRev resolves the working tree's HEAD (best-effort: benches can run
+// from an exported tarball with no git at all).
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 // benchCluster builds the cluster geometry shared by every ingest
@@ -62,6 +84,29 @@ func benchCluster(shards int) (*dta.Cluster, error) {
 		KeyWrite:     &dta.KeyWriteOptions{Slots: 1 << 18, DataSize: 4},
 		KeyIncrement: &dta.KeyIncrementOptions{Slots: 1 << 16},
 	})
+}
+
+// benchSyncNoTelemetry is benchSync with the telemetry registry off —
+// the uninstrumented baseline the telemetry_overhead comparison reads
+// against (the on-variant is benchSync: telemetry defaults on).
+func benchSyncNoTelemetry(b *testing.B) {
+	cl, err := dta.NewCluster(1, dta.Options{
+		KeyWrite:         &dta.KeyWriteOptions{Slots: 1 << 18, DataSize: 4},
+		KeyIncrement:     &dta.KeyIncrementOptions{Slots: 1 << 16},
+		DisableTelemetry: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep := cl.Reporter(1)
+	data := []byte{1, 2, 3, 4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rep.KeyWrite(dta.KeyFromUint64(uint64(i)), data, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // benchSync measures the synchronous single-collector call chain.
@@ -112,6 +157,7 @@ func benchAsyncWAL(b *testing.B, shards int, frames bool, pol *dta.WALPolicy) {
 	const producers = 4
 	b.ReportAllocs()
 	b.ResetTimer()
+	start := time.Now()
 	var wg sync.WaitGroup
 	for g := 0; g < producers; g++ {
 		wg.Add(1)
@@ -137,10 +183,37 @@ func benchAsyncWAL(b *testing.B, shards int, frames bool, pol *dta.WALPolicy) {
 	if err := eng.Drain(); err != nil {
 		b.Fatal(err)
 	}
+	wall := time.Since(start)
 	b.StopTimer()
+	lastUtil = shardUtilization(cl, shards, wall)
 	if err := eng.Close(); err != nil {
 		b.Fatal(err)
 	}
+}
+
+// lastUtil holds the most recent benchAsyncWAL run's per-shard worker
+// utilization. testing.Benchmark re-invokes the function with growing N;
+// the final (longest) run's figure is the one runJSONBench records.
+var lastUtil []float64
+
+// shardUtilization reads each shard worker's busy nanoseconds — the
+// unsampled dta_engine_batch_ns histogram sum — out of the cluster's
+// telemetry registry and divides by the measurement wall clock.
+func shardUtilization(cl *dta.Cluster, shards int, wall time.Duration) []float64 {
+	reg := cl.Metrics()
+	if reg == nil || wall <= 0 {
+		return nil
+	}
+	snap := reg.Snapshot()
+	util := make([]float64, shards)
+	for i := range util {
+		v := snap.Find("dta_engine_batch_ns", dta.ObsLabel{Key: "shard", Value: strconv.Itoa(i)})
+		if v == nil {
+			return nil
+		}
+		util[i] = float64(v.Sum) / float64(wall.Nanoseconds())
+	}
+	return util
 }
 
 // benchHA measures end-to-end replicated ingest through the HA engine
@@ -188,6 +261,7 @@ func toResult(name, path string, shards int, r testing.BenchmarkResult) BenchRes
 		Name:          name,
 		Path:          path,
 		Shards:        shards,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 		Iterations:    r.N,
 		NsPerOp:       ns,
 		ReportsPerSec: rps,
@@ -212,6 +286,7 @@ func runJSONBench(out string) error {
 	// fan-out cost through the same engine.
 	specs := []spec{
 		{"Engine_Sync1Shard", "sync", 1, 0, benchSync},
+		{"Engine_Sync1Shard_NoTelemetry", "sync", 1, 0, benchSyncNoTelemetry},
 		{"Engine_AsyncFrame1Shard", "frame", 1, 0, func(b *testing.B) { benchAsync(b, 1, true) }},
 		{"Engine_AsyncFrame4Shard", "frame", 4, 0, func(b *testing.B) { benchAsync(b, 4, true) }},
 		{"Engine_Async1Shard", "structured", 1, 0, func(b *testing.B) { benchAsync(b, 1, false) }},
@@ -238,6 +313,8 @@ func runJSONBench(out string) error {
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GitRev:     gitRev(),
 		Note: "Key-Write redundancy 2; async rows drive 4 producer goroutines. " +
 			"frame = serialise/parse wire frames per report (baseline ingest " +
 			"representation); structured = zero-allocation staged-report fast path. " +
@@ -251,13 +328,26 @@ func runJSONBench(out string) error {
 			"CRC and writes happen on a background flusher), so the overhead " +
 			"overlaps with ingest given spare cores; a capture on fewer physical " +
 			"cores than GOMAXPROCS timeshares the flusher and reads as an upper " +
-			"bound.",
+			"bound. Engine_Sync1Shard_NoTelemetry is the DisableTelemetry " +
+			"baseline for telemetry_overhead_sync (self-telemetry cost; bound " +
+			"< 3%). shard_utilization is each worker's busy fraction " +
+			"(dta_engine_batch_ns sum / wall clock) on async rows; num_cpu " +
+			"records the physical parallelism the capture actually had.",
 	}
 	byName := map[string]BenchResult{}
 	for _, s := range specs {
 		fmt.Fprintf(os.Stderr, "bench %s...\n", s.name)
+		lastUtil = nil
 		res := toResult(s.name, s.path, s.shards, testing.Benchmark(s.fn))
 		res.Replicas = s.replicas
+		res.ShardUtilization = lastUtil
+		if len(lastUtil) > 0 {
+			fmt.Fprintf(os.Stderr, "  shard utilization:")
+			for i, u := range lastUtil {
+				fmt.Fprintf(os.Stderr, " %d=%.0f%%", i, 100*u)
+			}
+			fmt.Fprintln(os.Stderr)
+		}
 		report.Results = append(report.Results, res)
 		byName[s.name] = res
 	}
@@ -286,6 +376,22 @@ func runJSONBench(out string) error {
 			}
 			report.Comparisons = append(report.Comparisons, BenchComparison{
 				Name:          "wal_overhead_" + strings.ToLower(pol),
+				Baseline:      base.Name,
+				Optimized:     opt.Name,
+				SpeedupPct:    (base.NsPerOp/opt.NsPerOp - 1) * 100,
+				BaselineNsOp:  base.NsPerOp,
+				OptimizedNsOp: opt.NsPerOp,
+			})
+		}
+	}
+	// Telemetry overhead: instrumented sync ingest against the
+	// DisableTelemetry baseline (SpeedupPct negative = overhead; the
+	// acceptance bound is |overhead| < 3%, also pinned by
+	// TestObsOverheadUnder3Pct).
+	if base := byName["Engine_Sync1Shard_NoTelemetry"]; base.NsPerOp > 0 {
+		if opt := byName["Engine_Sync1Shard"]; opt.NsPerOp > 0 {
+			report.Comparisons = append(report.Comparisons, BenchComparison{
+				Name:          "telemetry_overhead_sync",
 				Baseline:      base.Name,
 				Optimized:     opt.Name,
 				SpeedupPct:    (base.NsPerOp/opt.NsPerOp - 1) * 100,

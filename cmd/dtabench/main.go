@@ -12,8 +12,16 @@
 //
 // The -json mode runs the core ingest benchmark suite (sync, frame-async
 // and structured-async Key-Write paths) and records name, ns/op,
-// reports/sec and allocs/op, so the repository's performance trajectory
-// stays comparable across commits.
+// reports/sec, allocs/op and per-shard worker utilization, stamped with
+// GOMAXPROCS and the git revision, so the repository's performance
+// trajectory stays comparable across commits.
+//
+// -cpuprofile and -mutexprofile capture pprof profiles over whichever
+// mode runs (experiments or -json); they are how the shard-scaling
+// curve was attributed (see README "Observability"):
+//
+//	dtabench -json -out /dev/null -cpuprofile cpu.pb.gz -mutexprofile mutex.pb.gz
+//	go tool pprof -top cpu.pb.gz
 //
 // See DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
 // paper-vs-measured results.
@@ -23,6 +31,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"dta/internal/experiments"
@@ -39,8 +49,38 @@ func main() {
 		list       = flag.Bool("list", false, "list experiment IDs and exit")
 		jsonBench  = flag.Bool("json", false, "run the ingest benchmark suite, write JSON results")
 		jsonOut    = flag.String("out", "BENCH_results.json", "output path for -json ('-' = stdout)")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the run here")
+		mutexProf  = flag.String("mutexprofile", "", "write a mutex-contention profile of the run here")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtabench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "dtabench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *mutexProf != "" {
+		// Sample every blocking mutex event: the question the profile
+		// answers is "is there contention AT ALL", so no sampling bias.
+		runtime.SetMutexProfileFraction(1)
+		defer func() {
+			f, err := os.Create(*mutexProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dtabench:", err)
+				return
+			}
+			defer f.Close()
+			pprof.Lookup("mutex").WriteTo(f, 0)
+		}()
+	}
 
 	if *jsonBench {
 		if err := runJSONBench(*jsonOut); err != nil {

@@ -23,6 +23,13 @@
 //
 // The log directory can be inspected with dtarecover and queried
 // directly with dtaquery -wal.
+//
+// With -obs the collector serves its self-telemetry over HTTP:
+// Prometheus-text metrics at /metrics, expvar at /debug/vars, and the
+// full pprof suite at /debug/pprof/ — poll it live with dtastat:
+//
+//	dtacollect -duration 60s -obs 127.0.0.1:9090 &
+//	dtastat -addr 127.0.0.1:9090
 package main
 
 import (
@@ -30,6 +37,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"time"
 
@@ -39,6 +47,7 @@ import (
 	"dta/internal/core/keywrite"
 	"dta/internal/core/postcarding"
 	"dta/internal/ha"
+	"dta/internal/obs"
 	"dta/internal/snapshot"
 	"dta/internal/telemetry/inttel"
 	"dta/internal/telemetry/netseer"
@@ -62,6 +71,7 @@ func main() {
 		rate     = flag.Int("rate", 50000, "reports per second to generate")
 		snapPath = flag.String("snapshot", "", "write a store snapshot here on exit")
 		addr     = flag.String("listen", "127.0.0.1:0", "UDP listen address")
+		obsAddr  = flag.String("obs", "", "serve /metrics, /debug/vars and /debug/pprof on this HTTP address (empty = off)")
 		wcfg     walConfig
 	)
 	flag.StringVar(&wcfg.dir, "wal", "", "write-ahead-log directory (empty = no WAL)")
@@ -72,12 +82,29 @@ func main() {
 	if wcfg.dir == "" && (wcfg.recover || wcfg.checkpoint) {
 		log.Fatal("dtacollect: -recover/-checkpoint need -wal")
 	}
-	if err := run(*duration, *rate, *snapPath, *addr, wcfg); err != nil {
+	if err := run(*duration, *rate, *snapPath, *addr, *obsAddr, wcfg); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(duration time.Duration, rate int, snapPath, addr string, wcfg walConfig) error {
+func run(duration time.Duration, rate int, snapPath, addr, obsAddr string, wcfg walConfig) error {
+	// Self-telemetry: one registry for every layer; served over HTTP
+	// when -obs is set. A nil scope (no -obs) leaves all counters live
+	// but unexposed and disables the latency spans.
+	reg := obs.NewRegistry()
+	var sc *obs.Scope
+	if obsAddr != "" {
+		sc = reg.Scope()
+		ln, err := net.Listen("tcp", obsAddr)
+		if err != nil {
+			return fmt.Errorf("obs: %w", err)
+		}
+		defer ln.Close()
+		fmt.Printf("obs endpoint on http://%s/metrics\n", ln.Addr())
+		srv := &http.Server{Handler: obs.Mux(reg)}
+		go srv.Serve(ln)
+		defer srv.Close()
+	}
 	// Store geometry: small enough to start instantly, large enough for
 	// minutes of traffic.
 	kw := keywrite.Config{Slots: 1 << 20, DataSize: 20}
@@ -95,10 +122,10 @@ func run(duration time.Duration, rate int, snapPath, addr string, wcfg walConfig
 	if err != nil {
 		return err
 	}
-	tr, err := translator.New(translator.Config{
+	tr, err := translator.NewScoped(translator.Config{
 		KeyWrite: &kw, KeyIncrement: &ki, Postcarding: &pc, Append: &ap,
 		AppendBatch: 16,
-	}, host.Listener())
+	}, host.Listener(), sc)
 	if err != nil {
 		return err
 	}
@@ -130,13 +157,13 @@ func run(duration time.Duration, rate int, snapPath, addr string, wcfg walConfig
 				return fmt.Errorf("recover: %w", err)
 			}
 			fmt.Printf("recovered %d reports from %s (up to LSN %d, %d skipped)\n",
-				tr.Stats.Reports, wcfg.dir, last, skipped)
+				tr.Stats().Reports, wcfg.dir, last, skipped)
 		}
 		pol, err := wal.ParsePolicy(wcfg.sync)
 		if err != nil {
 			return err
 		}
-		walW, err = wal.Create(wcfg.dir, pol)
+		walW, err = wal.CreateScoped(wcfg.dir, pol, sc)
 		if err != nil {
 			return err
 		}
@@ -235,7 +262,7 @@ func run(duration time.Duration, rate int, snapPath, addr string, wcfg walConfig
 	for {
 		select {
 		case <-status.C:
-			st := tr.Stats
+			st := tr.Stats()
 			fmt.Printf("reports=%d writes=%d atomics=%d postcard-emits=%d append-flushes=%d\n",
 				st.Reports, st.RDMAWrites, st.RDMAAtomics, st.PostcardEmits, st.AppendFlushes)
 		case <-deadline:
@@ -245,7 +272,7 @@ func run(duration time.Duration, rate int, snapPath, addr string, wcfg walConfig
 			<-recvDone
 			tr.FlushAppend(0)
 			tr.DrainPostcards(0)
-			st := tr.Stats
+			st := tr.Stats()
 			fmt.Printf("final: reports=%d rdma-writes=%d mem-instr/report=%.3f\n",
 				st.Reports, st.RDMAWrites, func() float64 {
 					host.Device().AttributeReports(st.Reports - host.Device().Mem.Reports)

@@ -1,0 +1,276 @@
+// Command dtastat renders a live view of a DTA deployment's
+// self-telemetry: it polls a collector's -obs endpoint (see dtacollect)
+// or any server built on dta.ObsMux, diffs consecutive scrapes, and
+// prints per-shard engine activity, per-primitive translator rates,
+// RDMA crafting, WAL health and HA degradation as compact tables.
+//
+//	dtastat -addr 127.0.0.1:9090              # refresh every second
+//	dtastat -addr 127.0.0.1:9090 -interval 5s
+//	dtastat -addr 127.0.0.1:9090 -once        # one absolute snapshot
+//	dtastat -addr 127.0.0.1:9090 -raw         # dump the exposition
+//
+// Rates are computed client-side from counter deltas, so dtastat needs
+// no server support beyond the Prometheus text endpoint; histograms
+// render p50/p99 estimated inside the log2 bucket geometry. The first
+// tick of a polling run shows absolute totals (no previous scrape to
+// diff against); later ticks show per-second rates.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"text/tabwriter"
+	"time"
+
+	"dta/internal/obs"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:9090", "obs endpoint host:port (or full URL)")
+		interval = flag.Duration("interval", time.Second, "polling interval")
+		once     = flag.Bool("once", false, "print one absolute snapshot and exit")
+		raw      = flag.Bool("raw", false, "dump the raw /metrics exposition and exit")
+	)
+	flag.Parse()
+	url := *addr
+	if len(url) < 7 || url[:7] != "http://" {
+		url = "http://" + url
+	}
+	url += "/metrics"
+
+	if *raw {
+		body, err := fetch(url)
+		if err != nil {
+			log.Fatal("dtastat: ", err)
+		}
+		os.Stdout.Write(body)
+		return
+	}
+
+	prev, prevAt, err := scrape(url)
+	if err != nil {
+		log.Fatal("dtastat: ", err)
+	}
+	if *once {
+		render(os.Stdout, prev, 0)
+		return
+	}
+	render(os.Stdout, prev, 0)
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+	for range tick.C {
+		cur, at, err := scrape(url)
+		if err != nil {
+			log.Fatal("dtastat: ", err)
+		}
+		elapsed := at.Sub(prevAt)
+		fmt.Println()
+		render(os.Stdout, cur.Delta(prev), elapsed)
+		prev, prevAt = cur, at
+	}
+}
+
+func fetch(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+func scrape(url string) (*obs.Snapshot, time.Time, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, time.Time{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, time.Time{}, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	s, err := obs.ParsePrometheus(resp.Body)
+	return s, time.Now(), err
+}
+
+// section groups a delta snapshot's series by a label key ("" groups
+// everything under one row).
+type section struct {
+	byKey map[string]map[string]*obs.Value // label value -> metric name -> series
+	keys  []string
+}
+
+func group(s *obs.Snapshot, prefix, label string) *section {
+	sec := &section{byKey: make(map[string]map[string]*obs.Value)}
+	for i := range s.Values {
+		v := &s.Values[i]
+		if len(v.Name) < len(prefix) || v.Name[:len(prefix)] != prefix {
+			continue
+		}
+		k := v.Label(label)
+		row, ok := sec.byKey[k]
+		if !ok {
+			row = make(map[string]*obs.Value)
+			sec.byKey[k] = row
+			sec.keys = append(sec.keys, k)
+		}
+		row[v.Name] = v
+	}
+	sort.Slice(sec.keys, func(i, j int) bool {
+		a, errA := strconv.Atoi(sec.keys[i])
+		b, errB := strconv.Atoi(sec.keys[j])
+		if errA == nil && errB == nil {
+			return a < b
+		}
+		return sec.keys[i] < sec.keys[j]
+	})
+	return sec
+}
+
+// rate renders a counter as a per-second rate (elapsed > 0) or an
+// absolute total (first tick / -once).
+func rate(v *obs.Value, elapsed time.Duration) string {
+	if v == nil {
+		return "-"
+	}
+	if elapsed <= 0 {
+		return fmt.Sprintf("%.0f", v.Value)
+	}
+	return fmt.Sprintf("%.0f/s", v.Value/elapsed.Seconds())
+}
+
+func gauge(v *obs.Value) string {
+	if v == nil {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f", v.Value)
+}
+
+// quantiles renders a histogram's p50/p99 in microseconds.
+func quantiles(v *obs.Value) string {
+	if v == nil || v.Count == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f/%.0f", v.Quantile(0.50)/1e3, v.Quantile(0.99)/1e3)
+}
+
+// utilization is the fraction of the interval a shard worker spent
+// inside batches: the batch-span histogram's summed nanoseconds over
+// the wall-clock interval.
+func utilization(v *obs.Value, elapsed time.Duration) string {
+	if v == nil || elapsed <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f%%", 100*float64(v.Sum)/float64(elapsed.Nanoseconds()))
+}
+
+func render(w io.Writer, s *obs.Snapshot, elapsed time.Duration) {
+	renderEngine(w, s, elapsed)
+	renderTranslator(w, s, elapsed)
+	renderRDMA(w, s, elapsed)
+	renderWAL(w, s, elapsed)
+	renderHA(w, s, elapsed)
+}
+
+func renderEngine(w io.Writer, s *obs.Snapshot, elapsed time.Duration) {
+	sec := group(s, "dta_engine_", "shard")
+	if len(sec.keys) == 0 {
+		return
+	}
+	tw := tabwriter.NewWriter(w, 2, 2, 2, ' ', 0)
+	fmt.Fprintln(tw, "ENGINE\tenqueued\tprocessed\tdropped\tstalls\tdepth\tbatch p50/p99 µs\tutil")
+	for _, k := range sec.keys {
+		row := sec.byKey[k]
+		fmt.Fprintf(tw, "shard %s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n", k,
+			rate(row["dta_engine_enqueued_total"], elapsed),
+			rate(row["dta_engine_processed_total"], elapsed),
+			rate(row["dta_engine_dropped_total"], elapsed),
+			rate(row["dta_engine_queue_stalls_total"], elapsed),
+			gauge(row["dta_engine_queue_depth"]),
+			quantiles(row["dta_engine_batch_ns"]),
+			utilization(row["dta_engine_batch_ns"], elapsed))
+	}
+	tw.Flush()
+}
+
+func renderTranslator(w io.Writer, s *obs.Snapshot, elapsed time.Duration) {
+	sec := group(s, "dta_translator_reports_total", "primitive")
+	if len(sec.keys) == 0 {
+		return
+	}
+	tw := tabwriter.NewWriter(w, 2, 2, 2, ' ', 0)
+	fmt.Fprintln(tw, "TRANSLATOR\treports\t")
+	for _, k := range sec.keys {
+		fmt.Fprintf(tw, "%s\t%s\t\n", k, rate(sec.byKey[k]["dta_translator_reports_total"], elapsed))
+	}
+	flat := group(s, "dta_", "")
+	all := flat.byKey[""]
+	fmt.Fprintf(tw, "parse errors\t%s\t\n", rate(all["dta_translator_parse_errors_total"], elapsed))
+	fmt.Fprintf(tw, "rate-limit drops\t%s\t\n", rate(all["dta_rate_dropped_total"], elapsed))
+	fmt.Fprintf(tw, "report span p50/p99 µs\t%s\t(sampled 1/64)\n", quantiles(all["dta_translator_report_ns"]))
+	tw.Flush()
+}
+
+func renderRDMA(w io.Writer, s *obs.Snapshot, elapsed time.Duration) {
+	all := group(s, "dta_", "").byKey[""]
+	if all["dta_rdma_writes_total"] == nil && all["dta_rdma_atomics_total"] == nil {
+		return
+	}
+	tw := tabwriter.NewWriter(w, 2, 2, 2, ' ', 0)
+	fmt.Fprintln(tw, "RDMA\twrites\tatomics\tcrafts\trepatches\temit p50/p99 µs")
+	fmt.Fprintf(tw, "\t%s\t%s\t%s\t%s\t%s\n",
+		rate(all["dta_rdma_writes_total"], elapsed),
+		rate(all["dta_rdma_atomics_total"], elapsed),
+		rate(all["dta_rdma_crafts_total"], elapsed),
+		rate(all["dta_rdma_repatches_total"], elapsed),
+		quantiles(all["dta_rdma_emit_ns"]))
+	tw.Flush()
+}
+
+func renderWAL(w io.Writer, s *obs.Snapshot, elapsed time.Duration) {
+	all := group(s, "dta_wal_", "").byKey[""]
+	if all == nil || all["dta_wal_appends_total"] == nil {
+		return
+	}
+	tw := tabwriter.NewWriter(w, 2, 2, 2, ' ', 0)
+	fmt.Fprintln(tw, "WAL\tappends\tsyncs\tring occ/hwm\tstalls\tflush p50/p99 µs\tfsync p50/p99 µs")
+	fmt.Fprintf(tw, "\t%s\t%s\t%s/%s\t%s\t%s\t%s\n",
+		rate(all["dta_wal_appends_total"], elapsed),
+		rate(all["dta_wal_syncs_total"], elapsed),
+		gauge(all["dta_wal_ring_occupancy"]),
+		gauge(all["dta_wal_ring_high_water"]),
+		rate(all["dta_wal_ring_stalls_total"], elapsed),
+		quantiles(all["dta_wal_flush_ns"]),
+		quantiles(all["dta_wal_fsync_ns"]))
+	tw.Flush()
+}
+
+func renderHA(w io.Writer, s *obs.Snapshot, elapsed time.Duration) {
+	all := group(s, "dta_ha_", "").byKey[""]
+	if all == nil {
+		return
+	}
+	degraded := all["dta_ha_degraded_writes_total"]
+	lost := all["dta_ha_lost_writes_total"]
+	if degraded == nil && lost == nil {
+		return
+	}
+	tw := tabwriter.NewWriter(w, 2, 2, 2, ' ', 0)
+	fmt.Fprintln(tw, "HA\tdegraded writes\tlost writes\tfailover queries\tread repairs\tresyncs")
+	fmt.Fprintf(tw, "\t%s\t%s\t%s\t%s\t%s\n",
+		rate(degraded, elapsed),
+		rate(lost, elapsed),
+		rate(all["dta_ha_failover_queries_total"], elapsed),
+		rate(all["dta_ha_read_repairs_total"], elapsed),
+		rate(all["dta_ha_resyncs_total"], elapsed))
+	tw.Flush()
+}

@@ -43,6 +43,7 @@ import (
 	"dta/internal/core/keywrite"
 	"dta/internal/core/postcarding"
 	"dta/internal/netsim"
+	"dta/internal/obs"
 	"dta/internal/reporter"
 	"dta/internal/translator"
 	"dta/internal/wal"
@@ -123,6 +124,13 @@ type Options struct {
 	ReporterLoss float64
 	// Seed fixes the loss pattern.
 	Seed int64
+
+	// DisableTelemetry turns the self-telemetry registry off: no metric
+	// series are registered (Metrics returns nil) and the per-stage
+	// latency histograms never read the clock. The counters behind Stats
+	// keep working — they are the same cells, just unexposed. The
+	// uninstrumented baseline benchmarks set it.
+	DisableTelemetry bool
 }
 
 // System is an in-process DTA deployment: one collector, one translator,
@@ -149,12 +157,31 @@ type System struct {
 	// recovery and exact log-based replication resync. See durability.go.
 	wal *wal.Writer
 
+	// obsReg/obsScope carry the self-telemetry registry the system's
+	// layers register into: standalone systems own a fresh registry,
+	// cluster members share their cluster's under a collector="i" label
+	// scope, and DisableTelemetry leaves both nil (all obs primitives
+	// are nil-safe). See obs.go and internal/obs.
+	obsReg   *obs.Registry
+	obsScope *obs.Scope
+
 	// Stats mirrors the translator's counters.
 	reporters []*Reporter
 }
 
 // New builds a System.
 func New(opts Options) (*System, error) {
+	var reg *obs.Registry
+	if !opts.DisableTelemetry {
+		reg = obs.NewRegistry()
+	}
+	return newSystem(opts, reg, reg.Scope())
+}
+
+// newSystem is New over an externally owned telemetry registry: clusters
+// call it so every member registers into one registry, each under its
+// own collector="i" scope. reg and sc may be nil (telemetry off).
+func newSystem(opts Options, reg *obs.Registry, sc *obs.Scope) (*System, error) {
 	ccfg := collector.Config{}
 	tcfg := translator.Config{RateLimit: opts.RateLimit}
 	if o := opts.KeyWrite; o != nil {
@@ -181,11 +208,11 @@ func New(opts Options) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	tr, err := translator.New(tcfg, host.Listener())
+	tr, err := translator.NewScoped(tcfg, host.Listener(), sc)
 	if err != nil {
 		return nil, err
 	}
-	s := &System{host: host, tr: tr}
+	s := &System{host: host, tr: tr, obsReg: reg, obsScope: sc}
 	if opts.ReporterLoss > 0 {
 		s.link = netsim.NewLink(100e9, 500, opts.ReporterLoss, opts.Seed)
 	}
@@ -526,18 +553,18 @@ type Stats struct {
 // instruction counter on each call.
 func (s *System) Stats() Stats {
 	dev := s.host.Device()
-	processed := s.tr.Stats.Reports
-	if attributed := dev.Mem.Reports; processed > attributed {
-		dev.AttributeReports(processed - attributed)
+	tst := s.tr.Stats()
+	if attributed := dev.Mem.Reports; tst.Reports > attributed {
+		dev.AttributeReports(tst.Reports - attributed)
 	}
 	st := Stats{
-		Reports:           s.tr.Stats.Reports,
-		RDMAWrites:        s.tr.Stats.RDMAWrites,
-		RDMAAtomics:       s.tr.Stats.RDMAAtomics,
-		RateDropped:       s.tr.Stats.RateDropped,
-		Resyncs:           s.tr.Stats.Resyncs,
-		PostcardEmits:     s.tr.Stats.PostcardEmits,
-		AppendFlushes:     s.tr.Stats.AppendFlushes,
+		Reports:           tst.Reports,
+		RDMAWrites:        tst.RDMAWrites,
+		RDMAAtomics:       tst.RDMAAtomics,
+		RateDropped:       tst.RateDropped,
+		Resyncs:           tst.Resyncs,
+		PostcardEmits:     tst.PostcardEmits,
+		AppendFlushes:     tst.AppendFlushes,
 		MemInstrPerReport: dev.Mem.PerReport(),
 	}
 	if s.link != nil {

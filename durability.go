@@ -42,7 +42,7 @@ func (s *System) WithWAL(dir string, pol WALPolicy) error {
 	if s.wal != nil {
 		return errors.New("dta: WAL already attached")
 	}
-	w, err := wal.Create(dir, pol)
+	w, err := wal.CreateScoped(dir, pol, s.obsScope)
 	if err != nil {
 		return err
 	}

@@ -86,6 +86,13 @@ func newEngine(systems []*System, cluster *Cluster, hac *HACluster, cfg EngineCo
 	for i, s := range systems {
 		sinks[i] = systemSink{s}
 	}
+	if cfg.Obs == nil && len(systems) > 0 {
+		// Engine metrics land in the owning deployment's registry at the
+		// root scope: shard i is collector i (cluster engines) or the
+		// only collector, so the shard="i" label the engine adds already
+		// identifies the member — no collector label needed.
+		cfg.Obs = systems[0].obsReg.Scope()
+	}
 	inner, err := engine.New(sinks, cfg)
 	if err != nil {
 		return nil, err

@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"slices"
+	"strconv"
 	"sync"
 
 	"dta/internal/core/keyincrement"
 	"dta/internal/ha"
+	"dta/internal/obs"
 	"dta/internal/snapshot"
 	"dta/internal/wire"
 )
@@ -60,6 +62,10 @@ type HACluster struct {
 	r      int
 	ring   *ha.Ring
 	health *ha.Health
+	// reg is the shared telemetry registry: members register under
+	// collector="i" scopes, the health view's dta_ha_* counters at the
+	// cluster root (nil with DisableTelemetry).
+	reg *obs.Registry
 
 	// mu guards systems growth, the stale set and pending snapshots;
 	// the write lock makes Rebalance (and read-repair store writes)
@@ -123,11 +129,16 @@ func NewHACluster(n, r int, opts Options) (*HACluster, error) {
 	if r > n {
 		return nil, fmt.Errorf("dta: replication factor %d exceeds cluster size %d", r, n)
 	}
+	var reg *obs.Registry
+	if !opts.DisableTelemetry {
+		reg = obs.NewRegistry()
+	}
 	c := &HACluster{
 		opts:    opts,
 		r:       r,
 		ring:    ha.NewRing(n),
-		health:  ha.NewHealth(),
+		health:  ha.NewHealthScoped(reg.Scope()),
+		reg:     reg,
 		stale:   make(map[int]uint64),
 		downAt:  make(map[int]uint64),
 		walMark: make(map[int]map[int]uint64),
@@ -136,13 +147,19 @@ func NewHACluster(n, r int, opts Options) (*HACluster, error) {
 	for i := 0; i < n; i++ {
 		o := opts
 		o.Seed = opts.Seed + int64(i)
-		sys, err := New(o)
+		sys, err := c.newMember(i, o)
 		if err != nil {
 			return nil, err
 		}
 		c.attach(sys)
 	}
 	return c, nil
+}
+
+// newMember builds collector id's System registered under the cluster's
+// shared telemetry registry.
+func (c *HACluster) newMember(id int, o Options) (*System, error) {
+	return newSystem(o, c.reg, c.reg.Scope(obs.L("collector", strconv.Itoa(id))))
 }
 
 // attach registers a collector system and hooks its RDMA emit path into
@@ -316,7 +333,7 @@ func (c *HACluster) AddCollector() (int, error) {
 	}
 	o := c.opts
 	o.Seed = c.opts.Seed + int64(id)
-	sys, err := New(o)
+	sys, err := c.newMember(id, o)
 	if err != nil {
 		return 0, err
 	}

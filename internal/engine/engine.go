@@ -25,9 +25,11 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
+	"dta/internal/obs"
 	"dta/internal/wire"
 )
 
@@ -118,6 +120,12 @@ type Config struct {
 	FlushEvery int
 	// Policy selects Block (default) or Drop backpressure.
 	Policy Policy
+	// Obs, when non-nil, registers per-shard engine metrics
+	// (dta_engine_*) under this scope with a shard label. The counters
+	// behind ShardStats live in the obs registry either way — a nil
+	// scope just leaves them unexposed — so Stats() and the HTTP
+	// endpoint can never disagree.
+	Obs *obs.Scope
 }
 
 func (c *Config) withDefaults() Config {
@@ -135,6 +143,8 @@ func (c *Config) withDefaults() Config {
 }
 
 // Stats snapshots one shard's (or, summed, the whole engine's) counters.
+// It is a view over the shard's obs metrics: the same atomic cells back
+// this struct and the Prometheus exposition.
 type Stats struct {
 	Enqueued  uint64 // reports accepted into a queue
 	Processed uint64 // reports handed to the sink
@@ -142,6 +152,7 @@ type Stats struct {
 	Batches   uint64 // worker dequeue batches
 	Flushes   uint64 // sink flushes (periodic + drain + close)
 	Errors    uint64 // sink errors (first one retained, see Err)
+	Stalls    uint64 // Block-policy sends that found the queue full
 }
 
 // Add accumulates other into s.
@@ -152,6 +163,7 @@ func (s *Stats) Add(other Stats) {
 	s.Batches += other.Batches
 	s.Flushes += other.Flushes
 	s.Errors += other.Errors
+	s.Stalls += other.Stalls
 }
 
 // ErrClosed is returned by submissions and Drain after Close.
@@ -181,13 +193,35 @@ func (c *chunk) reset() {
 // count returns the number of staged reports.
 func (c *chunk) count() int { return len(c.lens) + len(c.recs) }
 
+// shardCounters holds one shard's metrics. The producer-side cells
+// (enqueued/dropped/stalls) are striped: any number of reporter
+// goroutines bump them concurrently, and a single LOCK-ADD cell there
+// would serialise the very fan-in the shards exist to parallelise. The
+// worker-side cells are single-writer padded counters. All of them are
+// obs primitives whether or not a Scope was configured — Stats() reads
+// the same memory the exposition renders.
 type shardCounters struct {
-	enqueued  atomic.Uint64
-	processed atomic.Uint64
-	dropped   atomic.Uint64
-	batches   atomic.Uint64
-	flushes   atomic.Uint64
-	errors    atomic.Uint64
+	enqueued  *obs.ShardedCounter
+	dropped   *obs.ShardedCounter
+	stalls    *obs.ShardedCounter
+	processed *obs.Counter
+	batches   *obs.Counter
+	flushes   *obs.Counter
+	errors    *obs.Counter
+	batchNs   *obs.Histogram // per-dequeue-batch on-CPU time; nil when unobserved
+}
+
+func newShardCounters(sc *obs.Scope) shardCounters {
+	return shardCounters{
+		enqueued:  sc.ShardedCounter("dta_engine_enqueued_total", "Reports accepted into the shard queue."),
+		dropped:   sc.ShardedCounter("dta_engine_dropped_total", "Reports shed by the Drop backpressure policy."),
+		stalls:    sc.ShardedCounter("dta_engine_queue_stalls_total", "Block-policy sends that found the queue full and had to wait."),
+		processed: sc.Counter("dta_engine_processed_total", "Reports handed to the shard sink."),
+		batches:   sc.Counter("dta_engine_batches_total", "Worker dequeue batches."),
+		flushes:   sc.Counter("dta_engine_flushes_total", "Sink flushes (periodic, drain, close)."),
+		errors:    sc.Counter("dta_engine_errors_total", "Sink errors."),
+		batchNs:   sc.Histogram("dta_engine_batch_ns", "Worker on-CPU nanoseconds per dequeue batch; sum/wall-clock is shard utilization."),
+	}
 }
 
 func (c *shardCounters) snapshot() Stats {
@@ -198,6 +232,7 @@ func (c *shardCounters) snapshot() Stats {
 		Batches:   c.batches.Load(),
 		Flushes:   c.flushes.Load(),
 		Errors:    c.errors.Load(),
+		Stalls:    c.stalls.Load(),
 	}
 }
 
@@ -236,14 +271,24 @@ func New(sinks []Sink, cfg Config) (*Engine, error) {
 		cfg:  c,
 		pool: sync.Pool{New: func() any { return &chunk{} }},
 	}
-	for _, s := range sinks {
+	for i, s := range sinks {
 		if s == nil {
 			return nil, errors.New("engine: nil sink")
 		}
-		sh := &shard{sink: s, ch: make(chan *chunk, c.QueueDepth)}
+		shardScope := c.Obs.With(obs.L("shard", strconv.Itoa(i)))
+		sh := &shard{
+			sink: s,
+			ch:   make(chan *chunk, c.QueueDepth),
+			ctr:  newShardCounters(shardScope),
+		}
 		sh.rsink, _ = s.(ReportSink)
 		sh.ssink, _ = s.(StagedSink)
 		sh.bsink, _ = s.(BatchSink)
+		// Queue depth is read straight off the channel at exposition
+		// time — zero hot-path cost.
+		ch := sh.ch
+		shardScope.GaugeFunc("dta_engine_queue_depth", "Chunks currently buffered in the shard queue.",
+			func() float64 { return float64(len(ch)) })
 		e.shards = append(e.shards, sh)
 	}
 	for _, sh := range e.shards {
@@ -329,7 +374,16 @@ func (e *Engine) send(sh *shard, ck *chunk) error {
 		}
 		return nil
 	}
-	sh.ch <- ck
+	// Block policy: try without blocking first so a full queue is
+	// visible as a stall count — the backpressure signal the flat
+	// shard-scaling investigation needs (a shard whose producers stall
+	// is queue-bound; one that never stalls is worker- or CPU-bound).
+	select {
+	case sh.ch <- ck:
+	default:
+		sh.ctr.stalls.Inc()
+		sh.ch <- ck
+	}
 	sh.ctr.enqueued.Add(frames)
 	return nil
 }
@@ -607,6 +661,11 @@ func (e *Engine) run(sh *shard) {
 			}
 		}
 		sh.ctr.batches.Add(1)
+		// Span the whole batch (not per report): two clock reads
+		// amortised over up to Batch×ChunkFrames reports, and the
+		// histogram's sum is exactly the worker's busy time — the
+		// numerator of the per-shard utilization report.
+		span := obs.Start(sh.ctr.batchNs)
 		for _, ck := range batch {
 			process(ck)
 		}
@@ -616,6 +675,7 @@ func (e *Engine) run(sh *shard) {
 				e.recordErr(err)
 			}
 		}
+		span.End()
 		for _, d := range pendingDrains {
 			close(d)
 		}

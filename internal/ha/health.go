@@ -3,6 +3,8 @@ package ha
 import (
 	"fmt"
 	"sync/atomic"
+
+	"dta/internal/obs"
 )
 
 // MaxMembers bounds the number of collectors a Health view can track.
@@ -68,22 +70,47 @@ type Health struct {
 	// "never written", so the clock starts at 1.
 	epoch atomic.Uint64
 
-	degradedWrites  atomic.Uint64
-	lostWrites      atomic.Uint64
-	replicaSkips    atomic.Uint64
-	degradedQueries atomic.Uint64
-	failoverQueries atomic.Uint64
-	failedQueries   atomic.Uint64
-	resyncs         atomic.Uint64
-	readRepairs     atomic.Uint64
-	resyncSlots     atomic.Uint64
-	resyncSkipped   atomic.Uint64
-	appendResynced  atomic.Uint64
+	// Degradation counters are obs primitives so the Snapshot view and
+	// the Prometheus exposition read the same cells. The write/query
+	// accounting paths (RecordWrite, RecordQuery) are hit concurrently
+	// by every reporter and query goroutine, so their counters are
+	// striped across cache lines; resync and read-repair events are rare
+	// control-plane work on plain padded counters.
+	degradedWrites  *obs.ShardedCounter
+	lostWrites      *obs.ShardedCounter
+	replicaSkips    *obs.ShardedCounter
+	degradedQueries *obs.ShardedCounter
+	failoverQueries *obs.ShardedCounter
+	failedQueries   *obs.ShardedCounter
+	resyncs         *obs.Counter
+	readRepairs     *obs.Counter
+	resyncSlots     *obs.Counter
+	resyncSkipped   *obs.Counter
+	appendResynced  *obs.Counter
 }
 
-// NewHealth returns a view with every member up.
+// NewHealth returns a view with every member up and no metric
+// exposition (the counters still work — see NewHealthScoped).
 func NewHealth() *Health {
-	h := &Health{}
+	return NewHealthScoped(nil)
+}
+
+// NewHealthScoped is NewHealth with the degradation counters (dta_ha_*)
+// registered under the given obs scope.
+func NewHealthScoped(sc *obs.Scope) *Health {
+	h := &Health{
+		degradedWrites:  sc.ShardedCounter("dta_ha_degraded_writes_total", "Reports that reached some but not all of their R owners."),
+		lostWrites:      sc.ShardedCounter("dta_ha_lost_writes_total", "Reports whose owners were all down (shed best-effort)."),
+		replicaSkips:    sc.ShardedCounter("dta_ha_replica_skips_total", "Individual replica writes skipped because the replica was down."),
+		degradedQueries: sc.ShardedCounter("dta_ha_degraded_queries_total", "Queries that skipped at least one down or stale replica."),
+		failoverQueries: sc.ShardedCounter("dta_ha_failover_queries_total", "Queries answered by a non-primary replica."),
+		failedQueries:   sc.ShardedCounter("dta_ha_failed_queries_total", "Queries with no live replica to ask."),
+		resyncs:         sc.Counter("dta_ha_resyncs_total", "Replica resynchronisations (rejoin/add rebalances)."),
+		readRepairs:     sc.Counter("dta_ha_read_repairs_total", "Replica stores written back by divergence-observing queries."),
+		resyncSlots:     sc.Counter("dta_ha_resync_slots_total", "Store slots copied or raised into stale collectors by resyncs."),
+		resyncSkipped:   sc.Counter("dta_ha_resync_slots_skipped_total", "Slots incremental resync never scanned thanks to epoch filtering."),
+		appendResynced:  sc.Counter("dta_ha_append_entries_resynced_total", "Append ring entries replayed into stale collectors."),
+	}
 	h.epoch.Store(1)
 	return h
 }

@@ -110,8 +110,8 @@ func TestThresholdQueryEndToEnd(t *testing.T) {
 		}
 	}
 	// Postcards were consumed by the query, not the Postcarding store.
-	if r.tr.Stats.PostcardEmits != 0 {
-		t.Errorf("postcard emits = %d, want 0 (query intercepted)", r.tr.Stats.PostcardEmits)
+	if r.tr.Stats().PostcardEmits != 0 {
+		t.Errorf("postcard emits = %d, want 0 (query intercepted)", r.tr.Stats().PostcardEmits)
 	}
 	if err := r.tr.FlushAppend(0); err != nil {
 		t.Fatal(err)
@@ -145,17 +145,17 @@ func TestKIAggregationReducesAtomics(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if r.tr.Stats.RDMAAtomics != 0 {
-		t.Fatalf("atomics before flush = %d, want 0", r.tr.Stats.RDMAAtomics)
+	if r.tr.Stats().RDMAAtomics != 0 {
+		t.Fatalf("atomics before flush = %d, want 0", r.tr.Stats().RDMAAtomics)
 	}
-	if r.tr.Stats.KIAggregated != 100 {
-		t.Errorf("aggregated = %d", r.tr.Stats.KIAggregated)
+	if r.tr.Stats().KIAggregated != 100 {
+		t.Errorf("aggregated = %d", r.tr.Stats().KIAggregated)
 	}
 	if err := r.tr.FlushKeyIncrements(0); err != nil {
 		t.Fatal(err)
 	}
-	if r.tr.Stats.RDMAAtomics != 2 {
-		t.Errorf("atomics after flush = %d, want 2 (one aggregate, N=2)", r.tr.Stats.RDMAAtomics)
+	if r.tr.Stats().RDMAAtomics != 2 {
+		t.Errorf("atomics after flush = %d, want 2 (one aggregate, N=2)", r.tr.Stats().RDMAAtomics)
 	}
 	got, err := r.host.QueryCount(k, 2)
 	if err != nil {
@@ -194,8 +194,8 @@ func TestKIAggregationEvictionPreservesTotals(t *testing.T) {
 	// With a 4-row cache and 37 cycling keys almost every insert evicts,
 	// so little is saved — but aggregation must never amplify: at most
 	// one flush per report plus the drain.
-	if max := uint64(2000+37) * 2; r.tr.Stats.RDMAAtomics > max {
-		t.Errorf("aggregation amplified traffic: %d atomics > %d", r.tr.Stats.RDMAAtomics, max)
+	if max := uint64(2000+37) * 2; r.tr.Stats().RDMAAtomics > max {
+		t.Errorf("aggregation amplified traffic: %d atomics > %d", r.tr.Stats().RDMAAtomics, max)
 	}
 }
 

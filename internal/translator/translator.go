@@ -25,6 +25,7 @@ import (
 	"dta/internal/core/keyincrement"
 	"dta/internal/core/keywrite"
 	"dta/internal/core/postcarding"
+	"dta/internal/obs"
 	"dta/internal/rdma"
 	"dta/internal/wire"
 )
@@ -60,19 +61,109 @@ type Config struct {
 	MaxKWRedundancy int
 }
 
-// Stats counts translator activity.
+// Stats counts translator activity. It is a snapshot view over the
+// translator's obs counters: the same atomic cells back this struct and
+// the Prometheus exposition, so the two can never disagree.
 type Stats struct {
 	Reports       uint64 // DTA reports processed
 	UserPackets   uint64 // non-DTA packets forwarded
 	ParseErrors   uint64
 	RDMAWrites    uint64
 	RDMAAtomics   uint64
+	RDMACrafts    uint64 // full RoCEv2 header crafts (first replica)
+	RDMARepatches uint64 // PSN/VA repatches (multicast replicas 2..N)
 	RateDropped   uint64 // reports dropped by the rate limiter
 	NACKs         uint64 // NACKs bounced to reporters
 	Resyncs       uint64 // queue-pair resynchronisations
 	PostcardEmits uint64
 	AppendFlushes uint64
 	KIAggregated  uint64 // Key-Increment reports absorbed by pre-aggregation
+}
+
+// counters is the live metric storage behind Stats. The translator is
+// single-threaded by contract, so every cell is a single-writer padded
+// obs.Counter; exposition and Stats() readers load them concurrently
+// without coordination. Reports is kept per-primitive (the exposition's
+// primitive label) and summed for the Stats view.
+type counters struct {
+	kwReports  *obs.Counter
+	kiReports  *obs.Counter
+	pcReports  *obs.Counter
+	apReports  *obs.Counter
+	unkReports *obs.Counter
+
+	userPackets   *obs.Counter
+	parseErrors   *obs.Counter
+	rdmaWrites    *obs.Counter
+	rdmaAtomics   *obs.Counter
+	crafts        *obs.Counter
+	repatches     *obs.Counter
+	rateDropped   *obs.Counter
+	nacks         *obs.Counter
+	resyncs       *obs.Counter
+	postcardEmits *obs.Counter
+	appendFlushes *obs.Counter
+	kiAggregated  *obs.Counter
+
+	// Sampled per-stage latency (nil histograms when unobserved — the
+	// samplers then skip the clock reads entirely).
+	reportNs   *obs.Histogram
+	emitNs     *obs.Histogram
+	reportSamp obs.Sampler
+	emitSamp   obs.Sampler
+}
+
+// spanSampleShift thins per-stage spans to 1 in 64: two clock reads
+// (~50ns) amortise to under a nanosecond per report.
+const spanSampleShift = 6
+
+func newCounters(sc *obs.Scope) counters {
+	prim := func(p string) *obs.Scope { return sc.With(obs.L("primitive", p)) }
+	return counters{
+		kwReports:  prim("key_write").Counter("dta_translator_reports_total", "DTA reports processed, by primitive."),
+		kiReports:  prim("key_increment").Counter("dta_translator_reports_total", "DTA reports processed, by primitive."),
+		pcReports:  prim("postcarding").Counter("dta_translator_reports_total", "DTA reports processed, by primitive."),
+		apReports:  prim("append").Counter("dta_translator_reports_total", "DTA reports processed, by primitive."),
+		unkReports: prim("unknown").Counter("dta_translator_reports_total", "DTA reports processed, by primitive."),
+
+		userPackets:   sc.Counter("dta_translator_user_packets_total", "Non-DTA packets forwarded as user traffic."),
+		parseErrors:   sc.Counter("dta_translator_parse_errors_total", "Frames or reports the translator could not parse."),
+		rdmaWrites:    sc.Counter("dta_rdma_writes_total", "RoCEv2 WRITEs emitted."),
+		rdmaAtomics:   sc.Counter("dta_rdma_atomics_total", "RoCEv2 FETCH&ADDs emitted."),
+		crafts:        sc.Counter("dta_rdma_crafts_total", "Full packet header crafts (first multicast replica)."),
+		repatches:     sc.Counter("dta_rdma_repatches_total", "PSN/VA repatches reusing a crafted packet (replicas 2..N)."),
+		rateDropped:   sc.Counter("dta_rate_dropped_total", "Reports shed by the token-bucket rate limiter."),
+		nacks:         sc.Counter("dta_nacks_total", "NACKs bounced to reporters on rate drops."),
+		resyncs:       sc.Counter("dta_resyncs_total", "Queue-pair resynchronisations after NAK-sequence."),
+		postcardEmits: sc.Counter("dta_postcard_emits_total", "Aggregated postcard chunks emitted."),
+		appendFlushes: sc.Counter("dta_append_flushes_total", "Append batch flushes emitted."),
+		kiAggregated:  sc.Counter("dta_ki_aggregated_total", "Key-Increment reports absorbed by translator-side pre-aggregation."),
+
+		reportNs:   sc.Histogram("dta_translator_report_ns", "End-to-end report processing nanoseconds (sampled 1/64)."),
+		emitNs:     sc.Histogram("dta_rdma_emit_ns", "RDMA craft+emit nanoseconds per primitive operation (sampled 1/64)."),
+		reportSamp: obs.NewSampler(spanSampleShift),
+		emitSamp:   obs.NewSampler(spanSampleShift),
+	}
+}
+
+// snapshot materialises the public Stats view.
+func (c *counters) snapshot() Stats {
+	return Stats{
+		Reports: c.kwReports.Load() + c.kiReports.Load() + c.pcReports.Load() +
+			c.apReports.Load() + c.unkReports.Load(),
+		UserPackets:   c.userPackets.Load(),
+		ParseErrors:   c.parseErrors.Load(),
+		RDMAWrites:    c.rdmaWrites.Load(),
+		RDMAAtomics:   c.rdmaAtomics.Load(),
+		RDMACrafts:    c.crafts.Load(),
+		RDMARepatches: c.repatches.Load(),
+		RateDropped:   c.rateDropped.Load(),
+		NACKs:         c.nacks.Load(),
+		Resyncs:       c.resyncs.Load(),
+		PostcardEmits: c.postcardEmits.Load(),
+		AppendFlushes: c.appendFlushes.Load(),
+		KIAggregated:  c.kiAggregated.Load(),
+	}
 }
 
 // Translator converts DTA reports into RDMA operations against a
@@ -146,13 +237,28 @@ type Translator struct {
 	// callback when a staged report is rate-limit dropped.
 	nackScratch wire.Report
 
-	Stats Stats
+	ctr counters
 }
+
+// Stats snapshots the translator's counters. Safe to call concurrently
+// with processing (the cells are atomics).
+func (t *Translator) Stats() Stats { return t.ctr.snapshot() }
 
 // New builds a translator connected through the given CM listener, which
 // must advertise one region per enabled primitive, labelled "keywrite",
 // "keyincrement", "postcarding" and "append".
 func New(cfg Config, l *rdma.Listener) (*Translator, error) {
+	return NewScoped(cfg, l, nil)
+}
+
+// NewScoped is New with the translator's metrics (dta_translator_*,
+// dta_rdma_*, dta_rate_*, dta_nacks_*) registered under the given obs
+// scope, plus sampled per-stage latency histograms. A nil scope keeps
+// the counters behind Stats() live but unexposed and disables the
+// latency spans entirely (no clock reads). The scope is deliberately
+// not part of Config: Config is the serialisable deployment geometry
+// (it rides in the WAL's Meta record); a live registry handle is not.
+func NewScoped(cfg Config, l *rdma.Listener, sc *obs.Scope) (*Translator, error) {
 	req, regions, err := rdma.Connect(l, 1000)
 	if err != nil {
 		return nil, err
@@ -162,6 +268,7 @@ func New(cfg Config, l *rdma.Listener) (*Translator, error) {
 		req:      req,
 		pktBuf:   make([]byte, 0, 512),
 		chunkBuf: make([]byte, 0, postcarding.MaxHops*postcarding.SlotSize),
+		ctr:      newCounters(sc),
 	}
 	// Burst of rate/1000 ≈ one millisecond of credit, as before; the
 	// integer bucket floors it at one whole token so low rates still
@@ -250,11 +357,11 @@ var ErrNotDTA = errors.New("translator: user traffic")
 func (t *Translator) ProcessFrame(frame []byte, nowNs uint64) error {
 	p := &t.frame
 	if err := wire.DecodeFrame(frame, p); err != nil {
-		t.Stats.ParseErrors++
+		t.ctr.parseErrors.Inc()
 		return err
 	}
 	if !p.IsDTA {
-		t.Stats.UserPackets++
+		t.ctr.userPackets.Inc()
 		return ErrNotDTA
 	}
 	return t.ProcessReport(&p.Report, nowNs)
@@ -266,24 +373,35 @@ func (t *Translator) ProcessFrame(frame []byte, nowNs uint64) error {
 // steady state allocates nothing. r (including r.Data) is only read for
 // the duration of the call.
 func (t *Translator) ProcessReport(r *wire.Report, nowNs uint64) error {
+	span := t.ctr.reportSamp.Start(t.ctr.reportNs)
+	err := t.processReport(r, nowNs)
+	span.End()
+	return err
+}
+
+func (t *Translator) processReport(r *wire.Report, nowNs uint64) error {
 	if t.WAL != nil {
 		t.walScratch.Stage(r)
 		if err := t.WAL(&t.walScratch, nowNs); err != nil {
 			return err
 		}
 	}
-	t.Stats.Reports++
 	switch r.Header.Primitive {
 	case wire.PrimKeyWrite:
+		t.ctr.kwReports.Inc()
 		return t.keyWrite(r, nowNs)
 	case wire.PrimKeyIncrement:
+		t.ctr.kiReports.Inc()
 		return t.keyIncrement(r, nowNs)
 	case wire.PrimPostcarding:
+		t.ctr.pcReports.Inc()
 		return t.postcard(r, nowNs)
 	case wire.PrimAppend:
+		t.ctr.apReports.Inc()
 		return t.append(r, nowNs)
 	default:
-		t.Stats.ParseErrors++
+		t.ctr.unkReports.Inc()
+		t.ctr.parseErrors.Inc()
 		return fmt.Errorf("translator: unknown primitive %v", r.Header.Primitive)
 	}
 }
@@ -303,28 +421,39 @@ func (t *Translator) Process(r *wire.Report, nowNs uint64) error {
 // ProcessReport on the record's View (a full report is materialised
 // lazily only if a rate-limit drop must raise a NACK).
 func (t *Translator) ProcessStaged(s *wire.StagedReport, nowNs uint64) error {
+	span := t.ctr.reportSamp.Start(t.ctr.reportNs)
+	err := t.processStaged(s, nowNs)
+	span.End()
+	return err
+}
+
+func (t *Translator) processStaged(s *wire.StagedReport, nowNs uint64) error {
 	if t.WAL != nil {
 		if err := t.WAL(s, nowNs); err != nil {
 			return err
 		}
 	}
-	t.Stats.Reports++
 	switch s.Primitive() {
 	case wire.PrimKeyWrite:
+		t.ctr.kwReports.Inc()
 		key, red := s.KeyWriteArgs()
 		return t.keyWriteArgs(key, int(red), s.Flags(), s.Payload(), nackRef{s: s}, nowNs)
 	case wire.PrimKeyIncrement:
+		t.ctr.kiReports.Inc()
 		key, red, delta := s.KeyIncrementArgs()
 		ki := wire.KeyIncrement{Redundancy: red, Key: *key, Delta: delta}
 		return t.keyIncrementArgs(&ki, nowNs)
 	case wire.PrimPostcarding:
+		t.ctr.pcReports.Inc()
 		key, hop, pathLen, value := s.PostcardArgs()
 		pc := wire.Postcard{Key: *key, Hop: hop, PathLen: pathLen, Value: value}
 		return t.postcardArgs(&pc, s.Flags(), nackRef{s: s}, nowNs)
 	case wire.PrimAppend:
+		t.ctr.apReports.Inc()
 		return t.appendArgs(s.AppendArgs(), s.Payload(), s.Flags(), nackRef{s: s}, nowNs)
 	default:
-		t.Stats.ParseErrors++
+		t.ctr.unkReports.Inc()
+		t.ctr.parseErrors.Inc()
 		return fmt.Errorf("translator: unknown primitive %v", s.Primitive())
 	}
 }
@@ -353,9 +482,9 @@ func (n nackRef) report(scratch *wire.Report) *wire.Report {
 }
 
 func (t *Translator) drop(src nackRef) error {
-	t.Stats.RateDropped++
+	t.ctr.rateDropped.Inc()
 	if t.NACK != nil {
-		t.Stats.NACKs++
+		t.ctr.nacks.Inc()
 		t.NACK(src.report(&t.nackScratch))
 	}
 	return nil
@@ -403,18 +532,22 @@ func (t *Translator) keyWriteArgs(key *wire.Key, n int, flags uint8, data []byte
 	// PSN per replica — the N copies differ in nothing else, so
 	// rebuilding headers and re-copying the payload N times is pure
 	// waste (the hardware multicast engine replicates identically).
+	span := t.ctr.emitSamp.Start(t.ctr.emitNs)
 	slot := t.kwIdx.Slot(0, *key)
 	pkt := rdma.BuildWrite(t.pktBuf, t.req.DestQP, t.req.NextPSN(),
 		t.kwReg.VA+uint64(t.kwIdx.Offset(slot)), t.kwReg.RKey, img, false, immediateOf(wire.PrimKeyWrite, flags))
 	t.pktBuf = pkt[:0]
-	t.Stats.RDMAWrites++
+	t.ctr.crafts.Inc()
+	t.ctr.rdmaWrites.Inc()
 	t.Emit(pkt)
 	for i := 1; i < n; i++ {
 		slot := t.kwIdx.Slot(i, *key)
 		rdma.RepatchPSNVA(pkt, t.req.NextPSN(), t.kwReg.VA+uint64(t.kwIdx.Offset(slot)))
-		t.Stats.RDMAWrites++
+		t.ctr.repatches.Inc()
+		t.ctr.rdmaWrites.Inc()
 		t.Emit(pkt)
 	}
+	span.End()
 	return nil
 }
 
@@ -429,7 +562,7 @@ func (t *Translator) keyIncrementArgs(ki *wire.KeyIncrement, nowNs uint64) error
 	if t.kiAgg != nil {
 		key, delta, red, flushed := t.kiAgg.add(ki)
 		if !flushed {
-			t.Stats.KIAggregated++
+			t.ctr.kiAggregated.Inc()
 			return nil
 		}
 		// An incumbent was evicted: emit its accumulated delta instead.
@@ -448,22 +581,26 @@ func (t *Translator) emitFetchAdds(ki *wire.KeyIncrement, nowNs uint64) error {
 		return nil
 	}
 	if !t.limiter.allow(nowNs, n) {
-		t.Stats.RateDropped++
+		t.ctr.rateDropped.Inc()
 		return nil
 	}
 	// Craft once, patch address+PSN per replica (see keyWrite).
+	span := t.ctr.emitSamp.Start(t.ctr.emitNs)
 	slot := t.kiIdx.Slot(0, ki.Key)
 	pkt := rdma.BuildFetchAdd(t.pktBuf, t.req.DestQP, t.req.NextPSN(),
 		t.kiReg.VA+uint64(t.kiIdx.Offset(slot)), t.kiReg.RKey, ki.Delta)
 	t.pktBuf = pkt[:0]
-	t.Stats.RDMAAtomics++
+	t.ctr.crafts.Inc()
+	t.ctr.rdmaAtomics.Inc()
 	t.Emit(pkt)
 	for i := 1; i < n; i++ {
 		slot := t.kiIdx.Slot(i, ki.Key)
 		rdma.RepatchPSNVA(pkt, t.req.NextPSN(), t.kiReg.VA+uint64(t.kiIdx.Offset(slot)))
-		t.Stats.RDMAAtomics++
+		t.ctr.repatches.Inc()
+		t.ctr.rdmaAtomics.Inc()
 		t.Emit(pkt)
 	}
+	span.End()
 	return nil
 }
 
@@ -510,7 +647,7 @@ func (t *Translator) postcardArgs(pc *wire.Postcard, flags uint8, src nackRef, n
 // emitChunk writes one aggregated flow chunk with redundancy N
 // (configured at the store; the paper uses the same N for all flows).
 func (t *Translator) emitChunk(e *postcarding.Emit, flags uint8, src nackRef, nowNs uint64) error {
-	t.Stats.PostcardEmits++
+	t.ctr.postcardEmits.Inc()
 	cfg := t.pcCoder.Config()
 	n := t.cfg.PostcardRedundancy
 	if n < 1 {
@@ -524,6 +661,7 @@ func (t *Translator) emitChunk(e *postcarding.Emit, flags uint8, src nackRef, no
 	}
 	// Encode hop-positionally: missing middle hops stay blank so a
 	// query rejects the chunk instead of returning a shifted path.
+	span := t.ctr.emitSamp.Start(t.ctr.emitNs)
 	payload := t.pcCoder.EncodeChunkSparse(e.Key, &e.Values, t.chunkBuf)
 	t.chunkBuf = payload[:0]
 	// Craft once, patch address+PSN per redundant chunk (see keyWrite).
@@ -531,14 +669,17 @@ func (t *Translator) emitChunk(e *postcarding.Emit, flags uint8, src nackRef, no
 	pkt := rdma.BuildWrite(t.pktBuf, t.req.DestQP, t.req.NextPSN(),
 		t.pcReg.VA+uint64(int(chunk)*cfg.ChunkBytes()), t.pcReg.RKey, payload, false, immediateOf(wire.PrimPostcarding, flags))
 	t.pktBuf = pkt[:0]
-	t.Stats.RDMAWrites++
+	t.ctr.crafts.Inc()
+	t.ctr.rdmaWrites.Inc()
 	t.Emit(pkt)
 	for j := 1; j < n; j++ {
 		chunk := t.pcCoder.Chunk(j, e.Key)
 		rdma.RepatchPSNVA(pkt, t.req.NextPSN(), t.pcReg.VA+uint64(int(chunk)*cfg.ChunkBytes()))
-		t.Stats.RDMAWrites++
+		t.ctr.repatches.Inc()
+		t.ctr.rdmaWrites.Inc()
 		t.Emit(pkt)
 	}
+	span.End()
 	return nil
 }
 
@@ -564,13 +705,16 @@ func (t *Translator) emitAppendFlush(f *appendlist.Flush, imm *uint32, src nackR
 	if !t.limiter.allow(nowNs, 1) {
 		return t.drop(src)
 	}
-	t.Stats.AppendFlushes++
+	t.ctr.appendFlushes.Inc()
+	span := t.ctr.emitSamp.Start(t.ctr.emitNs)
 	apCfg := t.cfg.Append
 	va := t.apReg.VA + uint64(f.List*apCfg.ListBytes()+f.Index*apCfg.EntrySize)
 	pkt := rdma.BuildWrite(t.pktBuf, t.req.DestQP, t.req.NextPSN(), va, t.apReg.RKey, f.Data, false, imm)
 	t.pktBuf = pkt[:0]
-	t.Stats.RDMAWrites++
+	t.ctr.crafts.Inc()
+	t.ctr.rdmaWrites.Inc()
 	t.Emit(pkt)
+	span.End()
 	return nil
 }
 
@@ -614,7 +758,7 @@ func (t *Translator) HandleAck(pkt []byte) error {
 	before := t.req.Resyncs
 	t.req.HandleAck(&p)
 	if t.req.Resyncs != before {
-		t.Stats.Resyncs++
+		t.ctr.resyncs.Inc()
 	}
 	return nil
 }

@@ -81,8 +81,8 @@ func TestKeyWriteEndToEnd(t *testing.T) {
 	if err := r.tr.Process(&rep, 0); err != nil {
 		t.Fatal(err)
 	}
-	if r.tr.Stats.RDMAWrites != 2 {
-		t.Errorf("RDMA writes = %d, want 2 (N=2 multicast)", r.tr.Stats.RDMAWrites)
+	if r.tr.Stats().RDMAWrites != 2 {
+		t.Errorf("RDMA writes = %d, want 2 (N=2 multicast)", r.tr.Stats().RDMAWrites)
 	}
 	res, err := r.host.QueryKeyWrite(key(42), 2, 1)
 	if err != nil {
@@ -108,8 +108,8 @@ func TestKeyWriteRedundancyCapped(t *testing.T) {
 	if err := r.tr.Process(&rep, 0); err != nil {
 		t.Fatal(err)
 	}
-	if r.tr.Stats.RDMAWrites != 2 {
-		t.Errorf("writes = %d, want capped 2", r.tr.Stats.RDMAWrites)
+	if r.tr.Stats().RDMAWrites != 2 {
+		t.Errorf("writes = %d, want capped 2", r.tr.Stats().RDMAWrites)
 	}
 }
 
@@ -125,8 +125,8 @@ func TestKeyIncrementEndToEnd(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if r.tr.Stats.RDMAAtomics != 6 {
-		t.Errorf("atomics = %d, want 6", r.tr.Stats.RDMAAtomics)
+	if r.tr.Stats().RDMAAtomics != 6 {
+		t.Errorf("atomics = %d, want 6", r.tr.Stats().RDMAAtomics)
 	}
 	got, err := r.host.QueryCount(key(7), 2)
 	if err != nil {
@@ -150,8 +150,8 @@ func TestPostcardingEndToEnd(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if r.tr.Stats.PostcardEmits != 1 {
-		t.Fatalf("postcard emits = %d, want 1 (aggregated)", r.tr.Stats.PostcardEmits)
+	if r.tr.Stats().PostcardEmits != 1 {
+		t.Fatalf("postcard emits = %d, want 1 (aggregated)", r.tr.Stats().PostcardEmits)
 	}
 	res, err := r.host.QueryPostcards(x, 1)
 	if err != nil {
@@ -182,8 +182,8 @@ func TestAppendEndToEndWithBatching(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if r.tr.Stats.AppendFlushes != 2 {
-		t.Errorf("flushes = %d, want 2 (8 entries / batch 4)", r.tr.Stats.AppendFlushes)
+	if r.tr.Stats().AppendFlushes != 2 {
+		t.Errorf("flushes = %d, want 2 (8 entries / batch 4)", r.tr.Stats().AppendFlushes)
 	}
 	p, err := r.host.AppendPoller(3)
 	if err != nil {
@@ -208,14 +208,14 @@ func TestAppendPartialFlush(t *testing.T) {
 	if err := r.tr.Process(&rep, 0); err != nil {
 		t.Fatal(err)
 	}
-	if r.tr.Stats.AppendFlushes != 0 {
+	if r.tr.Stats().AppendFlushes != 0 {
 		t.Fatal("flush before batch complete")
 	}
 	if err := r.tr.FlushAppend(0); err != nil {
 		t.Fatal(err)
 	}
-	if r.tr.Stats.AppendFlushes != 1 {
-		t.Fatalf("flushes = %d after FlushAppend", r.tr.Stats.AppendFlushes)
+	if r.tr.Stats().AppendFlushes != 1 {
+		t.Fatalf("flushes = %d after FlushAppend", r.tr.Stats().AppendFlushes)
 	}
 	p, _ := r.host.AppendPoller(0)
 	if p.Poll()[0] != 9 {
@@ -323,15 +323,15 @@ func TestRateLimiterDropsAndNACKs(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		r.tr.Process(&rep, 0)
 	}
-	if r.tr.Stats.RateDropped == 0 || nacks == 0 {
-		t.Errorf("dropped=%d nacks=%d, want both > 0", r.tr.Stats.RateDropped, nacks)
+	if r.tr.Stats().RateDropped == 0 || nacks == 0 {
+		t.Errorf("dropped=%d nacks=%d, want both > 0", r.tr.Stats().RateDropped, nacks)
 	}
 	// After a second of simulated time, tokens replenish.
-	before := r.tr.Stats.RDMAWrites
+	before := r.tr.Stats().RDMAWrites
 	if err := r.tr.Process(&rep, 1e9); err != nil {
 		t.Fatal(err)
 	}
-	if r.tr.Stats.RDMAWrites != before+1 {
+	if r.tr.Stats().RDMAWrites != before+1 {
 		t.Error("write did not pass after replenish")
 	}
 }
@@ -397,8 +397,8 @@ func TestUserTrafficForwarded(t *testing.T) {
 	if err := r.tr.ProcessFrame(frame, 0); err != ErrNotDTA {
 		t.Errorf("err = %v, want ErrNotDTA", err)
 	}
-	if r.tr.Stats.UserPackets != 1 {
-		t.Errorf("user packets = %d", r.tr.Stats.UserPackets)
+	if r.tr.Stats().UserPackets != 1 {
+		t.Errorf("user packets = %d", r.tr.Stats().UserPackets)
 	}
 }
 

@@ -51,6 +51,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dta/internal/obs"
 	"dta/internal/wire"
 )
 
@@ -195,7 +196,8 @@ func segBases(dir string) ([]uint64, error) {
 	return bases, nil
 }
 
-// Stats snapshots a writer's activity.
+// Stats snapshots a writer's activity. It is a view over the writer's
+// obs counters — the same cells back the Prometheus exposition.
 type Stats struct {
 	// LastLSN is the highest LSN appended (0 = empty log).
 	LastLSN uint64
@@ -208,6 +210,49 @@ type Stats struct {
 	// Bytes counts log bytes appended since Open (excluding headers of
 	// pre-existing segments).
 	Bytes uint64
+	// RingHighWater is the deepest SPSC ring occupancy observed — how
+	// close the flusher has come to stalling ingest. At the ring size
+	// (8192) Append blocks.
+	RingHighWater uint64
+	// RingStalls counts Appends that found the ring full and had to
+	// wait for the flusher — the slow-disk backpressure signal.
+	RingStalls uint64
+	// NudgesDropped counts flusher wakeups coalesced into an already-
+	// pending nudge. High values are normal under load (the flusher was
+	// awake anyway); they matter when correlated with ring stalls on a
+	// slow disk.
+	NudgesDropped uint64
+}
+
+// walCounters is the live metric storage behind Stats. Appender-side
+// cells (appends, stalls, HWM) are single-writer; flusher-side cells
+// (syncs, rotations, bytes) are single-writer on the flusher goroutine;
+// nudgesDropped is bumped by whichever goroutine nudges. All are
+// atomics, so WStats and the exposition read them concurrently.
+type walCounters struct {
+	appends       *obs.Counter
+	syncs         *obs.Counter
+	rots          *obs.Counter
+	bytes         *obs.Counter
+	ringStalls    *obs.Counter
+	nudgesDropped *obs.Counter
+	ringHWM       *obs.Gauge
+	flushNs       *obs.Histogram // write-behind buffer drain to the OS
+	fsyncNs       *obs.Histogram
+}
+
+func newWALCounters(sc *obs.Scope) walCounters {
+	return walCounters{
+		appends:       sc.Counter("dta_wal_appends_total", "Records accepted into the WAL ring."),
+		syncs:         sc.Counter("dta_wal_syncs_total", "Segment fsyncs."),
+		rots:          sc.Counter("dta_wal_rotations_total", "Segment rotations."),
+		bytes:         sc.Counter("dta_wal_bytes_total", "Log bytes appended."),
+		ringStalls:    sc.Counter("dta_wal_ring_stalls_total", "Appends that found the SPSC ring full and blocked on the flusher."),
+		nudgesDropped: sc.Counter("dta_wal_nudges_dropped_total", "Flusher wakeups coalesced into an already-pending nudge."),
+		ringHWM:       sc.Gauge("dta_wal_ring_high_water", "Deepest SPSC ring occupancy observed (ring size 8192)."),
+		flushNs:       sc.Histogram("dta_wal_flush_ns", "Nanoseconds per write-behind buffer drain to the OS."),
+		fsyncNs:       sc.Histogram("dta_wal_fsync_ns", "Nanoseconds per segment fsync."),
+	}
 }
 
 // Writer appends records to a segmented log. It is single-writer: the
@@ -251,16 +296,13 @@ type Writer struct {
 	flushErr atomic.Pointer[error]
 	closed   bool
 
-	appends uint64 // appender-side counter (stats)
+	ctr walCounters
 
 	// Flusher-owned state (no appender access after Create).
 	f        *os.File
 	buf      []byte // write-behind buffer
 	segBytes int64
 	prevNow  uint64 // previous record's timestamp (delta encoding)
-	syncs    atomic.Uint64
-	rots     atomic.Uint64
-	bytes    atomic.Uint64
 	scratch  [MaxRecordLen]byte
 }
 
@@ -291,6 +333,14 @@ const (
 // positioned after the last valid record. An existing torn tail is
 // truncated away first, so appends always extend a clean prefix.
 func Create(dir string, pol Policy) (*Writer, error) {
+	return CreateScoped(dir, pol, nil)
+}
+
+// CreateScoped is Create with the writer's metrics (dta_wal_*)
+// registered under the given obs scope. A nil scope keeps the counters
+// behind WStats live but unexposed, and disables the flush/fsync
+// latency histograms.
+func CreateScoped(dir string, pol Policy, sc *obs.Scope) (*Writer, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -312,7 +362,16 @@ func Create(dir string, pol Policy) (*Writer, error) {
 		quit:     make(chan struct{}),
 		done:     make(chan struct{}),
 		buf:      make([]byte, 0, writerBufBytes),
+		ctr:      newWALCounters(sc),
 	}
+	// Watermarks and ring occupancy are read straight off the writer's
+	// atomics at exposition time — zero data-path cost.
+	sc.GaugeFunc("dta_wal_last_lsn", "Highest LSN appended.",
+		func() float64 { return float64(w.LastLSN()) })
+	sc.GaugeFunc("dta_wal_durable_lsn", "Highest LSN guaranteed on stable storage.",
+		func() float64 { return float64(w.DurableLSN()) })
+	sc.GaugeFunc("dta_wal_ring_occupancy", "Records currently buffered in the SPSC ring.",
+		func() float64 { return float64(w.head.Load() - w.tail.Load()) })
 	next := uint64(1)
 	if len(bases) > 0 {
 		last := bases[len(bases)-1]
@@ -376,16 +435,19 @@ func (w *Writer) LastLSN() uint64 { return w.startLSN + w.head.Load() - 1 }
 // to call concurrently with Append.
 func (w *Writer) DurableLSN() uint64 { return w.durable.Load() }
 
-// WStats snapshots the writer's counters (call from the writer's own
-// goroutine, or quiesced).
+// WStats snapshots the writer's counters. Safe to call concurrently
+// with Append and the flusher (the cells are atomics).
 func (w *Writer) WStats() Stats {
 	return Stats{
-		LastLSN:    w.LastLSN(),
-		DurableLSN: w.DurableLSN(),
-		Appends:    w.appends,
-		Syncs:      w.syncs.Load(),
-		Rotations:  w.rots.Load(),
-		Bytes:      w.bytes.Load(),
+		LastLSN:       w.LastLSN(),
+		DurableLSN:    w.DurableLSN(),
+		Appends:       w.ctr.appends.Load(),
+		Syncs:         w.ctr.syncs.Load(),
+		Rotations:     w.ctr.rots.Load(),
+		Bytes:         w.ctr.bytes.Load(),
+		RingHighWater: uint64(w.ctr.ringHWM.Load()),
+		RingStalls:    w.ctr.ringStalls.Load(),
+		NudgesDropped: w.ctr.nudgesDropped.Load(),
 	}
 }
 
@@ -403,37 +465,49 @@ func (w *Writer) Append(rec *wire.StagedReport, nowNs uint64) (uint64, error) {
 		return 0, fmt.Errorf("wal: writer closed")
 	}
 	h := w.head.Load()
-	for h-w.tail.Load() == uint64(len(w.ring)) {
-		w.nudge()
-		select {
-		case <-w.space:
-		case <-w.done:
-			return 0, w.err()
+	if h-w.tail.Load() == uint64(len(w.ring)) {
+		// Full ring: the flusher is lagging a whole ring behind — the
+		// slow-disk stall the ROADMAP's chaos scenarios suspect. Count
+		// it (once per stalled append), then wait.
+		w.ctr.ringStalls.Inc()
+		for h-w.tail.Load() == uint64(len(w.ring)) {
+			w.nudge()
+			select {
+			case <-w.space:
+			case <-w.done:
+				return 0, w.err()
+			}
 		}
 	}
 	e := &w.ring[h&uint64(len(w.ring)-1)]
 	e.rec = *rec
 	e.nowNs = nowNs
 	w.head.Store(h + 1)
-	w.appends++
+	w.ctr.appends.Inc()
 	// Wake the flusher if it may have gone (or be going) idle: reading
 	// tail AFTER publishing head closes the sleep race — a flusher that
 	// decided to sleep had consumed everything before this record, so
 	// its tail advance is visible here and the nudge fires.
-	if w.tail.Load() >= h {
+	tail := w.tail.Load()
+	if tail >= h {
 		w.nudge()
 	}
+	// The tail load above doubles as the occupancy sample for the ring
+	// high-water mark (the common case is one relaxed load, no write).
+	w.ctr.ringHWM.SetMax(int64(h + 1 - tail))
 	if w.pol.Mode == SyncInterval && time.Since(w.lastSync) >= w.pol.Interval {
 		return w.startLSN + h, w.Sync()
 	}
 	return w.startLSN + h, nil
 }
 
-// nudge wakes an idle flusher (non-blocking: a pending wake suffices).
+// nudge wakes an idle flusher (non-blocking: a pending wake suffices —
+// coalesced nudges are counted, not lost).
 func (w *Writer) nudge() {
 	select {
 	case w.wake <- struct{}{}:
 	default:
+		w.ctr.nudgesDropped.Inc()
 	}
 }
 
@@ -554,10 +628,13 @@ func (w *Writer) flusher() {
 		if pending != nil && (w.tail.Load() >= pending.upto || w.err() != nil) {
 			fail(w.writeOut())
 			if pending.fsync && w.f != nil && w.err() == nil {
-				if !fail(w.f.Sync()) {
+				span := obs.Start(w.ctr.fsyncNs)
+				err := w.f.Sync()
+				span.End()
+				if !fail(err) {
 					w.durable.Store(w.startLSN + w.tail.Load() - 1)
 				}
-				w.syncs.Add(1)
+				w.ctr.syncs.Inc()
 			}
 			pending.ack <- w.err()
 			pending = nil
@@ -612,7 +689,7 @@ func (w *Writer) encode(e *ringEntry) error {
 	}
 	w.buf = append(w.buf, b[:total]...)
 	w.segBytes += int64(total)
-	w.bytes.Add(uint64(total))
+	w.ctr.bytes.Add(uint64(total))
 	return nil
 }
 
@@ -621,7 +698,9 @@ func (w *Writer) writeOut() error {
 	if len(w.buf) == 0 || w.f == nil {
 		return nil
 	}
+	span := obs.Start(w.ctr.flushNs)
 	_, err := w.f.Write(w.buf)
+	span.End()
 	w.buf = w.buf[:0]
 	return err
 }
@@ -642,14 +721,17 @@ func (w *Writer) rotate() error {
 		// SegmentBytes is far off the hot path, and it keeps "every
 		// non-tail segment is fully intact on stable storage" an
 		// invariant recovery and Sync can both lean on.
-		if err := w.f.Sync(); err != nil {
+		span := obs.Start(w.ctr.fsyncNs)
+		err := w.f.Sync()
+		span.End()
+		if err != nil {
 			return err
 		}
 		w.durable.Store(w.startLSN + w.tail.Load() - 1)
 		if err := w.f.Close(); err != nil {
 			return err
 		}
-		w.rots.Add(1)
+		w.ctr.rots.Inc()
 	}
 	base := w.startLSN + w.tail.Load()
 	f, err := os.OpenFile(filepath.Join(w.dir, segName(base)), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)

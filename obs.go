@@ -1,0 +1,52 @@
+package dta
+
+import (
+	"net/http"
+
+	"dta/internal/obs"
+)
+
+// ObsRegistry is a deployment's self-telemetry registry: every layer —
+// engine shards, translator primitives, RDMA crafting, the WAL writer,
+// HA health — registers its counters, gauges and latency histograms
+// here, all reading the same atomic cells the Stats snapshots read, so
+// the two views can never disagree. See internal/obs for the metric
+// primitives and the exposition formats.
+//
+// The design constraint is the paper's own: measurement that perturbs
+// the stream is worthless. Counters are padded (or striped) atomics,
+// histograms are fixed log2 buckets, spans are sampled — the
+// instrumented ingest path stays allocation-free and within a few
+// percent of the uninstrumented one (pinned by tests).
+type ObsRegistry = obs.Registry
+
+// ObsSnapshot is a point-in-time copy of every registered series, with
+// Delta/Rate helpers for interval math (what dtastat renders).
+type ObsSnapshot = obs.Snapshot
+
+// ObsValue is one series in an ObsSnapshot.
+type ObsValue = obs.Value
+
+// ObsLabel is a metric label pair.
+type ObsLabel = obs.Label
+
+// Metrics returns the system's telemetry registry (nil when Options.
+// DisableTelemetry was set). Serve it with ObsMux, scrape it with
+// WritePrometheus, or poll it in-process with Snapshot.
+func (s *System) Metrics() *ObsRegistry { return s.obsReg }
+
+// Metrics returns the registry shared by every member collector; series
+// carry a collector="i" label.
+func (c *Cluster) Metrics() *ObsRegistry { return c.reg }
+
+// Metrics returns the registry shared by every member collector and the
+// health view (dta_ha_* series).
+func (c *HACluster) Metrics() *ObsRegistry { return c.reg }
+
+// ObsMux mounts the registry's HTTP surface on a fresh mux: Prometheus
+// text at /metrics, expvar at /debug/vars, and the full pprof suite at
+// /debug/pprof/. Nil-safe (a nil registry serves empty metrics).
+//
+//	srv := &http.Server{Addr: ":9090", Handler: dta.ObsMux(sys.Metrics())}
+//	go srv.ListenAndServe()
+func ObsMux(r *ObsRegistry) *http.ServeMux { return obs.Mux(r) }

@@ -1,0 +1,278 @@
+package dta_test
+
+import (
+	"io"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"dta"
+)
+
+// TestObsMetricsPopulated checks the public telemetry surface end to
+// end: ingest through a cluster engine, then read the same traffic back
+// through Metrics() — the registry series and the Stats snapshots are
+// views over the same cells, so they must agree exactly.
+func TestObsMetricsPopulated(t *testing.T) {
+	cl, err := dta.NewCluster(2, dta.Options{
+		KeyWrite: &dta.KeyWriteOptions{Slots: 1 << 12, DataSize: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := cl.Engine(dta.EngineConfig{QueueDepth: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := eng.Reporter(1)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if err := rep.KeyWrite(dta.KeyFromUint64(uint64(i)), []byte{1, 2, 3, 4}, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rep.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	reg := cl.Metrics()
+	if reg == nil {
+		t.Fatal("Metrics() = nil with telemetry enabled")
+	}
+	snap := reg.Snapshot()
+
+	// Engine processed counts, summed over shards, must equal n.
+	var processed float64
+	for shard := 0; shard < 2; shard++ {
+		v := snap.Find("dta_engine_processed_total", dta.ObsLabel{Key: "shard", Value: string(rune('0' + shard))})
+		if v == nil {
+			t.Fatalf("no dta_engine_processed_total series for shard %d", shard)
+		}
+		processed += v.Value
+	}
+	if processed != n {
+		t.Errorf("dta_engine_processed_total sums to %.0f, want %d", processed, n)
+	}
+
+	// Per-collector translator series must sum to the aggregate Stats.
+	var reports float64
+	for collector := 0; collector < 2; collector++ {
+		v := snap.Find("dta_translator_reports_total",
+			dta.ObsLabel{Key: "collector", Value: string(rune('0' + collector))},
+			dta.ObsLabel{Key: "primitive", Value: "key_write"})
+		if v == nil {
+			t.Fatalf("no key_write reports series for collector %d", collector)
+		}
+		reports += v.Value
+	}
+	if st := cl.Stats(); reports != float64(st.Reports) {
+		t.Errorf("registry reports %.0f != Stats().Reports %d", reports, st.Reports)
+	}
+
+	// The exposition must render without error and carry the series.
+	if err := reg.WritePrometheus(io.Discard); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+}
+
+// TestObsDisabled checks the telemetry-off mode: no registry anywhere,
+// ingest and Stats still fully functional.
+func TestObsDisabled(t *testing.T) {
+	sys, err := dta.New(dta.Options{
+		KeyWrite:         &dta.KeyWriteOptions{Slots: 1 << 12, DataSize: 4},
+		DisableTelemetry: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Metrics() != nil {
+		t.Fatal("Metrics() != nil with DisableTelemetry")
+	}
+	rep := sys.Reporter(1)
+	for i := 0; i < 100; i++ {
+		if err := rep.KeyWrite(dta.KeyFromUint64(uint64(i)), []byte{1, 2, 3, 4}, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := sys.Stats(); st.Reports != 100 {
+		t.Fatalf("Stats().Reports = %d with telemetry off, want 100", st.Reports)
+	}
+}
+
+// TestObsStructuredIngestZeroAllocs pins the tentpole's zero-overhead
+// claim, allocation half: the structured sync ingest path with metrics
+// ENABLED (counters incremented, spans sampled into histograms) stays at
+// zero allocations per report.
+func TestObsStructuredIngestZeroAllocs(t *testing.T) {
+	sys, err := dta.New(dta.Options{
+		KeyWrite:     &dta.KeyWriteOptions{Slots: 1 << 16, DataSize: 4},
+		KeyIncrement: &dta.KeyIncrementOptions{Slots: 1 << 12},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Metrics() == nil {
+		t.Fatal("telemetry should be on by default")
+	}
+	rep := sys.Reporter(1)
+	data := []byte{1, 2, 3, 4}
+	for i := 0; i < 1000; i++ { // warm
+		if err := rep.KeyWrite(dta.KeyFromUint64(uint64(i)), data, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	i := uint64(0)
+	allocs := testing.AllocsPerRun(5000, func() {
+		if err := rep.KeyWrite(dta.KeyFromUint64(i), data, 2); err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.Increment(dta.KeyFromUint64(i), 1, 2); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("instrumented structured ingest allocated %.2f/op, want 0", allocs)
+	}
+}
+
+// TestObsOverheadUnder3Pct pins the zero-overhead claim, latency half:
+// the instrumented structured sync path stays within 3% of the
+// DisableTelemetry baseline. Both variants pay the counter increments
+// (the counters back Stats either way); the delta under test is the
+// histogram observes plus the 1-in-64 sampled clock reads.
+//
+// Measurement is interleaved A/B rounds with the MINIMUM per variant:
+// the minimum over many rounds estimates the noise-free cost of each
+// path, which is what the <3% claim is about — medians or means would
+// fold scheduler noise on timeshared CI hardware into the comparison.
+func TestObsOverheadUnder3Pct(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive; skipped in -short")
+	}
+	build := func(disable bool) (*dta.System, *dta.Reporter) {
+		sys, err := dta.New(dta.Options{
+			KeyWrite:         &dta.KeyWriteOptions{Slots: 1 << 16, DataSize: 4},
+			DisableTelemetry: disable,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys, sys.Reporter(1)
+	}
+	_, repOn := build(false)
+	_, repOff := build(true)
+	data := []byte{1, 2, 3, 4}
+
+	const (
+		rounds = 40
+		ops    = 20000
+	)
+	measure := func(rep *dta.Reporter, base uint64) float64 {
+		start := time.Now()
+		for i := uint64(0); i < ops; i++ {
+			if err := rep.KeyWrite(dta.KeyFromUint64(base+i), data, 2); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return float64(time.Since(start).Nanoseconds()) / ops
+	}
+	// Warm both paths before timing anything.
+	measure(repOn, 0)
+	measure(repOff, 0)
+
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	on := make([]float64, 0, rounds)
+	off := make([]float64, 0, rounds)
+	for r := 0; r < rounds; r++ {
+		base := uint64(r+1) * ops
+		on = append(on, measure(repOn, base))
+		off = append(off, measure(repOff, base))
+	}
+	sort.Float64s(on)
+	sort.Float64s(off)
+	minOn, minOff := on[0], off[0]
+	overhead := (minOn/minOff - 1) * 100
+	t.Logf("instrumented %.1f ns/op, baseline %.1f ns/op, overhead %.2f%%", minOn, minOff, overhead)
+	if overhead >= 3.0 {
+		t.Errorf("telemetry overhead %.2f%% >= 3%% (on=%.1fns off=%.1fns)", overhead, minOn, minOff)
+	}
+}
+
+// TestObsConcurrentReadersDuringIngest drives full-rate engine ingest
+// while scraper goroutines continuously Snapshot and render the shared
+// registry — the race detector (CI runs go test -race) proves the
+// exposition path never takes a lock the hot path touches and never
+// reads a cell non-atomically.
+func TestObsConcurrentReadersDuringIngest(t *testing.T) {
+	cl, err := dta.NewCluster(2, dta.Options{
+		KeyWrite: &dta.KeyWriteOptions{Slots: 1 << 14, DataSize: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := cl.Engine(dta.EngineConfig{QueueDepth: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := cl.Metrics()
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := reg.Snapshot()
+				if len(snap.Values) == 0 {
+					t.Error("empty snapshot during ingest")
+					return
+				}
+				if err := reg.WritePrometheus(io.Discard); err != nil {
+					t.Errorf("WritePrometheus: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	var producers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		producers.Add(1)
+		go func(g int) {
+			defer producers.Done()
+			rep := eng.Reporter(uint32(g + 1))
+			for i := 0; i < 20000; i++ {
+				if err := rep.KeyWrite(dta.KeyFromUint64(uint64(g*1_000_000+i)), []byte{1, 2, 3, 4}, 2); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if err := rep.Flush(); err != nil {
+				t.Error(err)
+			}
+		}(g)
+	}
+	producers.Wait()
+	if err := eng.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	readers.Wait()
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
