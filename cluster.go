@@ -3,9 +3,11 @@ package dta
 import (
 	"fmt"
 	"strconv"
+	"sync"
 
 	"dta/internal/crc"
 	"dta/internal/obs"
+	"dta/internal/obs/journal"
 )
 
 // Cluster shards telemetry across multiple collectors (§7, "Supporting
@@ -18,6 +20,12 @@ type Cluster struct {
 	// reg is the shared telemetry registry every member registers into,
 	// each under a collector="i" label (nil with DisableTelemetry).
 	reg *obs.Registry
+	// jr is the shared flight-recorder journal every member emits into,
+	// each under its own collector label (nil with DisableTelemetry).
+	jr *journal.Journal
+	// health lazily builds the default /healthz evaluator over reg.
+	healthOnce sync.Once
+	health     *obs.HealthEvaluator
 }
 
 // NewCluster builds n identical collectors from the same options. All
@@ -30,11 +38,12 @@ func NewCluster(n int, opts Options) (*Cluster, error) {
 	c := &Cluster{eng: crc.New(crc.K32K)}
 	if !opts.DisableTelemetry {
 		c.reg = obs.NewRegistry()
+		c.jr = newJournal(opts)
 	}
 	for i := 0; i < n; i++ {
 		o := opts
 		o.Seed = opts.Seed + int64(i)
-		sys, err := newSystem(o, c.reg, c.reg.Scope(obs.L("collector", strconv.Itoa(i))))
+		sys, err := newSystem(o, c.reg, c.reg.Scope(obs.L("collector", strconv.Itoa(i))), c.jr, int16(i))
 		if err != nil {
 			return nil, err
 		}

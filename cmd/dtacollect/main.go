@@ -39,6 +39,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"time"
 
 	"dta/internal/collector"
@@ -48,6 +49,7 @@ import (
 	"dta/internal/core/postcarding"
 	"dta/internal/ha"
 	"dta/internal/obs"
+	"dta/internal/obs/journal"
 	"dta/internal/snapshot"
 	"dta/internal/telemetry/inttel"
 	"dta/internal/telemetry/netseer"
@@ -92,6 +94,10 @@ func run(duration time.Duration, rate int, snapPath, addr, obsAddr string, wcfg 
 	// when -obs is set. A nil scope (no -obs) leaves all counters live
 	// but unexposed and disables the latency spans.
 	reg := obs.NewRegistry()
+	// Flight recorder + health verdict ride along: /debug/events serves
+	// the causal event timeline, /healthz the rule-driven SLO verdict.
+	jr := journal.New(0)
+	he := obs.NewHealthEvaluator(reg)
 	var sc *obs.Scope
 	if obsAddr != "" {
 		sc = reg.Scope()
@@ -101,7 +107,10 @@ func run(duration time.Duration, rate int, snapPath, addr, obsAddr string, wcfg 
 		}
 		defer ln.Close()
 		fmt.Printf("obs endpoint on http://%s/metrics\n", ln.Addr())
-		srv := &http.Server{Handler: obs.Mux(reg)}
+		mux := obs.Mux(reg)
+		journal.Mount(mux, jr)
+		obs.MountHealth(mux, he)
+		srv := &http.Server{Handler: mux}
 		go srv.Serve(ln)
 		defer srv.Close()
 	}
@@ -129,6 +138,7 @@ func run(duration time.Duration, rate int, snapPath, addr, obsAddr string, wcfg 
 	if err != nil {
 		return err
 	}
+	tr.Journal = journal.Emitter{J: jr, Comp: journal.CompTranslator, Collector: -1}
 	tr.Emit = func(pkt []byte) {
 		ack, err := host.Ingest(pkt)
 		if err != nil {
@@ -145,6 +155,19 @@ func run(duration time.Duration, rate int, snapPath, addr, obsAddr string, wcfg 
 	var walW *wal.Writer
 	if wcfg.dir != "" {
 		if wcfg.recover {
+			walJr := journal.Emitter{J: jr, Comp: journal.CompWAL, Collector: -1}
+			cause := walJr.NewCause()
+			walJr.Emit(journal.EvRecoveryStart, journal.SevInfo, cause, 0, 0, 0)
+			// Idempotent with wal.Recover's own repair; run first only to
+			// learn the truncated byte count for the timeline.
+			torn, err := wal.RepairTail(wcfg.dir)
+			if err != nil {
+				return fmt.Errorf("recover: %w", err)
+			}
+			if torn > 0 {
+				walJr.Emit(journal.EvTornTail, journal.SevWarn, cause, uint64(torn), 0, 0)
+				fmt.Printf("recover: truncated %d torn tail bytes\n", torn)
+			}
 			last, skipped, err := wal.Recover(wcfg.dir,
 				func(ck *snapshot.Snapshot) error {
 					_, err := ha.Resync(ha.Target{Host: host, Batcher: tr.AppendBatcher()}, []ha.Peer{{Snap: ck}})
@@ -155,6 +178,10 @@ func run(duration time.Duration, rate int, snapPath, addr, obsAddr string, wcfg 
 				})
 			if err != nil {
 				return fmt.Errorf("recover: %w", err)
+			}
+			walJr.Emit(journal.EvReplayExtent, journal.SevInfo, cause, last, uint64(skipped), 0)
+			if err := jr.DumpFile(filepath.Join(wcfg.dir, journal.DumpFileName)); err != nil {
+				log.Printf("recover: events dump: %v", err)
 			}
 			fmt.Printf("recovered %d reports from %s (up to LSN %d, %d skipped)\n",
 				tr.Stats().Reports, wcfg.dir, last, skipped)
@@ -167,6 +194,7 @@ func run(duration time.Duration, rate int, snapPath, addr, obsAddr string, wcfg 
 		if err != nil {
 			return err
 		}
+		walW.SetJournal(journal.Emitter{J: jr, Comp: journal.CompWAL, Collector: -1})
 		if err := wal.SaveMeta(wcfg.dir, &wal.Meta{Translator: tr.Config()}); err != nil {
 			return err
 		}
@@ -295,6 +323,12 @@ func run(duration time.Duration, rate int, snapPath, addr, obsAddr string, wcfg 
 					removed, err := wal.TruncateBelow(wcfg.dir, snap.WALLSN)
 					if err != nil {
 						return err
+					}
+					ckCause := jr.NewCause()
+					walJr := journal.Emitter{J: jr, Comp: journal.CompWAL, Collector: -1}
+					walJr.Emit(journal.EvCheckpoint, journal.SevInfo, ckCause, snap.WALLSN, 0, 0)
+					if removed > 0 {
+						walJr.Emit(journal.EvWALTruncate, journal.SevInfo, ckCause, snap.WALLSN, uint64(removed), 0)
 					}
 					fmt.Printf("checkpoint: LSN %d written, %d segments reclaimed\n", snap.WALLSN, removed)
 				}

@@ -35,6 +35,7 @@ import (
 
 	"dta"
 	"dta/internal/loadgen"
+	"dta/internal/obs/journal"
 )
 
 func main() {
@@ -174,12 +175,24 @@ func runHA(opts dta.Options, cfg dta.EngineConfig, lcfg loadgen.Config, shards, 
 		log.Fatal(err)
 	}
 	lcfg.Drain = eng.Drain
+	// Built before the run so the first eval's delta window is
+	// "run start → kill", not a degenerate instant.
+	he := hac.HealthEval()
 	lcfg.Control = func(ev loadgen.Event) error {
 		switch ev.Action {
 		case loadgen.Kill:
 			fmt.Printf("event: kill collector %d\n", ev.Collector)
-			return hac.SetDown(ev.Collector)
+			if err := hac.SetDown(ev.Collector); err != nil {
+				return err
+			}
+			// The /healthz verdict must flip unhealthy the moment a
+			// replica is down — assert it at the injection point.
+			printHealth("kill", he.Eval())
+			return nil
 		case loadgen.Restore:
+			// Evaluated BEFORE SetUp: the outage window's verdict, with
+			// the degraded-write delta the failure cost still visible.
+			printHealth("outage", he.Eval())
 			fmt.Printf("event: restore collector %d\n", ev.Collector)
 			return hac.SetUp(ev.Collector)
 		}
@@ -202,8 +215,22 @@ func runHA(opts dta.Options, cfg dta.EngineConfig, lcfg loadgen.Config, shards, 
 		fmt.Printf("read-repairs so far: %d\n", hac.HAStats().ReadRepairs)
 	}
 
+	// The pre-rebalance verdict closes the recovery window (restore →
+	// here): the restored member is back up but still stale, and any
+	// load-tail degradation lands in this delta, not the next one.
+	if len(lcfg.Schedule) > 0 {
+		printHealth("pre-rebalance", he.Eval())
+	}
+
 	if err := hac.Rebalance(); err != nil {
 		log.Fatalf("dtaload: rebalance: %v", err)
+	}
+	// After the rebalance healed the cluster the verdict must flip back:
+	// replicas up, the window's delta clean of degradation. The flight
+	// recorder must show the failure arc as one causal chain.
+	if len(lcfg.Schedule) > 0 {
+		printHealth("post-rebalance", he.Eval())
+		printFailoverChains(hac, walDir != "")
 	}
 
 	hst := hac.HAStats()
@@ -338,6 +365,78 @@ func printRun(res loadgen.Result, eng *dta.Engine) {
 		dropPct = 100 * float64(est.Dropped) / float64(attempts)
 	}
 	fmt.Printf("ingested=%d dropped=%d (%.1f%%)\n\n", est.Processed, est.Dropped, dropPct)
+}
+
+// printHealth renders one /healthz evaluation as a grep-able line, with
+// every failing rule's reason inline.
+func printHealth(stage string, st dta.HealthStatus) {
+	fmt.Printf("health@%s: healthy=%v", stage, st.Healthy)
+	for _, r := range st.Rules {
+		if !r.Healthy {
+			fmt.Printf(" [%s: %s]", r.Name, r.Reason)
+		}
+	}
+	fmt.Println()
+}
+
+// printFailoverChains scans the flight recorder for failure arcs and
+// reports whether each kill's events — SetDown, the Resync that healed
+// it, and (with a WAL attached) the post-resync Checkpoint — share one
+// causality ID. This is the end-to-end assertion that the journal links
+// cause to repair, not just that events were emitted.
+func printFailoverChains(hac *dta.HACluster, walAttached bool) {
+	j := hac.Journal()
+	if j == nil {
+		return
+	}
+	events, _, _ := j.Since(0, nil)
+	type arc struct {
+		collector int16
+		setDown   bool
+		resync    bool
+		ckpt      bool
+	}
+	arcs := map[uint64]*arc{}
+	for i := range events {
+		e := &events[i]
+		if e.Cause == 0 {
+			continue
+		}
+		a := arcs[e.Cause]
+		if a == nil {
+			a = &arc{collector: -1}
+			arcs[e.Cause] = a
+		}
+		switch e.Type {
+		case journal.EvSetDown:
+			a.setDown = true
+			a.collector = e.Collector
+		case journal.EvResyncEnd:
+			a.resync = true
+		case journal.EvCheckpoint:
+			a.ckpt = true
+		}
+	}
+	linked := 0
+	for cause, a := range arcs {
+		if !a.setDown || !a.resync {
+			continue
+		}
+		if walAttached && !a.ckpt {
+			fmt.Printf("causal-chain: INCOMPLETE — SetDown→Resync linked but no Checkpoint (cause=%d, collector=c%d)\n",
+				cause, a.collector)
+			continue
+		}
+		steps := "SetDown→Resync"
+		if a.ckpt {
+			steps = "SetDown→Resync→Checkpoint"
+		}
+		fmt.Printf("causal-chain: %s linked (cause=%d, collector=c%d)\n", steps, cause, a.collector)
+		linked++
+	}
+	if linked == 0 {
+		fmt.Println("causal-chain: INCOMPLETE — no cause links SetDown to its Resync")
+	}
 }
 
 func printShards(eng *dta.Engine, sysStats func(i int) dta.Stats) {

@@ -6,6 +6,11 @@
 //	dtarecover -wal /tmp/dta.wal -dump -from 100  # print records from LSN 100
 //	dtarecover -wal /tmp/dta.wal -dump -limit 20
 //	dtarecover -wal /tmp/dta.wal -repair          # truncate a torn tail
+//	dtarecover -wal /tmp/dta.wal -events          # print the recovery timeline
+//
+// -events reads the flight-recorder dump (events.jsonl) a recovery left
+// in the directory: what the recovering process found and did — torn-
+// tail truncation, replay extent — as a causal timeline.
 //
 // Exit status is non-zero when -verify finds damage before the log's
 // tail (a torn tail alone is normal crash debris, reported but OK).
@@ -20,6 +25,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"dta/internal/obs/journal"
 	"dta/internal/wal"
 	"dta/internal/wire"
 )
@@ -32,14 +38,51 @@ func main() {
 		from   = flag.Uint64("from", 1, "first LSN to dump")
 		limit  = flag.Int("limit", 50, "max records to dump (0 = all)")
 		repair = flag.Bool("repair", false, "truncate a torn tail in place")
+		events = flag.Bool("events", false, "print the flight-recorder dump (events.jsonl) a recovery left behind")
 	)
 	flag.Parse()
 	if *dir == "" {
 		log.Fatal("dtarecover: -wal is required")
 	}
+	if *events {
+		if err := printEvents(*dir); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if err := run(*dir, *verify, *dump, *from, *limit, *repair); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// printEvents renders the recovery timeline dumped into the directory.
+func printEvents(dir string) error {
+	path := filepath.Join(dir, journal.DumpFileName)
+	recs, err := journal.ReadDump(path)
+	if err != nil {
+		return fmt.Errorf("dtarecover: %w (run a recovery with telemetry on to produce the dump)", err)
+	}
+	var lastCause uint64
+	for i := range recs {
+		r := &recs[i]
+		link := "  "
+		if r.Cause != 0 && r.Cause == lastCause {
+			link = "└▶"
+		}
+		lastCause = r.Cause
+		who := "-"
+		if r.Collector >= 0 {
+			who = fmt.Sprintf("c%d", r.Collector)
+		}
+		cause := ""
+		if r.Cause != 0 {
+			cause = fmt.Sprintf(" [chain %d]", r.Cause)
+		}
+		fmt.Printf("%s %-5s %-10s %-3s %s %s%s\n",
+			r.Time.Format("15:04:05.000"), r.Sev, r.Component, who, link, r.Detail, cause)
+	}
+	fmt.Printf("%d events from %s\n", len(recs), path)
+	return nil
 }
 
 func run(dir string, verify, dump bool, from uint64, limit int, repair bool) error {

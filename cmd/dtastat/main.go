@@ -8,15 +8,23 @@
 //	dtastat -addr 127.0.0.1:9090 -interval 5s
 //	dtastat -addr 127.0.0.1:9090 -once        # one absolute snapshot
 //	dtastat -addr 127.0.0.1:9090 -raw         # dump the exposition
+//	dtastat -addr 127.0.0.1:9090 -events      # tail the flight recorder
 //
 // Rates are computed client-side from counter deltas, so dtastat needs
 // no server support beyond the Prometheus text endpoint; histograms
 // render p50/p99 estimated inside the log2 bucket geometry. The first
-// tick of a polling run shows absolute totals (no previous scrape to
-// diff against); later ticks show per-second rates.
+// tick of a polling run is labelled a baseline: it shows absolute
+// lifetime totals (no previous scrape to diff against), not rates;
+// later ticks show per-second rates over the interval.
+//
+// With -events dtastat tails /debug/events (the control-plane flight
+// recorder) instead: one line per event, cursor-resumed each poll, with
+// causal chains (SetDown → Resync → Checkpoint) rendered as linked
+// continuation lines.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -29,6 +37,7 @@ import (
 	"time"
 
 	"dta/internal/obs"
+	"dta/internal/obs/journal"
 )
 
 func main() {
@@ -37,13 +46,14 @@ func main() {
 		interval = flag.Duration("interval", time.Second, "polling interval")
 		once     = flag.Bool("once", false, "print one absolute snapshot and exit")
 		raw      = flag.Bool("raw", false, "dump the raw /metrics exposition and exit")
+		events   = flag.Bool("events", false, "tail the flight recorder (/debug/events) instead of metrics")
 	)
 	flag.Parse()
-	url := *addr
-	if len(url) < 7 || url[:7] != "http://" {
-		url = "http://" + url
+	base := *addr
+	if len(base) < 7 || base[:7] != "http://" {
+		base = "http://" + base
 	}
-	url += "/metrics"
+	url := base + "/metrics"
 
 	if *raw {
 		body, err := fetch(url)
@@ -51,6 +61,10 @@ func main() {
 			log.Fatal("dtastat: ", err)
 		}
 		os.Stdout.Write(body)
+		return
+	}
+	if *events {
+		tailEvents(base+"/debug/events", *interval, *once)
 		return
 	}
 
@@ -62,6 +76,9 @@ func main() {
 		render(os.Stdout, prev, 0)
 		return
 	}
+	// The first scrape has nothing to diff against: label it so lifetime
+	// totals are not misread as per-interval rates.
+	fmt.Println("baseline sample (lifetime totals, not rates; rates follow from the next tick)")
 	render(os.Stdout, prev, 0)
 	tick := time.NewTicker(*interval)
 	defer tick.Stop()
@@ -75,6 +92,64 @@ func main() {
 		render(os.Stdout, cur.Delta(prev), elapsed)
 		prev, prevAt = cur, at
 	}
+}
+
+// eventsPayload mirrors the /debug/events response envelope.
+type eventsPayload struct {
+	Last    uint64           `json:"last"`
+	Missed  uint64           `json:"missed"`
+	Dropped uint64           `json:"dropped"`
+	Events  []journal.Record `json:"events"`
+}
+
+// tailEvents live-tails the flight recorder: each poll resumes from the
+// previous response's cursor, so every event prints exactly once (ring
+// overwrites are reported as a gap).
+func tailEvents(url string, interval time.Duration, once bool) {
+	var cursor uint64
+	var lastCause uint64
+	for {
+		body, err := fetch(fmt.Sprintf("%s?since=%d", url, cursor))
+		if err != nil {
+			log.Fatal("dtastat: ", err)
+		}
+		var p eventsPayload
+		if err := json.Unmarshal(body, &p); err != nil {
+			log.Fatal("dtastat: events: ", err)
+		}
+		if p.Missed > 0 {
+			fmt.Printf("... %d events lost to ring overwrite ...\n", p.Missed)
+			lastCause = 0
+		}
+		for i := range p.Events {
+			printEvent(&p.Events[i], &lastCause)
+		}
+		cursor = p.Last
+		if once {
+			return
+		}
+		time.Sleep(interval)
+	}
+}
+
+// printEvent renders one flight-recorder line; consecutive events of one
+// causal chain get a linked continuation marker.
+func printEvent(r *journal.Record, lastCause *uint64) {
+	link := "  "
+	if r.Cause != 0 && r.Cause == *lastCause {
+		link = "└▶"
+	}
+	*lastCause = r.Cause
+	who := "-"
+	if r.Collector >= 0 {
+		who = "c" + strconv.Itoa(r.Collector)
+	}
+	cause := ""
+	if r.Cause != 0 {
+		cause = fmt.Sprintf(" [chain %d]", r.Cause)
+	}
+	fmt.Printf("%s %-5s %-10s %-3s %s %s%s\n",
+		r.Time.Local().Format("15:04:05.000"), r.Sev, r.Component, who, link, r.Detail, cause)
 }
 
 func fetch(url string) ([]byte, error) {

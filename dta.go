@@ -44,6 +44,7 @@ import (
 	"dta/internal/core/postcarding"
 	"dta/internal/netsim"
 	"dta/internal/obs"
+	"dta/internal/obs/journal"
 	"dta/internal/reporter"
 	"dta/internal/translator"
 	"dta/internal/wal"
@@ -129,8 +130,14 @@ type Options struct {
 	// series are registered (Metrics returns nil) and the per-stage
 	// latency histograms never read the clock. The counters behind Stats
 	// keep working — they are the same cells, just unexposed. The
-	// uninstrumented baseline benchmarks set it.
+	// uninstrumented baseline benchmarks set it. It also disables the
+	// flight-recorder event journal (Journal returns nil; every emit
+	// site degrades to one nil-check branch).
 	DisableTelemetry bool
+
+	// EventJournalSize overrides the flight recorder's ring capacity in
+	// events (rounded up to a power of two; 0 = journal.DefaultSize).
+	EventJournalSize int
 }
 
 // System is an in-process DTA deployment: one collector, one translator,
@@ -165,6 +172,23 @@ type System struct {
 	obsReg   *obs.Registry
 	obsScope *obs.Scope
 
+	// jr is the flight-recorder event journal the system's layers emit
+	// control-plane events into: standalone systems own one, cluster
+	// members share their cluster's, DisableTelemetry leaves it nil
+	// (every Emitter is nil-safe). collectorID labels this system's
+	// events in a shared journal; -1 = standalone. See obs.go.
+	jr          *journal.Journal
+	collectorID int16
+	// ckptCause, when non-zero, is consumed by the next Checkpoint as
+	// the causality ID for its journal events: HACluster.Rebalance sets
+	// it (under its lock) so a post-resync checkpoint chains under the
+	// failure arc that triggered it.
+	ckptCause uint64
+
+	// health lazily builds the default /healthz evaluator over obsReg.
+	healthOnce sync.Once
+	health     *obs.HealthEvaluator
+
 	// Stats mirrors the translator's counters.
 	reporters []*Reporter
 }
@@ -172,16 +196,29 @@ type System struct {
 // New builds a System.
 func New(opts Options) (*System, error) {
 	var reg *obs.Registry
+	var jr *journal.Journal
 	if !opts.DisableTelemetry {
 		reg = obs.NewRegistry()
+		jr = newJournal(opts)
 	}
-	return newSystem(opts, reg, reg.Scope())
+	return newSystem(opts, reg, reg.Scope(), jr, -1)
 }
 
-// newSystem is New over an externally owned telemetry registry: clusters
-// call it so every member registers into one registry, each under its
-// own collector="i" scope. reg and sc may be nil (telemetry off).
-func newSystem(opts Options, reg *obs.Registry, sc *obs.Scope) (*System, error) {
+// newJournal sizes the flight recorder from Options.
+func newJournal(opts Options) *journal.Journal {
+	size := opts.EventJournalSize
+	if size == 0 {
+		size = journal.DefaultSize
+	}
+	return journal.New(size)
+}
+
+// newSystem is New over an externally owned telemetry registry and event
+// journal: clusters call it so every member registers into one registry
+// (each under its own collector="i" scope) and emits into one journal
+// (each under its own collector label). reg, sc and jr may be nil
+// (telemetry off); collectorID is -1 for standalone systems.
+func newSystem(opts Options, reg *obs.Registry, sc *obs.Scope, jr *journal.Journal, collectorID int16) (*System, error) {
 	ccfg := collector.Config{}
 	tcfg := translator.Config{RateLimit: opts.RateLimit}
 	if o := opts.KeyWrite; o != nil {
@@ -212,7 +249,8 @@ func newSystem(opts Options, reg *obs.Registry, sc *obs.Scope) (*System, error) 
 	if err != nil {
 		return nil, err
 	}
-	s := &System{host: host, tr: tr, obsReg: reg, obsScope: sc}
+	s := &System{host: host, tr: tr, obsReg: reg, obsScope: sc, jr: jr, collectorID: collectorID}
+	tr.Journal = journal.Emitter{J: jr, Comp: journal.CompTranslator, Collector: collectorID}
 	if opts.ReporterLoss > 0 {
 		s.link = netsim.NewLink(100e9, 500, opts.ReporterLoss, opts.Seed)
 	}

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 
 	"dta/internal/ha"
+	"dta/internal/obs/journal"
 	"dta/internal/snapshot"
 	"dta/internal/translator"
 	"dta/internal/wal"
@@ -51,11 +52,17 @@ func (s *System) WithWAL(dir string, pol WALPolicy) error {
 		return err
 	}
 	s.wal = w
+	w.SetJournal(s.walEmitter())
 	s.tr.WAL = func(rec *wire.StagedReport, nowNs uint64) error {
 		_, err := w.Append(rec, nowNs)
 		return err
 	}
 	return nil
+}
+
+// walEmitter binds the flight recorder to this system's WAL component.
+func (s *System) walEmitter() journal.Emitter {
+	return journal.Emitter{J: s.jr, Comp: journal.CompWAL, Collector: s.collectorID}
 }
 
 // WALAttached reports whether a WAL is logging this system.
@@ -119,7 +126,22 @@ func (s *System) Recover(dir string) (uint64, error) {
 	if s.wal != nil {
 		return 0, errors.New("dta: Recover must run before WithWAL")
 	}
-	last, _, err := wal.Recover(dir,
+	// The recovery timeline — start, torn-tail truncation, replay extent
+	// — is one causal chain, dumped to dir afterwards so it survives the
+	// process (dtarecover -events reads it back). The explicit RepairTail
+	// here is idempotent with the one inside wal.Recover; it runs first
+	// only to learn the truncated byte count, which wal.Recover discards.
+	jr := s.walEmitter()
+	cause := jr.NewCause()
+	jr.Emit(journal.EvRecoveryStart, journal.SevInfo, cause, 0, 0, 0)
+	torn, err := wal.RepairTail(dir)
+	if err != nil {
+		return 0, err
+	}
+	if torn > 0 {
+		jr.Emit(journal.EvTornTail, journal.SevWarn, cause, uint64(torn), 0, 0)
+	}
+	last, skipped, err := wal.Recover(dir,
 		func(ck *snapshot.Snapshot) error {
 			_, err := ha.Resync(ha.Target{Host: s.host, Batcher: s.tr.AppendBatcher()}, []ha.Peer{{Snap: ck}})
 			return err
@@ -127,7 +149,15 @@ func (s *System) Recover(dir string) (uint64, error) {
 		func(lsn, nowNs uint64, rec *wire.StagedReport) error {
 			return s.tr.ProcessStaged(rec, nowNs)
 		})
-	return last, err
+	if err != nil {
+		return last, err
+	}
+	jr.Emit(journal.EvReplayExtent, journal.SevInfo, cause, last, uint64(skipped), 0)
+	if s.jr != nil {
+		// Best-effort post-mortem artifact; recovery itself succeeded.
+		_ = s.jr.DumpFile(filepath.Join(dir, journal.DumpFileName))
+	}
+	return last, nil
 }
 
 // Checkpoint bounds recovery time and log growth: translator state is
@@ -150,6 +180,7 @@ func (s *System) Checkpoint() (uint64, error) {
 	}
 	lsn := s.wal.LastLSN()
 	if lsn == 0 {
+		s.ckptCause = 0
 		return 0, nil
 	}
 	snap := snapshot.Capture(s.host)
@@ -160,8 +191,22 @@ func (s *System) Checkpoint() (uint64, error) {
 	if err := wal.WriteCheckpoint(s.wal.Dir(), snap); err != nil {
 		return 0, err
 	}
-	if _, err := wal.TruncateBelow(s.wal.Dir(), lsn); err != nil {
+	removed, err := wal.TruncateBelow(s.wal.Dir(), lsn)
+	if err != nil {
 		return 0, err
+	}
+	// Chain under the failure arc that triggered this checkpoint when
+	// HACluster.Rebalance threaded one in; standalone checkpoints mint
+	// their own chain.
+	cause := s.ckptCause
+	s.ckptCause = 0
+	jr := s.walEmitter()
+	if cause == 0 {
+		cause = jr.NewCause()
+	}
+	jr.Emit(journal.EvCheckpoint, journal.SevInfo, cause, lsn, 0, 0)
+	if removed > 0 {
+		jr.Emit(journal.EvWALTruncate, journal.SevInfo, cause, lsn, uint64(removed), 0)
 	}
 	return lsn, nil
 }

@@ -93,6 +93,12 @@ func newEngine(systems []*System, cluster *Cluster, hac *HACluster, cfg EngineCo
 		// identifies the member — no collector label needed.
 		cfg.Obs = systems[0].obsReg.Scope()
 	}
+	if cfg.Journal == nil && len(systems) > 0 {
+		// Same default for the flight recorder: shards emit queue-stall
+		// episodes into the owning deployment's journal (shared across
+		// cluster members, so systems[0]'s is the cluster's).
+		cfg.Journal = systems[0].jr
+	}
 	inner, err := engine.New(sinks, cfg)
 	if err != nil {
 		return nil, err

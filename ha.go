@@ -7,10 +7,12 @@ import (
 	"slices"
 	"strconv"
 	"sync"
+	"time"
 
 	"dta/internal/core/keyincrement"
 	"dta/internal/ha"
 	"dta/internal/obs"
+	"dta/internal/obs/journal"
 	"dta/internal/snapshot"
 	"dta/internal/wire"
 )
@@ -66,6 +68,20 @@ type HACluster struct {
 	// collector="i" scopes, the health view's dta_ha_* counters at the
 	// cluster root (nil with DisableTelemetry).
 	reg *obs.Registry
+	// jr is the shared flight-recorder journal (nil with
+	// DisableTelemetry); causeOf carries the causality ID minted by a
+	// collector's SetDown (or AddCollector) forward through SetUp,
+	// Rebalance's resync and the post-resync checkpoint, so the whole
+	// failure→recovery arc renders as one chain. Guarded by mu.
+	jr      *journal.Journal
+	causeOf map[int]uint64
+	// rrGate rate-limits read-repair events: a verification sweep can
+	// repair thousands of slots, and one representative event per gap
+	// (carrying the cumulative count) must not evict the failover chain.
+	rrGate journal.Gate
+	// health lazily builds the default /healthz evaluator over reg.
+	healthOnce sync.Once
+	healthEval *obs.HealthEvaluator
 
 	// mu guards systems growth, the stale set and pending snapshots;
 	// the write lock makes Rebalance (and read-repair store writes)
@@ -130,8 +146,10 @@ func NewHACluster(n, r int, opts Options) (*HACluster, error) {
 		return nil, fmt.Errorf("dta: replication factor %d exceeds cluster size %d", r, n)
 	}
 	var reg *obs.Registry
+	var jr *journal.Journal
 	if !opts.DisableTelemetry {
 		reg = obs.NewRegistry()
+		jr = newJournal(opts)
 	}
 	c := &HACluster{
 		opts:    opts,
@@ -139,6 +157,8 @@ func NewHACluster(n, r int, opts Options) (*HACluster, error) {
 		ring:    ha.NewRing(n),
 		health:  ha.NewHealthScoped(reg.Scope()),
 		reg:     reg,
+		jr:      jr,
+		causeOf: make(map[int]uint64),
 		stale:   make(map[int]uint64),
 		downAt:  make(map[int]uint64),
 		walMark: make(map[int]map[int]uint64),
@@ -159,7 +179,27 @@ func NewHACluster(n, r int, opts Options) (*HACluster, error) {
 // newMember builds collector id's System registered under the cluster's
 // shared telemetry registry.
 func (c *HACluster) newMember(id int, o Options) (*System, error) {
-	return newSystem(o, c.reg, c.reg.Scope(obs.L("collector", strconv.Itoa(id))))
+	return newSystem(o, c.reg, c.reg.Scope(obs.L("collector", strconv.Itoa(id))), c.jr, int16(id))
+}
+
+// emit publishes one HA-component flight-recorder event for collector i
+// (-1 = cluster-wide). Nil-safe: with telemetry off it is one branch.
+func (c *HACluster) emit(i int, typ journal.Type, sev journal.Severity, cause, a1, a2, a3 uint64) {
+	journal.Emitter{J: c.jr, Comp: journal.CompHA, Collector: int16(i)}.Emit(typ, sev, cause, a1, a2, a3)
+}
+
+// readRepairEventGap spaces read-repair journal events: a verification
+// sweep over a divergent store repairs per query, and one representative
+// event per gap (with the cumulative count) is plenty.
+const readRepairEventGap = 100 * time.Millisecond
+
+// noteReadRepair publishes a rate-gated read-repair event: repaired
+// replicas this query in Arg1, the cumulative count in Arg2.
+func (c *HACluster) noteReadRepair(repaired int) {
+	if repaired == 0 || c.jr == nil || !c.rrGate.Allow(readRepairEventGap) {
+		return
+	}
+	c.emit(-1, journal.EvReadRepair, journal.SevInfo, 0, uint64(repaired), c.health.Snapshot().ReadRepairs, 0)
 }
 
 // attach registers a collector system and hooks its RDMA emit path into
@@ -244,6 +284,12 @@ func (c *HACluster) SetDown(i int) error {
 	if c.health.IsDown(i) {
 		return nil
 	}
+	// One causality ID spans the whole failure→recovery arc: SetDown and
+	// its fence here, SetUp, the Rebalance resync that heals i, and the
+	// post-resync checkpoint all chain under it (see causeOf).
+	cause := c.jr.NewCause()
+	c.causeOf[i] = cause
+	c.emit(i, journal.EvSetDown, journal.SevWarn, cause, c.health.Epoch(), 0, 0)
 	// Log-shipping watermark, snapshotted BEFORE the down flag flips
 	// (the same fence ordering as the epoch bump below): a fan-out that
 	// skips i observed the flag, so its peer submissions — and therefore
@@ -285,9 +331,11 @@ func (c *HACluster) SetDown(i int) error {
 				}
 			}
 			c.walMark[i] = m
+			c.emit(i, journal.EvWALFence, journal.SevInfo, cause, c.walSelf[i], uint64(len(m)), 0)
 		}
 	}
 	c.downAt[i] = c.health.BumpEpoch()
+	c.emit(i, journal.EvEpochBump, journal.SevInfo, cause, c.downAt[i], 0, 0)
 	return c.health.SetDown(i)
 }
 
@@ -313,6 +361,7 @@ func (c *HACluster) SetUp(i int) error {
 	if cur, ok := c.stale[i]; !ok || since < cur {
 		c.stale[i] = since
 	}
+	c.emit(i, journal.EvSetUp, journal.SevInfo, c.causeOf[i], c.stale[i], 0, 0)
 	return nil
 }
 
@@ -349,8 +398,11 @@ func (c *HACluster) AddCollector() (int, error) {
 		return 0, err
 	}
 	c.attach(sys)
-	c.health.BumpEpoch()
+	epoch := c.health.BumpEpoch()
 	c.stale[id] = 0 // the newcomer missed everything: full replay
+	// The newcomer's join→resync arc chains like a rejoin's.
+	c.causeOf[id] = c.jr.NewCause()
+	c.emit(id, journal.EvMemberAdd, journal.SevInfo, c.causeOf[id], uint64(len(c.ring.Members())), epoch, 0)
 	return id, nil
 }
 
@@ -374,7 +426,8 @@ func (c *HACluster) SetCollectorWeight(i int, weight float64) error {
 	if err := c.ring.SetWeight(i, weight); err != nil {
 		return err
 	}
-	c.health.BumpEpoch()
+	epoch := c.health.BumpEpoch()
+	c.emit(i, journal.EvWeightChange, journal.SevInfo, 0, uint64(weight*1000), epoch, 0)
 	c.walMark = make(map[int]map[int]uint64)
 	c.walSelf = make(map[int]uint64)
 	for _, id := range c.ring.Members() {
@@ -405,7 +458,9 @@ func (c *HACluster) Decommission(i int) error {
 	if err := c.ring.Remove(i); err != nil {
 		return err
 	}
-	c.health.BumpEpoch()
+	epoch := c.health.BumpEpoch()
+	c.emit(i, journal.EvMemberRemove, journal.SevInfo, 0, uint64(len(c.ring.Members())), epoch, 0)
+	delete(c.causeOf, i)
 	if !c.health.IsDown(i) {
 		if err := c.systems[i].Flush(); err != nil {
 			return err
@@ -469,6 +524,12 @@ func (c *HACluster) Rebalance() error {
 	if len(c.stale) == 0 && len(c.pending) == 0 {
 		return nil
 	}
+	// The rebalance pass gets its own chain; each target's resync events
+	// chain under the cause its SetDown (or AddCollector) minted, so the
+	// timeline links failure to healing per collector.
+	rebCause := c.jr.NewCause()
+	rebStart := obs.Nanotime()
+	c.emit(-1, journal.EvRebalanceStart, journal.SevInfo, rebCause, uint64(len(c.stale)), 0, 0)
 	// Capture every live ring member once, before any resync, so all
 	// replays see pre-rebalance state. Stale members are peers too:
 	// when everyone is stale (Decommission marks all survivors), they
@@ -539,6 +600,15 @@ func (c *HACluster) Rebalance() error {
 			if c.fullResync {
 				since = 0
 			}
+			// Resync events chain under the cause the target's failure
+			// minted; targets stale for other reasons (reshard) join the
+			// rebalance's own chain.
+			cause := c.causeOf[id]
+			if cause == 0 {
+				cause = rebCause
+			}
+			c.emit(id, journal.EvResyncStart, journal.SevInfo, cause, since, uint64(len(peers)), 0)
+			t0 := obs.Nanotime()
 			st, err := ha.Resync(ha.Target{
 				Host:       c.systems[id].Host(),
 				Batcher:    c.systems[id].Translator().AppendBatcher(),
@@ -546,9 +616,12 @@ func (c *HACluster) Rebalance() error {
 				StaleSince: since,
 			}, peers)
 			if err != nil {
+				c.emit(id, journal.EvResyncFail, journal.SevError, cause, 0, 0, 0)
 				errs = append(errs, fmt.Errorf("dta: rebalance collector %d: %w", id, err))
 				continue // keep the stale mark (and watermarks): retry resyncs it
 			}
+			c.emit(id, journal.EvResyncEnd, journal.SevInfo, cause,
+				st.SlotsReplayed(), st.SlotsSkipped, uint64(obs.Nanotime()-t0))
 			c.health.RecordResync(&st)
 			resynced = append(resynced, id)
 		}
@@ -568,13 +641,22 @@ func (c *HACluster) Rebalance() error {
 	// replicas are already converged, so it joins the error aggregate
 	// without re-marking anyone stale.
 	for _, id := range resynced {
+		// The healed collector's failure arc ends here (or at the resync
+		// end, when it has no log to checkpoint): release its cause.
+		cause := c.causeOf[id]
+		delete(c.causeOf, id)
 		if c.systems[id].wal == nil {
 			continue
 		}
+		// Thread the arc's cause into the checkpoint's events (safe under
+		// c.mu; see System.ckptCause).
+		c.systems[id].ckptCause = cause
 		if _, err := c.systems[id].Checkpoint(); err != nil {
 			errs = append(errs, fmt.Errorf("dta: rebalance checkpoint collector %d: %w", id, err))
 		}
 	}
+	c.emit(-1, journal.EvRebalanceEnd, journal.SevInfo, rebCause,
+		uint64(len(resynced)), uint64(obs.Nanotime()-rebStart), 0)
 	if len(errs) > 0 {
 		// Keep pending too: still-stale collectors need it on retry.
 		return errors.Join(errs...)
@@ -794,6 +876,7 @@ func (c *HACluster) LookupValue(key Key, n int) ([]byte, bool, error) {
 	}
 	c.health.RecordReadRepair(repaired)
 	c.mu.Unlock()
+	c.noteReadRepair(repaired)
 	return winner, true, nil
 }
 
@@ -898,6 +981,7 @@ func (c *HACluster) LookupPath(key Key, n int) ([]uint32, bool, error) {
 	}
 	c.health.RecordReadRepair(repaired)
 	c.mu.Unlock()
+	c.noteReadRepair(repaired)
 	return winner, true, nil
 }
 
@@ -987,6 +1071,7 @@ func (c *HACluster) LookupCount(key Key, n int) (uint64, error) {
 	}
 	c.health.RecordReadRepair(repaired)
 	c.mu.Unlock()
+	c.noteReadRepair(repaired)
 	return min, nil
 }
 

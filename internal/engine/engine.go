@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 
 	"dta/internal/obs"
+	"dta/internal/obs/journal"
 	"dta/internal/wire"
 )
 
@@ -126,6 +127,12 @@ type Config struct {
 	// scope just leaves them unexposed — so Stats() and the HTTP
 	// endpoint can never disagree.
 	Obs *obs.Scope
+	// Journal, when non-nil, receives queue-stall episode events
+	// (Block-policy producers finding a shard queue full): one
+	// start/end pair per episode however many producers pile up, with
+	// the blocked duration on the end event. Nil costs one branch on
+	// the (already stalled) slow path and nothing on the fast path.
+	Journal *journal.Journal
 }
 
 func (c *Config) withDefaults() Config {
@@ -243,6 +250,44 @@ type shard struct {
 	bsink BatchSink  // non-nil when sink wants batch-boundary callbacks
 	ch    chan *chunk
 	ctr   shardCounters
+
+	// Queue-stall episode state: overlapping Block-policy stalls from
+	// concurrent producers coalesce into one journal episode — first
+	// producer in publishes the start, last one out publishes the end
+	// with the episode's duration. The counters are only touched after
+	// the non-blocking send already failed, so the fast path pays
+	// nothing.
+	jr         journal.Emitter
+	stallers   atomic.Int64
+	stallStart atomic.Int64
+	stallCause atomic.Uint64
+}
+
+// noteStallStart opens (or joins) a stall episode on the shard.
+func (sh *shard) noteStallStart(queueCap int) {
+	if sh.jr.J == nil {
+		return
+	}
+	if sh.stallers.Add(1) == 1 {
+		cause := sh.jr.NewCause()
+		sh.stallCause.Store(cause)
+		sh.stallStart.Store(obs.Nanotime())
+		sh.jr.Emit(journal.EvStallStart, journal.SevWarn, cause, uint64(queueCap), 0, 0)
+	}
+}
+
+// noteStallEnd leaves the episode, closing it if this producer was the
+// last one blocked. Start/cause reads race benignly with a brand-new
+// episode only when a fresh stall begins in the same instant; the
+// rendered duration is still that of a real contiguous blocked span.
+func (sh *shard) noteStallEnd() {
+	if sh.jr.J == nil {
+		return
+	}
+	if sh.stallers.Add(-1) == 0 {
+		dur := obs.Nanotime() - sh.stallStart.Load()
+		sh.jr.Emit(journal.EvStallEnd, journal.SevInfo, sh.stallCause.Load(), uint64(dur), 0, 0)
+	}
 }
 
 // Engine fans reports out to per-shard worker goroutines.
@@ -280,6 +325,7 @@ func New(sinks []Sink, cfg Config) (*Engine, error) {
 			sink: s,
 			ch:   make(chan *chunk, c.QueueDepth),
 			ctr:  newShardCounters(shardScope),
+			jr:   journal.Emitter{J: c.Journal, Comp: journal.CompEngine, Collector: int16(i)},
 		}
 		sh.rsink, _ = s.(ReportSink)
 		sh.ssink, _ = s.(StagedSink)
@@ -382,7 +428,9 @@ func (e *Engine) send(sh *shard, ck *chunk) error {
 	case sh.ch <- ck:
 	default:
 		sh.ctr.stalls.Inc()
+		sh.noteStallStart(cap(sh.ch))
 		sh.ch <- ck
+		sh.noteStallEnd()
 	}
 	sh.ctr.enqueued.Add(frames)
 	return nil

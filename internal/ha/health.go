@@ -112,6 +112,18 @@ func NewHealthScoped(sc *obs.Scope) *Health {
 		appendResynced:  sc.Counter("dta_ha_append_entries_resynced_total", "Append ring entries replayed into stale collectors."),
 	}
 	h.epoch.Store(1)
+	// Read-time gauge, not a counter pair: SetDown/SetUp may race and
+	// the flags are the single source of truth. Non-members read as up,
+	// so scanning the full fixed capacity is exact for any cluster size.
+	sc.GaugeFunc("dta_ha_down_replicas", "Collectors currently marked down.", func() float64 {
+		n := 0
+		for i := range h.down {
+			if h.down[i].Load() {
+				n++
+			}
+		}
+		return float64(n)
+	})
 	return h
 }
 

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// evalNames collects the failing rule names out of a status.
+func failingRules(st HealthStatus) map[string]RuleResult {
+	failed := map[string]RuleResult{}
+	for _, r := range st.Rules {
+		if !r.Healthy {
+			failed[r.Name] = r
+		}
+	}
+	return failed
+}
+
+// TestHealthRuleTable drives each default rule across its healthy and
+// unhealthy side using a real registry, pinning both the verdicts and
+// the delta windowing (an incident consumed by one eval does not leak
+// into the next window).
+func TestHealthRuleTable(t *testing.T) {
+	reg := NewRegistry()
+	sc := reg.Scope()
+	dropped := sc.Counter("dta_engine_dropped_total", "t")
+	stalls := sc.Counter("dta_wal_ring_stalls_total", "t")
+	degraded := sc.Counter("dta_ha_degraded_writes_total", "t")
+	down := sc.Gauge("dta_ha_down_replicas", "t")
+	fsync := sc.Histogram("dta_wal_fsync_ns", "t")
+
+	e := NewHealthEvaluator(reg)
+
+	// Quiescent registry: healthy, and every rule reports a reason.
+	st := e.Eval()
+	if !st.Healthy {
+		t.Fatalf("quiescent registry unhealthy: %+v", st)
+	}
+	if len(st.Rules) != 5 {
+		t.Fatalf("expected 5 default rules, got %d", len(st.Rules))
+	}
+	for _, r := range st.Rules {
+		if r.Reason == "" {
+			t.Fatalf("rule %q has no reason", r.Name)
+		}
+	}
+
+	cases := []struct {
+		name string // rule expected to fail
+		trip func() // push the registry over that rule's threshold
+		heal func() // undo (for gauges; counters heal by windowing)
+	}{
+		{"drop_rate", func() { dropped.Add(50) }, nil},
+		// The stall allowance is 1000/s — a burst of 10M over any
+		// plausible eval interval clears it.
+		{"wal_ring_stalls", func() { stalls.Add(10_000_000) }, nil},
+		{"degraded_writes", func() { degraded.Add(3) }, nil},
+		{"down_replicas", func() { down.Set(1) }, func() { down.Set(0) }},
+		{"fsync_p99", func() { fsync.Observe(uint64(2 * time.Second)) }, nil},
+	}
+	for _, c := range cases {
+		c.trip()
+		st := e.Eval()
+		if st.Healthy {
+			t.Fatalf("%s: tripped but verdict healthy", c.name)
+		}
+		failed := failingRules(st)
+		if len(failed) != 1 {
+			t.Fatalf("%s: failing rules = %v, want exactly it", c.name, failed)
+		}
+		if r, ok := failed[c.name]; !ok {
+			t.Fatalf("%s: wrong rule failed: %v", c.name, failed)
+		} else if r.Reason == "" || r.Threshold < 0 {
+			t.Fatalf("%s: malformed result %+v", c.name, r)
+		}
+		if c.heal != nil {
+			c.heal()
+		}
+		// The next window is clean: counter deltas were consumed by the
+		// eval above, gauges were healed explicitly.
+		if st := e.Eval(); !st.Healthy {
+			t.Fatalf("%s: incident leaked into the next window: %+v", c.name, failingRules(st))
+		}
+	}
+}
+
+// TestHealthThresholds pins that thresholds parameterise the rules: a
+// tolerant posture keeps the same incident healthy.
+func TestHealthThresholds(t *testing.T) {
+	reg := NewRegistry()
+	dropped := reg.Scope().Counter("dta_engine_dropped_total", "t")
+
+	tolerant := NewHealthEvaluator(reg, DefaultHealthRules(HealthThresholds{
+		MaxDropRate: 1e12, MaxRingStallRate: 1e12, MaxDegradedRate: 1e12,
+		MaxDownReplicas: 10, MaxFsyncP99: time.Hour,
+	})...)
+	tolerant.Eval()
+	dropped.Add(1000)
+	if st := tolerant.Eval(); !st.Healthy {
+		t.Fatalf("tolerant thresholds still unhealthy: %+v", failingRules(st))
+	}
+
+	strict := NewHealthEvaluator(reg)
+	strict.Eval()
+	dropped.Add(1000)
+	if st := strict.Eval(); st.Healthy {
+		t.Fatal("strict thresholds passed a drop burst")
+	}
+}
+
+// TestHealthNilSafety pins the telemetry-off mode: nil evaluator and
+// nil registry always read healthy, including over HTTP.
+func TestHealthNilSafety(t *testing.T) {
+	var e *HealthEvaluator
+	if st := e.Eval(); !st.Healthy {
+		t.Fatal("nil evaluator unhealthy")
+	}
+	if st := NewHealthEvaluator(nil).Eval(); !st.Healthy {
+		t.Fatal("nil-registry evaluator unhealthy")
+	}
+	rec := httptest.NewRecorder()
+	HealthHandler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("nil /healthz served %d", rec.Code)
+	}
+}
+
+// TestHealthHandler pins the HTTP contract: 200 + JSON when healthy,
+// 503 with per-rule reasons when not.
+func TestHealthHandler(t *testing.T) {
+	reg := NewRegistry()
+	down := reg.Scope().Gauge("dta_ha_down_replicas", "t")
+	e := NewHealthEvaluator(reg)
+	h := HealthHandler(e)
+
+	get := func() (HealthStatus, int) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+		var st HealthStatus
+		if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+			t.Fatalf("bad payload: %v\n%s", err, rec.Body.String())
+		}
+		return st, rec.Code
+	}
+
+	if st, code := get(); code != 200 || !st.Healthy {
+		t.Fatalf("healthy serve: code %d, %+v", code, st)
+	}
+	down.Set(2)
+	st, code := get()
+	if code != 503 || st.Healthy {
+		t.Fatalf("unhealthy serve: code %d, %+v", code, st)
+	}
+	if r, ok := failingRules(st)["down_replicas"]; !ok || r.Value != 2 {
+		t.Fatalf("down_replicas verdict missing or wrong: %+v", st.Rules)
+	}
+	down.Set(0)
+	if st, code := get(); code != 200 || !st.Healthy {
+		t.Fatalf("healed serve: code %d, %+v", code, st)
+	}
+}

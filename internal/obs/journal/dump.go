@@ -1,0 +1,55 @@
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// DumpFileName is where System.Recover drops the journal inside the WAL
+// directory, so the timeline of what recovery found and did survives
+// the process for post-mortems (dtarecover -events reads it back).
+const DumpFileName = "events.jsonl"
+
+// DumpFile writes every retained event as JSON lines (one Record per
+// line, oldest first). Nil-safe: a nil journal writes an empty file.
+func (j *Journal) DumpFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	events, _, _ := j.Since(0, nil)
+	for i := range events {
+		if err := enc.Encode(events[i].Record()); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadDump parses a DumpFile back into records.
+func ReadDump(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var recs []Record
+	dec := json.NewDecoder(f)
+	for dec.More() {
+		var r Record
+		if err := dec.Decode(&r); err != nil {
+			return recs, fmt.Errorf("journal: dump line %d: %w", len(recs)+1, err)
+		}
+		recs = append(recs, r)
+	}
+	return recs, nil
+}

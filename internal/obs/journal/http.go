@@ -1,0 +1,84 @@
+package journal
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Record is the rendered (JSON) form of an Event, shared by the
+// /debug/events endpoint and the on-disk recovery dump so one decoder
+// (and one pair of eyes) reads both.
+type Record struct {
+	Seq       uint64    `json:"seq"`
+	Time      time.Time `json:"time"`
+	Sev       string    `json:"sev"`
+	Component string    `json:"component"`
+	Collector int       `json:"collector"` // -1 = standalone / cluster-wide
+	Cause     uint64    `json:"cause"`     // 0 = standalone event
+	Type      string    `json:"type"`
+	Detail    string    `json:"detail"`
+	Args      [3]uint64 `json:"args"`
+}
+
+// Record renders the event.
+func (ev *Event) Record() Record {
+	return Record{
+		Seq:       ev.Seq,
+		Time:      time.Unix(0, ev.WallNs).UTC(),
+		Sev:       ev.Sev.String(),
+		Component: ev.Comp.String(),
+		Collector: int(ev.Collector),
+		Cause:     ev.Cause,
+		Type:      ev.Type.String(),
+		Detail:    ev.Detail(),
+		Args:      [3]uint64{ev.Arg1, ev.Arg2, ev.Arg3},
+	}
+}
+
+// eventsPayload is the /debug/events response envelope.
+type eventsPayload struct {
+	// Last is the newest sequence number in the journal; pass it back
+	// as ?since= to receive only what happened after this scrape.
+	Last uint64 `json:"last"`
+	// Missed counts requested events the ring overwrote before this
+	// scrape (the caller's cursor fell more than the ring capacity
+	// behind); Dropped is the journal-lifetime overwrite total.
+	Missed  uint64   `json:"missed"`
+	Dropped uint64   `json:"dropped"`
+	Events  []Record `json:"events"`
+}
+
+// Handler serves the journal as JSON. GET /debug/events returns every
+// retained event; ?since=<seq> returns only events published after that
+// sequence number (use the previous response's "last" as the cursor).
+// Nil-safe: a nil journal serves an empty, well-formed payload.
+func Handler(j *Journal) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var since uint64
+		if s := r.URL.Query().Get("since"); s != "" {
+			v, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				http.Error(w, "bad since cursor: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			since = v
+		}
+		events, last, missed := j.Since(since, nil)
+		p := eventsPayload{Last: last, Missed: missed, Dropped: j.Dropped(), Events: make([]Record, 0, len(events))}
+		for i := range events {
+			p.Events = append(p.Events, events[i].Record())
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(p)
+	})
+}
+
+// Mount registers the journal's HTTP surface on an existing mux (the
+// one obs.Mux built): the event timeline at /debug/events.
+func Mount(mux *http.ServeMux, j *Journal) {
+	mux.Handle("/debug/events", Handler(j))
+}

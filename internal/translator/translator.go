@@ -20,12 +20,14 @@ package translator
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"dta/internal/core/appendlist"
 	"dta/internal/core/keyincrement"
 	"dta/internal/core/keywrite"
 	"dta/internal/core/postcarding"
 	"dta/internal/obs"
+	"dta/internal/obs/journal"
 	"dta/internal/rdma"
 	"dta/internal/wire"
 )
@@ -202,6 +204,16 @@ type Translator struct {
 	// a report is dropped by the rate limiter.
 	NACK func(r *wire.Report)
 
+	// Journal, when wired, receives rate-gated flight-recorder events
+	// for shed episodes (rate-limit drops) and parse errors. The zero
+	// value is a no-op. The translator is single-threaded by contract,
+	// so the gate fields below need no atomics.
+	Journal       journal.Emitter
+	shedGate      journal.Gate
+	parseGate     journal.Gate
+	shedCause     uint64
+	parseErrCause uint64
+
 	// WAL, if non-nil, observes every admitted report in staged form
 	// before primitive processing — the durability hook (internal/wal):
 	// logging at admission rather than at RDMA emit keeps one compact
@@ -358,6 +370,7 @@ func (t *Translator) ProcessFrame(frame []byte, nowNs uint64) error {
 	p := &t.frame
 	if err := wire.DecodeFrame(frame, p); err != nil {
 		t.ctr.parseErrors.Inc()
+		t.noteParseError()
 		return err
 	}
 	if !p.IsDTA {
@@ -402,6 +415,7 @@ func (t *Translator) processReport(r *wire.Report, nowNs uint64) error {
 	default:
 		t.ctr.unkReports.Inc()
 		t.ctr.parseErrors.Inc()
+		t.noteParseError()
 		return fmt.Errorf("translator: unknown primitive %v", r.Header.Primitive)
 	}
 }
@@ -454,6 +468,7 @@ func (t *Translator) processStaged(s *wire.StagedReport, nowNs uint64) error {
 	default:
 		t.ctr.unkReports.Inc()
 		t.ctr.parseErrors.Inc()
+		t.noteParseError()
 		return fmt.Errorf("translator: unknown primitive %v", s.Primitive())
 	}
 }
@@ -483,12 +498,42 @@ func (n nackRef) report(scratch *wire.Report) *wire.Report {
 
 func (t *Translator) drop(src nackRef) error {
 	t.ctr.rateDropped.Inc()
+	t.noteShed()
 	if t.NACK != nil {
 		t.ctr.nacks.Inc()
 		t.NACK(src.report(&t.nackScratch))
 	}
 	return nil
 }
+
+// noteShed publishes a rate-gated EvRateShed carrying the cumulative
+// drop count. Shedding happens per report under overload, so without
+// the gate a sustained episode would lap the journal ring and evict
+// the rare control-plane chains the recorder exists to keep.
+func (t *Translator) noteShed() {
+	if t.Journal.J == nil || !t.shedGate.Allow(shedEventGap) {
+		return
+	}
+	if t.shedCause == 0 {
+		t.shedCause = t.Journal.NewCause()
+	}
+	t.Journal.Emit(journal.EvRateShed, journal.SevWarn, t.shedCause, t.ctr.rateDropped.Load(), 0, 0)
+}
+
+// noteParseError is noteShed's twin for malformed ingest.
+func (t *Translator) noteParseError() {
+	if t.Journal.J == nil || !t.parseGate.Allow(shedEventGap) {
+		return
+	}
+	if t.parseErrCause == 0 {
+		t.parseErrCause = t.Journal.NewCause()
+	}
+	t.Journal.Emit(journal.EvParseError, journal.SevWarn, t.parseErrCause, t.ctr.parseErrors.Load(), 0, 0)
+}
+
+// shedEventGap spaces journal events for high-frequency degradation
+// (shed reports, parse errors): at most one event per stream per gap.
+const shedEventGap = 100 * time.Millisecond
 
 func immediateOf(prim wire.Primitive, flags uint8) *uint32 {
 	if flags&wire.FlagImmediate == 0 {
@@ -582,6 +627,7 @@ func (t *Translator) emitFetchAdds(ki *wire.KeyIncrement, nowNs uint64) error {
 	}
 	if !t.limiter.allow(nowNs, n) {
 		t.ctr.rateDropped.Inc()
+		t.noteShed()
 		return nil
 	}
 	// Craft once, patch address+PSN per replica (see keyWrite).

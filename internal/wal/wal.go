@@ -52,6 +52,7 @@ import (
 	"time"
 
 	"dta/internal/obs"
+	"dta/internal/obs/journal"
 	"dta/internal/wire"
 )
 
@@ -298,6 +299,13 @@ type Writer struct {
 
 	ctr walCounters
 
+	// jr publishes segment-lifecycle events (rotations, flusher
+	// failure) to the flight recorder; jrCause chains them so the log's
+	// whole segment history renders as one timeline. Set via SetJournal
+	// before ingest starts; the zero value is a no-op.
+	jr      journal.Emitter
+	jrCause uint64
+
 	// Flusher-owned state (no appender access after Create).
 	f        *os.File
 	buf      []byte // write-behind buffer
@@ -409,6 +417,15 @@ func CreateScoped(dir string, pol Policy, sc *obs.Scope) (*Writer, error) {
 	w.durable.Store(next - 1)
 	go w.flusher()
 	return w, nil
+}
+
+// SetJournal threads the flight recorder into the writer. Call it
+// right after Create, before the first Append: the flusher goroutine
+// only touches the emitter when processing records, and the first
+// record's publication happens-after this store.
+func (w *Writer) SetJournal(e journal.Emitter) {
+	w.jr = e
+	w.jrCause = e.NewCause()
 }
 
 // err surfaces the first flusher failure into the appender's control
@@ -590,7 +607,10 @@ func (w *Writer) flusher() {
 		// Box on the error path only: taking the parameter's address
 		// would heap-allocate it on every (overwhelmingly nil) call.
 		boxed := err
-		w.flushErr.CompareAndSwap(nil, &boxed)
+		if w.flushErr.CompareAndSwap(nil, &boxed) {
+			// First failure only: the log just went sticky-dead.
+			w.jr.Emit(journal.EvWALError, journal.SevError, w.jrCause, 0, 0, 0)
+		}
 		return true
 	}
 	var pending *ctrlReq
@@ -708,6 +728,8 @@ func (w *Writer) writeOut() error {
 // rotate finalises the current segment and opens a fresh one whose base
 // LSN is the next record's. Flusher-only.
 func (w *Writer) rotate() error {
+	rotated := w.f != nil
+	var fsyncNs int64
 	if w.f != nil {
 		if err := w.writeOut(); err != nil {
 			return err
@@ -721,9 +743,11 @@ func (w *Writer) rotate() error {
 		// SegmentBytes is far off the hot path, and it keeps "every
 		// non-tail segment is fully intact on stable storage" an
 		// invariant recovery and Sync can both lean on.
+		t0 := obs.Nanotime()
 		span := obs.Start(w.ctr.fsyncNs)
 		err := w.f.Sync()
 		span.End()
+		fsyncNs = obs.Nanotime() - t0
 		if err != nil {
 			return err
 		}
@@ -748,5 +772,11 @@ func (w *Writer) rotate() error {
 	w.f = f
 	w.segBytes = segHeaderLen
 	w.prevNow = 0 // timestamp deltas restart per segment
+	if rotated {
+		// One event per rotation, carrying the finalising fsync's cost:
+		// the rotate→fsync pair the timeline wants, without a second
+		// ring slot per rotation.
+		w.jr.Emit(journal.EvWALRotate, journal.SevInfo, w.jrCause, base, uint64(fsyncNs), 0)
+	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"net/http"
 
 	"dta/internal/obs"
+	"dta/internal/obs/journal"
 )
 
 // ObsRegistry is a deployment's self-telemetry registry: every layer —
@@ -50,3 +51,87 @@ func (c *HACluster) Metrics() *ObsRegistry { return c.reg }
 //	srv := &http.Server{Addr: ":9090", Handler: dta.ObsMux(sys.Metrics())}
 //	go srv.ListenAndServe()
 func ObsMux(r *ObsRegistry) *http.ServeMux { return obs.Mux(r) }
+
+// EventJournal is the control-plane flight recorder: a bounded lock-free
+// ring of structured events (failovers, resyncs, WAL rotations, crash
+// recoveries, queue stalls) with causal linkage. See internal/obs/journal.
+type EventJournal = journal.Journal
+
+// JournalEvent is one decoded flight-recorder entry.
+type JournalEvent = journal.Event
+
+// JournalRecord is a JournalEvent's JSON form (what /debug/events serves
+// and recovery dumps to events.jsonl).
+type JournalRecord = journal.Record
+
+// HealthEvaluator runs SLO rules over a registry's snapshot deltas; its
+// verdict backs /healthz. See internal/obs's DefaultHealthRules.
+type HealthEvaluator = obs.HealthEvaluator
+
+// HealthStatus is one full health evaluation (the /healthz payload).
+type HealthStatus = obs.HealthStatus
+
+// HealthRuleResult is one rule's verdict within a HealthStatus.
+type HealthRuleResult = obs.RuleResult
+
+// Journal returns the system's flight recorder (nil when Options.
+// DisableTelemetry was set). Serve it with ObsMux via the system's
+// ObsMux method, tail it with dtastat -events, or poll Since in-process.
+func (s *System) Journal() *EventJournal { return s.jr }
+
+// Journal returns the flight recorder shared by every member collector;
+// events carry the emitting member's collector label.
+func (c *Cluster) Journal() *EventJournal { return c.jr }
+
+// Journal returns the flight recorder shared by every member collector
+// and the HA control plane (failover and resync chains).
+func (c *HACluster) Journal() *EventJournal { return c.jr }
+
+// HealthEval returns the deployment's /healthz evaluator (default rules
+// over default thresholds), built once on first use. Call Eval for an
+// in-process verdict — dtaload -verify scenarios assert on it directly.
+// Nil-safe with telemetry disabled: the evaluator always reads healthy.
+func (s *System) HealthEval() *HealthEvaluator {
+	s.healthOnce.Do(func() { s.health = obs.NewHealthEvaluator(s.obsReg) })
+	return s.health
+}
+
+// HealthEval returns the cluster's /healthz evaluator (see System.HealthEval).
+func (c *Cluster) HealthEval() *HealthEvaluator {
+	c.healthOnce.Do(func() { c.health = obs.NewHealthEvaluator(c.reg) })
+	return c.health
+}
+
+// HealthEval returns the HA cluster's /healthz evaluator: the default
+// rules include the dta_ha_* availability series, so the verdict flips
+// unhealthy while replicas are down or writes degrade and back to
+// healthy once Rebalance heals the cluster.
+func (c *HACluster) HealthEval() *HealthEvaluator {
+	c.healthOnce.Do(func() { c.healthEval = obs.NewHealthEvaluator(c.reg) })
+	return c.healthEval
+}
+
+// fullMux assembles the complete observability surface: metrics, expvar
+// and pprof (obs.Mux), the flight recorder at /debug/events, and the
+// rule-driven verdict at /healthz.
+func fullMux(r *ObsRegistry, j *EventJournal, e *HealthEvaluator) *http.ServeMux {
+	mux := obs.Mux(r)
+	journal.Mount(mux, j)
+	obs.MountHealth(mux, e)
+	return mux
+}
+
+// ObsMux mounts the system's full observability surface on a fresh mux:
+// everything the package-level ObsMux serves, plus the flight recorder
+// at /debug/events (cursor protocol: ?since=<seq>) and the health
+// verdict at /healthz (HTTP 503 with per-rule reasons when unhealthy).
+func (s *System) ObsMux() *http.ServeMux { return fullMux(s.obsReg, s.jr, s.HealthEval()) }
+
+// ObsMux mounts the cluster's full observability surface (see
+// System.ObsMux).
+func (c *Cluster) ObsMux() *http.ServeMux { return fullMux(c.reg, c.jr, c.HealthEval()) }
+
+// ObsMux mounts the HA cluster's full observability surface (see
+// System.ObsMux); /debug/events carries the failover, resync and
+// checkpoint chains.
+func (c *HACluster) ObsMux() *http.ServeMux { return fullMux(c.reg, c.jr, c.HealthEval()) }
