@@ -30,6 +30,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"strings"
 	"text/tabwriter"
 	"time"
 
@@ -56,6 +57,11 @@ func main() {
 		frames    = flag.Bool("frames", false, "use the wire-level frame reporters instead of the structured fast path")
 		walDir    = flag.String("wal", "", "write-ahead-log root directory (needs -replicas; enables exact log-based Append resync)")
 		walSync   = flag.String("wal-sync", "none", "WAL sync policy: none, interval[=d], batch")
+
+		walDegrade  = flag.Duration("wal-degrade", 0, "fsync latency bound above which the WAL degrades to flush-acks (0 = never)")
+		chaosSeed   = flag.Int64("chaos-seed", 0, "chaos plane seed (0 = derive from -seed)")
+		retryBudget = flag.Int("retry-budget", dta.DefaultRetryBudget, "max rebalance attempts while resyncs back off")
+		autoReb     = flag.Bool("auto-rebalance", false, "rebalance automatically once a chaos heal arms it")
 	)
 	flag.Parse()
 
@@ -109,15 +115,40 @@ func main() {
 	fmt.Printf("profile=%s shards=%d reporters=%d reports/reporter=%d seed=%d policy=%s replicas=%d path=%s gomaxprocs=%d\n",
 		prof.Kind, *shards, *reporters, *reports, *seed, *policy, *replicas, path, runtime.GOMAXPROCS(0))
 
+	if *chaosSeed == 0 {
+		*chaosSeed = *seed
+	}
+	if len(sched) > 0 {
+		// The full reproduction recipe up front: the workload seed, the
+		// chaos seed, and the explicit (flap-expanded) plan the run will
+		// execute. Paste these back as flags to replay the run exactly.
+		fmt.Printf("schedule: seed=%d chaos-seed=%d plan=%s\n", *seed, *chaosSeed, loadgen.FormatSchedule(sched))
+	}
+
 	if *walDir != "" && *replicas < 1 {
 		log.Fatal("dtaload: -wal requires -replicas >= 1")
 	}
 
 	if *replicas >= 1 {
-		runHA(opts, cfg, lcfg, *shards, *replicas, *verify, *frames, *walDir, *walSync)
+		runHA(opts, cfg, lcfg, haParams{
+			shards: *shards, replicas: *replicas, verify: *verify, frames: *frames,
+			walDir: *walDir, walSync: *walSync, walDegrade: *walDegrade,
+			chaosSeed: *chaosSeed, retryBudget: *retryBudget, autoReb: *autoReb,
+		})
 		return
 	}
 	runPlain(opts, cfg, lcfg, *shards, *frames)
+}
+
+// haParams bundles the HA/chaos knobs runHA needs.
+type haParams struct {
+	shards, replicas, verify int
+	frames                   bool
+	walDir, walSync          string
+	walDegrade               time.Duration
+	chaosSeed                int64
+	retryBudget              int
+	autoReb                  bool
 }
 
 // newReporter picks the ingest representation the run drives: the
@@ -155,20 +186,30 @@ func runPlain(opts dta.Options, cfg dta.EngineConfig, lcfg loadgen.Config, shard
 
 // runHA drives the replicated cluster, optionally injecting the failure
 // schedule, then rebalances and verifies recovery of written keys.
-func runHA(opts dta.Options, cfg dta.EngineConfig, lcfg loadgen.Config, shards, replicas, verify int, frames bool, walDir, walSync string) {
-	hac, err := dta.NewHACluster(shards, replicas, opts)
+func runHA(opts dta.Options, cfg dta.EngineConfig, lcfg loadgen.Config, p haParams) {
+	hac, err := dta.NewHACluster(p.shards, p.replicas, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if walDir != "" {
-		pol, err := dta.ParseWALPolicy(walSync)
+	needsChaos := loadgen.ScheduleNeedsChaos(lcfg.Schedule)
+	if needsChaos {
+		// Before WithWAL: segment files are fault-wrapped at open.
+		if _, err := hac.EnableChaos(p.chaosSeed); err != nil {
+			log.Fatal(err)
+		}
+		hac.SetAutoRebalance(p.autoReb)
+	}
+	if p.walDir != "" {
+		pol, err := dta.ParseWALPolicy(p.walSync)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := hac.WithWAL(walDir, pol); err != nil {
+		pol.DegradeFsync = p.walDegrade
+		if err := hac.WithWAL(p.walDir, pol); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("wal: logging to %s (sync=%s); Append resync is log-based (exact)\n", walDir, walSync)
+		fmt.Printf("wal: logging to %s (sync=%s degrade=%s); Append resync is log-based (exact)\n",
+			p.walDir, p.walSync, p.walDegrade)
 	}
 	eng, err := hac.Engine(cfg)
 	if err != nil {
@@ -195,11 +236,30 @@ func runHA(opts dta.Options, cfg dta.EngineConfig, lcfg loadgen.Config, shards, 
 			printHealth("outage", he.Eval())
 			fmt.Printf("event: restore collector %d\n", ev.Collector)
 			return hac.SetUp(ev.Collector)
+		case loadgen.Partition:
+			fmt.Printf("event: partition reporter→collector %d\n", ev.Collector)
+			return hac.PartitionReporter(ev.Collector)
+		case loadgen.PartitionPeer:
+			fmt.Printf("event: partition peers %d↔%d\n", ev.Collector, ev.Peer)
+			return hac.PartitionPeers(ev.Collector, ev.Peer)
+		case loadgen.SlowDisk:
+			fmt.Printf("event: slowdisk collector %d fsync+=%s\n", ev.Collector, ev.FsyncLat)
+			return hac.SlowDisk(ev.Collector, ev.FsyncLat)
+		case loadgen.Skew:
+			fmt.Printf("event: skew collector %d clock by %s\n", ev.Collector, ev.Skew)
+			return hac.SetClockSkew(ev.Collector, ev.Skew)
+		case loadgen.Heal:
+			if ev.Collector < 0 {
+				fmt.Println("event: heal cluster-wide")
+			} else {
+				fmt.Printf("event: heal collector %d\n", ev.Collector)
+			}
+			return hac.HealChaos(ev.Collector)
 		}
 		return fmt.Errorf("dtaload: unknown action %v", ev.Action)
 	}
 	res, err := loadgen.Run(lcfg, func(i int) loadgen.Reporter {
-		return newReporter(eng, uint32(i+1), frames)
+		return newReporter(eng, uint32(i+1), p.frames)
 	})
 	if err != nil {
 		log.Fatalf("dtaload: %v", err)
@@ -210,8 +270,8 @@ func runHA(opts dta.Options, cfg dta.EngineConfig, lcfg loadgen.Config, shards, 
 	// whatever divergence the failure schedule left behind, and
 	// read-repair heals it query by query — the ReadRepairs delta is
 	// the divergence the pass observed and fixed on the spot.
-	if verify > 0 {
-		verifyHA(hac, lcfg, verify, "verify (pre-rebalance, read-repairing)")
+	if p.verify > 0 {
+		verifyHA(hac, lcfg, p.verify, "verify (pre-rebalance, read-repairing)")
 		fmt.Printf("read-repairs so far: %d\n", hac.HAStats().ReadRepairs)
 	}
 
@@ -222,37 +282,151 @@ func runHA(opts dta.Options, cfg dta.EngineConfig, lcfg loadgen.Config, shards, 
 		printHealth("pre-rebalance", he.Eval())
 	}
 
-	if err := hac.Rebalance(); err != nil {
-		log.Fatalf("dtaload: rebalance: %v", err)
+	if hac.ChaosActive() {
+		// Faults the schedule never healed are still in: a first
+		// rebalance attempt is expected to defer the blocked targets
+		// (observable as resync-retries), then the faults are cleared
+		// and the retried rebalance below must converge.
+		if err := hac.Rebalance(); err != nil {
+			fmt.Printf("rebalance (chaos active): %v\n", err)
+		}
+		fmt.Println("healing remaining chaos faults")
+		if err := hac.HealChaos(-1); err != nil {
+			log.Fatalf("dtaload: heal: %v", err)
+		}
+	}
+	rebalanced := false
+	if p.autoReb {
+		ran, err := hac.AutoRebalance(p.retryBudget)
+		if err != nil {
+			log.Fatalf("dtaload: auto-rebalance: %v", err)
+		}
+		if ran {
+			fmt.Println("auto-rebalance: armed by chaos heal, ran")
+			rebalanced = true
+		}
+	}
+	if !rebalanced {
+		if err := hac.RebalanceUntilHealed(p.retryBudget); err != nil {
+			log.Fatalf("dtaload: rebalance: %v", err)
+		}
 	}
 	// After the rebalance healed the cluster the verdict must flip back:
 	// replicas up, the window's delta clean of degradation. The flight
 	// recorder must show the failure arc as one causal chain.
 	if len(lcfg.Schedule) > 0 {
 		printHealth("post-rebalance", he.Eval())
-		printFailoverChains(hac, walDir != "")
+		printFailoverChains(hac, p.walDir != "")
 	}
 
 	hst := hac.HAStats()
 	fmt.Printf("ha: degraded-writes=%d lost-writes=%d replica-skips=%d degraded-queries=%d failover-queries=%d\n",
 		hst.DegradedWrites, hst.LostWrites, hst.ReplicaSkips, hst.DegradedQueries, hst.FailoverQueries)
-	fmt.Printf("ha: read-repairs=%d resyncs=%d resync-slots=%d resync-slots-skipped=%d append-entries-resynced=%d\n\n",
-		hst.ReadRepairs, hst.Resyncs, hst.ResyncSlots, hst.ResyncSlotsSkipped, hst.AppendEntriesResynced)
+	fmt.Printf("ha: read-repairs=%d resyncs=%d resync-slots=%d resync-slots-skipped=%d append-entries-resynced=%d resync-retries=%d\n\n",
+		hst.ReadRepairs, hst.Resyncs, hst.ResyncSlots, hst.ResyncSlotsSkipped, hst.AppendEntriesResynced, hst.ResyncRetries)
 
 	printShards(eng, func(i int) dta.Stats { return hac.System(i).Stats() })
 
-	if verify > 0 {
-		verifyHA(hac, lcfg, verify, "verify (post-rebalance)")
-		verifyAppendLists(hac, lcfg)
+	var verdictErr error
+	if p.verify > 0 {
+		fmt.Printf("\nverify-stamp: seed=%d chaos-seed=%d schedule=%q\n",
+			lcfg.Seed, p.chaosSeed, loadgen.FormatSchedule(lcfg.Schedule))
+		vr := verifyHA(hac, lcfg, p.verify, "verify (post-rebalance)")
+		apct, hasAppends := verifyAppendLists(hac, lcfg)
+		if len(lcfg.Schedule) > 0 {
+			verdictErr = chaosVerdict(hac, lcfg, p, vr, apct, hasAppends)
+		}
 	}
 	if err := eng.Close(); err != nil {
 		log.Fatalf("dtaload: close: %v", err)
 	}
+	if verdictErr != nil {
+		os.Exit(1)
+	}
+}
+
+// verifyResult is one verifyHA pass's tally.
+type verifyResult struct {
+	keys, found, correct, unreachable int
+}
+
+// chaosVerdict prints the run's chaos evidence and a grep-able
+// PASS/FAIL verdict line asserting the exactness contract: after the
+// final rebalance every surviving key reads back its exact value, no
+// owner set is unreachable, Append lists recovered fully, and slow-disk
+// runs actually exercised the WAL's degraded-ack machinery.
+func chaosVerdict(hac *dta.HACluster, lcfg loadgen.Config, p haParams, vr verifyResult, appendPct float64, hasAppends bool) error {
+	var degradeEnter, degradeExit int
+	if j := hac.Journal(); j != nil {
+		events, _, _ := j.Since(0, nil)
+		for i := range events {
+			switch events[i].Type {
+			case journal.EvWALDegradeEnter:
+				degradeEnter++
+			case journal.EvWALDegradeExit:
+				degradeExit++
+			}
+		}
+	}
+	var degradedAcks uint64
+	if p.walDir != "" {
+		for i := 0; i < hac.Size(); i++ {
+			if st, ok := hac.System(i).WALStats(); ok {
+				degradedAcks += st.DegradedAcks
+			}
+		}
+	}
+	fmt.Printf("chaos: resync-retries=%d degrade-enter=%d degrade-exit=%d degraded-acks=%d\n",
+		hac.HAStats().ResyncRetries, degradeEnter, degradeExit, degradedAcks)
+
+	// The Key-Write store is probabilistic by design: hash-slot
+	// collisions evict a sliver of keys even in a fault-free run (the
+	// paper's best-effort contract), so convergence is asserted as a
+	// high found floor with every found key byte-exact — not found ==
+	// keys. Appends are log-replayed and must recover exactly.
+	const minFoundPct = 99.9
+	var fails []string
+	if pct := 100 * float64(vr.found) / float64(max(vr.keys, 1)); pct < minFoundPct {
+		fails = append(fails, fmt.Sprintf("found %d/%d keys (%.2f%% < %.1f%%)", vr.found, vr.keys, pct, minFoundPct))
+	}
+	if vr.correct != vr.found {
+		fails = append(fails, fmt.Sprintf("correct %d/%d found keys", vr.correct, vr.found))
+	}
+	if vr.unreachable != 0 {
+		fails = append(fails, fmt.Sprintf("%d unreachable owner sets", vr.unreachable))
+	}
+	if hasAppends && appendPct < 100 {
+		fails = append(fails, fmt.Sprintf("append recovery %.2f%%", appendPct))
+	}
+	if hadSlowDisk(lcfg.Schedule) && p.walDegrade > 0 && p.walDir != "" {
+		if degradeEnter == 0 || degradeExit == 0 {
+			fails = append(fails, fmt.Sprintf("degraded-ack never cycled (enter=%d exit=%d)", degradeEnter, degradeExit))
+		}
+		if degradedAcks == 0 {
+			fails = append(fails, "no degraded acks recorded")
+		}
+	}
+	if len(fails) > 0 {
+		fmt.Printf("chaos-verdict: FAIL (%s)\n", strings.Join(fails, "; "))
+		return errors.New("chaos verdict failed")
+	}
+	fmt.Println("chaos-verdict: PASS")
+	return nil
+}
+
+// hadSlowDisk reports whether the schedule injected a disk fault.
+func hadSlowDisk(evs []loadgen.Event) bool {
+	for _, ev := range evs {
+		if ev.Action == loadgen.SlowDisk && ev.FsyncLat > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // verifyHA queries back the keys the deterministic workload wrote and
 // reports how many survived the failure scenario.
-func verifyHA(hac *dta.HACluster, lcfg loadgen.Config, limit int, stage string) {
+func verifyHA(hac *dta.HACluster, lcfg loadgen.Config, limit int, stage string) verifyResult {
 	keys := loadgen.WrittenKeys(lcfg)
 	if len(keys) > limit {
 		keys = keys[:limit]
@@ -286,6 +460,7 @@ func verifyHA(hac *dta.HACluster, lcfg loadgen.Config, limit int, stage string) 
 	}
 	fmt.Printf("\n%s: keys=%d found=%d (%.2f%%) correct=%d (%.2f%%) unreachable=%d\n",
 		stage, len(keys), found, pct(found), correct, pct(correct), unreachable)
+	return verifyResult{keys: len(keys), found: found, correct: correct, unreachable: unreachable}
 }
 
 // verifyAppendLists replays the workload streams to learn what every
@@ -296,10 +471,10 @@ func verifyHA(hac *dta.HACluster, lcfg loadgen.Config, limit int, stage string) 
 // several concurrent reporters the replicas' arrival orders can differ
 // around the failure boundary, costing a sliver of the suffix — the
 // same best-effort hazard failover polling has).
-func verifyAppendLists(hac *dta.HACluster, lcfg loadgen.Config) {
+func verifyAppendLists(hac *dta.HACluster, lcfg loadgen.Config) (float64, bool) {
 	expected := loadgen.AppendedKeys(lcfg)
 	if len(expected) == 0 {
-		return // profile never appends
+		return 100, false // profile never appends
 	}
 	totalWant, totalGot := 0, 0
 	worst := 100.0
@@ -353,6 +528,7 @@ func verifyAppendLists(hac *dta.HACluster, lcfg loadgen.Config) {
 	}
 	fmt.Printf("append-verify: lists=%d expected-entries/owner-pair=%d recovered=%d (%.2f%%) worst-owner=%.2f%%\n",
 		len(expected), totalWant, totalGot, pct, worst)
+	return worst, true
 }
 
 func printRun(res loadgen.Result, eng *dta.Engine) {

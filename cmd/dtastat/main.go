@@ -317,10 +317,11 @@ func renderWAL(w io.Writer, s *obs.Snapshot, elapsed time.Duration) {
 		return
 	}
 	tw := tabwriter.NewWriter(w, 2, 2, 2, ' ', 0)
-	fmt.Fprintln(tw, "WAL\tappends\tsyncs\tring occ/hwm\tstalls\tflush p50/p99 µs\tfsync p50/p99 µs")
-	fmt.Fprintf(tw, "\t%s\t%s\t%s/%s\t%s\t%s\t%s\n",
+	fmt.Fprintln(tw, "WAL\tappends\tsyncs\tdegraded acks\tring occ/hwm\tstalls\tflush p50/p99 µs\tfsync p50/p99 µs")
+	fmt.Fprintf(tw, "\t%s\t%s\t%s\t%s/%s\t%s\t%s\t%s\n",
 		rate(all["dta_wal_appends_total"], elapsed),
 		rate(all["dta_wal_syncs_total"], elapsed),
+		rate(all["dta_wal_degraded_acks_total"], elapsed),
 		gauge(all["dta_wal_ring_occupancy"]),
 		gauge(all["dta_wal_ring_high_water"]),
 		rate(all["dta_wal_ring_stalls_total"], elapsed),
@@ -340,12 +341,13 @@ func renderHA(w io.Writer, s *obs.Snapshot, elapsed time.Duration) {
 		return
 	}
 	tw := tabwriter.NewWriter(w, 2, 2, 2, ' ', 0)
-	fmt.Fprintln(tw, "HA\tdegraded writes\tlost writes\tfailover queries\tread repairs\tresyncs")
-	fmt.Fprintf(tw, "\t%s\t%s\t%s\t%s\t%s\n",
+	fmt.Fprintln(tw, "HA\tdegraded writes\tlost writes\tfailover queries\tread repairs\tresyncs\tresync retries")
+	fmt.Fprintf(tw, "\t%s\t%s\t%s\t%s\t%s\t%s\n",
 		rate(degraded, elapsed),
 		rate(lost, elapsed),
 		rate(all["dta_ha_failover_queries_total"], elapsed),
 		rate(all["dta_ha_read_repairs_total"], elapsed),
-		rate(all["dta_ha_resyncs_total"], elapsed))
+		rate(all["dta_ha_resyncs_total"], elapsed),
+		rate(all["dta_ha_resync_retries_total"], elapsed))
 	tw.Flush()
 }

@@ -149,6 +149,12 @@ type System struct {
 	// now is the simulation clock; atomic so Advance can run while an
 	// attached Engine worker reads it.
 	now atomic.Uint64
+	// skew is an injected per-collector clock offset (signed ns, chaos
+	// plane): Now reports now + skew, so a skewed collector timestamps
+	// reports, token-bucket refills and WAL records off a shifted — and,
+	// across a step, non-monotonic — wall clock, exactly the hostile
+	// clock the rate limiter and varint time deltas must survive.
+	skew atomic.Int64
 
 	// eventsOnce guards the single Events pump; see Events.
 	eventsOnce sync.Once
@@ -320,8 +326,20 @@ func (s *System) FrameReporter(switchID uint32) *Reporter {
 // modelling).
 func (s *System) Advance(ns uint64) { s.now.Add(ns) }
 
-// Now returns the system clock in nanoseconds.
-func (s *System) Now() uint64 { return s.now.Load() }
+// Now returns the system clock in nanoseconds, including any injected
+// skew (SetClockSkew).
+func (s *System) Now() uint64 { return uint64(int64(s.now.Load()) + s.skew.Load()) }
+
+// SetClockSkew injects a signed offset onto this collector's clock — the
+// chaos plane's skew/step fault. A negative step makes Now jump
+// backwards (non-monotonic wall time); downstream consumers tolerate it:
+// the translator's token bucket clamps refills on time reversal, and WAL
+// timestamp deltas are signed varints, so recovery decodes skewed
+// records exactly. Safe concurrently with ingest.
+func (s *System) SetClockSkew(d int64) { s.skew.Store(d) }
+
+// ClockSkew returns the injected clock offset in nanoseconds.
+func (s *System) ClockSkew() int64 { return s.skew.Load() }
 
 // deliver carries one reporter frame across the (optional) lossy link
 // into the translator.

@@ -278,12 +278,22 @@ func (c *HACluster) WithWAL(dir string, pol WALPolicy) error {
 		return errors.New("dta: WAL already attached")
 	}
 	for i, sys := range c.systems {
-		if err := sys.WithWAL(walSubdir(dir, i), pol); err != nil {
+		if err := sys.WithWAL(walSubdir(dir, i), c.memberWALPolicy(i, pol)); err != nil {
 			return err
 		}
 	}
 	c.walDir, c.walPol = dir, pol
 	return nil
+}
+
+// memberWALPolicy is collector i's copy of the cluster WAL policy: with
+// a chaos plane enabled, its segment files open through the collector's
+// fault-injection disk (slow fsyncs, sticky errnos, short writes).
+func (c *HACluster) memberWALPolicy(i int, pol WALPolicy) WALPolicy {
+	if c.chaos != nil {
+		pol.WrapFile = c.chaos.Disk(i).WrapFile
+	}
+	return pol
 }
 
 // Recover rebuilds every collector's state from an HA WAL root written
@@ -414,6 +424,12 @@ func (c *HACluster) designatedAppendPeer(target int, list uint32) int {
 	}
 	for _, o := range owners {
 		if o == target || c.health.IsDown(o) {
+			continue
+		}
+		// Route around peer partitions: a cut peer's log is unreadable
+		// by contract. (Rebalance already defers wholly-blocked targets;
+		// this keeps the designation itself partition-aware.)
+		if c.chaos.PeersCut(target, o) {
 			continue
 		}
 		return o

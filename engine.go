@@ -155,9 +155,16 @@ func (e *Engine) ShardStats() []EngineStats {
 // own AsyncReporter (they are cheap). Call Flush before Drain so staged
 // reports reach the shard queues.
 func (e *Engine) Reporter(switchID uint32) *AsyncReporter {
+	sub := e.inner.Submitter()
+	if e.hac != nil {
+		// HA fan-outs stage one report on several owner shards; the
+		// resync watermark fence needs those copies to reach the shard
+		// queues together (see HACluster.fenceMu).
+		sub.SetCoupled(true)
+	}
 	return &AsyncReporter{
 		eng:      e,
-		sub:      e.inner.Submitter(),
+		sub:      sub,
 		switchID: switchID,
 	}
 }
@@ -174,6 +181,9 @@ func (e *Engine) FrameReporter(switchID uint32) *AsyncReporter {
 		switchID: switchID,
 		frames:   true,
 		buf:      make([]byte, wire.MaxReportLen),
+	}
+	if e.hac != nil {
+		r.sub.SetCoupled(true) // see Reporter
 	}
 	for range e.systems {
 		r.reps = append(r.reps, reporter.New(reporterConfig(switchID)))
@@ -234,12 +244,17 @@ func (r *AsyncReporter) submitReport(shard int, rep *wire.Report) error {
 // are skipped with a counter, never an error.
 func (r *AsyncReporter) haFan(owners []int, encode func(rep *reporter.Reporter, buf []byte) (int, error)) error {
 	h := r.eng.hac
+	// Fence read-lock across the whole fan-out, including any coupled
+	// chunk flush a submit triggers — see HACluster.fenceMu.
+	h.fenceMu.RLock()
+	defer h.fenceMu.RUnlock()
 	// Skip set decided before the first submit — see HAReporter.fan for
 	// why this ordering is load-bearing for the incremental-resync
-	// epoch fence.
+	// epoch fence. unreachable covers both down flags and chaos-plane
+	// reporter-link cuts.
 	var skip [ha.MaxReplicas]bool
 	for i, o := range owners {
-		skip[i] = h.health.IsDown(o)
+		skip[i] = h.unreachable(o)
 	}
 	live := 0
 	for i, o := range owners {
@@ -267,10 +282,13 @@ func (r *AsyncReporter) haFanReport(owners []int, rep *wire.Report) error {
 		return err
 	}
 	h := r.eng.hac
+	// Fence read-lock across the whole fan-out — see HACluster.fenceMu.
+	h.fenceMu.RLock()
+	defer h.fenceMu.RUnlock()
 	// Skip set decided before the first submit — see HAReporter.fan.
 	var skip [ha.MaxReplicas]bool
 	for i, o := range owners {
-		skip[i] = h.health.IsDown(o)
+		skip[i] = h.unreachable(o)
 	}
 	live := 0
 	for i, o := range owners {
@@ -289,7 +307,15 @@ func (r *AsyncReporter) haFanReport(owners []int, rep *wire.Report) error {
 // Flush queues this reporter's staged chunks. Producers must call it
 // (on their own goroutine) before the engine's Drain or Close covers
 // their reports.
-func (r *AsyncReporter) Flush() error { return r.sub.Flush() }
+func (r *AsyncReporter) Flush() error {
+	if h := r.eng.hac; h != nil {
+		// A flush pushes all shards' chunks as one atomic event with
+		// respect to the resync watermark fence — see HACluster.fenceMu.
+		h.fenceMu.RLock()
+		defer h.fenceMu.RUnlock()
+	}
+	return r.sub.Flush()
+}
 
 // KeyWrite stores data under key with redundancy n via the owning
 // shard (all R owning shards on an HACluster engine).

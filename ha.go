@@ -9,6 +9,9 @@ import (
 	"sync"
 	"time"
 
+	"math/rand"
+
+	"dta/internal/chaos"
 	"dta/internal/core/keyincrement"
 	"dta/internal/ha"
 	"dta/internal/obs"
@@ -116,6 +119,20 @@ type HACluster struct {
 	// added collector) replays peer logs from the beginning; a target
 	// with no entry at all resyncs from snapshots.
 	walMark map[int]map[int]uint64
+	// fenceMu makes each replicated fan-out atomic with respect to the
+	// watermark fence: writers (HAReporter.fan, the engine's haFan
+	// paths, and AsyncReporter chunk flushes) hold the read side for
+	// one whole fan-out or flush, and fenceForStale holds the write
+	// side while it drains queued ingest and snapshots WAL marks. With
+	// coupled chunk flushing (Submitter.SetCoupled) this means every
+	// replicated op is wholly staged, wholly queued, or wholly logged
+	// when marks are read — no op can be logged on one owner below its
+	// mark but on another above it, which is exactly the asymmetry
+	// that would corrupt the appendExclusion multiset diff (an
+	// excluded op missing from the replay stream silently eats a
+	// later same-payload op the target never saw). Lock order:
+	// fenceMu strictly before mu, everywhere.
+	fenceMu sync.RWMutex
 	// walSelf[target] is the target's OWN log LSN at the same instant:
 	// everything the target logged above it — in-flight ops applied
 	// while flagged down, and all post-restore fan-out — it already
@@ -126,6 +143,28 @@ type HACluster struct {
 	// whole peer snapshots (the pre-incremental behaviour); benchmarks
 	// use it to measure what epoch tracking saves.
 	fullResync bool
+	// chaos, when enabled (EnableChaos), is the deterministic fault-
+	// injection plane: per-link partitions and per-collector disk faults.
+	// Installed before any traffic (like WithWAL), so the plain field
+	// reads on the fan-out hot path never race.
+	chaos *chaos.Plane
+	// retries holds per-target resync retry state under the rebalance
+	// retry/backoff contract; retryRNG jitters the backoff (seeded, so a
+	// chaos run reproduces from its logged seed). Guarded by mu.
+	retries  map[int]*resyncRetry
+	retryRNG *rand.Rand
+	// autoRebalance opts into rebalancing after a chaos heal; healArmed
+	// records that a heal happened since the last successful rebalance.
+	// Guarded by mu.
+	autoRebalance bool
+	healArmed     bool
+}
+
+// resyncRetry is one stale target's retry/backoff state: attempts made
+// and the obs.Nanotime deadline before the next one.
+type resyncRetry struct {
+	attempts int
+	nextAt   int64
 }
 
 // NewHACluster builds n identical collectors replicating every key to
@@ -276,6 +315,8 @@ func (c *HACluster) HAStats() HAStats { return c.health.Snapshot() }
 // replica's blocks, putting every one of its marks at or after the
 // window. No skipped write can escape the replay.
 func (c *HACluster) SetDown(i int) error {
+	c.fenceMu.Lock()
+	defer c.fenceMu.Unlock()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if i < 0 || i >= len(c.systems) {
@@ -290,53 +331,74 @@ func (c *HACluster) SetDown(i int) error {
 	cause := c.jr.NewCause()
 	c.causeOf[i] = cause
 	c.emit(i, journal.EvSetDown, journal.SevWarn, cause, c.health.Epoch(), 0, 0)
-	// Log-shipping watermark, snapshotted BEFORE the down flag flips
-	// (the same fence ordering as the epoch bump below): a fan-out that
-	// skips i observed the flag, so its peer submissions — and therefore
-	// their log records — land strictly above these marks. Nothing i
-	// misses can hide below its replay window; records at or below the
-	// marks that i also holds are merely replayed redundantly (append
-	// replay tolerates duplicates within one ring lap). A flapping
-	// collector keeps its oldest marks, like its oldest epoch window.
-	//
-	// Two exclusions keep the marks honest:
-	//   - A collector that is ALREADY stale without marks (reshard via
-	//     Decommission/SetCollectorWeight voided them) must keep the
-	//     snapshot resync path: lists moved to it carry history from
-	//     long before any mark taken now, so fresh marks would hide it.
-	//   - Down peers are still marked (not skipped): their logs are
-	//     frozen while down, and the suffix i misses — including what a
-	//     currently-down peer logs after ITS later revival — sits above
-	//     today's frozen position. Omitting the entry would default the
-	//     watermark to zero and replay that peer's entire log,
-	//     duplicating all shared history far beyond one ring lap.
-	if c.walDir != "" {
-		_, hasMarks := c.walMark[i]
-		_, wasStale := c.stale[i]
-		if !hasMarks && !wasStale {
-			// The target's own position first: anything it logs from
-			// here on (in-flight ops applied while flagged down, later
-			// post-restore fan-out) it provably holds, and Rebalance
-			// subtracts those entries from the peers' replay streams.
-			if w := c.systems[i].wal; w != nil {
-				c.walSelf[i] = w.LastLSN()
-			}
-			m := make(map[int]uint64)
-			for _, p := range c.ring.Members() {
-				if p == i {
-					continue
-				}
-				if w := c.systems[p].wal; w != nil {
-					m[p] = w.LastLSN()
-				}
-			}
-			c.walMark[i] = m
-			c.emit(i, journal.EvWALFence, journal.SevInfo, cause, c.walSelf[i], uint64(len(m)), 0)
-		}
-	}
+	c.fenceForStale(i, cause)
 	c.downAt[i] = c.health.BumpEpoch()
 	c.emit(i, journal.EvEpochBump, journal.SevInfo, cause, c.downAt[i], 0, 0)
 	return c.health.SetDown(i)
+}
+
+// fenceForStale snapshots log-shipping watermarks for collector i, the
+// moment before its unreachability flag (down or partitioned) flips.
+//
+// The marks are taken BEFORE the flag (the same fence ordering as the
+// epoch bump): a fan-out that skips i observed the flag, so its peer
+// submissions — and therefore their log records — land strictly above
+// these marks. Nothing i misses can hide below its replay window;
+// records at or below the marks that i also holds are merely replayed
+// redundantly (append replay tolerates duplicates within one ring lap).
+// A flapping collector keeps its oldest marks, like its oldest epoch
+// window.
+//
+// Two exclusions keep the marks honest:
+//   - A collector that is ALREADY stale without marks (reshard via
+//     Decommission/SetCollectorWeight voided them) must keep the
+//     snapshot resync path: lists moved to it carry history from
+//     long before any mark taken now, so fresh marks would hide it.
+//   - Down peers are still marked (not skipped): their logs are
+//     frozen while down, and the suffix i misses — including what a
+//     currently-down peer logs after ITS later revival — sits above
+//     today's frozen position. Omitting the entry would default the
+//     watermark to zero and replay that peer's entire log,
+//     duplicating all shared history far beyond one ring lap.
+func (c *HACluster) fenceForStale(i int, cause uint64) {
+	if c.walDir == "" {
+		return
+	}
+	_, hasMarks := c.walMark[i]
+	_, wasStale := c.stale[i]
+	if hasMarks || wasStale {
+		return
+	}
+	// Quiesce queued ingest before reading any mark. The caller holds
+	// fenceMu's write side, so no fan-out is in flight and none can
+	// start; draining the engine then forces every already-queued op
+	// through the shard workers onto its owners' logs. After this,
+	// every replicated op is either logged on ALL its owners (below
+	// all marks) or still producer-staged on NONE (above all marks) —
+	// the symmetry the exclusion multiset diff needs to be exact. A
+	// drain error is deliberately ignored: a broken engine only
+	// widens the replay window, never narrows it.
+	if c.eng != nil && !c.eng.Closed() {
+		_ = c.eng.Drain()
+	}
+	// The target's own position first: anything it logs from here on
+	// (in-flight ops applied while flagged down, later post-restore
+	// fan-out) it provably holds, and Rebalance subtracts those entries
+	// from the peers' replay streams.
+	if w := c.systems[i].wal; w != nil {
+		c.walSelf[i] = w.LastLSN()
+	}
+	m := make(map[int]uint64)
+	for _, p := range c.ring.Members() {
+		if p == i {
+			continue
+		}
+		if w := c.systems[p].wal; w != nil {
+			m[p] = w.LastLSN()
+		}
+	}
+	c.walMark[i] = m
+	c.emit(i, journal.EvWALFence, journal.SevInfo, cause, c.walSelf[i], uint64(len(m)), 0)
 }
 
 // SetUp revives collector i. It comes back stale — it missed every
@@ -365,6 +427,247 @@ func (c *HACluster) SetUp(i int) error {
 	return nil
 }
 
+// EnableChaos attaches a deterministic fault-injection plane to the
+// cluster: per-link partitions (PartitionReporter, PartitionPeers),
+// per-collector disk faults (SlowDisk, and WrapFile wrapping of every
+// WAL segment) and clock skew (SetClockSkew). Call it before WithWAL —
+// segment files are wrapped at open — and before any traffic, like
+// WithWAL itself. Idempotent; returns the plane.
+func (c *HACluster) EnableChaos(seed int64) (*chaos.Plane, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.chaos != nil {
+		return c.chaos, nil
+	}
+	if c.walDir != "" {
+		return nil, errors.New("dta: EnableChaos must run before WithWAL (WAL segment files are fault-wrapped at open)")
+	}
+	c.chaos = chaos.NewPlane(seed)
+	c.retryRNG = rand.New(rand.NewSource(seed ^ 0x5ca1ab1e))
+	return c.chaos, nil
+}
+
+// Chaos returns the attached fault plane (nil when chaos is off).
+func (c *HACluster) Chaos() *chaos.Plane {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.chaos
+}
+
+// ChaosActive reports whether any chaos link (reporter or peer) is
+// currently cut. Nil-safe with chaos off.
+func (c *HACluster) ChaosActive() bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.chaos.AnyCut()
+}
+
+// unreachable reports whether fan-out writers must skip collector o:
+// marked down, or its reporter→collector link is cut by the chaos
+// plane. Hot path — one atomic load, plus a nil check when chaos is
+// off.
+func (c *HACluster) unreachable(o int) bool {
+	if c.health.IsDown(o) {
+		return true
+	}
+	return c.chaos.ReporterCut(o)
+}
+
+// PartitionReporter cuts the reporter→collector i link: fan-out writers
+// skip i (counted as degraded, like a down replica) while queries and
+// resync still reach it — the asymmetric half of a network partition.
+// Safe mid-run. The same fence as SetDown runs first (WAL watermarks,
+// then the epoch bump, then the cut), so every write i misses lands
+// inside its replay window; unlike SetDown there is no SetUp moment, so
+// i is marked stale immediately.
+func (c *HACluster) PartitionReporter(i int) error {
+	c.fenceMu.Lock()
+	defer c.fenceMu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.chaos == nil {
+		return errors.New("dta: chaos plane not enabled (EnableChaos)")
+	}
+	if i < 0 || i >= len(c.systems) {
+		return fmt.Errorf("dta: collector %d out of range [0,%d)", i, len(c.systems))
+	}
+	if c.chaos.ReporterCut(i) {
+		return nil
+	}
+	// The partition joins the collector's existing failure arc if one is
+	// open (a flapping collector), else mints a fresh one.
+	cause := c.causeOf[i]
+	if cause == 0 {
+		cause = c.jr.NewCause()
+		c.causeOf[i] = cause
+	}
+	c.emit(i, journal.EvPartition, journal.SevWarn, cause, 0, 0, 0)
+	c.fenceForStale(i, cause)
+	epoch := c.health.BumpEpoch()
+	c.emit(i, journal.EvEpochBump, journal.SevInfo, cause, epoch, 0, 0)
+	// Stale from the bumped epoch (a collector already stale keeps its
+	// older window — it still misses writes from the first fault).
+	if cur, ok := c.stale[i]; !ok || epoch < cur {
+		c.stale[i] = epoch
+	}
+	// Cut LAST, mirroring SetDown's bump-before-flag ordering: a fan-out
+	// that skips i observed the cut, hence the bump, so every block it
+	// tags on any replica carries an epoch inside i's replay window.
+	c.chaos.CutReporter(i)
+	return nil
+}
+
+// HealReporter restores the reporter→collector i link. The collector
+// stays stale — it missed every fan-out while cut — until Rebalance
+// resynchronises it.
+func (c *HACluster) HealReporter(i int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.chaos == nil {
+		return errors.New("dta: chaos plane not enabled (EnableChaos)")
+	}
+	if i < 0 || i >= len(c.systems) {
+		return fmt.Errorf("dta: collector %d out of range [0,%d)", i, len(c.systems))
+	}
+	if !c.chaos.ReporterCut(i) {
+		return nil
+	}
+	c.chaos.HealReporter(i)
+	c.emit(i, journal.EvPartitionHeal, journal.SevInfo, c.causeOf[i], 0, 0, 0)
+	if c.autoRebalance {
+		c.healArmed = true
+	}
+	return nil
+}
+
+// PartitionPeers cuts the peer↔peer resync path between collectors a
+// and b (symmetric): neither can serve the other's resyncs until
+// HealPeers. Fan-out writes are unaffected, so no fence is needed —
+// Rebalance defers any stale target with a cut live peer instead of
+// resyncing partially (see Rebalance).
+func (c *HACluster) PartitionPeers(a, b int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.chaos == nil {
+		return errors.New("dta: chaos plane not enabled (EnableChaos)")
+	}
+	for _, i := range [2]int{a, b} {
+		if i < 0 || i >= len(c.systems) {
+			return fmt.Errorf("dta: collector %d out of range [0,%d)", i, len(c.systems))
+		}
+	}
+	c.chaos.CutPeers(a, b)
+	c.emit(a, journal.EvPartition, journal.SevWarn, 0, 1, uint64(b), 0)
+	return nil
+}
+
+// HealPeers restores the resync path between a and b.
+func (c *HACluster) HealPeers(a, b int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.chaos == nil {
+		return errors.New("dta: chaos plane not enabled (EnableChaos)")
+	}
+	for _, i := range [2]int{a, b} {
+		if i < 0 || i >= len(c.systems) {
+			return fmt.Errorf("dta: collector %d out of range [0,%d)", i, len(c.systems))
+		}
+	}
+	c.chaos.HealPeers(a, b)
+	c.emit(a, journal.EvPartitionHeal, journal.SevInfo, 0, 1, uint64(b), 0)
+	if c.autoRebalance {
+		c.healArmed = true
+	}
+	return nil
+}
+
+// SlowDisk injects fsync latency under collector i's WAL (0 heals). The
+// writer's degraded-ack machinery (WALPolicy.DegradeFsync) reacts to
+// the slowdown; the injection itself is journaled under CompWAL.
+func (c *HACluster) SlowDisk(i int, fsyncLat time.Duration) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.chaos == nil {
+		return errors.New("dta: chaos plane not enabled (EnableChaos)")
+	}
+	if i < 0 || i >= len(c.systems) {
+		return fmt.Errorf("dta: collector %d out of range [0,%d)", i, len(c.systems))
+	}
+	c.chaos.Disk(i).SetFsyncLatency(fsyncLat)
+	sev := journal.SevWarn
+	if fsyncLat == 0 {
+		sev = journal.SevInfo
+	}
+	journal.Emitter{J: c.jr, Comp: journal.CompWAL, Collector: int16(i)}.
+		Emit(journal.EvSlowDisk, sev, 0, uint64(fsyncLat), 0, 0)
+	return nil
+}
+
+// SetClockSkew injects a signed clock offset on collector i (0 heals):
+// its reports, token-bucket refills and WAL timestamps run off a
+// shifted — across a step, non-monotonic — clock. Lives on the System,
+// so it needs no chaos plane; journaled for the timeline either way.
+func (c *HACluster) SetClockSkew(i int, d time.Duration) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i < 0 || i >= len(c.systems) {
+		return fmt.Errorf("dta: collector %d out of range [0,%d)", i, len(c.systems))
+	}
+	c.systems[i].SetClockSkew(int64(d))
+	sev := journal.SevWarn
+	if d == 0 {
+		sev = journal.SevInfo
+	}
+	c.emit(i, journal.EvClockSkew, sev, 0, uint64(d), 0, 0)
+	return nil
+}
+
+// HealChaos clears injected faults on collector i, or on every
+// collector when i < 0: reporter and peer cuts, disk faults, and clock
+// skew (which lives on the System rather than the plane). Heals are
+// journaled per fault kind.
+func (c *HACluster) HealChaos(i int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i >= len(c.systems) {
+		return fmt.Errorf("dta: collector %d out of range [0,%d)", i, len(c.systems))
+	}
+	if i < 0 {
+		for id := range c.systems {
+			c.healOne(id)
+		}
+		return nil
+	}
+	c.healOne(i)
+	return nil
+}
+
+// healOne clears collector i's faults under c.mu.
+func (c *HACluster) healOne(i int) {
+	if c.chaos != nil {
+		if c.chaos.ReporterCut(i) {
+			c.emit(i, journal.EvPartitionHeal, journal.SevInfo, c.causeOf[i], 0, 0, 0)
+		}
+		for j := range c.systems {
+			if j != i && c.chaos.PeersCut(i, j) {
+				c.emit(i, journal.EvPartitionHeal, journal.SevInfo, 0, 1, uint64(j), 0)
+			}
+		}
+		if d := c.chaos.Disk(i); d.FsyncLatency() != 0 {
+			journal.Emitter{J: c.jr, Comp: journal.CompWAL, Collector: int16(i)}.
+				Emit(journal.EvSlowDisk, journal.SevInfo, 0, 0, 0, 0)
+		}
+		c.chaos.HealNode(i)
+	}
+	if c.systems[i].ClockSkew() != 0 {
+		c.systems[i].SetClockSkew(0)
+		c.emit(i, journal.EvClockSkew, journal.SevInfo, 0, 0, 0, 0)
+	}
+	if c.autoRebalance {
+		c.healArmed = true
+	}
+}
+
 // AddCollector grows the cluster by one collector and returns its
 // index. The rendezvous ring reassigns only the keys the newcomer now
 // owns; it starts stale and serves them after the next Rebalance.
@@ -387,7 +690,7 @@ func (c *HACluster) AddCollector() (int, error) {
 		return 0, err
 	}
 	if c.walDir != "" {
-		if err := sys.WithWAL(walSubdir(c.walDir, id), c.walPol); err != nil {
+		if err := sys.WithWAL(walSubdir(c.walDir, id), c.memberWALPolicy(id, c.walPol)); err != nil {
 			return 0, err
 		}
 		// Empty mark map: replay every peer's log from the beginning —
@@ -484,6 +787,46 @@ func (c *HACluster) Decommission(i int) error {
 	return nil
 }
 
+// Resync retry/backoff contract: capped exponential backoff with
+// seeded jitter per stale target.
+const (
+	resyncBackoffBase = 5 * time.Millisecond
+	resyncBackoffCap  = 200 * time.Millisecond
+	// DefaultRetryBudget bounds RebalanceUntilHealed attempts when the
+	// caller passes no budget.
+	DefaultRetryBudget = 8
+)
+
+// deferResync records a failed (or undeliverable) resync attempt for
+// target id: backoff doubles per attempt up to the cap, plus seeded
+// jitter, with an EvResyncRetry event and an HAStats counter. The
+// target keeps its stale mark (and watermarks); Rebalance — typically
+// via RebalanceUntilHealed, which sleeps out the deadline — retries it.
+// Called under c.mu.
+func (c *HACluster) deferResync(id int, cause uint64) {
+	if c.retries == nil {
+		c.retries = make(map[int]*resyncRetry)
+	}
+	r := c.retries[id]
+	if r == nil {
+		r = &resyncRetry{}
+		c.retries[id] = r
+	}
+	backoff := resyncBackoffCap
+	if r.attempts < 6 {
+		if b := resyncBackoffBase << r.attempts; b < backoff {
+			backoff = b
+		}
+	}
+	if c.retryRNG != nil {
+		backoff += time.Duration(c.retryRNG.Int63n(int64(backoff)/2 + 1))
+	}
+	r.attempts++
+	r.nextAt = obs.Nanotime() + int64(backoff)
+	c.health.RecordResyncRetry()
+	c.emit(id, journal.EvResyncRetry, journal.SevWarn, cause, uint64(r.attempts), uint64(backoff), 0)
+}
+
 // Rebalance is the resharding barrier: it drains the attached engine
 // (or flushes every live collector when reporting synchronously), then
 // replays peer snapshots into every live stale collector and clears its
@@ -560,6 +903,21 @@ func (c *HACluster) Rebalance() error {
 		if c.health.IsDown(id) {
 			continue // still down: stays stale for its next rejoin
 		}
+		// A live peer partitioned from the target defers the WHOLE
+		// resync: clearing the stale mark after a partial replay (some
+		// peers' history unreachable) would lose that history for good.
+		// The target stays stale under the retry/backoff contract and a
+		// later Rebalance — after the partition heals, or routes around
+		// it — converges it.
+		if blocked := c.cutPeerOf(id, livePeers); blocked >= 0 {
+			cause := c.causeOf[id]
+			if cause == 0 {
+				cause = rebCause
+			}
+			c.deferResync(id, cause)
+			errs = append(errs, fmt.Errorf("dta: rebalance collector %d: peer %d partitioned, resync deferred", id, blocked))
+			continue
+		}
 		// Log-shipping: when the target has recorded watermarks and
 		// every live peer's log still retains its suffix, Append resync
 		// replays the peers' logged operations (exact) instead of the
@@ -617,6 +975,7 @@ func (c *HACluster) Rebalance() error {
 			}, peers)
 			if err != nil {
 				c.emit(id, journal.EvResyncFail, journal.SevError, cause, 0, 0, 0)
+				c.deferResync(id, cause)
 				errs = append(errs, fmt.Errorf("dta: rebalance collector %d: %w", id, err))
 				continue // keep the stale mark (and watermarks): retry resyncs it
 			}
@@ -628,6 +987,7 @@ func (c *HACluster) Rebalance() error {
 		delete(c.stale, id)
 		delete(c.walMark, id)
 		delete(c.walSelf, id)
+		delete(c.retries, id)
 	}
 	// Resync writes land in the stores directly, not through the
 	// targets' own logs — so without a checkpoint, a later crash would
@@ -662,7 +1022,78 @@ func (c *HACluster) Rebalance() error {
 		return errors.Join(errs...)
 	}
 	c.pending = nil
+	c.healArmed = false
 	return nil
+}
+
+// cutPeerOf returns the first live peer partitioned from target id (-1
+// when none, or chaos is off). Called under c.mu.
+func (c *HACluster) cutPeerOf(id int, livePeers []int) int {
+	if c.chaos == nil {
+		return -1
+	}
+	for _, p := range livePeers {
+		if p != id && c.chaos.PeersCut(id, p) {
+			return p
+		}
+	}
+	return -1
+}
+
+// RebalanceUntilHealed runs Rebalance until every stale target heals or
+// the retry budget runs out, sleeping out the per-target backoff
+// deadlines between attempts — the driver loop of the retry/backoff
+// contract. budget <= 0 means DefaultRetryBudget. On a clean cluster
+// (nothing deferred) it degenerates to a single Rebalance. Same
+// quiescence contract as Rebalance.
+func (c *HACluster) RebalanceUntilHealed(budget int) error {
+	if budget <= 0 {
+		budget = DefaultRetryBudget
+	}
+	var err error
+	for attempt := 0; attempt < budget; attempt++ {
+		if err = c.Rebalance(); err == nil {
+			return nil
+		}
+		// Sleep to the latest pending deadline so the next pass retries
+		// every deferred target at once.
+		c.mu.RLock()
+		var until int64
+		for _, r := range c.retries {
+			if r.nextAt > until {
+				until = r.nextAt
+			}
+		}
+		c.mu.RUnlock()
+		if wait := until - obs.Nanotime(); wait > 0 {
+			time.Sleep(time.Duration(wait))
+		}
+	}
+	return err
+}
+
+// SetAutoRebalance opts the cluster into automatic rebalancing after a
+// chaos heal: HealReporter/HealPeers/HealChaos arm it, and the next
+// AutoRebalance call (from a driver at a safe barrier — producers
+// quiesced) runs RebalanceUntilHealed. The heal itself cannot
+// rebalance: it may land mid-ingest, and Rebalance requires quiescence.
+func (c *HACluster) SetAutoRebalance(on bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.autoRebalance = on
+}
+
+// AutoRebalance runs RebalanceUntilHealed if armed (a chaos heal
+// happened since the last successful rebalance); reports whether it ran
+// and the result.
+func (c *HACluster) AutoRebalance(budget int) (bool, error) {
+	c.mu.RLock()
+	armed := c.autoRebalance && c.healArmed
+	c.mu.RUnlock()
+	if !armed {
+		return false, nil
+	}
+	return true, c.RebalanceUntilHealed(budget)
 }
 
 // Reporter attaches a synchronous reporter switch that fans every
@@ -985,7 +1416,6 @@ func (c *HACluster) LookupPath(key Key, n int) ([]uint32, bool, error) {
 	return winner, true, nil
 }
 
-
 // LookupCount returns the count-min estimate for key: the minimum over
 // its live fresh owners (each owner received every increment for the
 // key, so the cross-replica minimum keeps the never-undercount
@@ -1157,17 +1587,23 @@ func (r *HAReporter) fanKey(key Key, write func(rep *Reporter) error) error {
 }
 
 func (r *HAReporter) fan(owners []int, write func(rep *Reporter) error) error {
+	// The whole fan-out runs under the fence read-lock: a concurrent
+	// SetDown/PartitionReporter fence waits it out, so this op's copies
+	// are all logged before any mark is read (see fenceMu).
+	r.hac.fenceMu.RLock()
+	defer r.hac.fenceMu.RUnlock()
 	// Decide the skip set for ALL owners before the first write. This
-	// ordering is what makes SetDown's bump-before-flag epoch fence
-	// airtight: if any owner reads as down here, the fence's epoch bump
-	// already happened, so every block this fan-out subsequently tags —
-	// on any replica — carries an epoch inside the skipped owner's
-	// replay window. (Interleaving checks with writes would let a write
-	// tag a surviving peer just below the window and then skip the
-	// victim, silently escaping the incremental resync.)
+	// ordering is what makes the bump-before-flag epoch fence (SetDown
+	// and PartitionReporter alike) airtight: if any owner reads as
+	// unreachable here, the fence's epoch bump already happened, so
+	// every block this fan-out subsequently tags — on any replica —
+	// carries an epoch inside the skipped owner's replay window.
+	// (Interleaving checks with writes would let a write tag a surviving
+	// peer just below the window and then skip the victim, silently
+	// escaping the incremental resync.)
 	var skip [ha.MaxReplicas]bool
 	for i, o := range owners {
-		skip[i] = r.hac.health.IsDown(o)
+		skip[i] = r.hac.unreachable(o)
 	}
 	live := 0
 	for i, o := range owners {

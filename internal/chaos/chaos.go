@@ -1,0 +1,298 @@
+// Package chaos is the deterministic fault-injection plane: a seeded
+// set of injectable faults — disk latency and stickiness on the WAL's
+// segment files, asymmetric reporter→collector and peer↔peer link
+// partitions, and (via the System clock hooks) per-collector skew —
+// that the HA cluster and the WAL thread through their normal code
+// paths so failure scenarios run against the production logic, not a
+// mock of it.
+//
+// Everything is designed for the hot paths it touches: a disabled
+// fault costs one nil check or one relaxed atomic load, every knob is
+// safe to flip concurrently with ingest (faults strike mid-run — that
+// is the point), and all randomness (latency jitter) derives from the
+// plane's seed, so a failing chaos run reproduces from its logged seed
+// and schedule alone.
+package chaos
+
+import (
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"dta/internal/wal"
+)
+
+// MaxNodes bounds the partition matrix; it matches ha.MaxMembers (not
+// imported, to keep this package leaf-level below internal/ha).
+const MaxNodes = 64
+
+// Plane owns every injectable fault for one cluster: per-collector
+// disks and the link-partition matrix. The zero value is unusable; use
+// NewPlane. A nil *Plane is a valid "chaos disabled" value for every
+// query method.
+type Plane struct {
+	seed int64
+
+	// rep[i] cuts the reporter→collector i link: fan-out writers skip i
+	// (counted as degraded, exactly like a down replica) while queries
+	// and resync still reach it — the asymmetric half of a partition.
+	rep [MaxNodes]atomic.Bool
+	// peer is the symmetric peer↔peer resync matrix, row-major: a cut
+	// pair cannot serve each other's resyncs (snapshot or log-shipping)
+	// until healed.
+	peer [MaxNodes * MaxNodes]atomic.Bool
+
+	mu    sync.Mutex
+	disks map[int]*Disk
+}
+
+// NewPlane builds a fault plane. All per-disk jitter derives from seed.
+func NewPlane(seed int64) *Plane {
+	return &Plane{seed: seed, disks: make(map[int]*Disk)}
+}
+
+// Seed returns the plane's seed (logged by drivers for reproduction).
+func (p *Plane) Seed() int64 { return p.seed }
+
+// Disk returns collector i's fault-injection disk, creating it on first
+// use. Safe for concurrent use.
+func (p *Plane) Disk(i int) *Disk {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	d := p.disks[i]
+	if d == nil {
+		// splitmix64-style decorrelation: each disk jitters its own
+		// deterministic stream even under one plane seed.
+		d = &Disk{}
+		d.rng.Store(uint64(p.seed) + uint64(i+1)*0x9e3779b97f4a7c15)
+		p.disks[i] = d
+	}
+	return d
+}
+
+// CutReporter severs the reporter→collector i link.
+func (p *Plane) CutReporter(i int) {
+	if uint(i) < MaxNodes {
+		p.rep[i].Store(true)
+	}
+}
+
+// HealReporter restores the reporter→collector i link.
+func (p *Plane) HealReporter(i int) {
+	if uint(i) < MaxNodes {
+		p.rep[i].Store(false)
+	}
+}
+
+// ReporterCut reports whether fan-out writers must skip collector i.
+// Nil-safe and on the ingest hot path: one nil check when chaos is off,
+// one atomic load when on.
+func (p *Plane) ReporterCut(i int) bool {
+	if p == nil || uint(i) >= MaxNodes {
+		return false
+	}
+	return p.rep[i].Load()
+}
+
+// CutPeers severs the resync path between collectors a and b (both
+// directions: the link is symmetric).
+func (p *Plane) CutPeers(a, b int) {
+	if uint(a) >= MaxNodes || uint(b) >= MaxNodes {
+		return
+	}
+	p.peer[a*MaxNodes+b].Store(true)
+	p.peer[b*MaxNodes+a].Store(true)
+}
+
+// HealPeers restores the resync path between a and b.
+func (p *Plane) HealPeers(a, b int) {
+	if uint(a) >= MaxNodes || uint(b) >= MaxNodes {
+		return
+	}
+	p.peer[a*MaxNodes+b].Store(false)
+	p.peer[b*MaxNodes+a].Store(false)
+}
+
+// PeersCut reports whether a and b are partitioned from each other.
+// Nil-safe.
+func (p *Plane) PeersCut(a, b int) bool {
+	if p == nil || uint(a) >= MaxNodes || uint(b) >= MaxNodes {
+		return false
+	}
+	return p.peer[a*MaxNodes+b].Load()
+}
+
+// AnyCut reports whether any reporter or peer link is currently cut.
+// Nil-safe; control-plane only (scans the full matrix).
+func (p *Plane) AnyCut() bool {
+	if p == nil {
+		return false
+	}
+	for i := range p.rep {
+		if p.rep[i].Load() {
+			return true
+		}
+	}
+	for i := range p.peer {
+		if p.peer[i].Load() {
+			return true
+		}
+	}
+	return false
+}
+
+// HealNode clears every fault touching collector i: its reporter link,
+// every peer link involving it, and its disk. Clock skew lives on the
+// System and is healed by the caller.
+func (p *Plane) HealNode(i int) {
+	if p == nil || uint(i) >= MaxNodes {
+		return
+	}
+	p.rep[i].Store(false)
+	for j := 0; j < MaxNodes; j++ {
+		p.peer[i*MaxNodes+j].Store(false)
+		p.peer[j*MaxNodes+i].Store(false)
+	}
+	p.mu.Lock()
+	d := p.disks[i]
+	p.mu.Unlock()
+	d.Heal()
+}
+
+// HealAll clears every fault on the plane.
+func (p *Plane) HealAll() {
+	if p == nil {
+		return
+	}
+	for i := range p.rep {
+		p.rep[i].Store(false)
+	}
+	for i := range p.peer {
+		p.peer[i].Store(false)
+	}
+	p.mu.Lock()
+	disks := make([]*Disk, 0, len(p.disks))
+	for _, d := range p.disks {
+		disks = append(disks, d)
+	}
+	p.mu.Unlock()
+	for _, d := range disks {
+		d.Heal()
+	}
+}
+
+// Disk injects storage faults under one collector's WAL: added write
+// and fsync latency (with seeded jitter), short writes, and a sticky
+// errno that fails every subsequent operation — a dead disk. All knobs
+// are atomics, safe to flip while the WAL flusher is mid-write. The
+// zero value injects nothing; a nil *Disk is a valid no-op for Heal.
+type Disk struct {
+	writeLat atomic.Int64 // ns added to every Write
+	fsyncLat atomic.Int64 // ns added to every Sync
+	jitter   atomic.Int64 // max extra ns drawn per delayed op
+	errno    atomic.Int64 // non-zero: every op fails with this errno
+	short    atomic.Bool  // Write stores only half and reports it
+	rng      atomic.Uint64
+}
+
+// SetWriteLatency adds d to every Write (0 = none).
+func (d *Disk) SetWriteLatency(lat time.Duration) { d.writeLat.Store(int64(lat)) }
+
+// SetFsyncLatency adds lat to every Sync (0 = none) — the slow-disk
+// fault that drives the WAL's degraded-ack mode.
+func (d *Disk) SetFsyncLatency(lat time.Duration) { d.fsyncLat.Store(int64(lat)) }
+
+// SetJitter adds a seeded-random extra delay in [0, j) to every delayed
+// operation.
+func (d *Disk) SetJitter(j time.Duration) { d.jitter.Store(int64(j)) }
+
+// FailSticky makes every subsequent operation fail with errno — the
+// disk is dead until Heal.
+func (d *Disk) FailSticky(errno syscall.Errno) { d.errno.Store(int64(errno)) }
+
+// SetShortWrites makes Write store only half of each buffer, reporting
+// the truncation — exercising the writer's partial-progress handling.
+func (d *Disk) SetShortWrites(on bool) { d.short.Store(on) }
+
+// Heal clears every fault. Nil-safe.
+func (d *Disk) Heal() {
+	if d == nil {
+		return
+	}
+	d.writeLat.Store(0)
+	d.fsyncLat.Store(0)
+	d.jitter.Store(0)
+	d.errno.Store(0)
+	d.short.Store(false)
+}
+
+// FsyncLatency returns the injected fsync latency (drivers log it).
+func (d *Disk) FsyncLatency() time.Duration {
+	if d == nil {
+		return 0
+	}
+	return time.Duration(d.fsyncLat.Load())
+}
+
+// delay sleeps for base plus seeded jitter. The xorshift step keeps the
+// jitter stream deterministic per disk without a lock.
+func (d *Disk) delay(base int64) {
+	if base <= 0 && d.jitter.Load() <= 0 {
+		return
+	}
+	extra := int64(0)
+	if j := d.jitter.Load(); j > 0 {
+		x := d.rng.Load()
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		d.rng.Store(x)
+		extra = int64(x % uint64(j))
+	}
+	if total := base + extra; total > 0 {
+		time.Sleep(time.Duration(total))
+	}
+}
+
+// WrapFile wraps a WAL segment file with this disk's faults. It is the
+// wal.Policy.WrapFile hook: the flusher opens segments through it, so
+// every write, fsync and close flows through the injection layer.
+func (d *Disk) WrapFile(f *os.File) wal.File {
+	return &faultFile{f: f, d: d}
+}
+
+// faultFile is one wrapped segment file.
+type faultFile struct {
+	f *os.File
+	d *Disk
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	if e := ff.d.errno.Load(); e != 0 {
+		return 0, syscall.Errno(e)
+	}
+	ff.d.delay(ff.d.writeLat.Load())
+	if ff.d.short.Load() && len(p) > 1 {
+		n, err := ff.f.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, io.ErrShortWrite
+	}
+	return ff.f.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	if e := ff.d.errno.Load(); e != 0 {
+		return syscall.Errno(e)
+	}
+	ff.d.delay(ff.d.fsyncLat.Load())
+	return ff.f.Sync()
+}
+
+// Close never injects: a dead disk must still release its descriptor,
+// or every chaos run would leak files.
+func (ff *faultFile) Close() error { return ff.f.Close() }

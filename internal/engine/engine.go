@@ -444,7 +444,18 @@ func (e *Engine) send(sh *shard, ck *chunk) error {
 type Submitter struct {
 	e       *Engine
 	pending []*chunk // lazily allocated, one per shard
+	// coupled flushes EVERY shard's staged chunk whenever any one
+	// fills, so the staged set is all-or-nothing across shards at any
+	// instant. HA engines need this: a replicated report is staged on
+	// all its owners in one fan-out, and resync watermark fences are
+	// only exact if no fan-out can be half-visible — one owner's copy
+	// queued while another's is still staged (see HACluster.fenceMu).
+	coupled bool
 }
+
+// SetCoupled switches the submitter to coupled (all-or-nothing) chunk
+// flushing across shards.
+func (s *Submitter) SetCoupled(v bool) { s.coupled = v }
 
 // Submitter returns a new producer handle.
 func (e *Engine) Submitter() *Submitter {
@@ -492,6 +503,9 @@ func (s *Submitter) Submit(shardIdx int, frame []byte, nowNs uint64) error {
 		ck.nowNs = nowNs
 	}
 	if len(ck.lens) >= s.e.cfg.ChunkFrames {
+		if s.coupled {
+			return s.Flush()
+		}
 		s.pending[shardIdx] = nil
 		return s.e.send(s.e.shards[shardIdx], ck)
 	}
@@ -520,6 +534,9 @@ func (s *Submitter) SubmitReport(shardIdx int, r *wire.Report, nowNs uint64) err
 		ck.nowNs = nowNs
 	}
 	if len(ck.recs) >= s.e.cfg.ChunkFrames {
+		if s.coupled {
+			return s.Flush()
+		}
 		s.pending[shardIdx] = nil
 		return s.e.send(s.e.shards[shardIdx], ck)
 	}

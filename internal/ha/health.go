@@ -52,6 +52,10 @@ type Stats struct {
 	// AppendEntriesResynced counts Append ring entries replayed into
 	// stale collectors from peer ring segments.
 	AppendEntriesResynced uint64
+	// ResyncRetries counts per-target resync attempts deferred with
+	// backoff (unreachable peers or a failed resync) — the retry/backoff
+	// contract's observable counter.
+	ResyncRetries uint64
 }
 
 // Health is the cluster's failure-injection view: a lock-free up/down
@@ -87,6 +91,7 @@ type Health struct {
 	resyncSlots     *obs.Counter
 	resyncSkipped   *obs.Counter
 	appendResynced  *obs.Counter
+	resyncRetries   *obs.Counter
 }
 
 // NewHealth returns a view with every member up and no metric
@@ -110,6 +115,7 @@ func NewHealthScoped(sc *obs.Scope) *Health {
 		resyncSlots:     sc.Counter("dta_ha_resync_slots_total", "Store slots copied or raised into stale collectors by resyncs."),
 		resyncSkipped:   sc.Counter("dta_ha_resync_slots_skipped_total", "Slots incremental resync never scanned thanks to epoch filtering."),
 		appendResynced:  sc.Counter("dta_ha_append_entries_resynced_total", "Append ring entries replayed into stale collectors."),
+		resyncRetries:   sc.Counter("dta_ha_resync_retries_total", "Resync attempts deferred with backoff (unreachable peers or failure)."),
 	}
 	h.epoch.Store(1)
 	// Read-time gauge, not a counter pair: SetDown/SetUp may race and
@@ -210,6 +216,11 @@ func (h *Health) RecordResync(st *ResyncStats) {
 	h.appendResynced.Add(st.AppendEntries)
 }
 
+// RecordResyncRetry accounts one resync attempt deferred with backoff.
+func (h *Health) RecordResyncRetry() {
+	h.resyncRetries.Add(1)
+}
+
 // RecordReadRepair accounts replica stores fixed up by one divergence-
 // observing query.
 func (h *Health) RecordReadRepair(replicas int) {
@@ -232,5 +243,6 @@ func (h *Health) Snapshot() Stats {
 		ResyncSlots:           h.resyncSlots.Load(),
 		ResyncSlotsSkipped:    h.resyncSkipped.Load(),
 		AppendEntriesResynced: h.appendResynced.Load(),
+		ResyncRetries:         h.resyncRetries.Load(),
 	}
 }

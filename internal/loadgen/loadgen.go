@@ -15,6 +15,7 @@ package loadgen
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"strconv"
@@ -143,6 +144,21 @@ const (
 	Kill Action = iota
 	// Restore revives a collector (e.g. HACluster.SetUp).
 	Restore
+	// Partition cuts the reporter→collector link to Collector (the
+	// collector stays alive for queries and resync; writes skip it).
+	Partition
+	// PartitionPeer cuts the peer link Collector↔Peer both ways:
+	// neither can read the other's state or WAL during resync.
+	PartitionPeer
+	// SlowDisk injects Event.FsyncLat of latency into every fsync on
+	// Collector's WAL disk (0 heals the disk).
+	SlowDisk
+	// Skew offsets Collector's clock by Event.Skew (may be negative;
+	// 0 removes the skew).
+	Skew
+	// Heal clears every chaos fault on Collector (-1 = the whole
+	// cluster): partitions, disk faults and clock skew.
+	Heal
 )
 
 func (a Action) String() string {
@@ -151,6 +167,16 @@ func (a Action) String() string {
 		return "kill"
 	case Restore:
 		return "restore"
+	case Partition:
+		return "partition"
+	case PartitionPeer:
+		return "partition-peer"
+	case SlowDisk:
+		return "slowdisk"
+	case Skew:
+		return "skew"
+	case Heal:
+		return "heal"
 	default:
 		return fmt.Sprintf("action(%d)", int(a))
 	}
@@ -166,49 +192,216 @@ type Event struct {
 	After float64
 	// Action is what to do.
 	Action Action
-	// Collector is the target collector index.
+	// Collector is the target collector index (-1 = all, Heal only).
 	Collector int
+	// Peer is the second collector of a PartitionPeer link.
+	Peer int
+	// FsyncLat is SlowDisk's injected per-fsync latency (0 heals).
+	FsyncLat time.Duration
+	// Skew is Skew's clock offset (negative rewinds; 0 heals).
+	Skew time.Duration
 }
 
+// flapCycles is how many partition/heal rounds a flap entry expands to.
+const flapCycles = 3
+
 // ParseSchedule parses a compact schedule spec of comma-separated
-// `action@fraction=collector` entries, e.g. "kill@0.25=1,restore@0.75=1".
-// An empty spec is an empty schedule.
+// `action@fraction=target` entries. The grammar:
+//
+//	kill@0.25=1          mark collector 1 down
+//	restore@0.75=1       revive collector 1
+//	partition@0.3=1      cut the reporter→collector 1 link
+//	partition@0.3=1:2    cut the peer link between collectors 1 and 2
+//	flap@0.2=1/0.05      flap collector 1's reporter link: 3 cut/heal
+//	                     cycles, one transition every 0.05 of the run,
+//	                     ending healed
+//	slowdisk@0.4=1:50ms  inject 50ms into every fsync on collector 1
+//	skew@0.5=1:+2s       skew collector 1's clock forward 2s (-1s rewinds)
+//	heal@0.8=*           clear every chaos fault cluster-wide (or =1 for
+//	                     one collector)
+//
+// flap is pure syntax: it expands into Partition/Heal events, so the
+// returned schedule is the fully explicit plan. An empty spec is an
+// empty schedule.
 func ParseSchedule(spec string) ([]Event, error) {
 	if strings.TrimSpace(spec) == "" {
 		return nil, nil
 	}
 	var out []Event
 	for _, part := range strings.Split(spec, ",") {
-		var ev Event
 		head, target, ok := strings.Cut(part, "=")
 		if !ok {
-			return nil, fmt.Errorf("loadgen: schedule entry %q: want action@fraction=collector", part)
+			return nil, fmt.Errorf("loadgen: schedule entry %q: want action@fraction=target", part)
 		}
 		action, frac, ok := strings.Cut(head, "@")
 		if !ok {
-			return nil, fmt.Errorf("loadgen: schedule entry %q: want action@fraction=collector", part)
-		}
-		switch strings.TrimSpace(action) {
-		case "kill":
-			ev.Action = Kill
-		case "restore":
-			ev.Action = Restore
-		default:
-			return nil, fmt.Errorf("loadgen: schedule entry %q: unknown action %q (want kill or restore)", part, action)
+			return nil, fmt.Errorf("loadgen: schedule entry %q: want action@fraction=target", part)
 		}
 		f, err := strconv.ParseFloat(strings.TrimSpace(frac), 64)
 		if err != nil || f < 0 || f > 1 {
 			return nil, fmt.Errorf("loadgen: schedule entry %q: fraction must be in [0,1]", part)
 		}
-		ev.After = f
-		n, err := strconv.Atoi(strings.TrimSpace(target))
-		if err != nil || n < 0 {
-			return nil, fmt.Errorf("loadgen: schedule entry %q: bad collector index", part)
+		evs, err := parseEntry(strings.TrimSpace(action), f, strings.TrimSpace(target))
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: schedule entry %q: %w", part, err)
 		}
-		ev.Collector = n
-		out = append(out, ev)
+		out = append(out, evs...)
 	}
 	return out, nil
+}
+
+// parseEntry resolves one action/target pair into its events (one,
+// except for flap's expansion).
+func parseEntry(action string, f float64, target string) ([]Event, error) {
+	ev := Event{After: f}
+	switch action {
+	case "kill", "restore":
+		if action == "kill" {
+			ev.Action = Kill
+		} else {
+			ev.Action = Restore
+		}
+		n, err := parseCollector(target)
+		if err != nil {
+			return nil, err
+		}
+		ev.Collector = n
+		return []Event{ev}, nil
+	case "partition":
+		a, b, ok := strings.Cut(target, ":")
+		n, err := parseCollector(a)
+		if err != nil {
+			return nil, err
+		}
+		ev.Collector = n
+		if !ok {
+			ev.Action = Partition
+			return []Event{ev}, nil
+		}
+		p, err := parseCollector(b)
+		if err != nil {
+			return nil, err
+		}
+		if p == n {
+			return nil, fmt.Errorf("peer link %d:%d is a self-loop", n, p)
+		}
+		ev.Action, ev.Peer = PartitionPeer, p
+		return []Event{ev}, nil
+	case "flap":
+		a, b, ok := strings.Cut(target, "/")
+		if !ok {
+			return nil, fmt.Errorf("want collector/period, e.g. 1/0.05")
+		}
+		n, err := parseCollector(a)
+		if err != nil {
+			return nil, err
+		}
+		period, err := strconv.ParseFloat(b, 64)
+		if err != nil || period <= 0 || period > 0.5 {
+			return nil, fmt.Errorf("flap period must be in (0,0.5]")
+		}
+		// Round the accumulated fractions so the expanded plan formats
+		// cleanly (0.3, not 0.30000000000000004).
+		frac := func(x float64) float64 { return min(math.Round(x*1e9)/1e9, 1) }
+		evs := make([]Event, 0, 2*flapCycles)
+		for c := 0; c < flapCycles; c++ {
+			at := f + float64(2*c)*period
+			evs = append(evs,
+				Event{After: frac(at), Action: Partition, Collector: n},
+				Event{After: frac(at + period), Action: Heal, Collector: n})
+		}
+		return evs, nil
+	case "slowdisk":
+		a, b, ok := strings.Cut(target, ":")
+		if !ok {
+			return nil, fmt.Errorf("want collector:latency, e.g. 1:50ms")
+		}
+		n, err := parseCollector(a)
+		if err != nil {
+			return nil, err
+		}
+		d, err := time.ParseDuration(b)
+		if err != nil || d < 0 {
+			return nil, fmt.Errorf("bad fsync latency %q", b)
+		}
+		ev.Action, ev.Collector, ev.FsyncLat = SlowDisk, n, d
+		return []Event{ev}, nil
+	case "skew":
+		a, b, ok := strings.Cut(target, ":")
+		if !ok {
+			return nil, fmt.Errorf("want collector:offset, e.g. 1:+2s")
+		}
+		n, err := parseCollector(a)
+		if err != nil {
+			return nil, err
+		}
+		d, err := time.ParseDuration(b)
+		if err != nil {
+			return nil, fmt.Errorf("bad clock offset %q", b)
+		}
+		ev.Action, ev.Collector, ev.Skew = Skew, n, d
+		return []Event{ev}, nil
+	case "heal":
+		ev.Action = Heal
+		if target == "*" {
+			ev.Collector = -1
+			return []Event{ev}, nil
+		}
+		n, err := parseCollector(target)
+		if err != nil {
+			return nil, err
+		}
+		ev.Collector = n
+		return []Event{ev}, nil
+	default:
+		return nil, fmt.Errorf("unknown action %q (want kill, restore, partition, flap, slowdisk, skew or heal)", action)
+	}
+}
+
+func parseCollector(s string) (int, error) {
+	n, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad collector index %q", s)
+	}
+	return n, nil
+}
+
+// FormatSchedule renders events back into the ParseSchedule grammar
+// (flap entries appear expanded — the explicit plan a run executes).
+func FormatSchedule(evs []Event) string {
+	parts := make([]string, len(evs))
+	for i, ev := range evs {
+		switch ev.Action {
+		case PartitionPeer:
+			parts[i] = fmt.Sprintf("partition@%g=%d:%d", ev.After, ev.Collector, ev.Peer)
+		case SlowDisk:
+			parts[i] = fmt.Sprintf("slowdisk@%g=%d:%s", ev.After, ev.Collector, ev.FsyncLat)
+		case Skew:
+			parts[i] = fmt.Sprintf("skew@%g=%d:%s", ev.After, ev.Collector, ev.Skew)
+		case Heal:
+			if ev.Collector < 0 {
+				parts[i] = fmt.Sprintf("heal@%g=*", ev.After)
+				continue
+			}
+			parts[i] = fmt.Sprintf("heal@%g=%d", ev.After, ev.Collector)
+		default:
+			parts[i] = fmt.Sprintf("%s@%g=%d", ev.Action, ev.After, ev.Collector)
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// ScheduleNeedsChaos reports whether any event requires a chaos plane
+// (anything beyond plain kill/restore health flips).
+func ScheduleNeedsChaos(evs []Event) bool {
+	for _, ev := range evs {
+		switch ev.Action {
+		case Kill, Restore:
+		default:
+			return true
+		}
+	}
+	return false
 }
 
 // Config describes one load-generation run.
@@ -309,7 +502,16 @@ func Run(cfg Config, newReporter func(i int) Reporter) (Result, error) {
 	// The scheduler fires events as the submission counter crosses each
 	// threshold; whatever is left when the reporters finish is applied
 	// synchronously afterwards, so scheduled recoveries always happen.
+	//
+	// The gate holds the next unfired event's threshold: reporters pause
+	// once the counter reaches it and resume when the event has fired.
+	// Without it the scheduler goroutine can starve (1-CPU boxes, -race
+	// builds) and fire adjacent events back to back long past their
+	// scheduled progress points, collapsing the fault window a test
+	// meant to open.
 	var fired atomic.Uint64
+	var gate atomic.Uint64
+	gate.Store(math.MaxUint64)
 	schedule := append([]Event(nil), cfg.Schedule...)
 	sort.SliceStable(schedule, func(i, j int) bool { return schedule[i].After < schedule[j].After })
 	total := uint64(cfg.Reporters) * uint64(cfg.Reports)
@@ -317,8 +519,12 @@ func Run(cfg Config, newReporter func(i int) Reporter) (Result, error) {
 	schedDone := make(chan struct{})
 	go func() {
 		defer close(schedDone)
+		// Whatever path exits this goroutine, reporters must not stay
+		// paused at a gate nobody will ever open.
+		defer gate.Store(math.MaxUint64)
 		for _, ev := range schedule {
 			threshold := uint64(ev.After * float64(total))
+			gate.Store(threshold)
 			for submitted.Load() < threshold {
 				select {
 				case <-stop:
@@ -334,6 +540,10 @@ func Run(cfg Config, newReporter func(i int) Reporter) (Result, error) {
 				fail(err)
 				return
 			}
+			// No gate release here: reporters stay paused at the crossed
+			// threshold until the next iteration stores the following
+			// event's threshold (or the deferred release runs), so they
+			// cannot surge past event k+1 in the gap between firings.
 			fired.Add(1)
 		}
 	}()
@@ -343,7 +553,7 @@ func Run(cfg Config, newReporter func(i int) Reporter) (Result, error) {
 		go func(i int) {
 			defer wg.Done()
 			rep := newReporter(i)
-			n, err := drive(cfg, i, rep, &submitted)
+			n, err := drive(cfg, i, rep, &submitted, &gate)
 			if err == nil {
 				// Batching reporters (e.g. the engine's) stage frames
 				// locally; push them out before this goroutine exits so
@@ -499,7 +709,7 @@ func AppendedKeys(cfg Config) map[uint32][]uint64 {
 // after each success (the schedule's progress clock). It stops at the
 // first submission error: under the engine's Block policy errors mean
 // the pipeline is broken, not congested.
-func drive(cfg Config, i int, rep Reporter, submitted *atomic.Uint64) (uint64, error) {
+func drive(cfg Config, i int, rep Reporter, submitted, gate *atomic.Uint64) (uint64, error) {
 	p := cfg.Profile
 	st := newStream(cfg, i)
 	data := make([]byte, 4)
@@ -526,6 +736,13 @@ func drive(cfg Config, i int, rep Reporter, submitted *atomic.Uint64) (uint64, e
 		}
 		sent++
 		submitted.Add(1)
+		// Pause at the next scheduled event's threshold until the
+		// scheduler has fired it (see the gate in Run): fault windows
+		// open at their scheduled progress points even when the
+		// scheduler goroutine is slow to wake.
+		for submitted.Load() >= gate.Load() {
+			time.Sleep(20 * time.Microsecond)
+		}
 		if p.Kind == Bursty && (n+1)%p.BurstLen == 0 {
 			time.Sleep(p.BurstIdle)
 		}

@@ -2,6 +2,7 @@ package loadgen
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -370,3 +371,112 @@ func (r recordKWReporter) KeyWrite(k wire.Key, _ []byte, _ int) error {
 func (r recordKWReporter) Increment(wire.Key, uint64, int) error { return nil }
 func (r recordKWReporter) Postcard(wire.Key, int, int) error     { return nil }
 func (r recordKWReporter) Append(uint32, []byte) error           { return nil }
+
+// TestParseScheduleChaos covers the chaos grammar: reporter and peer
+// partitions, slow disks, clock skew and heals, plus flap's expansion
+// into explicit partition/heal cycles.
+func TestParseScheduleChaos(t *testing.T) {
+	got, err := ParseSchedule("partition@0.3=1,partition@0.35=0:2,slowdisk@0.4=1:50ms,skew@0.5=1:+2s,skew@0.6=0:-1s,heal@0.8=*,heal@0.9=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{
+		{After: 0.3, Action: Partition, Collector: 1},
+		{After: 0.35, Action: PartitionPeer, Collector: 0, Peer: 2},
+		{After: 0.4, Action: SlowDisk, Collector: 1, FsyncLat: 50 * time.Millisecond},
+		{After: 0.5, Action: Skew, Collector: 1, Skew: 2 * time.Second},
+		{After: 0.6, Action: Skew, Collector: 0, Skew: -time.Second},
+		{After: 0.8, Action: Heal, Collector: -1},
+		{After: 0.9, Action: Heal, Collector: 1},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if !ScheduleNeedsChaos(got) {
+		t.Error("chaos schedule not flagged as needing a plane")
+	}
+	if kr, _ := ParseSchedule("kill@0.3=1,restore@0.6=1"); ScheduleNeedsChaos(kr) {
+		t.Error("kill/restore schedule flagged as needing a plane")
+	}
+
+	for _, bad := range []string{
+		"partition@0.3=1:1",  // peer self-loop
+		"flap@0.2=1",         // missing period
+		"flap@0.2=1/0",       // zero period
+		"flap@0.2=1/0.6",     // period over 0.5
+		"slowdisk@0.4=1",     // missing latency
+		"slowdisk@0.4=1:-5s", // negative latency
+		"skew@0.5=1",         // missing offset
+		"skew@0.5=1:fast",    // unparseable offset
+		"heal@0.8=",          // no target
+	} {
+		if _, err := ParseSchedule(bad); err == nil {
+			t.Errorf("ParseSchedule(%q) accepted", bad)
+		}
+	}
+}
+
+// TestFlapExpansion pins flap's desugaring: three partition/heal cycles
+// one period apart, ending healed, fractions capped at 1.
+func TestFlapExpansion(t *testing.T) {
+	got, err := ParseSchedule("flap@0.2=1/0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2*flapCycles {
+		t.Fatalf("flap expanded to %d events, want %d", len(got), 2*flapCycles)
+	}
+	for c := 0; c < flapCycles; c++ {
+		cut, heal := got[2*c], got[2*c+1]
+		wantAt := 0.2 + float64(2*c)*0.05
+		if cut.Action != Partition || cut.Collector != 1 || math.Abs(cut.After-wantAt) > 1e-9 {
+			t.Errorf("cycle %d cut = %+v, want partition@%g=1", c, cut, wantAt)
+		}
+		if heal.Action != Heal || heal.Collector != 1 || math.Abs(heal.After-(wantAt+0.05)) > 1e-9 {
+			t.Errorf("cycle %d heal = %+v, want heal@%g=1", c, heal, wantAt+0.05)
+		}
+	}
+	if last := got[len(got)-1]; last.Action != Heal {
+		t.Errorf("flap ends with %v, want heal", last.Action)
+	}
+
+	// A flap starting late clamps at the end of the run rather than
+	// scheduling past it (leftover events still fire before Drain).
+	late, err := ParseSchedule("flap@0.95=0/0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range late {
+		if ev.After > 1 {
+			t.Errorf("event %+v scheduled past the end of the run", ev)
+		}
+	}
+}
+
+// TestFormatScheduleRoundTrip: formatting a parsed schedule and parsing
+// it again yields the same events.
+func TestFormatScheduleRoundTrip(t *testing.T) {
+	spec := "kill@0.25=1,restore@0.75=1,partition@0.3=2,partition@0.35=0:2,slowdisk@0.4=1:50ms,skew@0.5=1:2s,heal@0.8=*"
+	evs, err := ParseSchedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	formatted := FormatSchedule(evs)
+	again, err := ParseSchedule(formatted)
+	if err != nil {
+		t.Fatalf("reparse of %q: %v", formatted, err)
+	}
+	if len(again) != len(evs) {
+		t.Fatalf("round trip changed event count: %d vs %d", len(again), len(evs))
+	}
+	for i := range evs {
+		if evs[i] != again[i] {
+			t.Errorf("event %d: %+v != %+v (via %q)", i, evs[i], again[i], formatted)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"syscall"
 	"time"
 )
 
@@ -173,7 +174,8 @@ func rateRule(name, what, unit string, max float64, counters ...string) HealthRu
 }
 
 // DefaultHealthRules is the stock SLO set: ingest drops, WAL ring
-// stalls, HA write degradation, down replicas, and WAL fsync latency.
+// stalls, HA write degradation, down replicas, sticky WAL failure, and
+// WAL fsync latency.
 func DefaultHealthRules(t HealthThresholds) []HealthRule {
 	return []HealthRule{
 		rateRule("drop_rate", "dropped reports", "drops", t.MaxDropRate,
@@ -189,6 +191,32 @@ func DefaultHealthRules(t HealthThresholds) []HealthRule {
 				res.Reason = "all replicas up"
 			} else {
 				res.Reason = fmt.Sprintf("%.0f collector(s) marked down", n)
+			}
+			return res
+		}},
+		{Name: "wal_failed", Eval: func(cur, _ *Snapshot, _ time.Duration) RuleResult {
+			// dta_wal_failed_errno mirrors the writer's sticky failure:
+			// one dead disk anywhere in the cluster flips health
+			// immediately, instead of only failing later barriers.
+			n := maxGauge(cur, "dta_wal_failed_errno")
+			if n == 0 {
+				// A healthy fleet may carry a negative sentinel nowhere;
+				// also check the minimum for the -1 non-errno case.
+				for i := range cur.Values {
+					if v := &cur.Values[i]; v.Name == "dta_wal_failed_errno" && v.Value < 0 {
+						n = v.Value
+						break
+					}
+				}
+			}
+			res := RuleResult{Healthy: n == 0, Value: n}
+			switch {
+			case n == 0:
+				res.Reason = "no sticky WAL failure"
+			case n < 0:
+				res.Reason = "WAL flusher failed (sticky): unknown error"
+			default:
+				res.Reason = fmt.Sprintf("WAL flusher failed (sticky): %s", syscall.Errno(int(n)).Error())
 			}
 			return res
 		}},

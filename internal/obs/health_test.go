@@ -29,6 +29,7 @@ func TestHealthRuleTable(t *testing.T) {
 	stalls := sc.Counter("dta_wal_ring_stalls_total", "t")
 	degraded := sc.Counter("dta_ha_degraded_writes_total", "t")
 	down := sc.Gauge("dta_ha_down_replicas", "t")
+	failed := sc.Gauge("dta_wal_failed_errno", "t")
 	fsync := sc.Histogram("dta_wal_fsync_ns", "t")
 
 	e := NewHealthEvaluator(reg)
@@ -38,8 +39,8 @@ func TestHealthRuleTable(t *testing.T) {
 	if !st.Healthy {
 		t.Fatalf("quiescent registry unhealthy: %+v", st)
 	}
-	if len(st.Rules) != 5 {
-		t.Fatalf("expected 5 default rules, got %d", len(st.Rules))
+	if len(st.Rules) != 6 {
+		t.Fatalf("expected 6 default rules, got %d", len(st.Rules))
 	}
 	for _, r := range st.Rules {
 		if r.Reason == "" {
@@ -58,6 +59,8 @@ func TestHealthRuleTable(t *testing.T) {
 		{"wal_ring_stalls", func() { stalls.Add(10_000_000) }, nil},
 		{"degraded_writes", func() { degraded.Add(3) }, nil},
 		{"down_replicas", func() { down.Set(1) }, func() { down.Set(0) }},
+		// 5 = EIO; the rule renders the errno text in its reason.
+		{"wal_failed", func() { failed.Set(5) }, func() { failed.Set(0) }},
 		{"fsync_p99", func() { fsync.Observe(uint64(2 * time.Second)) }, nil},
 	}
 	for _, c := range cases {

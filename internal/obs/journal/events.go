@@ -2,6 +2,7 @@ package journal
 
 import (
 	"fmt"
+	"syscall"
 	"time"
 )
 
@@ -94,6 +95,17 @@ const (
 	// Translator data-plane incidents (rate-gated).
 	EvRateShed   // arg1 = cumulative rate-limit drops
 	EvParseError // arg1 = cumulative parse errors
+
+	// Chaos plane (injected faults and their recovery machinery). New
+	// types append here so the enum values above stay stable across
+	// scrapes of mixed-version journals.
+	EvPartition       // arg1 = link (0 reporter→collector, 1 peer↔peer), arg2 = peer
+	EvPartitionHeal   // arg1 = link, arg2 = peer
+	EvSlowDisk        // arg1 = injected fsync latency ns (0 = healed)
+	EvClockSkew       // arg1 = skew ns (two's complement)
+	EvResyncRetry     // arg1 = attempt, arg2 = backoff ns
+	EvWALDegradeEnter // arg1 = observed fsync ns, arg2 = bound ns
+	EvWALDegradeExit  // arg1 = probe fsync ns, arg2 = acks skipped while degraded
 )
 
 func (t Type) String() string {
@@ -146,6 +158,20 @@ func (t Type) String() string {
 		return "rate-shed"
 	case EvParseError:
 		return "parse-error"
+	case EvPartition:
+		return "partition"
+	case EvPartitionHeal:
+		return "partition-heal"
+	case EvSlowDisk:
+		return "slow-disk"
+	case EvClockSkew:
+		return "clock-skew"
+	case EvResyncRetry:
+		return "resync-retry"
+	case EvWALDegradeEnter:
+		return "wal-degrade-enter"
+	case EvWALDegradeExit:
+		return "wal-degrade-exit"
 	}
 	return fmt.Sprintf("type(%d)", uint8(t))
 }
@@ -182,6 +208,9 @@ func (ev *Event) Detail() string {
 	case EvWALTruncate:
 		return fmt.Sprintf("below-lsn=%d segments-reclaimed=%d", ev.Arg1, ev.Arg2)
 	case EvWALError:
+		if ev.Arg1 != 0 {
+			return fmt.Sprintf("flusher failed (sticky): %s", syscall.Errno(ev.Arg1).Error())
+		}
 		return "flusher failed (sticky)"
 	case EvRecoveryStart:
 		return "replaying checkpoint + log"
@@ -199,6 +228,24 @@ func (ev *Event) Detail() string {
 		return fmt.Sprintf("cumulative-drops=%d", ev.Arg1)
 	case EvParseError:
 		return fmt.Sprintf("cumulative-errors=%d", ev.Arg1)
+	case EvPartition, EvPartitionHeal:
+		if ev.Arg1 == 0 {
+			return "link=reporter"
+		}
+		return fmt.Sprintf("link=peer peer=%d", ev.Arg2)
+	case EvSlowDisk:
+		if ev.Arg1 == 0 {
+			return "fsync-latency=healed"
+		}
+		return fmt.Sprintf("fsync-latency=%s", time.Duration(ev.Arg1))
+	case EvClockSkew:
+		return fmt.Sprintf("skew=%s", time.Duration(int64(ev.Arg1)))
+	case EvResyncRetry:
+		return fmt.Sprintf("attempt=%d backoff=%s", ev.Arg1, time.Duration(ev.Arg2))
+	case EvWALDegradeEnter:
+		return fmt.Sprintf("fsync=%s bound=%s", time.Duration(ev.Arg1), time.Duration(ev.Arg2))
+	case EvWALDegradeExit:
+		return fmt.Sprintf("probe=%s skipped-acks=%d", time.Duration(ev.Arg1), ev.Arg2)
 	}
 	return fmt.Sprintf("args=%d,%d,%d", ev.Arg1, ev.Arg2, ev.Arg3)
 }

@@ -41,14 +41,17 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"dta/internal/obs"
@@ -88,6 +91,17 @@ func (m SyncMode) String() string {
 	}
 }
 
+// File is the writer's view of one segment file: the subset of *os.File
+// the flusher uses. Fault-injection layers (internal/chaos) wrap the
+// real file behind it via Policy.WrapFile; production runs pay nothing
+// (the interface call on a raw *os.File devirtualises next to the
+// syscall it fronts, and every call is already off the ingest path).
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
 // Policy configures a Writer.
 type Policy struct {
 	// Mode selects the sync policy (default SyncNone).
@@ -99,6 +113,21 @@ type Policy struct {
 	// finer checkpoint increments but cost more rotations (each one
 	// finalises a file).
 	SegmentBytes int64
+	// WrapFile, when set, wraps every segment file the flusher opens —
+	// the fault-injection hook (slow or dead disks, short writes). nil
+	// uses the file directly.
+	WrapFile func(*os.File) File
+	// DegradeFsync, when > 0, bounds tolerated fsync latency: once
+	// degradeEnterAfter consecutive data-path fsyncs exceed it, the
+	// writer enters degraded-ack mode — Sync requests are acknowledged
+	// at the flush (OS write) barrier without fsyncing, counted in
+	// Stats.DegradedAcks, and DurableLSN stops advancing — instead of
+	// stalling ingest behind a sick disk. Every degradeProbeEvery-th
+	// Sync request still fsyncs as a probe; a probe back under the
+	// bound exits degraded mode. Both transitions are journaled
+	// (EvWALDegradeEnter/Exit). 0 disables degradation: every Sync
+	// fsyncs, however slow the disk (the pre-chaos behaviour).
+	DegradeFsync time.Duration
 }
 
 func (p Policy) withDefaults() Policy {
@@ -223,6 +252,16 @@ type Stats struct {
 	// awake anyway); they matter when correlated with ring stalls on a
 	// slow disk.
 	NudgesDropped uint64
+	// DegradedAcks counts Sync requests acknowledged at the flush
+	// barrier without an fsync while the writer was in degraded-ack
+	// mode (Policy.DegradeFsync).
+	DegradedAcks uint64
+	// Degraded reports whether the writer is currently in degraded-ack
+	// mode.
+	Degraded bool
+	// FailedErrno is the errno of the flusher's sticky failure (0 =
+	// healthy, -1 = failed with a non-errno error).
+	FailedErrno int64
 }
 
 // walCounters is the live metric storage behind Stats. Appender-side
@@ -237,6 +276,7 @@ type walCounters struct {
 	bytes         *obs.Counter
 	ringStalls    *obs.Counter
 	nudgesDropped *obs.Counter
+	degradedAcks  *obs.Counter
 	ringHWM       *obs.Gauge
 	flushNs       *obs.Histogram // write-behind buffer drain to the OS
 	fsyncNs       *obs.Histogram
@@ -250,6 +290,7 @@ func newWALCounters(sc *obs.Scope) walCounters {
 		bytes:         sc.Counter("dta_wal_bytes_total", "Log bytes appended."),
 		ringStalls:    sc.Counter("dta_wal_ring_stalls_total", "Appends that found the SPSC ring full and blocked on the flusher."),
 		nudgesDropped: sc.Counter("dta_wal_nudges_dropped_total", "Flusher wakeups coalesced into an already-pending nudge."),
+		degradedAcks:  sc.Counter("dta_wal_degraded_acks_total", "Sync requests acknowledged without fsync in degraded-ack mode."),
 		ringHWM:       sc.Gauge("dta_wal_ring_high_water", "Deepest SPSC ring occupancy observed (ring size 8192)."),
 		flushNs:       sc.Histogram("dta_wal_flush_ns", "Nanoseconds per write-behind buffer drain to the OS."),
 		fsyncNs:       sc.Histogram("dta_wal_fsync_ns", "Nanoseconds per segment fsync."),
@@ -295,7 +336,14 @@ type Writer struct {
 	done  chan struct{}
 
 	flushErr atomic.Pointer[error]
-	closed   bool
+	// failedErrno mirrors the sticky failure's errno for the health
+	// exposition (0 = healthy, -1 = non-errno failure).
+	failedErrno atomic.Int64
+	closed      bool
+
+	// degraded flags degraded-ack mode (Policy.DegradeFsync): set and
+	// cleared by the flusher, read by Stats and the exposition.
+	degraded atomic.Bool
 
 	ctr walCounters
 
@@ -307,11 +355,17 @@ type Writer struct {
 	jrCause uint64
 
 	// Flusher-owned state (no appender access after Create).
-	f        *os.File
+	f        File
 	buf      []byte // write-behind buffer
 	segBytes int64
 	prevNow  uint64 // previous record's timestamp (delta encoding)
 	scratch  [MaxRecordLen]byte
+	// Degraded-ack bookkeeping, flusher-owned: consecutive over-bound
+	// fsyncs (entry trigger), Sync requests seen while degraded (probe
+	// pacing) and acks skipped since entry (Exit event payload).
+	overBound    int
+	degradedReqs int
+	degradedSkip uint64
 }
 
 // ringEntry is one in-flight record awaiting encoding.
@@ -325,6 +379,9 @@ type ringEntry struct {
 type ctrlReq struct {
 	upto  uint64
 	fsync bool
+	// force bypasses degraded-ack mode: Close must leave a truly
+	// durable log behind, however sick the disk.
+	force bool
 	ack   chan error
 }
 
@@ -335,6 +392,13 @@ const (
 	// writerBufBytes sizes the flusher's write-behind buffer (one OS
 	// write per ~2k records at Key-Write record sizes).
 	writerBufBytes = 64 << 10
+
+	// Degraded-ack pacing (Policy.DegradeFsync): enter after this many
+	// consecutive data-path fsyncs over the bound — one slow fsync is
+	// noise, a run of them is a sick disk; while degraded, every Nth
+	// Sync request still fsyncs as a recovery probe.
+	degradeEnterAfter = 3
+	degradeProbeEvery = 8
 )
 
 // Create initialises dir (creating it if needed) and opens a Writer
@@ -380,6 +444,15 @@ func CreateScoped(dir string, pol Policy, sc *obs.Scope) (*Writer, error) {
 		func() float64 { return float64(w.DurableLSN()) })
 	sc.GaugeFunc("dta_wal_ring_occupancy", "Records currently buffered in the SPSC ring.",
 		func() float64 { return float64(w.head.Load() - w.tail.Load()) })
+	sc.GaugeFunc("dta_wal_degraded", "1 while the writer is in degraded-ack mode (fsyncs over Policy.DegradeFsync).",
+		func() float64 {
+			if w.degraded.Load() {
+				return 1
+			}
+			return 0
+		})
+	sc.GaugeFunc("dta_wal_failed_errno", "Errno of the flusher's sticky failure (0 = healthy, -1 = non-errno error).",
+		func() float64 { return float64(w.failedErrno.Load()) })
 	next := uint64(1)
 	if len(bases) > 0 {
 		last := bases[len(bases)-1]
@@ -391,7 +464,7 @@ func CreateScoped(dir string, pol Policy, sc *obs.Scope) (*Writer, error) {
 		if err != nil {
 			return nil, err
 		}
-		w.f = f
+		w.f = w.wrap(f)
 		if info.Records > 0 {
 			// Force a fresh segment for the first new record: timestamp
 			// deltas are per-segment and the old tail's last timestamp
@@ -465,6 +538,9 @@ func (w *Writer) WStats() Stats {
 		RingHighWater: uint64(w.ctr.ringHWM.Load()),
 		RingStalls:    w.ctr.ringStalls.Load(),
 		NudgesDropped: w.ctr.nudgesDropped.Load(),
+		DegradedAcks:  w.ctr.degradedAcks.Load(),
+		Degraded:      w.degraded.Load(),
+		FailedErrno:   w.failedErrno.Load(),
 	}
 }
 
@@ -529,13 +605,14 @@ func (w *Writer) nudge() {
 }
 
 // barrier waits until the flusher has consumed, encoded and written to
-// the OS every record appended so far, optionally fsyncing the segment.
-func (w *Writer) barrier(fsync bool) error {
+// the OS every record appended so far, optionally fsyncing the segment
+// (force bypasses degraded-ack mode).
+func (w *Writer) barrier(fsync, force bool) error {
 	if w.closed {
 		return w.err()
 	}
 	ack := make(chan error, 1)
-	w.ctrl <- ctrlReq{upto: w.head.Load(), fsync: fsync, ack: ack}
+	w.ctrl <- ctrlReq{upto: w.head.Load(), fsync: fsync, force: force, ack: ack}
 	w.nudge()
 	return <-ack
 }
@@ -543,13 +620,16 @@ func (w *Writer) barrier(fsync bool) error {
 // Flush pushes every appended record to the OS without fsyncing: after
 // it returns, readers of the segment files observe every appended
 // record (the log-shipping resync path reads peers' logs this way).
-func (w *Writer) Flush() error { return w.barrier(false) }
+func (w *Writer) Flush() error { return w.barrier(false, false) }
 
 // Sync makes every appended record durable: buffered records are
 // encoded, written out and the segment fsynced. DurableLSN has advanced
-// to (at least) the pre-call LastLSN when Sync returns.
+// to (at least) the pre-call LastLSN when Sync returns — unless the
+// writer is in degraded-ack mode (Policy.DegradeFsync), where the
+// barrier acknowledges at the OS-write boundary, counts the skipped
+// fsync in Stats.DegradedAcks, and DurableLSN holds still.
 func (w *Writer) Sync() error {
-	err := w.barrier(true)
+	err := w.barrier(true, false)
 	w.lastSync = time.Now()
 	return err
 }
@@ -577,7 +657,9 @@ func (w *Writer) Close() error {
 	if w.closed {
 		return nil
 	}
-	err := w.Sync()
+	// Forced sync: even a degraded writer fsyncs on Close, so a clean
+	// shutdown always leaves a fully durable log.
+	err := w.barrier(true, true)
 	w.closed = true
 	close(w.quit)
 	w.nudge()
@@ -600,19 +682,6 @@ func (w *Writer) flusher() {
 			w.f.Close()
 		}
 	}()
-	fail := func(err error) bool {
-		if err == nil {
-			return false
-		}
-		// Box on the error path only: taking the parameter's address
-		// would heap-allocate it on every (overwhelmingly nil) call.
-		boxed := err
-		if w.flushErr.CompareAndSwap(nil, &boxed) {
-			// First failure only: the log just went sticky-dead.
-			w.jr.Emit(journal.EvWALError, journal.SevError, w.jrCause, 0, 0, 0)
-		}
-		return true
-	}
 	var pending *ctrlReq
 	idle := time.NewTimer(time.Hour)
 	defer idle.Stop()
@@ -626,7 +695,7 @@ func (w *Writer) flusher() {
 		for i := t; i < h; i++ {
 			e := &w.ring[i&uint64(len(w.ring)-1)]
 			if w.err() == nil {
-				fail(w.encode(e))
+				w.fail(w.encode(e))
 			}
 			w.tail.Store(i + 1)
 			// Unconditional (non-blocking, coalescing) space signal: an
@@ -646,15 +715,9 @@ func (w *Writer) flusher() {
 			}
 		}
 		if pending != nil && (w.tail.Load() >= pending.upto || w.err() != nil) {
-			fail(w.writeOut())
+			w.fail(w.writeOut())
 			if pending.fsync && w.f != nil && w.err() == nil {
-				span := obs.Start(w.ctr.fsyncNs)
-				err := w.f.Sync()
-				span.End()
-				if !fail(err) {
-					w.durable.Store(w.startLSN + w.tail.Load() - 1)
-				}
-				w.ctr.syncs.Inc()
+				w.syncPoint(pending.force)
 			}
 			pending.ack <- w.err()
 			pending = nil
@@ -665,7 +728,7 @@ func (w *Writer) flusher() {
 			// appender's publish-then-check-tail ordering guarantees a
 			// nudge for the record that races this sleep decision; the
 			// long timer is a belt-and-suspenders bound, not a poll.
-			fail(w.writeOut())
+			w.fail(w.writeOut())
 			if !idle.Stop() {
 				select {
 				case <-idle.C:
@@ -682,6 +745,101 @@ func (w *Writer) flusher() {
 				}
 			}
 		}
+	}
+}
+
+// fail boxes the first flusher error into the sticky flushErr, mirrors
+// its errno for the health exposition and journals it; later calls only
+// report err != nil. Flusher-only.
+func (w *Writer) fail(err error) bool {
+	if err == nil {
+		return false
+	}
+	// Box on the error path only: taking the parameter's address
+	// would heap-allocate it on every (overwhelmingly nil) call.
+	boxed := err
+	if w.flushErr.CompareAndSwap(nil, &boxed) {
+		// First failure only: the log just went sticky-dead. Carry the
+		// underlying errno (0 when the cause is not a syscall error) so
+		// the timeline and the health rule can name the disk's failure.
+		var errno syscall.Errno
+		if errors.As(err, &errno) {
+			w.failedErrno.Store(int64(errno))
+			w.jr.Emit(journal.EvWALError, journal.SevError, w.jrCause, uint64(errno), 0, 0)
+		} else {
+			w.failedErrno.Store(-1)
+			w.jr.Emit(journal.EvWALError, journal.SevError, w.jrCause, 0, 0, 0)
+		}
+	}
+	return true
+}
+
+// wrap applies the policy's fault-injection hook to a freshly opened
+// segment file.
+func (w *Writer) wrap(f *os.File) File {
+	if w.pol.WrapFile != nil {
+		return w.pol.WrapFile(f)
+	}
+	return f
+}
+
+// syncPoint serves one Sync barrier at the flusher: a measured fsync in
+// the healthy case, a counted skip in degraded-ack mode (force — Close —
+// always fsyncs). Flusher-only.
+func (w *Writer) syncPoint(force bool) {
+	if w.degraded.Load() && !force {
+		w.degradedReqs++
+		if w.degradedReqs%degradeProbeEvery != 0 {
+			// Degraded ack: the barrier's writeOut already pushed the
+			// records to the OS; DurableLSN intentionally holds still.
+			w.ctr.degradedAcks.Inc()
+			w.degradedSkip++
+			return
+		}
+		// Every degradeProbeEvery-th request falls through to a real
+		// fsync — the recovery probe.
+	}
+	t0 := obs.Nanotime()
+	span := obs.Start(w.ctr.fsyncNs)
+	err := w.f.Sync()
+	span.End()
+	ns := obs.Nanotime() - t0
+	w.ctr.syncs.Inc()
+	if w.fail(err) {
+		return
+	}
+	w.durable.Store(w.startLSN + w.tail.Load() - 1)
+	w.observeFsync(ns)
+}
+
+// observeFsync advances the degraded-ack state machine on one measured
+// data-path fsync. Flusher-only.
+func (w *Writer) observeFsync(ns int64) {
+	bound := int64(w.pol.DegradeFsync)
+	if bound <= 0 {
+		return
+	}
+	if w.degraded.Load() {
+		if ns <= bound {
+			// The probe came back under the bound: the disk healed.
+			w.degraded.Store(false)
+			w.overBound = 0
+			w.jr.Emit(journal.EvWALDegradeExit, journal.SevInfo, w.jrCause, uint64(ns), w.degradedSkip, 0)
+			w.degradedSkip = 0
+			w.degradedReqs = 0
+		}
+		return
+	}
+	if ns <= bound {
+		w.overBound = 0
+		return
+	}
+	w.overBound++
+	if w.overBound >= degradeEnterAfter {
+		w.degraded.Store(true)
+		w.degradedReqs = 0
+		w.degradedSkip = 0
+		w.jr.Emit(journal.EvWALDegradeEnter, journal.SevWarn, w.jrCause, uint64(ns), uint64(bound), 0)
 	}
 }
 
@@ -719,10 +877,31 @@ func (w *Writer) writeOut() error {
 		return nil
 	}
 	span := obs.Start(w.ctr.flushNs)
-	_, err := w.f.Write(w.buf)
+	err := writeFull(w.f, w.buf)
 	span.End()
 	w.buf = w.buf[:0]
 	return err
+}
+
+// writeFull writes p to f completely, absorbing partial progress
+// (io.ErrShortWrite with bytes written, e.g. an injected short-write
+// fault or an interrupted write) by retrying the remainder. A
+// zero-progress short write fails rather than spinning.
+func writeFull(f File, p []byte) error {
+	for off := 0; off < len(p); {
+		n, err := f.Write(p[off:])
+		off += n
+		if err == io.ErrShortWrite && n > 0 {
+			continue
+		}
+		if err == nil && n == 0 {
+			err = io.ErrShortWrite
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // rotate finalises the current segment and opens a fresh one whose base
@@ -762,14 +941,15 @@ func (w *Writer) rotate() error {
 	if err != nil {
 		return err
 	}
+	wf := w.wrap(f)
 	var hdr [segHeaderLen]byte
 	copy(hdr[:8], segMagic[:])
 	binary.BigEndian.PutUint64(hdr[8:], base)
-	if _, err := f.Write(hdr[:]); err != nil {
-		f.Close()
+	if err := writeFull(wf, hdr[:]); err != nil {
+		wf.Close()
 		return err
 	}
-	w.f = f
+	w.f = wf
 	w.segBytes = segHeaderLen
 	w.prevNow = 0 // timestamp deltas restart per segment
 	if rotated {
