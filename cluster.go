@@ -8,6 +8,7 @@ import (
 	"dta/internal/crc"
 	"dta/internal/obs"
 	"dta/internal/obs/journal"
+	"dta/internal/obs/trace"
 )
 
 // Cluster shards telemetry across multiple collectors (§7, "Supporting
@@ -23,6 +24,9 @@ type Cluster struct {
 	// jr is the shared flight-recorder journal every member emits into,
 	// each under its own collector label (nil with DisableTelemetry).
 	jr *journal.Journal
+	// trc is the shared data-plane trace pipeline (nil with
+	// DisableTelemetry). See internal/obs/trace.
+	trc *trace.Tracer
 	// health lazily builds the default /healthz evaluator over reg.
 	healthOnce sync.Once
 	health     *obs.HealthEvaluator
@@ -39,11 +43,12 @@ func NewCluster(n int, opts Options) (*Cluster, error) {
 	if !opts.DisableTelemetry {
 		c.reg = obs.NewRegistry()
 		c.jr = newJournal(opts)
+		c.trc = trace.New(trace.Config{})
 	}
 	for i := 0; i < n; i++ {
 		o := opts
 		o.Seed = opts.Seed + int64(i)
-		sys, err := newSystem(o, c.reg, c.reg.Scope(obs.L("collector", strconv.Itoa(i))), c.jr, int16(i))
+		sys, err := newSystem(o, c.reg, c.reg.Scope(obs.L("collector", strconv.Itoa(i))), c.jr, c.trc, int16(i))
 		if err != nil {
 			return nil, err
 		}

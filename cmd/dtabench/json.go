@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -448,5 +449,78 @@ func runJSONBench(out string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", out)
+	hist := filepath.Join(filepath.Dir(out), "BENCH_history.jsonl")
+	if err := appendHistory(hist, &report); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "appended %s\n", hist)
 	return nil
+}
+
+// historyRow is one line of BENCH_history.jsonl: the capture's identity
+// plus the headline figures, so the repository's performance trajectory
+// survives BENCH_results.json being overwritten every run. One line per
+// capture, append-only — `jq` or a spreadsheet reads the whole curve.
+type historyRow struct {
+	GitRev          string  `json:"git_rev"`
+	Generated       string  `json:"generated"`
+	GoVersion       string  `json:"go_version"`
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+	NumCPU          int     `json:"num_cpu"`
+	DegradedCapture bool    `json:"degraded_capture,omitempty"`
+	SyncNsOp        float64 `json:"sync_ns_per_op,omitempty"`
+	Async1NsOp      float64 `json:"async1_ns_per_op,omitempty"`
+	Async4NsOp      float64 `json:"async4_ns_per_op,omitempty"`
+	Async4RPS       float64 `json:"async4_reports_per_sec,omitempty"`
+	TelemetryPct    float64 `json:"telemetry_overhead_pct,omitempty"`
+	WALBatchPct     float64 `json:"wal_overhead_batch_pct,omitempty"`
+}
+
+// summarize reduces a full report to its history row.
+func summarize(report *BenchReport) historyRow {
+	row := historyRow{
+		GitRev:          report.GitRev,
+		Generated:       report.Generated,
+		GoVersion:       report.GoVersion,
+		GOMAXPROCS:      report.GOMAXPROCS,
+		NumCPU:          report.NumCPU,
+		DegradedCapture: report.DegradedCapture,
+	}
+	for _, r := range report.Results {
+		switch r.Name {
+		case "Engine_Sync1Shard":
+			row.SyncNsOp = r.NsPerOp
+		case "Engine_Async1Shard":
+			row.Async1NsOp = r.NsPerOp
+		case "Engine_Async4Shard":
+			row.Async4NsOp = r.NsPerOp
+			row.Async4RPS = r.ReportsPerSec
+		}
+	}
+	for _, c := range report.Comparisons {
+		switch c.Name {
+		case "telemetry_overhead_sync":
+			row.TelemetryPct = c.SpeedupPct
+		case "wal_overhead_batch":
+			row.WALBatchPct = c.SpeedupPct
+		}
+	}
+	return row
+}
+
+// appendHistory appends the report's summary row to the history file.
+func appendHistory(path string, report *BenchReport) error {
+	line, err := json.Marshal(summarize(report))
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -50,6 +50,7 @@ import (
 	"dta/internal/ha"
 	"dta/internal/obs"
 	"dta/internal/obs/journal"
+	obstrace "dta/internal/obs/trace"
 	"dta/internal/snapshot"
 	"dta/internal/telemetry/inttel"
 	"dta/internal/telemetry/netseer"
@@ -98,6 +99,9 @@ func run(duration time.Duration, rate int, snapPath, addr, obsAddr string, wcfg 
 	// the causal event timeline, /healthz the rule-driven SLO verdict.
 	jr := journal.New(0)
 	he := obs.NewHealthEvaluator(reg)
+	// Data-plane trace pipeline: sampled per-report stage timelines with
+	// tail retention, served at /debug/traces.
+	trc := obstrace.New(obstrace.Config{})
 	var sc *obs.Scope
 	if obsAddr != "" {
 		sc = reg.Scope()
@@ -109,6 +113,7 @@ func run(duration time.Duration, rate int, snapPath, addr, obsAddr string, wcfg 
 		fmt.Printf("obs endpoint on http://%s/metrics\n", ln.Addr())
 		mux := obs.Mux(reg)
 		journal.Mount(mux, jr)
+		obstrace.Mount(mux, trc)
 		obs.MountHealth(mux, he)
 		srv := &http.Server{Handler: mux}
 		go srv.Serve(ln)
@@ -199,7 +204,7 @@ func run(duration time.Duration, rate int, snapPath, addr, obsAddr string, wcfg 
 			return err
 		}
 		tr.WAL = func(rec *wire.StagedReport, nowNs uint64) error {
-			_, err := walW.Append(rec, nowNs)
+			_, err := walW.AppendTraced(rec, nowNs, tr.TraceHandle())
 			return err
 		}
 		defer walW.Close()
@@ -219,6 +224,7 @@ func run(duration time.Duration, rate int, snapPath, addr, obsAddr string, wcfg 
 		defer close(recvDone)
 		buf := make([]byte, 2048)
 		var rep wire.Report
+		var smp obstrace.Sampler
 		start := time.Now()
 		for {
 			conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
@@ -235,9 +241,15 @@ func run(duration time.Duration, rate int, snapPath, addr, obsAddr string, wcfg 
 				continue
 			}
 			now := uint64(time.Since(start))
+			h := trc.Begin(&smp)
+			if h.Valid() {
+				h.Stamp(obstrace.StSubmit)
+				tr.SetTraceHandle(h)
+			}
 			if err := tr.Process(&rep, now); err != nil {
 				log.Printf("translate: %v", err)
 			}
+			h.Finish()
 			if walW != nil {
 				// Each datagram is an ingest batch on this path.
 				if err := walW.CommitBatch(); err != nil {

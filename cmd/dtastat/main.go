@@ -21,6 +21,16 @@
 // recorder) instead: one line per event, cursor-resumed each poll, with
 // causal chains (SetDown → Resync → Checkpoint) rendered as linked
 // continuation lines.
+//
+// With -traces dtastat tails /debug/traces (the data-plane trace
+// pipeline) instead: each sampled report renders as a waterfall of
+// stage bars (submit → queue → translate → emit → WAL → fsync → ack)
+// with the latency between consecutive stages attributed to the later
+// one, followed by cumulative per-segment p50/p99 and a dominant-stage
+// attribution summary (queue-wait vs fsync-wait). In the default
+// metrics view the trace pipeline contributes one line: the
+// trace-derived end-to-end ack p50/p99 under the per-shard engine
+// table.
 package main
 
 import (
@@ -33,6 +43,7 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"text/tabwriter"
 	"time"
 
@@ -47,6 +58,7 @@ func main() {
 		once     = flag.Bool("once", false, "print one absolute snapshot and exit")
 		raw      = flag.Bool("raw", false, "dump the raw /metrics exposition and exit")
 		events   = flag.Bool("events", false, "tail the flight recorder (/debug/events) instead of metrics")
+		traces   = flag.Bool("traces", false, "tail the data-plane trace pipeline (/debug/traces) as stage waterfalls")
 	)
 	flag.Parse()
 	base := *addr
@@ -67,19 +79,24 @@ func main() {
 		tailEvents(base+"/debug/events", *interval, *once)
 		return
 	}
+	if *traces {
+		tailTraces(base+"/debug/traces", *interval, *once)
+		return
+	}
 
+	ack := &traceAck{url: base + "/debug/traces"}
 	prev, prevAt, err := scrape(url)
 	if err != nil {
 		log.Fatal("dtastat: ", err)
 	}
 	if *once {
-		render(os.Stdout, prev, 0)
+		render(os.Stdout, prev, 0, ack.poll())
 		return
 	}
 	// The first scrape has nothing to diff against: label it so lifetime
 	// totals are not misread as per-interval rates.
 	fmt.Println("baseline sample (lifetime totals, not rates; rates follow from the next tick)")
-	render(os.Stdout, prev, 0)
+	render(os.Stdout, prev, 0, ack.poll())
 	tick := time.NewTicker(*interval)
 	defer tick.Stop()
 	for range tick.C {
@@ -89,7 +106,7 @@ func main() {
 		}
 		elapsed := at.Sub(prevAt)
 		fmt.Println()
-		render(os.Stdout, cur.Delta(prev), elapsed)
+		render(os.Stdout, cur.Delta(prev), elapsed, ack.poll())
 		prev, prevAt = cur, at
 	}
 }
@@ -150,6 +167,219 @@ func printEvent(r *journal.Record, lastCause *uint64) {
 	}
 	fmt.Printf("%s %-5s %-10s %-3s %s %s%s\n",
 		r.Time.Local().Format("15:04:05.000"), r.Sev, r.Component, who, link, r.Detail, cause)
+}
+
+// traceStage / traceJSON / tracesPayload mirror the /debug/traces
+// response envelope (internal/obs/trace's JSON rendering).
+type traceStage struct {
+	Stage string `json:"stage"`
+	AtNs  int64  `json:"at_ns"`
+}
+
+type traceJSON struct {
+	Seq     uint64       `json:"seq"`
+	ID      uint64       `json:"id"`
+	Flags   []string     `json:"flags"`
+	StartNs int64        `json:"start_ns"`
+	TotalNs int64        `json:"total_ns"`
+	Stages  []traceStage `json:"stages"`
+}
+
+type tracesPayload struct {
+	Last    uint64      `json:"last"`
+	Missed  uint64      `json:"missed"`
+	Dropped uint64      `json:"dropped"`
+	Traces  []traceJSON `json:"traces"`
+}
+
+// tailTraces live-tails the trace pipeline: each poll resumes from the
+// previous response's cursor, renders every new trace as a stage
+// waterfall, and prints the cumulative per-segment latency table.
+func tailTraces(url string, interval time.Duration, once bool) {
+	var cursor uint64
+	agg := newStageAgg()
+	for {
+		body, err := fetch(fmt.Sprintf("%s?since=%d", url, cursor))
+		if err != nil {
+			log.Fatal("dtastat: ", err)
+		}
+		var p tracesPayload
+		if err := json.Unmarshal(body, &p); err != nil {
+			log.Fatal("dtastat: traces: ", err)
+		}
+		if p.Missed > 0 {
+			fmt.Printf("... %d traces lost to ring overwrite ...\n", p.Missed)
+		}
+		for i := range p.Traces {
+			printTrace(&p.Traces[i], agg)
+		}
+		cursor = p.Last
+		if len(p.Traces) > 0 {
+			agg.render(os.Stdout)
+		}
+		if once {
+			return
+		}
+		time.Sleep(interval)
+	}
+}
+
+// dur renders nanoseconds human-readably at µs-or-better precision.
+func dur(ns int64) string {
+	switch {
+	case ns >= int64(time.Second):
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= int64(time.Millisecond):
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	default:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	}
+}
+
+// waterfallWidth is the bar area of the per-trace waterfall in columns.
+const waterfallWidth = 40
+
+// printTrace renders one trace as a waterfall: stages in chronological
+// order, the gap to the next stamp drawn as a bar offset into the
+// trace's total span. The latency of a segment is attributed to the
+// transition it ends at (e.g. enqueue→dequeue is queue wait,
+// wal_write→fsync is fsync wait).
+func printTrace(t *traceJSON, agg *stageAgg) {
+	sort.Slice(t.Stages, func(i, j int) bool { return t.Stages[i].AtNs < t.Stages[j].AtNs })
+	flags := ""
+	if len(t.Flags) > 0 {
+		flags = "  [" + strings.Join(t.Flags, ",") + "]"
+	}
+	fmt.Printf("trace %d  seq %d  total %s%s\n", t.ID, t.Seq, dur(t.TotalNs), flags)
+	agg.observeTotal(t.TotalNs)
+	var domSeg string
+	var domNs int64
+	for i, st := range t.Stages {
+		segStr := ""
+		start, barLen := 0, 1
+		if t.TotalNs > 0 {
+			start = int(st.AtNs * waterfallWidth / t.TotalNs)
+		}
+		if i+1 < len(t.Stages) {
+			next := t.Stages[i+1]
+			seg := next.AtNs - st.AtNs
+			name := st.Stage + "→" + next.Stage
+			segStr = fmt.Sprintf("  %s %s", name, dur(seg))
+			agg.observeSeg(name, seg)
+			if seg > domNs {
+				domSeg, domNs = name, seg
+			}
+			if t.TotalNs > 0 {
+				barLen = int(seg * waterfallWidth / t.TotalNs)
+			}
+		}
+		if barLen < 1 {
+			barLen = 1
+		}
+		if start >= waterfallWidth {
+			start = waterfallWidth - 1
+		}
+		if start+barLen > waterfallWidth {
+			barLen = waterfallWidth - start
+		}
+		bar := strings.Repeat(" ", start) + strings.Repeat("█", barLen)
+		fmt.Printf("  %-9s +%-9s |%-*s|%s\n", st.Stage, dur(st.AtNs), waterfallWidth, bar, segStr)
+	}
+	if domSeg != "" {
+		agg.observeDominant(domSeg)
+	}
+}
+
+// stageAgg accumulates per-segment latencies across rendered traces.
+type stageAgg struct {
+	segs     map[string][]float64
+	order    []string
+	totals   []float64
+	dominant map[string]int
+	ntraces  int
+}
+
+func newStageAgg() *stageAgg {
+	return &stageAgg{segs: make(map[string][]float64), dominant: make(map[string]int)}
+}
+
+func (a *stageAgg) observeTotal(ns int64) {
+	a.totals = append(a.totals, float64(ns))
+	a.ntraces++
+}
+
+func (a *stageAgg) observeSeg(name string, ns int64) {
+	if _, ok := a.segs[name]; !ok {
+		a.order = append(a.order, name)
+	}
+	a.segs[name] = append(a.segs[name], float64(ns))
+}
+
+func (a *stageAgg) observeDominant(name string) { a.dominant[name]++ }
+
+// pctOf estimates quantile q over observed samples (sorted copy).
+func pctOf(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	i := int(q * float64(len(s)-1))
+	return s[i]
+}
+
+// render prints the cumulative per-segment latency table and the
+// dominant-stage attribution (which transition most often owned the
+// largest share of a trace's latency).
+func (a *stageAgg) render(w io.Writer) {
+	tw := tabwriter.NewWriter(w, 2, 2, 2, ' ', 0)
+	fmt.Fprintln(tw, "SEGMENT\tp50\tp99\tdominant-in")
+	for _, name := range a.order {
+		s := a.segs[name]
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d/%d traces\n",
+			name, dur(int64(pctOf(s, 0.50))), dur(int64(pctOf(s, 0.99))), a.dominant[name], a.ntraces)
+	}
+	fmt.Fprintf(tw, "end-to-end\t%s\t%s\t\n",
+		dur(int64(pctOf(a.totals, 0.50))), dur(int64(pctOf(a.totals, 0.99))))
+	tw.Flush()
+}
+
+// traceAck derives the end-to-end ack latency line shown under the
+// engine table in the default metrics view: cumulative p50/p99 over
+// every trace the pipeline has published since dtastat started.
+type traceAck struct {
+	url    string
+	cursor uint64
+	totals []float64
+	failed bool
+}
+
+// poll fetches new traces and returns the rendered summary line, or ""
+// when the endpoint is unavailable (older server) or no trace has been
+// published yet.
+func (a *traceAck) poll() string {
+	if a.failed {
+		return ""
+	}
+	body, err := fetch(fmt.Sprintf("%s?since=%d", a.url, a.cursor))
+	if err != nil {
+		a.failed = true // endpoint absent: stop asking
+		return ""
+	}
+	var p tracesPayload
+	if err := json.Unmarshal(body, &p); err != nil {
+		a.failed = true
+		return ""
+	}
+	a.cursor = p.Last
+	for i := range p.Traces {
+		a.totals = append(a.totals, float64(p.Traces[i].TotalNs))
+	}
+	if len(a.totals) == 0 {
+		return ""
+	}
+	return fmt.Sprintf("traces: e2e ack p50/p99 %s/%s (%d sampled)",
+		dur(int64(pctOf(a.totals, 0.50))), dur(int64(pctOf(a.totals, 0.99))), len(a.totals))
 }
 
 func fetch(url string) ([]byte, error) {
@@ -248,33 +478,38 @@ func utilization(v *obs.Value, elapsed time.Duration) string {
 	return fmt.Sprintf("%.0f%%", 100*float64(v.Sum)/float64(elapsed.Nanoseconds()))
 }
 
-func render(w io.Writer, s *obs.Snapshot, elapsed time.Duration) {
-	renderEngine(w, s, elapsed)
+func render(w io.Writer, s *obs.Snapshot, elapsed time.Duration, ackLine string) {
+	renderEngine(w, s, elapsed, ackLine)
 	renderTranslator(w, s, elapsed)
 	renderRDMA(w, s, elapsed)
 	renderWAL(w, s, elapsed)
 	renderHA(w, s, elapsed)
 }
 
-func renderEngine(w io.Writer, s *obs.Snapshot, elapsed time.Duration) {
+func renderEngine(w io.Writer, s *obs.Snapshot, elapsed time.Duration, ackLine string) {
 	sec := group(s, "dta_engine_", "shard")
-	if len(sec.keys) == 0 {
-		return
+	if len(sec.keys) > 0 {
+		tw := tabwriter.NewWriter(w, 2, 2, 2, ' ', 0)
+		fmt.Fprintln(tw, "ENGINE\tenqueued\tprocessed\tdropped\tstalls\tdepth\tbatch p50/p99 µs\tutil")
+		for _, k := range sec.keys {
+			row := sec.byKey[k]
+			fmt.Fprintf(tw, "shard %s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n", k,
+				rate(row["dta_engine_enqueued_total"], elapsed),
+				rate(row["dta_engine_processed_total"], elapsed),
+				rate(row["dta_engine_dropped_total"], elapsed),
+				rate(row["dta_engine_queue_stalls_total"], elapsed),
+				gauge(row["dta_engine_queue_depth"]),
+				quantiles(row["dta_engine_batch_ns"]),
+				utilization(row["dta_engine_batch_ns"], elapsed))
+		}
+		tw.Flush()
 	}
-	tw := tabwriter.NewWriter(w, 2, 2, 2, ' ', 0)
-	fmt.Fprintln(tw, "ENGINE\tenqueued\tprocessed\tdropped\tstalls\tdepth\tbatch p50/p99 µs\tutil")
-	for _, k := range sec.keys {
-		row := sec.byKey[k]
-		fmt.Fprintf(tw, "shard %s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n", k,
-			rate(row["dta_engine_enqueued_total"], elapsed),
-			rate(row["dta_engine_processed_total"], elapsed),
-			rate(row["dta_engine_dropped_total"], elapsed),
-			rate(row["dta_engine_queue_stalls_total"], elapsed),
-			gauge(row["dta_engine_queue_depth"]),
-			quantiles(row["dta_engine_batch_ns"]),
-			utilization(row["dta_engine_batch_ns"], elapsed))
+	// Trace-derived end-to-end ack latency rides under the shard table:
+	// per-shard utilization says how busy the workers are, this line says
+	// what that does to a report's submit→durable-ack time.
+	if ackLine != "" {
+		fmt.Fprintln(w, ackLine)
 	}
-	tw.Flush()
 }
 
 func renderTranslator(w io.Writer, s *obs.Snapshot, elapsed time.Duration) {

@@ -45,6 +45,7 @@ import (
 	"dta/internal/netsim"
 	"dta/internal/obs"
 	"dta/internal/obs/journal"
+	"dta/internal/obs/trace"
 	"dta/internal/reporter"
 	"dta/internal/translator"
 	"dta/internal/wal"
@@ -185,6 +186,14 @@ type System struct {
 	// events in a shared journal; -1 = standalone. See obs.go.
 	jr          *journal.Journal
 	collectorID int16
+
+	// trc is the data-plane trace pipeline: sampled end-to-end report
+	// traces (submit → queue → translate → emit → WAL → fsync → ack)
+	// with tail-based retention of outliers. Standalone systems own
+	// one, cluster members share their cluster's, DisableTelemetry
+	// leaves it nil (Begin on a nil tracer is a no-op). See
+	// internal/obs/trace.
+	trc *trace.Tracer
 	// ckptCause, when non-zero, is consumed by the next Checkpoint as
 	// the causality ID for its journal events: HACluster.Rebalance sets
 	// it (under its lock) so a post-resync checkpoint chains under the
@@ -203,11 +212,13 @@ type System struct {
 func New(opts Options) (*System, error) {
 	var reg *obs.Registry
 	var jr *journal.Journal
+	var trc *trace.Tracer
 	if !opts.DisableTelemetry {
 		reg = obs.NewRegistry()
 		jr = newJournal(opts)
+		trc = trace.New(trace.Config{})
 	}
-	return newSystem(opts, reg, reg.Scope(), jr, -1)
+	return newSystem(opts, reg, reg.Scope(), jr, trc, -1)
 }
 
 // newJournal sizes the flight recorder from Options.
@@ -224,7 +235,7 @@ func newJournal(opts Options) *journal.Journal {
 // (each under its own collector="i" scope) and emits into one journal
 // (each under its own collector label). reg, sc and jr may be nil
 // (telemetry off); collectorID is -1 for standalone systems.
-func newSystem(opts Options, reg *obs.Registry, sc *obs.Scope, jr *journal.Journal, collectorID int16) (*System, error) {
+func newSystem(opts Options, reg *obs.Registry, sc *obs.Scope, jr *journal.Journal, trc *trace.Tracer, collectorID int16) (*System, error) {
 	ccfg := collector.Config{}
 	tcfg := translator.Config{RateLimit: opts.RateLimit}
 	if o := opts.KeyWrite; o != nil {
@@ -255,7 +266,7 @@ func newSystem(opts Options, reg *obs.Registry, sc *obs.Scope, jr *journal.Journ
 	if err != nil {
 		return nil, err
 	}
-	s := &System{host: host, tr: tr, obsReg: reg, obsScope: sc, jr: jr, collectorID: collectorID}
+	s := &System{host: host, tr: tr, obsReg: reg, obsScope: sc, jr: jr, collectorID: collectorID, trc: trc}
 	tr.Journal = journal.Emitter{J: jr, Comp: journal.CompTranslator, Collector: collectorID}
 	if opts.ReporterLoss > 0 {
 		s.link = netsim.NewLink(100e9, 500, opts.ReporterLoss, opts.Seed)
@@ -382,6 +393,11 @@ func (s *System) deliverReportAt(r *wire.Report, nowNs uint64) error {
 func (s *System) deliverStagedAt(rec *wire.StagedReport, nowNs uint64) error {
 	if s.link != nil {
 		if _, dropped := s.link.Send(nowNs, rec.FrameLen()); dropped {
+			// The translator never runs for a dropped report, so it
+			// cannot clear a trace handle installed for this report —
+			// clear it here so a later report can't stamp a recycled
+			// trace slot.
+			s.tr.SetTraceHandle(trace.Handle{})
 			return nil // best-effort: silently lost, like UDP
 		}
 	}
@@ -406,6 +422,10 @@ type Reporter struct {
 	frames bool
 	rep    *reporter.Reporter
 	buf    []byte
+
+	// smp is this reporter's trace sampling counter: caller-local so the
+	// sampled-out fast path touches no shared cache line.
+	smp trace.Sampler
 }
 
 // send validates and delivers the scratch report via the staged path.
@@ -414,7 +434,28 @@ func (r *Reporter) send(rep *wire.Report) error {
 		return err
 	}
 	r.staged.Stage(rep)
+	if t := r.sys.trc; t != nil && t.Candidate(&r.smp) {
+		return r.sendTraced(t)
+	}
 	return r.sys.deliverStagedAt(&r.staged, r.sys.Now())
+}
+
+// sendTraced is the sampled-candidate delivery path. Kept out of line
+// so send's common path never materialises a trace Handle: holding the
+// two-word handle live across the deliver call costs registers — a few
+// ns per report, traced or not — which the <3% telemetry overhead gate
+// has no room for.
+//
+//go:noinline
+func (r *Reporter) sendTraced(t *trace.Tracer) error {
+	h := t.BeginCandidate()
+	if h.Valid() {
+		h.Stamp(trace.StSubmit)
+		r.sys.tr.SetTraceHandle(h)
+	}
+	err := r.sys.deliverStagedAt(&r.staged, r.sys.Now())
+	h.Finish()
+	return err
 }
 
 // KeyWrite stores data under key with redundancy n.

@@ -54,7 +54,11 @@ func (s *System) WithWAL(dir string, pol WALPolicy) error {
 	s.wal = w
 	w.SetJournal(s.walEmitter())
 	s.tr.WAL = func(rec *wire.StagedReport, nowNs uint64) error {
-		_, err := w.Append(rec, nowNs)
+		// Hand the in-flight report's trace handle to the WAL: the
+		// flusher stamps write/fsync/ack stages and finishes the trace
+		// at durable ack (a second reference keeps it live past the
+		// translator's Finish).
+		_, err := w.AppendTraced(rec, nowNs, s.tr.TraceHandle())
 		return err
 	}
 	return nil

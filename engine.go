@@ -5,6 +5,7 @@ import (
 
 	"dta/internal/engine"
 	"dta/internal/ha"
+	"dta/internal/obs/trace"
 	"dta/internal/reporter"
 	"dta/internal/wire"
 )
@@ -64,6 +65,11 @@ func (k systemSink) ProcessStaged(s *wire.StagedReport, nowNs uint64) error {
 	return k.s.deliverStagedAt(s, nowNs)
 }
 
+// SetTraceHandle installs the data-plane trace handle for the next
+// processed report on the System's translator (engine.TraceSink); the
+// shard worker calls it per record when tracing is live.
+func (k systemSink) SetTraceHandle(h trace.Handle) { k.s.tr.SetTraceHandle(h) }
+
 func (k systemSink) Flush(nowNs uint64) error { return k.s.flushAt(nowNs) }
 
 // BatchEnd marks a worker dequeue-batch boundary: with a WAL attached
@@ -98,6 +104,12 @@ func newEngine(systems []*System, cluster *Cluster, hac *HACluster, cfg EngineCo
 		// episodes into the owning deployment's journal (shared across
 		// cluster members, so systems[0]'s is the cluster's).
 		cfg.Journal = systems[0].jr
+	}
+	if cfg.Trace == nil && len(systems) > 0 {
+		// Same default for the trace pipeline: submissions begin traces
+		// against the owning deployment's tracer (shared across cluster
+		// members, so systems[0]'s is the cluster's).
+		cfg.Trace = systems[0].trc
 	}
 	inner, err := engine.New(sinks, cfg)
 	if err != nil {

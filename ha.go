@@ -16,6 +16,7 @@ import (
 	"dta/internal/ha"
 	"dta/internal/obs"
 	"dta/internal/obs/journal"
+	"dta/internal/obs/trace"
 	"dta/internal/snapshot"
 	"dta/internal/wire"
 )
@@ -78,6 +79,11 @@ type HACluster struct {
 	// failure→recovery arc renders as one chain. Guarded by mu.
 	jr      *journal.Journal
 	causeOf map[int]uint64
+	// trc is the shared data-plane trace pipeline (nil with
+	// DisableTelemetry); deferResync opens a resync window on it so
+	// traces completing while a retry backoff is pending are
+	// tail-retained. See internal/obs/trace.
+	trc *trace.Tracer
 	// rrGate rate-limits read-repair events: a verification sweep can
 	// repair thousands of slots, and one representative event per gap
 	// (carrying the cumulative count) must not evict the failover chain.
@@ -186,9 +192,11 @@ func NewHACluster(n, r int, opts Options) (*HACluster, error) {
 	}
 	var reg *obs.Registry
 	var jr *journal.Journal
+	var trc *trace.Tracer
 	if !opts.DisableTelemetry {
 		reg = obs.NewRegistry()
 		jr = newJournal(opts)
+		trc = trace.New(trace.Config{})
 	}
 	c := &HACluster{
 		opts:    opts,
@@ -197,6 +205,7 @@ func NewHACluster(n, r int, opts Options) (*HACluster, error) {
 		health:  ha.NewHealthScoped(reg.Scope()),
 		reg:     reg,
 		jr:      jr,
+		trc:     trc,
 		causeOf: make(map[int]uint64),
 		stale:   make(map[int]uint64),
 		downAt:  make(map[int]uint64),
@@ -218,7 +227,7 @@ func NewHACluster(n, r int, opts Options) (*HACluster, error) {
 // newMember builds collector id's System registered under the cluster's
 // shared telemetry registry.
 func (c *HACluster) newMember(id int, o Options) (*System, error) {
-	return newSystem(o, c.reg, c.reg.Scope(obs.L("collector", strconv.Itoa(id))), c.jr, int16(id))
+	return newSystem(o, c.reg, c.reg.Scope(obs.L("collector", strconv.Itoa(id))), c.jr, c.trc, int16(id))
 }
 
 // emit publishes one HA-component flight-recorder event for collector i
@@ -824,6 +833,10 @@ func (c *HACluster) deferResync(id int, cause uint64) {
 	r.attempts++
 	r.nextAt = obs.Nanotime() + int64(backoff)
 	c.health.RecordResyncRetry()
+	// Open a trace resync window covering the backoff: any data-plane
+	// trace completing while the retry is pending is tail-retained with
+	// FResync, tying slow acks to the recovery in progress.
+	c.trc.NoteResyncUntil(r.nextAt)
 	c.emit(id, journal.EvResyncRetry, journal.SevWarn, cause, uint64(r.attempts), uint64(backoff), 0)
 }
 

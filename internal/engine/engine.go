@@ -31,6 +31,7 @@ import (
 
 	"dta/internal/obs"
 	"dta/internal/obs/journal"
+	"dta/internal/obs/trace"
 	"dta/internal/wire"
 )
 
@@ -71,6 +72,15 @@ type StagedSink interface {
 	// ProcessStaged ingests one staged record. s is only read during
 	// the call.
 	ProcessStaged(s *wire.StagedReport, nowNs uint64) error
+}
+
+// TraceSink is an optional StagedSink extension: the worker hands the
+// report's data-plane trace handle over immediately before each
+// ProcessStaged call, so downstream layers (translator, WAL) can stamp
+// their stages onto the same trace. The handle may be invalid (the
+// report was sampled out); implementations must store it as-is.
+type TraceSink interface {
+	SetTraceHandle(trace.Handle)
 }
 
 // BatchSink is an optional Sink extension: BatchEnd is invoked on the
@@ -133,6 +143,11 @@ type Config struct {
 	// the blocked duration on the end event. Nil costs one branch on
 	// the (already stalled) slow path and nothing on the fast path.
 	Journal *journal.Journal
+	// Trace, when non-nil, samples end-to-end data-plane traces on the
+	// structured submit path: Submitters begin traces, the worker
+	// stamps queue stages and hands the handle to TraceSink sinks. Nil
+	// keeps the hot path at one predicted branch.
+	Trace *trace.Tracer
 }
 
 func (c *Config) withDefaults() Config {
@@ -185,6 +200,7 @@ type chunk struct {
 	data  []byte              // concatenated frames
 	lens  []int32             // per-frame lengths into data
 	recs  []wire.StagedReport // structured reports (fast path)
+	trcs  []trace.Handle      // parallel to recs when tracing; else empty
 	nowNs uint64              // latest clock among the staged entries
 	drain chan struct{}
 }
@@ -193,6 +209,7 @@ func (c *chunk) reset() {
 	c.data = c.data[:0]
 	c.lens = c.lens[:0]
 	c.recs = c.recs[:0]
+	c.trcs = c.trcs[:0]
 	c.nowNs = 0
 	c.drain = nil
 }
@@ -248,6 +265,7 @@ type shard struct {
 	rsink ReportSink // non-nil when sink implements the structured path
 	ssink StagedSink // non-nil when sink consumes staged records directly
 	bsink BatchSink  // non-nil when sink wants batch-boundary callbacks
+	tsink TraceSink  // non-nil when sink accepts trace handles
 	ch    chan *chunk
 	ctr   shardCounters
 
@@ -330,6 +348,7 @@ func New(sinks []Sink, cfg Config) (*Engine, error) {
 		sh.rsink, _ = s.(ReportSink)
 		sh.ssink, _ = s.(StagedSink)
 		sh.bsink, _ = s.(BatchSink)
+		sh.tsink, _ = s.(TraceSink)
 		// Queue depth is read straight off the channel at exposition
 		// time — zero hot-path cost.
 		ch := sh.ch
@@ -398,6 +417,22 @@ func stageInto(recs []wire.StagedReport, r *wire.Report, chunkFrames int) []wire
 	return recs
 }
 
+// handleInto appends a trace handle parallel to stageInto's record,
+// with the same up-front capacity reservation so steady-state traced
+// staging never re-allocates.
+func handleInto(trcs []trace.Handle, h trace.Handle, chunkFrames int) []trace.Handle {
+	n := len(trcs)
+	if n < cap(trcs) {
+		trcs = trcs[:n+1]
+	} else {
+		grown := make([]trace.Handle, n+1, max(chunkFrames, n+1))
+		copy(grown, trcs)
+		trcs = grown
+	}
+	trcs[n] = h
+	return trcs
+}
+
 // send hands a chunk to the shard worker, applying the backpressure
 // policy. It consumes ck (requeued to the pool on drop or ErrClosed).
 func (e *Engine) send(sh *shard, ck *chunk) error {
@@ -407,14 +442,29 @@ func (e *Engine) send(sh *shard, ck *chunk) error {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.closed.Load() {
+		for i := range ck.trcs {
+			ck.trcs[i].Abort()
+		}
 		e.pool.Put(ck)
 		return ErrClosed
+	}
+	// Stamp the enqueue stage before the channel send: once the worker
+	// owns the chunk the producer must not touch its trace handles (the
+	// worker releases them), so any Block-policy wait below shows up in
+	// the enqueue→dequeue gap with the stall flag naming the cause.
+	for i := range ck.trcs {
+		ck.trcs[i].Stamp(trace.StEnqueue)
 	}
 	if e.cfg.Policy == Drop {
 		select {
 		case sh.ch <- ck:
 			sh.ctr.enqueued.Add(frames)
 		default:
+			// Shed: these reports have no end-to-end latency to
+			// attribute, so their traces are discarded unpublished.
+			for i := range ck.trcs {
+				ck.trcs[i].Abort()
+			}
 			e.pool.Put(ck)
 			sh.ctr.dropped.Add(frames)
 		}
@@ -428,6 +478,9 @@ func (e *Engine) send(sh *shard, ck *chunk) error {
 	case sh.ch <- ck:
 	default:
 		sh.ctr.stalls.Inc()
+		for i := range ck.trcs {
+			ck.trcs[i].Flag(trace.FStall)
+		}
 		sh.noteStallStart(cap(sh.ch))
 		sh.ch <- ck
 		sh.noteStallEnd()
@@ -451,6 +504,10 @@ type Submitter struct {
 	// only exact if no fan-out can be half-visible — one owner's copy
 	// queued while another's is still staged (see HACluster.fenceMu).
 	coupled bool
+	// smp is this producer's trace candidate filter: caller-local like
+	// the Submitter itself, so the sampled-out path costs no shared
+	// cache traffic.
+	smp trace.Sampler
 }
 
 // SetCoupled switches the submitter to coupled (all-or-nothing) chunk
@@ -530,6 +587,11 @@ func (s *Submitter) SubmitReport(shardIdx int, r *wire.Report, nowNs uint64) err
 		return err
 	}
 	ck.recs = stageInto(ck.recs, r, s.e.cfg.ChunkFrames)
+	if tw := s.e.cfg.Trace; tw != nil {
+		h := tw.Begin(&s.smp)
+		h.Stamp(trace.StSubmit)
+		ck.trcs = handleInto(ck.trcs, h, s.e.cfg.ChunkFrames)
+	}
 	if nowNs > ck.nowNs {
 		ck.nowNs = nowNs
 	}
@@ -678,20 +740,40 @@ func (e *Engine) run(sh *shard) {
 		// Structured fast path: hand staged records straight to the
 		// sink, no frame parse (and, for StagedSinks, no decompression
 		// either). Submission guarantees recs is empty when the sink
-		// lacks ReportSink support.
+		// lacks ReportSink support. Traced records get their dequeue
+		// stamp here and release the data-side trace reference after
+		// the sink call; the handle must be (re)set for EVERY record
+		// when tracing is live — including the invalid handle — so the
+		// sink never stamps a stale, recycled trace slot.
 		if sh.ssink != nil {
+			tracing := e.cfg.Trace != nil && sh.tsink != nil
 			for i := range ck.recs {
+				var h trace.Handle
+				if i < len(ck.trcs) {
+					h = ck.trcs[i]
+					h.Stamp(trace.StDequeue)
+				}
+				if tracing {
+					sh.tsink.SetTraceHandle(h)
+				}
 				if err := sh.ssink.ProcessStaged(&ck.recs[i], lastNow); err != nil {
 					sh.ctr.errors.Add(1)
 					e.recordErr(err)
 				}
+				h.Finish()
 			}
 		} else {
 			for i := range ck.recs {
+				var h trace.Handle
+				if i < len(ck.trcs) {
+					h = ck.trcs[i]
+					h.Stamp(trace.StDequeue)
+				}
 				if err := sh.rsink.ProcessReport(ck.recs[i].View(&scratch), lastNow); err != nil {
 					sh.ctr.errors.Add(1)
 					e.recordErr(err)
 				}
+				h.Finish()
 			}
 		}
 		n := ck.count()

@@ -66,7 +66,14 @@ func writeHistogram(w io.Writer, m *metric) {
 		if i == HistBuckets-1 {
 			le = "+Inf"
 		}
-		fmt.Fprintf(w, "%s_bucket%s %d\n", m.name, joinLabels(m.labels, `le="`+le+`"`), cum)
+		line := fmt.Sprintf("%s_bucket%s %d", m.name, joinLabels(m.labels, `le="`+le+`"`), cum)
+		// OpenMetrics-style exemplar: the last trace ID that landed in
+		// this bucket, with its observed value, linking the histogram
+		// back to /debug/traces.
+		if id, v := m.hist.Exemplar(i); id != 0 {
+			line += fmt.Sprintf(` # {trace_id="%d"} %d`, id, v)
+		}
+		fmt.Fprintln(w, line)
 	}
 	fmt.Fprintf(w, "%s_sum%s %d\n", m.name, wrapLabels(m.labels), m.hist.Sum())
 	fmt.Fprintf(w, "%s_count%s %d\n", m.name, wrapLabels(m.labels), m.hist.Count())

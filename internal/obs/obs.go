@@ -187,6 +187,12 @@ type Histogram struct {
 	sum     atomic.Uint64
 	_       [cacheLine - 16]byte
 	buckets [HistBuckets]atomic.Uint64
+	// Exemplar cells: each bucket optionally remembers the last trace
+	// ID (and the observed value) that landed in it, linking the
+	// distribution back to a /debug/traces record. Best-effort under
+	// concurrency (ID and value are separate atomics), zero = none.
+	exID [HistBuckets]atomic.Uint64
+	exV  [HistBuckets]atomic.Uint64
 }
 
 // Observe records v (nanoseconds, by convention). Safe on a nil
@@ -202,6 +208,33 @@ func (h *Histogram) Observe(v uint64) {
 	h.buckets[i].Add(1)
 	h.count.Add(1)
 	h.sum.Add(v)
+}
+
+// ObserveEx records v and, when traceID is nonzero, stamps the
+// bucket's exemplar cell with it. Safe on a nil receiver (no-op).
+func (h *Histogram) ObserveEx(v, traceID uint64) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if traceID == 0 {
+		return
+	}
+	i := bits.Len64(v)
+	if i >= HistBuckets {
+		i = HistBuckets - 1
+	}
+	h.exV[i].Store(v)
+	h.exID[i].Store(traceID)
+}
+
+// Exemplar returns bucket i's exemplar trace ID and observed value
+// (0, 0 when no exemplar has landed there).
+func (h *Histogram) Exemplar(i int) (traceID, v uint64) {
+	if h == nil || i < 0 || i >= HistBuckets {
+		return 0, 0
+	}
+	return h.exID[i].Load(), h.exV[i].Load()
 }
 
 // Count returns the number of observations.
@@ -256,6 +289,15 @@ func Start(h *Histogram) Span {
 func (s Span) End() {
 	if s.h != nil {
 		s.h.Observe(uint64(Nanotime() - s.t0))
+	}
+}
+
+// EndExemplar records the elapsed nanoseconds and attaches traceID as
+// the landing bucket's exemplar (no-op span or zero ID degrade to a
+// plain End).
+func (s Span) EndExemplar(traceID uint64) {
+	if s.h != nil {
+		s.h.ObserveEx(uint64(Nanotime()-s.t0), traceID)
 	}
 }
 

@@ -338,3 +338,71 @@ func TestHotPathAllocations(t *testing.T) {
 		t.Fatalf("hot-path primitives allocate %v/op, want 0", n)
 	}
 }
+
+func TestExemplarRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	sc := r.Scope(L("collector", "0"))
+	h := sc.Histogram("dta_ex_ns", "histogram with exemplars")
+	h.Observe(100)          // bucket 7: no exemplar
+	h.ObserveEx(5000, 7)    // bucket 13
+	h.ObserveEx(5100, 9)    // bucket 13 again: last trace wins
+	h.ObserveEx(1<<20, 11)  // bucket 21
+	h.ObserveEx(200, 0)     // zero trace ID: counted, no exemplar
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		`# {trace_id="9"} 5100`,
+		`# {trace_id="11"} 1048576`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing exemplar %q in:\n%s", want, text)
+		}
+	}
+
+	snap, err := ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("exemplar-bearing exposition failed to parse: %v", err)
+	}
+	v := snap.Find("dta_ex_ns")
+	if v == nil || v.Kind != KindHistogram {
+		t.Fatalf("parsed histogram = %+v", v)
+	}
+	// The exemplar suffix must not perturb the sample itself.
+	if v.Count != 5 || v.Sum != 100+5000+5100+1<<20+200 {
+		t.Fatalf("histogram count/sum = %d/%d", v.Count, v.Sum)
+	}
+	orig := r.Snapshot().Find("dta_ex_ns")
+	for i := range orig.Buckets {
+		if orig.Buckets[i] != v.Buckets[i] {
+			t.Fatalf("bucket %d: parsed %d, original %d", i, v.Buckets[i], orig.Buckets[i])
+		}
+	}
+	// Exemplars round-trip with bucket attribution intact.
+	if ex := v.ExemplarFor(13); ex == nil || ex.TraceID != 9 || ex.Value != 5100 {
+		t.Fatalf("bucket 13 exemplar = %+v, want trace 9 value 5100", ex)
+	}
+	if ex := v.ExemplarFor(21); ex == nil || ex.TraceID != 11 || ex.Value != 1<<20 {
+		t.Fatalf("bucket 21 exemplar = %+v, want trace 11 value 1<<20", ex)
+	}
+	if ex := v.ExemplarFor(7); ex != nil {
+		t.Fatalf("bucket 7 grew an exemplar: %+v", ex)
+	}
+
+	// EndExemplar attaches the span's trace ID.
+	h2 := sc.Histogram("dta_ex2_ns", "")
+	sp := Start(h2)
+	sp.EndExemplar(42)
+	found := false
+	for i := 0; i < HistBuckets; i++ {
+		if id, _ := h2.Exemplar(i); id == 42 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("EndExemplar left no exemplar")
+	}
+}

@@ -15,13 +15,32 @@ import (
 // histograms carry Count, Sum, and the raw (non-cumulative) log2
 // Buckets.
 type Value struct {
-	Name    string
-	Labels  []Label
-	Kind    Kind
-	Value   float64
-	Count   uint64
-	Sum     uint64
-	Buckets []uint64 // len HistBuckets when Kind==KindHistogram
+	Name      string
+	Labels    []Label
+	Kind      Kind
+	Value     float64
+	Count     uint64
+	Sum       uint64
+	Buckets   []uint64   // len HistBuckets when Kind==KindHistogram
+	Exemplars []Exemplar // bucket exemplars present in the exposition
+}
+
+// Exemplar links one histogram bucket back to the last trace that
+// landed in it (see Histogram.ObserveEx and /debug/traces).
+type Exemplar struct {
+	Bucket  int // log2 bucket index
+	TraceID uint64
+	Value   uint64 // the exemplar's observed value
+}
+
+// ExemplarFor returns the exemplar for a bucket index (nil if none).
+func (v *Value) ExemplarFor(bucket int) *Exemplar {
+	for i := range v.Exemplars {
+		if v.Exemplars[i].Bucket == bucket {
+			return &v.Exemplars[i]
+		}
+	}
+	return nil
 }
 
 // Label returns the value of the named label ("" when absent).
@@ -235,6 +254,14 @@ func ParsePrometheus(r io.Reader) (*Snapshot, error) {
 			}
 			continue
 		}
+		// Split off an OpenMetrics-style exemplar suffix
+		// (` # {trace_id="N"} V`) before sample parsing: the exemplar's
+		// own '}' would otherwise defeat the label-brace scan.
+		exStr := ""
+		if i := strings.Index(line, " # "); i >= 0 {
+			exStr = strings.TrimSpace(line[i+3:])
+			line = strings.TrimSpace(line[:i])
+		}
 		name, labelStr, valStr, err := splitSample(line)
 		if err != nil {
 			return nil, err
@@ -259,6 +286,13 @@ func ParsePrometheus(r io.Reader) (*Snapshot, error) {
 			case "_bucket":
 				h.cum = append(h.cum, uint64(val))
 				h.les = append(h.les, le)
+				if exStr != "" {
+					if id, exVal, err := parseExemplar(exStr); err == nil {
+						if idx := bucketIndexForLE(le); idx >= 0 && idx < HistBuckets {
+							h.val.Exemplars = append(h.val.Exemplars, Exemplar{Bucket: idx, TraceID: id, Value: exVal})
+						}
+					}
+				}
 			case "_sum":
 				h.val.Sum = uint64(val)
 			case "_count":
@@ -310,6 +344,38 @@ func splitSample(line string) (name, labels, value string, err error) {
 		return "", "", "", fmt.Errorf("obs: malformed sample %q", line)
 	}
 	return fields[0], "", fields[1], nil
+}
+
+// parseExemplar parses the exemplar body `{trace_id="N"} V` (the part
+// after the ` # ` separator) back into its trace ID and value.
+func parseExemplar(s string) (traceID, value uint64, err error) {
+	if len(s) == 0 || s[0] != '{' {
+		return 0, 0, fmt.Errorf("obs: malformed exemplar %q", s)
+	}
+	j := strings.IndexByte(s, '}')
+	if j < 0 {
+		return 0, 0, fmt.Errorf("obs: malformed exemplar %q", s)
+	}
+	labels, err := ParseLabels(s[1:j])
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, l := range labels {
+		if l.Key == "trace_id" {
+			traceID, err = strconv.ParseUint(l.Value, 10, 64)
+			if err != nil {
+				return 0, 0, fmt.Errorf("obs: bad exemplar trace_id %q: %w", l.Value, err)
+			}
+		}
+	}
+	if traceID == 0 {
+		return 0, 0, fmt.Errorf("obs: exemplar missing trace_id in %q", s)
+	}
+	value, err = strconv.ParseUint(strings.TrimSpace(s[j+1:]), 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("obs: bad exemplar value in %q: %w", s, err)
+	}
+	return traceID, value, nil
 }
 
 // histSeries reports whether name is a _bucket/_sum/_count series of a

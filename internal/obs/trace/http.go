@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// jsonStage is one stamped stage in a trace's JSON rendering: the
+// stage name and its offset from the trace's first stamp. Unstamped
+// (zero) stages are omitted.
+type jsonStage struct {
+	Stage string `json:"stage"`
+	AtNs  int64  `json:"at_ns"`
+}
+
+// jsonTrace is one completed trace in the /debug/traces payload.
+type jsonTrace struct {
+	Seq     uint64      `json:"seq"`
+	ID      uint64      `json:"id"`
+	Flags   []string    `json:"flags,omitempty"`
+	StartNs int64       `json:"start_ns"`
+	TotalNs int64       `json:"total_ns"`
+	Stages  []jsonStage `json:"stages"`
+}
+
+// tracesPayload is the /debug/traces response envelope, mirroring
+// /debug/events: last is the newest sequence (the next ?since=
+// cursor), missed counts traces overwritten inside the requested
+// range, dropped counts ring-lifetime overwrites.
+type tracesPayload struct {
+	Last    uint64      `json:"last"`
+	Missed  uint64      `json:"missed"`
+	Dropped uint64      `json:"dropped"`
+	Traces  []jsonTrace `json:"traces"`
+}
+
+// render converts a Record into its JSON form.
+func render(r *Record) jsonTrace {
+	start := r.Start()
+	jt := jsonTrace{
+		Seq:     r.Seq,
+		ID:      r.ID,
+		Flags:   FlagNames(r.Flags),
+		StartNs: start,
+		TotalNs: r.Total(),
+		Stages:  make([]jsonStage, 0, NumStages),
+	}
+	for i := 0; i < NumStages; i++ {
+		if r.TS[i] == 0 {
+			continue
+		}
+		jt.Stages = append(jt.Stages, jsonStage{Stage: Stage(i).String(), AtNs: r.TS[i] - start})
+	}
+	return jt
+}
+
+// Handler returns the /debug/traces handler: completed traces as
+// JSON, oldest first, with the same ?since= cursor protocol as
+// /debug/events (pass the previous response's "last").
+func Handler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		var cursor uint64
+		if s := req.URL.Query().Get("since"); s != "" {
+			v, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				http.Error(w, "bad since cursor", http.StatusBadRequest)
+				return
+			}
+			cursor = v
+		}
+		var p tracesPayload
+		if t != nil {
+			buf := make([]Record, len(t.ring))
+			recs, last, missed := t.Since(cursor, buf)
+			p.Last = last
+			p.Missed = missed
+			p.Dropped = t.Dropped()
+			p.Traces = make([]jsonTrace, 0, len(recs))
+			for i := range recs {
+				p.Traces = append(p.Traces, render(&recs[i]))
+			}
+		}
+		if p.Traces == nil {
+			p.Traces = []jsonTrace{}
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		enc.Encode(p)
+	})
+}
+
+// Mount registers the trace endpoint on mux at /debug/traces.
+func Mount(mux *http.ServeMux, t *Tracer) {
+	mux.Handle("/debug/traces", Handler(t))
+}

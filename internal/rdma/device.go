@@ -307,6 +307,10 @@ type Requester struct {
 	Resyncs uint64
 	// Acked is the PSN after the highest cumulative acknowledgement.
 	Acked uint32
+	// OnResync, when set, fires on every NAK-sequence resynchronisation
+	// — the trace pipeline uses it to tail-retain the report that was
+	// in flight when the connection rolled back.
+	OnResync func()
 }
 
 // NextPSN stamps and consumes the next PSN.
@@ -326,5 +330,8 @@ func (r *Requester) HandleAck(p *Packet) {
 	case SynNAKSeq:
 		r.NPSN = p.BTH.PSN
 		r.Resyncs++
+		if r.OnResync != nil {
+			r.OnResync()
+		}
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"dta/internal/core/postcarding"
 	"dta/internal/obs"
 	"dta/internal/obs/journal"
+	"dta/internal/obs/trace"
 	"dta/internal/rdma"
 	"dta/internal/wire"
 )
@@ -249,7 +250,34 @@ type Translator struct {
 	// callback when a staged report is rate-limit dropped.
 	nackScratch wire.Report
 
+	// traceH is the data-plane trace handle for the report currently
+	// being processed (set by the engine worker or sync caller via
+	// SetTraceHandle, cleared when the report's wrapper returns so the
+	// epoch-flush emit paths can never stamp a recycled trace). The
+	// translator is single-threaded by contract, so a plain field is
+	// race-free.
+	traceH trace.Handle
+
 	ctr counters
+}
+
+// SetTraceHandle installs the trace handle for the NEXT report
+// processed — the engine.TraceSink hook. The handle may be invalid
+// (report sampled out); it is consumed by the next
+// ProcessStaged/ProcessReport call.
+func (t *Translator) SetTraceHandle(h trace.Handle) { t.traceH = h }
+
+// TraceHandle returns the active report's trace handle (invalid
+// outside a processing call). The WAL append hook uses it to hand
+// trace ownership to the durability path.
+func (t *Translator) TraceHandle() trace.Handle { return t.traceH }
+
+// endEmit closes an emit span: the active trace gets its emit stage
+// stamped (covering the last replica emitted) and rides into the emit
+// histogram as the landing bucket's exemplar.
+func (t *Translator) endEmit(span obs.Span) {
+	t.traceH.Stamp(trace.StEmit)
+	span.EndExemplar(t.traceH.ID())
 }
 
 // Stats snapshots the translator's counters. Safe to call concurrently
@@ -282,6 +310,10 @@ func NewScoped(cfg Config, l *rdma.Listener, sc *obs.Scope) (*Translator, error)
 		chunkBuf: make([]byte, 0, postcarding.MaxHops*postcarding.SlotSize),
 		ctr:      newCounters(sc),
 	}
+	// A NAK-sequence resync fires mid-emit, while the faulted report's
+	// trace is still active: flag it so tail-based sampling retains the
+	// trace that actually hit the rollback.
+	t.req.OnResync = func() { t.traceH.Flag(trace.FResync) }
 	// Burst of rate/1000 ≈ one millisecond of credit, as before; the
 	// integer bucket floors it at one whole token so low rates still
 	// admit (see ratelimit.go).
@@ -388,7 +420,9 @@ func (t *Translator) ProcessFrame(frame []byte, nowNs uint64) error {
 func (t *Translator) ProcessReport(r *wire.Report, nowNs uint64) error {
 	span := t.ctr.reportSamp.Start(t.ctr.reportNs)
 	err := t.processReport(r, nowNs)
-	span.End()
+	t.traceH.Stamp(trace.StTranslate)
+	span.EndExemplar(t.traceH.ID())
+	t.traceH = trace.Handle{}
 	return err
 }
 
@@ -437,7 +471,9 @@ func (t *Translator) Process(r *wire.Report, nowNs uint64) error {
 func (t *Translator) ProcessStaged(s *wire.StagedReport, nowNs uint64) error {
 	span := t.ctr.reportSamp.Start(t.ctr.reportNs)
 	err := t.processStaged(s, nowNs)
-	span.End()
+	t.traceH.Stamp(trace.StTranslate)
+	span.EndExemplar(t.traceH.ID())
+	t.traceH = trace.Handle{}
 	return err
 }
 
@@ -592,7 +628,7 @@ func (t *Translator) keyWriteArgs(key *wire.Key, n int, flags uint8, data []byte
 		t.ctr.rdmaWrites.Inc()
 		t.Emit(pkt)
 	}
-	span.End()
+	t.endEmit(span)
 	return nil
 }
 
@@ -646,7 +682,7 @@ func (t *Translator) emitFetchAdds(ki *wire.KeyIncrement, nowNs uint64) error {
 		t.ctr.rdmaAtomics.Inc()
 		t.Emit(pkt)
 	}
-	span.End()
+	t.endEmit(span)
 	return nil
 }
 
@@ -725,7 +761,7 @@ func (t *Translator) emitChunk(e *postcarding.Emit, flags uint8, src nackRef, no
 		t.ctr.rdmaWrites.Inc()
 		t.Emit(pkt)
 	}
-	span.End()
+	t.endEmit(span)
 	return nil
 }
 
@@ -760,7 +796,7 @@ func (t *Translator) emitAppendFlush(f *appendlist.Flush, imm *uint32, src nackR
 	t.ctr.crafts.Inc()
 	t.ctr.rdmaWrites.Inc()
 	t.Emit(pkt)
-	span.End()
+	t.endEmit(span)
 	return nil
 }
 

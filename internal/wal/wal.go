@@ -56,6 +56,7 @@ import (
 
 	"dta/internal/obs"
 	"dta/internal/obs/journal"
+	"dta/internal/obs/trace"
 	"dta/internal/wire"
 )
 
@@ -360,6 +361,13 @@ type Writer struct {
 	segBytes int64
 	prevNow  uint64 // previous record's timestamp (delta encoding)
 	scratch  [MaxRecordLen]byte
+	// Trace handles in flight through the flusher: pendWrite holds
+	// encoded-but-buffered records' handles, unsynced holds handles
+	// whose bytes reached the OS but not yet stable storage. Both hold
+	// only valid handles, so their length is bounded by the tracer's
+	// in-flight pool, not the ring. Flusher-owned.
+	pendWrite []trace.Handle
+	unsynced  []trace.Handle
 	// Degraded-ack bookkeeping, flusher-owned: consecutive over-bound
 	// fsyncs (entry trigger), Sync requests seen while degraded (probe
 	// pacing) and acks skipped since entry (Exit event payload).
@@ -372,6 +380,7 @@ type Writer struct {
 type ringEntry struct {
 	rec   wire.StagedReport
 	nowNs uint64
+	trc   trace.Handle // data-plane trace (invalid when untraced)
 }
 
 // ctrlReq asks the flusher to catch up to `upto` consumed records, push
@@ -551,6 +560,15 @@ func (w *Writer) WStats() Stats {
 // (the flusher lagging by writerRingEntries records) blocks until space
 // frees, which is the intended backpressure.
 func (w *Writer) Append(rec *wire.StagedReport, nowNs uint64) (uint64, error) {
+	return w.AppendTraced(rec, nowNs, trace.Handle{})
+}
+
+// AppendTraced is Append carrying the report's data-plane trace: the
+// WAL takes shared trace ownership (the flusher finishes it at the
+// durable-ack boundary), stamps the ring-entry stage, and flags the
+// trace on a ring-full backpressure stall. The invalid handle reduces
+// to plain Append.
+func (w *Writer) AppendTraced(rec *wire.StagedReport, nowNs uint64, th trace.Handle) (uint64, error) {
 	if err := w.err(); err != nil {
 		return 0, err
 	}
@@ -563,6 +581,7 @@ func (w *Writer) Append(rec *wire.StagedReport, nowNs uint64) (uint64, error) {
 		// slow-disk stall the ROADMAP's chaos scenarios suspect. Count
 		// it (once per stalled append), then wait.
 		w.ctr.ringStalls.Inc()
+		th.Flag(trace.FStall)
 		for h-w.tail.Load() == uint64(len(w.ring)) {
 			w.nudge()
 			select {
@@ -575,6 +594,14 @@ func (w *Writer) Append(rec *wire.StagedReport, nowNs uint64) (uint64, error) {
 	e := &w.ring[h&uint64(len(w.ring)-1)]
 	e.rec = *rec
 	e.nowNs = nowNs
+	// e.trc is assigned unconditionally: a recycled ring slot must never
+	// carry a previous lap's handle.
+	if th.OwnWAL() {
+		th.Stamp(trace.StWALRing)
+		e.trc = th
+	} else {
+		e.trc = trace.Handle{}
+	}
 	w.head.Store(h + 1)
 	w.ctr.appends.Inc()
 	// Wake the flusher if it may have gone (or be going) idle: reading
@@ -681,6 +708,15 @@ func (w *Writer) flusher() {
 			w.writeOut()
 			w.f.Close()
 		}
+		// Any trace still in flight here never reached its durable ack
+		// (failure or shutdown race): discard, never publish a phantom.
+		for _, th := range w.pendWrite {
+			th.Abort()
+		}
+		for _, th := range w.unsynced {
+			th.Abort()
+		}
+		w.pendWrite, w.unsynced = nil, nil
 	}()
 	var pending *ctrlReq
 	idle := time.NewTimer(time.Hour)
@@ -696,6 +732,16 @@ func (w *Writer) flusher() {
 			e := &w.ring[i&uint64(len(w.ring)-1)]
 			if w.err() == nil {
 				w.fail(w.encode(e))
+			}
+			if e.trc.Valid() {
+				if w.err() == nil {
+					w.pendWrite = append(w.pendWrite, e.trc)
+				} else {
+					// Failed log: the record was consumed and discarded,
+					// so no durable ack will ever come.
+					e.trc.Abort()
+				}
+				e.trc = trace.Handle{}
 			}
 			w.tail.Store(i + 1)
 			// Unconditional (non-blocking, coalescing) space signal: an
@@ -794,6 +840,7 @@ func (w *Writer) syncPoint(force bool) {
 			// records to the OS; DurableLSN intentionally holds still.
 			w.ctr.degradedAcks.Inc()
 			w.degradedSkip++
+			w.finishUnsynced(true)
 			return
 		}
 		// Every degradeProbeEvery-th request falls through to a real
@@ -802,13 +849,21 @@ func (w *Writer) syncPoint(force bool) {
 	t0 := obs.Nanotime()
 	span := obs.Start(w.ctr.fsyncNs)
 	err := w.f.Sync()
-	span.End()
+	// The newest trace covered by this fsync becomes the fsync
+	// histogram's bucket exemplar.
+	var exID uint64
+	if n := len(w.unsynced); n > 0 {
+		exID = w.unsynced[n-1].ID()
+	}
+	span.EndExemplar(exID)
 	ns := obs.Nanotime() - t0
 	w.ctr.syncs.Inc()
 	if w.fail(err) {
+		w.abortUnsynced()
 		return
 	}
 	w.durable.Store(w.startLSN + w.tail.Load() - 1)
+	w.finishUnsynced(false)
 	w.observeFsync(ns)
 }
 
@@ -880,7 +935,57 @@ func (w *Writer) writeOut() error {
 	err := writeFull(w.f, w.buf)
 	span.End()
 	w.buf = w.buf[:0]
+	w.noteWritten(err == nil)
 	return err
+}
+
+// noteWritten routes the pending trace handles after a write-behind
+// drain: written records advance to the unsynced set awaiting their
+// fsync (or finish immediately under SyncNone, which never fsyncs on
+// the data path); a failed write orphans them unpublished. Flusher-only.
+func (w *Writer) noteWritten(ok bool) {
+	if len(w.pendWrite) == 0 {
+		return
+	}
+	for _, th := range w.pendWrite {
+		if !ok {
+			th.Abort()
+			continue
+		}
+		th.Stamp(trace.StWALWrite)
+		if w.pol.Mode == SyncNone {
+			th.Finish()
+			continue
+		}
+		w.unsynced = append(w.unsynced, th)
+	}
+	w.pendWrite = w.pendWrite[:0]
+}
+
+// finishUnsynced completes every trace awaiting durability: a real
+// fsync stamps the fsync stage, a degraded ack flags the trace instead
+// (tail sampling keeps it — that IS the interesting trace). Both end
+// at the ack stage. Flusher-only.
+func (w *Writer) finishUnsynced(degraded bool) {
+	for _, th := range w.unsynced {
+		if degraded {
+			th.Flag(trace.FDegraded)
+		} else {
+			th.Stamp(trace.StFsync)
+		}
+		th.Stamp(trace.StAck)
+		th.Finish()
+	}
+	w.unsynced = w.unsynced[:0]
+}
+
+// abortUnsynced discards every trace awaiting durability (the fsync
+// failed: no ack will ever come). Flusher-only.
+func (w *Writer) abortUnsynced() {
+	for _, th := range w.unsynced {
+		th.Abort()
+	}
+	w.unsynced = w.unsynced[:0]
 }
 
 // writeFull writes p to f completely, absorbing partial progress
@@ -931,6 +1036,9 @@ func (w *Writer) rotate() error {
 			return err
 		}
 		w.durable.Store(w.startLSN + w.tail.Load() - 1)
+		// The finalising fsync makes every written record durable: any
+		// trace still awaiting its ack completes here.
+		w.finishUnsynced(false)
 		if err := w.f.Close(); err != nil {
 			return err
 		}

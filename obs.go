@@ -5,6 +5,7 @@ import (
 
 	"dta/internal/obs"
 	"dta/internal/obs/journal"
+	"dta/internal/obs/trace"
 )
 
 // ObsRegistry is a deployment's self-telemetry registry: every layer —
@@ -64,6 +65,30 @@ type JournalEvent = journal.Event
 // and recovery dumps to events.jsonl).
 type JournalRecord = journal.Record
 
+// TracePipeline is the data-plane trace pipeline: sampled end-to-end
+// report traces (submit → queue → translate → emit → WAL → fsync →
+// durable ack) with tail-based retention of outliers — slow, degraded,
+// resync-window and queue-stalled reports are always kept, plus a
+// head-sampled baseline. See internal/obs/trace.
+type TracePipeline = trace.Tracer
+
+// TraceRecord is one published trace: ID, retention flags and per-stage
+// nanosecond stamps.
+type TraceRecord = trace.Record
+
+// Tracer returns the system's data-plane trace pipeline (nil when
+// Options.DisableTelemetry was set). Serve it with ObsMux at
+// /debug/traces, render it with dtastat -traces, or poll Since
+// in-process.
+func (s *System) Tracer() *TracePipeline { return s.trc }
+
+// Tracer returns the trace pipeline shared by every member collector.
+func (c *Cluster) Tracer() *TracePipeline { return c.trc }
+
+// Tracer returns the trace pipeline shared by every member collector;
+// resync retries open tail-retention windows on it.
+func (c *HACluster) Tracer() *TracePipeline { return c.trc }
+
 // HealthEvaluator runs SLO rules over a registry's snapshot deltas; its
 // verdict backs /healthz. See internal/obs's DefaultHealthRules.
 type HealthEvaluator = obs.HealthEvaluator
@@ -112,26 +137,28 @@ func (c *HACluster) HealthEval() *HealthEvaluator {
 }
 
 // fullMux assembles the complete observability surface: metrics, expvar
-// and pprof (obs.Mux), the flight recorder at /debug/events, and the
-// rule-driven verdict at /healthz.
-func fullMux(r *ObsRegistry, j *EventJournal, e *HealthEvaluator) *http.ServeMux {
+// and pprof (obs.Mux), the flight recorder at /debug/events, data-plane
+// traces at /debug/traces, and the rule-driven verdict at /healthz.
+func fullMux(r *ObsRegistry, j *EventJournal, t *TracePipeline, e *HealthEvaluator) *http.ServeMux {
 	mux := obs.Mux(r)
 	journal.Mount(mux, j)
+	trace.Mount(mux, t)
 	obs.MountHealth(mux, e)
 	return mux
 }
 
 // ObsMux mounts the system's full observability surface on a fresh mux:
 // everything the package-level ObsMux serves, plus the flight recorder
-// at /debug/events (cursor protocol: ?since=<seq>) and the health
-// verdict at /healthz (HTTP 503 with per-rule reasons when unhealthy).
-func (s *System) ObsMux() *http.ServeMux { return fullMux(s.obsReg, s.jr, s.HealthEval()) }
+// at /debug/events (cursor protocol: ?since=<seq>), data-plane traces
+// at /debug/traces (same cursor protocol) and the health verdict at
+// /healthz (HTTP 503 with per-rule reasons when unhealthy).
+func (s *System) ObsMux() *http.ServeMux { return fullMux(s.obsReg, s.jr, s.trc, s.HealthEval()) }
 
 // ObsMux mounts the cluster's full observability surface (see
 // System.ObsMux).
-func (c *Cluster) ObsMux() *http.ServeMux { return fullMux(c.reg, c.jr, c.HealthEval()) }
+func (c *Cluster) ObsMux() *http.ServeMux { return fullMux(c.reg, c.jr, c.trc, c.HealthEval()) }
 
 // ObsMux mounts the HA cluster's full observability surface (see
 // System.ObsMux); /debug/events carries the failover, resync and
 // checkpoint chains.
-func (c *HACluster) ObsMux() *http.ServeMux { return fullMux(c.reg, c.jr, c.HealthEval()) }
+func (c *HACluster) ObsMux() *http.ServeMux { return fullMux(c.reg, c.jr, c.trc, c.HealthEval()) }
